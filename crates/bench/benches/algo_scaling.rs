@@ -1,0 +1,41 @@
+//! Runtime scaling of the deployment algorithms in M and N — checking
+//! the paper's §3.3 complexity claims: O(M log M + N log N + MN) for
+//! Fair Load and O(M·(M log M + N log N + MN)) for the tie resolvers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsflow_bench::sized_line_bus_problem;
+use wsflow_core::registry::paper_bus_algorithms;
+use wsflow_core::DeploymentAlgorithm;
+
+fn scaling_in_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_in_ops");
+    for m in [10usize, 20, 40, 80, 160] {
+        let problem = sized_line_bus_problem(m, 5, 7);
+        for algo in paper_bus_algorithms(7) {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name().to_string(), m),
+                &problem,
+                |b, p| b.iter(|| algo.deploy(p).expect("deployable")),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn scaling_in_servers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_in_servers");
+    for n in [2usize, 4, 8, 16] {
+        let problem = sized_line_bus_problem(64, n, 7);
+        for algo in paper_bus_algorithms(7) {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name().to_string(), n),
+                &problem,
+                |b, p| b.iter(|| algo.deploy(p).expect("deployable")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scaling_in_ops, scaling_in_servers);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Cost-model microbenchmarks: the prepared Evaluator versus the
+//! one-shot metric functions, and the DAG versus block-tree Texecute
+//! evaluators (an ablation of DESIGN.md's "prepared evaluator" choice).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wsflow_bench::graph_bus_problem;
+use wsflow_core::{DeploymentAlgorithm, FairLoad};
+use wsflow_cost::{texecute, texecute_block, time_penalty, Evaluator};
+use wsflow_model::recover_structure;
+use wsflow_workload::GraphClass;
+
+fn evaluator_vs_oneshot(c: &mut Criterion) {
+    let problem = graph_bus_problem(GraphClass::Hybrid, 5, 100.0, 2007);
+    let mapping = FairLoad.deploy(&problem).expect("deployable");
+    let mut ev = Evaluator::new(&problem);
+    c.bench_function("evaluator_prepared", |b| b.iter(|| ev.evaluate(&mapping)));
+    c.bench_function("oneshot_texecute_plus_penalty", |b| {
+        b.iter(|| (texecute(&problem, &mapping), time_penalty(&problem, &mapping)))
+    });
+}
+
+fn dag_vs_block(c: &mut Criterion) {
+    let problem = graph_bus_problem(GraphClass::Bushy, 5, 100.0, 2007);
+    let tree = recover_structure(problem.workflow()).expect("well-formed");
+    let mapping = FairLoad.deploy(&problem).expect("deployable");
+    c.bench_function("texecute_dag", |b| b.iter(|| texecute(&problem, &mapping)));
+    c.bench_function("texecute_block_tree", |b| {
+        b.iter(|| texecute_block(&problem, &mapping, &tree))
+    });
+}
+
+criterion_group!(benches, evaluator_vs_oneshot, dag_vs_block);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Exact solvers: exhaustive enumeration vs branch & bound, as the
+//! instance grows. B&B's pruning should flatten the exponential curve
+//! enough to buy several extra operations of reach.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsflow_bench::sized_line_bus_problem;
+use wsflow_core::{BranchAndBound, DeploymentAlgorithm, Exhaustive};
+
+fn exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_solvers");
+    group.sample_size(10);
+    for m in [6usize, 8, 10] {
+        let problem = sized_line_bus_problem(m, 3, 11);
+        group.bench_with_input(BenchmarkId::new("exhaustive", m), &problem, |b, p| {
+            b.iter(|| Exhaustive::new().deploy(p).expect("enumerable"))
+        });
+        group.bench_with_input(BenchmarkId::new("branch_bound", m), &problem, |b, p| {
+            b.iter(|| BranchAndBound::new().deploy(p).expect("deployable"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, exact);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 6 workload: the five bus algorithms on the paper's Line–Bus
+//! configuration (19 operations, 5 servers), across the bus-speed
+//! sweep. Times one full deployment per (algorithm, bus speed).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsflow_bench::line_bus_problem;
+use wsflow_core::registry::paper_bus_algorithms;
+use wsflow_core::DeploymentAlgorithm;
+
+fn fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_line_bus");
+    for bus in [1.0, 10.0, 100.0, 1000.0] {
+        let problem = line_bus_problem(5, bus, 2007);
+        for algo in paper_bus_algorithms(2007) {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name().to_string(), format!("{bus}Mbps")),
+                &problem,
+                |b, p| b.iter(|| algo.deploy(p).expect("deployable")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

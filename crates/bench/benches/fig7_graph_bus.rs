@@ -1,0 +1,29 @@
+//! Figure 7 workload: the bus algorithms on random-graph workflows
+//! (all three §4.2 structures pooled), including the §3.4 probability
+//! derivation inside problem assembly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsflow_bench::graph_bus_problem;
+use wsflow_core::registry::paper_bus_algorithms;
+use wsflow_core::DeploymentAlgorithm;
+use wsflow_workload::GraphClass;
+
+fn fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_graph_bus");
+    for bus in [1.0, 100.0] {
+        for gc in GraphClass::ALL {
+            let problem = graph_bus_problem(gc, 5, bus, 2007);
+            for algo in paper_bus_algorithms(2007) {
+                group.bench_with_input(
+                    BenchmarkId::new(algo.name().to_string(), format!("{gc}@{bus}Mbps")),
+                    &problem,
+                    |b, p| b.iter(|| algo.deploy(p).expect("deployable")),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

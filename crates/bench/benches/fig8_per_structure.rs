@@ -1,0 +1,40 @@
+//! Figure 8 workload: per-structure comparison — how workflow shape
+//! (bushy / lengthy / hybrid) affects deployment cost evaluation and
+//! the winning algorithm's runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsflow_bench::graph_bus_problem;
+use wsflow_core::{DeploymentAlgorithm, HeavyOpsLargeMsgs};
+use wsflow_cost::Evaluator;
+use wsflow_workload::GraphClass;
+
+fn per_structure_deploy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_deploy_holm");
+    for gc in GraphClass::ALL {
+        let problem = graph_bus_problem(gc, 5, 10.0, 2007);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(gc.name()),
+            &problem,
+            |b, p| b.iter(|| HeavyOpsLargeMsgs.deploy(p).expect("deployable")),
+        );
+    }
+    group.finish();
+}
+
+fn per_structure_evaluate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_evaluate");
+    for gc in GraphClass::ALL {
+        let problem = graph_bus_problem(gc, 5, 10.0, 2007);
+        let mapping = HeavyOpsLargeMsgs.deploy(&problem).expect("deployable");
+        let mut ev = Evaluator::new(&problem);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(gc.name()),
+            &mapping,
+            |b, m| b.iter(|| ev.evaluate(m)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, per_structure_deploy, per_structure_evaluate);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Open-loop simulator throughput: cost of simulating a stream of
+//! workflow instances through shared FIFO servers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wsflow_bench::line_bus_problem;
+use wsflow_core::{DeploymentAlgorithm, FairLoad};
+use wsflow_sim::{open_loop, OpenLoopConfig};
+
+fn bench_open_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("open_loop");
+    let problem = line_bus_problem(5, 100.0, 2007);
+    let mapping = FairLoad.deploy(&problem).expect("deployable");
+    for instances in [10usize, 100, 1000] {
+        group.throughput(Throughput::Elements(instances as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(instances),
+            &instances,
+            |b, &k| {
+                b.iter(|| {
+                    let mut rng = ChaCha8Rng::seed_from_u64(1);
+                    open_loop(
+                        &problem,
+                        &mapping,
+                        OpenLoopConfig::new(k, 50.0),
+                        &mut rng,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_open_loop);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! The §4.1 quality study's hot loop: drawing and evaluating random
+//! mappings. The paper samples 32 000 solutions per experiment; this
+//! bench measures per-sample cost, i.e. how long one experiment's
+//! sampling pass takes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wsflow_bench::{graph_bus_problem, line_bus_problem};
+use wsflow_core::RandomMapping;
+use wsflow_cost::Evaluator;
+use wsflow_workload::GraphClass;
+
+fn sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quality_sampling");
+    group.throughput(Throughput::Elements(1));
+    let problems = [
+        ("line_bus_1Mbps", line_bus_problem(5, 1.0, 2007)),
+        ("line_bus_100Mbps", line_bus_problem(5, 100.0, 2007)),
+        (
+            "hybrid_bus_100Mbps",
+            graph_bus_problem(GraphClass::Hybrid, 5, 100.0, 2007),
+        ),
+    ];
+    for (name, problem) in &problems {
+        let mut ev = Evaluator::new(problem);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        group.bench_with_input(BenchmarkId::from_parameter(name), problem, |b, p| {
+            b.iter(|| {
+                let m = RandomMapping::draw(p, &mut rng);
+                ev.evaluate(&m)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sampling);
+criterion_main!(benches);

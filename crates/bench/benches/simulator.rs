@@ -1,0 +1,43 @@
+//! Discrete-event simulator throughput: one execution per iteration,
+//! ideal versus fully contended, on linear and graph workflows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wsflow_bench::{graph_bus_problem, line_bus_problem};
+use wsflow_core::{DeploymentAlgorithm, HeavyOpsLargeMsgs};
+use wsflow_sim::{simulate, SimConfig};
+use wsflow_workload::GraphClass;
+
+fn simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_one_execution");
+    let cases = [
+        ("line", line_bus_problem(5, 100.0, 2007)),
+        (
+            "bushy",
+            graph_bus_problem(GraphClass::Bushy, 5, 100.0, 2007),
+        ),
+        (
+            "lengthy",
+            graph_bus_problem(GraphClass::Lengthy, 5, 100.0, 2007),
+        ),
+    ];
+    for (name, problem) in &cases {
+        let mapping = HeavyOpsLargeMsgs.deploy(problem).expect("deployable");
+        for (mode, config) in [
+            ("ideal", SimConfig::ideal()),
+            ("contended", SimConfig::contended()),
+        ] {
+            let mut rng = ChaCha8Rng::seed_from_u64(9);
+            group.bench_with_input(
+                BenchmarkId::new(*name, mode),
+                problem,
+                |b, p| b.iter(|| simulate(p, &mapping, config, &mut rng)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, simulation);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Each bench regenerates one of the paper's evaluation artefacts (see
+//! DESIGN.md §5); this crate provides the deterministic instances they
+//! operate on.
+
+use wsflow_cost::Problem;
+use wsflow_model::MbitsPerSec;
+use wsflow_workload::{generate, Configuration, ExperimentClass, GraphClass};
+
+/// A paper-scale Line–Bus instance (M=19) at the given bus speed.
+pub fn line_bus_problem(n: usize, bus_mbps: f64, seed: u64) -> Problem {
+    let class = ExperimentClass::class_c();
+    let s = generate(
+        Configuration::LineBus(MbitsPerSec(bus_mbps)),
+        19,
+        n,
+        &class,
+        seed,
+    );
+    Problem::new(s.workflow, s.network).expect("generated scenarios are valid")
+}
+
+/// A paper-scale Graph–Bus instance (M=19) of the given shape.
+pub fn graph_bus_problem(gc: GraphClass, n: usize, bus_mbps: f64, seed: u64) -> Problem {
+    let class = ExperimentClass::class_c();
+    let s = generate(
+        Configuration::GraphBus(gc, MbitsPerSec(bus_mbps)),
+        19,
+        n,
+        &class,
+        seed,
+    );
+    Problem::new(s.workflow, s.network).expect("generated scenarios are valid")
+}
+
+/// A Line–Bus instance with a custom operation count, for scaling
+/// sweeps.
+pub fn sized_line_bus_problem(m: usize, n: usize, seed: u64) -> Problem {
+    let class = ExperimentClass::class_c();
+    let s = generate(
+        Configuration::LineBus(MbitsPerSec(100.0)),
+        m,
+        n,
+        &class,
+        seed,
+    );
+    Problem::new(s.workflow, s.network).expect("generated scenarios are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        assert_eq!(line_bus_problem(5, 100.0, 1).num_ops(), 19);
+        assert_eq!(graph_bus_problem(GraphClass::Bushy, 5, 10.0, 1).num_ops(), 19);
+        assert_eq!(sized_line_bus_problem(7, 3, 1).num_ops(), 7);
+    }
+}

@@ -1,0 +1,111 @@
+//! The common interface all deployment algorithms implement.
+
+use std::fmt;
+
+use wsflow_cost::{Mapping, Problem};
+
+/// Why an algorithm could not produce a mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeployError {
+    /// The exhaustive algorithm refused to enumerate a search space
+    /// larger than its configured limit.
+    SearchSpaceTooLarge {
+        /// `N^M` for this instance.
+        space: f64,
+        /// The configured enumeration limit.
+        limit: u64,
+    },
+    /// The algorithm is specific to linear workflows (the paper's
+    /// Line–Line family) but the workflow is a general graph.
+    RequiresLineWorkflow,
+    /// The algorithm is specific to line networks but the network has a
+    /// different topology.
+    RequiresLineNetwork,
+    /// The instance must satisfy `M ≥ N` (more operations than servers),
+    /// as the paper's Line–Line algorithm assumes.
+    TooFewOperations {
+        /// Number of operations `M`.
+        ops: usize,
+        /// Number of servers `N`.
+        servers: usize,
+    },
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::SearchSpaceTooLarge { space, limit } => write!(
+                f,
+                "search space of {space:.3e} mappings exceeds the exhaustive limit of {limit}"
+            ),
+            DeployError::RequiresLineWorkflow => {
+                f.write_str("algorithm requires a linear workflow")
+            }
+            DeployError::RequiresLineNetwork => {
+                f.write_str("algorithm requires a line network topology")
+            }
+            DeployError::TooFewOperations { ops, servers } => write!(
+                f,
+                "instance has {ops} operations for {servers} servers; M >= N required"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+/// A deployment algorithm: consumes a problem, produces a total mapping.
+///
+/// Implementations must be deterministic for a fixed configuration
+/// (randomised algorithms take an explicit seed), so experiments are
+/// reproducible.
+pub trait DeploymentAlgorithm {
+    /// Short name used in experiment tables (e.g. `"FairLoad"`).
+    fn name(&self) -> &str;
+
+    /// Compute a deployment for the given problem.
+    fn deploy(&self, problem: &Problem) -> Result<Mapping, DeployError>;
+}
+
+impl fmt::Debug for dyn DeploymentAlgorithm + '_ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DeploymentAlgorithm({})", self.name())
+    }
+}
+
+impl<T: DeploymentAlgorithm + ?Sized> DeploymentAlgorithm for &T {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn deploy(&self, problem: &Problem) -> Result<Mapping, DeployError> {
+        (**self).deploy(problem)
+    }
+}
+
+impl<T: DeploymentAlgorithm + ?Sized> DeploymentAlgorithm for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn deploy(&self, problem: &Problem) -> Result<Mapping, DeployError> {
+        (**self).deploy(problem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages() {
+        let e = DeployError::SearchSpaceTooLarge {
+            space: 1e19,
+            limit: 1_000_000,
+        };
+        assert!(e.to_string().contains("exceeds"));
+        assert!(DeployError::RequiresLineWorkflow
+            .to_string()
+            .contains("linear workflow"));
+        let e = DeployError::TooFewOperations { ops: 2, servers: 5 };
+        assert!(e.to_string().contains("M >= N"));
+    }
+}

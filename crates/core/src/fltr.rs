@@ -1,0 +1,153 @@
+//! Algorithm *Fair Load – Tie Resolver for Cycles* (FLTR; Fig. 4).
+//!
+//! Operates like [`FairLoad`](crate::fair_load::FairLoad), but whenever
+//! several head operations have the *same* cycle cost, the tie is broken
+//! by the gain function (Fig. 5): the candidate whose deployment on the
+//! current neediest server saves the most bus traffic wins. The mapping
+//! is initialised to a random configuration "or else the first calls of
+//! the gain function would not return any gain at all".
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wsflow_cost::{Mapping, Problem};
+
+use crate::algorithm::{DeployError, DeploymentAlgorithm};
+use crate::baselines::RandomMapping;
+use crate::fair_load::{neediest_server, ops_by_cycles_desc};
+use crate::gain::gain_of_op_at_server;
+use crate::view::InstanceView;
+
+/// Fair Load with gain-based tie resolution among equal-cost operations.
+#[derive(Debug, Clone)]
+pub struct FairLoadTieResolver {
+    /// Seed for the initial random configuration.
+    pub seed: u64,
+}
+
+impl FairLoadTieResolver {
+    /// FLTR with the given seed for the initial random mapping.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl Default for FairLoadTieResolver {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl DeploymentAlgorithm for FairLoadTieResolver {
+    fn name(&self) -> &str {
+        "FL-TieResolver"
+    }
+
+    fn deploy(&self, problem: &Problem) -> Result<Mapping, DeployError> {
+        let view = InstanceView::new(problem);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        // The gain function measures against the evolving mapping, which
+        // starts random and is overwritten as operations are placed.
+        let mut current = RandomMapping::draw(problem, &mut rng);
+        let mut remaining = view.ideal_cycles.clone();
+        let mut pending = ops_by_cycles_desc(&view);
+
+        while !pending.is_empty() {
+            let s1 = neediest_server(&remaining);
+            // Among the operations tied with the head on cycles, pick the
+            // one with the largest gain at s1 (strictly-greater keeps the
+            // paper's "swap only on improvement" behaviour).
+            let head_cycles = view.cycles[pending[0].index()];
+            let mut best_idx = 0usize;
+            let mut best_gain =
+                gain_of_op_at_server(&view, pending[0], s1, current.as_slice());
+            for (i, &op) in pending.iter().enumerate().skip(1) {
+                if view.cycles[op.index()] != head_cycles {
+                    break;
+                }
+                let g = gain_of_op_at_server(&view, op, s1, current.as_slice());
+                if g > best_gain {
+                    best_gain = g;
+                    best_idx = i;
+                }
+            }
+            let op = pending.remove(best_idx);
+            current.assign(op, s1);
+            remaining[s1.index()] -= view.cycles[op.index()];
+        }
+        Ok(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsflow_cost::{network_traffic, Evaluator};
+    use wsflow_model::{MCycles, Mbits, MbitsPerSec, OpId, WorkflowBuilder};
+    use wsflow_net::topology::{bus, homogeneous_servers};
+    use wsflow_net::ServerId;
+
+    use crate::fair_load::FairLoad;
+
+    fn uniform_cost_line(sizes: &[f64]) -> Problem {
+        // All operations cost the same, so every selection is a tie and
+        // the gain function fully drives placement.
+        let mut b = WorkflowBuilder::new("w");
+        let n = sizes.len() + 1;
+        let ids: Vec<OpId> = (0..n)
+            .map(|i| b.op(format!("o{i}"), MCycles(10.0)))
+            .collect();
+        for (i, &s) in sizes.iter().enumerate() {
+            b.msg(ids[i], ids[i + 1], Mbits(s));
+        }
+        let net = bus("n", homogeneous_servers(2, 1.0), MbitsPerSec(10.0)).unwrap();
+        Problem::new(b.build().unwrap(), net).unwrap()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = uniform_cost_line(&[0.5, 0.1, 0.9, 0.2, 0.4, 0.7]);
+        let a = FairLoadTieResolver::new(3).deploy(&p).unwrap();
+        let b = FairLoadTieResolver::new(3).deploy(&p).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn keeps_fair_load_balance_on_ties() {
+        let p = uniform_cost_line(&[0.5, 0.1, 0.9, 0.2, 0.4]);
+        let m = FairLoadTieResolver::new(1).deploy(&p).unwrap();
+        // 6 equal ops on 2 equal servers: 3 each.
+        assert_eq!(m.ops_on(ServerId::new(0)).len(), 3);
+        assert_eq!(m.ops_on(ServerId::new(1)).len(), 3);
+    }
+
+    #[test]
+    fn no_worse_traffic_than_fair_load_on_average() {
+        // With all costs tied, FLTR's gain-driven choices should not
+        // increase bus traffic relative to gain-blind Fair Load, averaged
+        // over seeds.
+        let p = uniform_cost_line(&[0.9, 0.1, 0.8, 0.15, 0.7, 0.2, 0.6]);
+        let fl = FairLoad.deploy(&p).unwrap();
+        let fl_traffic = network_traffic(&p, &fl).value();
+        let mean: f64 = (0..10)
+            .map(|s| {
+                let m = FairLoadTieResolver::new(s).deploy(&p).unwrap();
+                network_traffic(&p, &m).value()
+            })
+            .sum::<f64>()
+            / 10.0;
+        assert!(
+            mean <= fl_traffic + 1e-12,
+            "FLTR mean traffic {mean} > FairLoad {fl_traffic}"
+        );
+    }
+
+    #[test]
+    fn produces_total_valid_mapping() {
+        let p = uniform_cost_line(&[0.5, 0.1, 0.9]);
+        let m = FairLoadTieResolver::new(7).deploy(&p).unwrap();
+        assert_eq!(m.len(), p.num_ops());
+        assert!(m.is_valid_for(p.num_servers()));
+        let mut ev = Evaluator::new(&p);
+        assert!(ev.combined(&m).is_finite());
+    }
+}

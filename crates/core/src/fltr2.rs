@@ -1,0 +1,187 @@
+//! Algorithm *Fair Load – Tie Resolver for Cycles and Servers* (FLTR²).
+//!
+//! Extends [`FairLoadTieResolver`](crate::fltr::FairLoadTieResolver) to
+//! also resolve ties *among servers*: when several servers are equally
+//! distant from their ideal load, the gain function is evaluated for
+//! every (tied operation, tied server) pair and the best pair wins
+//! (appendix, "Fair Load – Tie Resolver for Cycles and Servers").
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wsflow_cost::{Mapping, Problem};
+use wsflow_model::{MCycles, Mbits, OpId};
+use wsflow_net::ServerId;
+
+use crate::algorithm::{DeployError, DeploymentAlgorithm};
+use crate::baselines::RandomMapping;
+use crate::fair_load::ops_by_cycles_desc;
+use crate::gain::gain_of_op_at_server;
+use crate::view::InstanceView;
+
+/// Fair Load with gain-based tie resolution among operations *and*
+/// servers.
+#[derive(Debug, Clone)]
+pub struct FairLoadTieResolver2 {
+    /// Seed for the initial random configuration.
+    pub seed: u64,
+}
+
+impl FairLoadTieResolver2 {
+    /// FLTR² with the given seed for the initial random mapping.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl Default for FairLoadTieResolver2 {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+/// Servers whose remaining ideal cycles tie with the maximum, in id
+/// order.
+pub(crate) fn tied_neediest_servers(remaining: &[MCycles]) -> Vec<ServerId> {
+    let max = remaining
+        .iter()
+        .copied()
+        .fold(MCycles(f64::NEG_INFINITY), MCycles::max);
+    remaining
+        .iter()
+        .enumerate()
+        .filter(|(_, &r)| r == max)
+        .map(|(i, _)| ServerId::from(i))
+        .collect()
+}
+
+/// Shared selection step for FLTR² and FLMME: among operations tied on
+/// cycles with the head of `pending` and servers tied on remaining ideal
+/// cycles, the `(op, server)` pair with the largest gain (defaults to the
+/// head pair when every gain is zero). Returns `(index into pending,
+/// server)`.
+pub(crate) fn select_best_pair(
+    view: &InstanceView,
+    pending: &[OpId],
+    remaining: &[MCycles],
+    current: &Mapping,
+) -> (usize, ServerId) {
+    let servers = tied_neediest_servers(remaining);
+    let head_cycles = view.cycles[pending[0].index()];
+    let mut best_idx = 0usize;
+    let mut best_server = servers[0];
+    let mut best_gain = Mbits(f64::NEG_INFINITY);
+    for (i, &op) in pending.iter().enumerate() {
+        if view.cycles[op.index()] != head_cycles {
+            break;
+        }
+        for &s in &servers {
+            let g = gain_of_op_at_server(view, op, s, current.as_slice());
+            if g > best_gain {
+                best_gain = g;
+                best_idx = i;
+                best_server = s;
+            }
+        }
+    }
+    (best_idx, best_server)
+}
+
+impl DeploymentAlgorithm for FairLoadTieResolver2 {
+    fn name(&self) -> &str {
+        "FL-TieResolver2"
+    }
+
+    fn deploy(&self, problem: &Problem) -> Result<Mapping, DeployError> {
+        let view = InstanceView::new(problem);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut current = RandomMapping::draw(problem, &mut rng);
+        let mut remaining = view.ideal_cycles.clone();
+        let mut pending = ops_by_cycles_desc(&view);
+
+        while !pending.is_empty() {
+            let (idx, server) = select_best_pair(&view, &pending, &remaining, &current);
+            let op = pending.remove(idx);
+            current.assign(op, server);
+            remaining[server.index()] -= view.cycles[op.index()];
+        }
+        Ok(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsflow_cost::network_traffic;
+    use wsflow_model::{MbitsPerSec, WorkflowBuilder};
+    use wsflow_net::topology::{bus, homogeneous_servers};
+
+    fn uniform_cost_line(sizes: &[f64], servers: usize) -> Problem {
+        let mut b = WorkflowBuilder::new("w");
+        let n = sizes.len() + 1;
+        let ids: Vec<OpId> = (0..n)
+            .map(|i| b.op(format!("o{i}"), MCycles(10.0)))
+            .collect();
+        for (i, &s) in sizes.iter().enumerate() {
+            b.msg(ids[i], ids[i + 1], Mbits(s));
+        }
+        let net = bus("n", homogeneous_servers(servers, 1.0), MbitsPerSec(10.0)).unwrap();
+        Problem::new(b.build().unwrap(), net).unwrap()
+    }
+
+    #[test]
+    fn tied_servers_helper() {
+        let servers = tied_neediest_servers(&[MCycles(5.0), MCycles(9.0), MCycles(9.0)]);
+        assert_eq!(servers, vec![ServerId::new(1), ServerId::new(2)]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = uniform_cost_line(&[0.5, 0.1, 0.9, 0.2], 3);
+        assert_eq!(
+            FairLoadTieResolver2::new(5).deploy(&p).unwrap(),
+            FairLoadTieResolver2::new(5).deploy(&p).unwrap()
+        );
+    }
+
+    #[test]
+    fn balance_preserved() {
+        let p = uniform_cost_line(&[0.5, 0.1, 0.9, 0.2, 0.4], 3);
+        let m = FairLoadTieResolver2::new(1).deploy(&p).unwrap();
+        // 6 equal ops on 3 equal servers: 2 each.
+        for s in 0..3 {
+            assert_eq!(m.ops_on(ServerId::new(s)).len(), 2, "server {s}");
+        }
+    }
+
+    #[test]
+    fn exploits_server_ties_better_than_fltr_on_average() {
+        // All ops and all servers tie constantly, so FLTR² has strictly
+        // more pairs to choose from than FLTR; its traffic should be no
+        // worse on average over seeds.
+        let p = uniform_cost_line(&[0.9, 0.1, 0.8, 0.15, 0.7, 0.2, 0.6, 0.25], 3);
+        let mean = |f: &dyn Fn(u64) -> Mapping| -> f64 {
+            (0..10)
+                .map(|s| network_traffic(&p, &f(s)).value())
+                .sum::<f64>()
+                / 10.0
+        };
+        let fltr = mean(&|s| {
+            crate::fltr::FairLoadTieResolver::new(s)
+                .deploy(&p)
+                .unwrap()
+        });
+        let fltr2 = mean(&|s| FairLoadTieResolver2::new(s).deploy(&p).unwrap());
+        assert!(
+            fltr2 <= fltr + 0.15,
+            "FLTR2 mean traffic {fltr2} much worse than FLTR {fltr}"
+        );
+    }
+
+    #[test]
+    fn total_and_valid() {
+        let p = uniform_cost_line(&[0.3, 0.6], 2);
+        let m = FairLoadTieResolver2::new(9).deploy(&p).unwrap();
+        assert_eq!(m.len(), 3);
+        assert!(m.is_valid_for(2));
+    }
+}

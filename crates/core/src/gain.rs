@@ -1,0 +1,93 @@
+//! The gain function (Fig. 5 of the paper).
+//!
+//! `Gain_Of_Operation_At_Server(op, s, M)` returns the communication
+//! savings — "how many bytes will not be put on the bus" — if `op` is
+//! deployed on server `s` given the current mapping `M`: the total
+//! (probability-weighted) size of messages between `op` and neighbours
+//! currently mapped to `s`.
+//!
+//! For a linear workflow this is exactly the paper's figure (the message
+//! from the predecessor plus the message to the successor); for random
+//! graphs it generalises to all adjacent messages, which is the §3.4
+//! modification ("an operation can receive more than one message").
+
+use wsflow_model::{Mbits, OpId};
+use wsflow_net::ServerId;
+
+use crate::view::InstanceView;
+
+/// Communication savings of placing `op` on `server`, given the current
+/// assignment of every operation (`current[i]` = server of `OpId(i)`).
+pub fn gain_of_op_at_server(
+    view: &InstanceView,
+    op: OpId,
+    server: ServerId,
+    current: &[ServerId],
+) -> Mbits {
+    view.adjacent[op.index()]
+        .iter()
+        .map(|&mi| {
+            let m = &view.msgs[mi];
+            let other = if m.from == op { m.to } else { m.from };
+            if current[other.index()] == server {
+                m.size
+            } else {
+                Mbits::ZERO
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsflow_cost::Problem;
+    use wsflow_model::{MCycles, MbitsPerSec, WorkflowBuilder};
+    use wsflow_net::topology::{bus, homogeneous_servers};
+
+    fn s(i: u32) -> ServerId {
+        ServerId::new(i)
+    }
+
+    fn o(i: u32) -> OpId {
+        OpId::new(i)
+    }
+
+    fn view3() -> InstanceView {
+        // o0 -0.1-> o1 -0.3-> o2
+        let mut b = WorkflowBuilder::new("w");
+        let a = b.op("a", MCycles(1.0));
+        let c = b.op("b", MCycles(1.0));
+        let d = b.op("c", MCycles(1.0));
+        b.msg(a, c, Mbits(0.1));
+        b.msg(c, d, Mbits(0.3));
+        let net = bus("n", homogeneous_servers(2, 1.0), MbitsPerSec(100.0)).unwrap();
+        let p = Problem::new(b.build().unwrap(), net).unwrap();
+        InstanceView::new(&p)
+    }
+
+    #[test]
+    fn counts_both_neighbours() {
+        let v = view3();
+        let current = vec![s(0), s(1), s(0)];
+        // Placing o1 on s0: saves msg(o0,o1)=0.1 and msg(o1,o2)=0.3.
+        let g = gain_of_op_at_server(&v, o(1), s(0), &current);
+        assert!((g.value() - 0.4).abs() < 1e-12);
+        // Placing o1 on s1: neither neighbour is there... o1 itself is,
+        // but gain only counts neighbours.
+        let g = gain_of_op_at_server(&v, o(1), s(1), &current);
+        assert_eq!(g, Mbits::ZERO);
+    }
+
+    #[test]
+    fn endpoint_ops_have_one_neighbour() {
+        let v = view3();
+        let current = vec![s(0), s(0), s(1)];
+        let g = gain_of_op_at_server(&v, o(0), s(0), &current);
+        assert!((g.value() - 0.1).abs() < 1e-12);
+        let g = gain_of_op_at_server(&v, o(2), s(0), &current);
+        assert!((g.value() - 0.3).abs() < 1e-12);
+        let g = gain_of_op_at_server(&v, o(2), s(1), &current);
+        assert_eq!(g, Mbits::ZERO);
+    }
+}

@@ -1,0 +1,343 @@
+//! Local-search refinement (extension / ablation, not in the paper).
+//!
+//! The paper's future work calls for "a detailed study of the proposed
+//! algorithms whenever user-defined constraints are given" and stops at
+//! pure greedy construction. These refiners answer the natural follow-up
+//! question — how far from locally optimal are the greedy mappings? —
+//! and the harness uses them as an upper-bound reference in the quality
+//! study.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use wsflow_cost::{Evaluator, Mapping, Problem};
+use wsflow_model::OpId;
+use wsflow_net::ServerId;
+
+use crate::algorithm::{DeployError, DeploymentAlgorithm};
+
+/// First-improvement hill climbing over single-operation moves, started
+/// from an inner algorithm's mapping.
+pub struct HillClimb<A> {
+    /// The algorithm producing the starting mapping.
+    pub inner: A,
+    /// Upper bound on full improvement sweeps.
+    pub max_sweeps: usize,
+}
+
+impl<A> HillClimb<A> {
+    /// Refine `inner`'s result with up to 50 sweeps (each sweep tries
+    /// every (operation, server) move once).
+    pub fn new(inner: A) -> Self {
+        Self {
+            inner,
+            max_sweeps: 50,
+        }
+    }
+}
+
+/// Run hill climbing from an explicit starting mapping; returns the
+/// refined mapping and its combined cost.
+pub fn hill_climb_from(
+    problem: &Problem,
+    start: Mapping,
+    max_sweeps: usize,
+) -> (Mapping, f64) {
+    let mut ev = Evaluator::new(problem);
+    let mut current = start;
+    let mut cost = ev.combined(&current).value();
+    let n = problem.num_servers() as u32;
+    for _ in 0..max_sweeps {
+        let mut improved = false;
+        for op_idx in 0..problem.num_ops() {
+            let op = OpId::from(op_idx);
+            let original = current.server_of(op);
+            for s in 0..n {
+                let server = ServerId::new(s);
+                if server == original {
+                    continue;
+                }
+                current.assign(op, server);
+                let c = ev.combined(&current).value();
+                if c < cost {
+                    cost = c;
+                    improved = true;
+                    break; // first improvement: keep the move
+                }
+                current.assign(op, original);
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    (current, cost)
+}
+
+impl<A: DeploymentAlgorithm> DeploymentAlgorithm for HillClimb<A> {
+    fn name(&self) -> &str {
+        "HillClimb"
+    }
+
+    fn deploy(&self, problem: &Problem) -> Result<Mapping, DeployError> {
+        let start = self.inner.deploy(problem)?;
+        Ok(hill_climb_from(problem, start, self.max_sweeps).0)
+    }
+}
+
+/// First-improvement hill climbing over the *swap* neighbourhood:
+/// exchange the servers of two operations. Swaps preserve each server's
+/// operation count, so they explore fairness-preserving rearrangements
+/// that single moves cannot reach without passing through imbalanced
+/// states. Returns the refined mapping and its combined cost.
+pub fn swap_refine_from(
+    problem: &Problem,
+    start: Mapping,
+    max_sweeps: usize,
+) -> (Mapping, f64) {
+    let mut ev = Evaluator::new(problem);
+    let mut current = start;
+    let mut cost = ev.combined(&current).value();
+    let m = problem.num_ops();
+    for _ in 0..max_sweeps {
+        let mut improved = false;
+        for a in 0..m {
+            for b in (a + 1)..m {
+                let (oa, ob) = (OpId::from(a), OpId::from(b));
+                let (sa, sb) = (current.server_of(oa), current.server_of(ob));
+                if sa == sb {
+                    continue;
+                }
+                current.assign(oa, sb);
+                current.assign(ob, sa);
+                let c = ev.combined(&current).value();
+                if c < cost {
+                    cost = c;
+                    improved = true;
+                } else {
+                    current.assign(oa, sa);
+                    current.assign(ob, sb);
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    (current, cost)
+}
+
+/// Moves + swaps: alternate the two neighbourhoods to a combined local
+/// optimum.
+pub fn refine_moves_and_swaps(
+    problem: &Problem,
+    start: Mapping,
+    max_rounds: usize,
+) -> (Mapping, f64) {
+    let mut current = start;
+    let mut cost = f64::INFINITY;
+    for _ in 0..max_rounds {
+        let (after_moves, c1) = hill_climb_from(problem, current, 50);
+        let (after_swaps, c2) = swap_refine_from(problem, after_moves, 50);
+        current = after_swaps;
+        if c2 >= cost - 1e-15 {
+            cost = c2.min(cost);
+            break;
+        }
+        cost = c2;
+        let _ = c1;
+    }
+    (current, cost)
+}
+
+/// Simulated annealing over single-operation moves.
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnealing {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of proposal steps.
+    pub steps: usize,
+    /// Initial temperature as a fraction of the starting cost.
+    pub initial_temperature: f64,
+    /// Per-step geometric cooling factor.
+    pub cooling: f64,
+}
+
+impl SimulatedAnnealing {
+    /// Reasonable defaults: 20 000 steps, T₀ = 20 % of the starting
+    /// cost, cooling 0.9995.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            steps: 20_000,
+            initial_temperature: 0.2,
+            cooling: 0.9995,
+        }
+    }
+}
+
+impl DeploymentAlgorithm for SimulatedAnnealing {
+    fn name(&self) -> &str {
+        "SimAnneal"
+    }
+
+    fn deploy(&self, problem: &Problem) -> Result<Mapping, DeployError> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut ev = Evaluator::new(problem);
+        let n = problem.num_servers() as u32;
+        let m = problem.num_ops();
+        let mut current = crate::baselines::RandomMapping::draw(problem, &mut rng);
+        let mut cost = ev.combined(&current).value();
+        let mut best = current.clone();
+        let mut best_cost = cost;
+        let mut temperature = (cost * self.initial_temperature).max(1e-12);
+        for _ in 0..self.steps {
+            let op = OpId::from(rng.gen_range(0..m));
+            let old = current.server_of(op);
+            let new = ServerId::new(rng.gen_range(0..n));
+            if new == old {
+                temperature *= self.cooling;
+                continue;
+            }
+            current.assign(op, new);
+            let c = ev.combined(&current).value();
+            let accept = c <= cost || {
+                let p = ((cost - c) / temperature).exp();
+                rng.gen::<f64>() < p
+            };
+            if accept {
+                cost = c;
+                if c < best_cost {
+                    best_cost = c;
+                    best = current.clone();
+                }
+            } else {
+                current.assign(op, old);
+            }
+            temperature *= self.cooling;
+        }
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::RandomMapping;
+    use crate::exhaustive::optimum;
+    use crate::fair_load::FairLoad;
+    use wsflow_model::{MCycles, Mbits, MbitsPerSec, WorkflowBuilder};
+    use wsflow_net::topology::{bus, homogeneous_servers};
+
+    fn problem() -> Problem {
+        let mut b = WorkflowBuilder::new("w");
+        b.line(
+            "o",
+            &[
+                MCycles(10.0),
+                MCycles(30.0),
+                MCycles(20.0),
+                MCycles(40.0),
+                MCycles(15.0),
+            ],
+            Mbits(0.5),
+        );
+        let net = bus("n", homogeneous_servers(2, 1.0), MbitsPerSec(5.0)).unwrap();
+        Problem::new(b.build().unwrap(), net).unwrap()
+    }
+
+    #[test]
+    fn hill_climb_never_worse_than_start() {
+        let p = problem();
+        let mut ev = Evaluator::new(&p);
+        let start = RandomMapping::new(11).deploy(&p).unwrap();
+        let start_cost = ev.combined(&start).value();
+        let (refined, cost) = hill_climb_from(&p, start, 50);
+        assert!(cost <= start_cost + 1e-12);
+        assert!((ev.combined(&refined).value() - cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hill_climb_from_fair_load_reaches_local_optimum() {
+        let p = problem();
+        let refined = HillClimb::new(FairLoad).deploy(&p).unwrap();
+        // Verify no single move improves.
+        let mut ev = Evaluator::new(&p);
+        let base = ev.combined(&refined).value();
+        for op in 0..p.num_ops() {
+            for s in 0..p.num_servers() {
+                let mut m = refined.clone();
+                m.assign(OpId::from(op), ServerId::from(s));
+                assert!(ev.combined(&m).value() >= base - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn multistart_hill_climb_finds_small_instance_optimum() {
+        // 2^5 = 32 configurations: hill climbing from a handful of random
+        // starts must reach the global optimum (single-start can stall in
+        // a local optimum — that is expected and tested above).
+        let p = problem();
+        let (_, opt_cost) = optimum(&p, 1_000).unwrap();
+        let best = (0..10)
+            .map(|seed| {
+                let start = RandomMapping::new(seed).deploy(&p).unwrap();
+                hill_climb_from(&p, start, 50).1
+            })
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            (best - opt_cost).abs() < 1e-9,
+            "multi-start hill climb {best} missed optimum {opt_cost}"
+        );
+    }
+
+    #[test]
+    fn swap_refine_never_worse_and_preserves_counts() {
+        let p = problem();
+        let mut ev = Evaluator::new(&p);
+        let start = RandomMapping::new(3).deploy(&p).unwrap();
+        let start_cost = ev.combined(&start).value();
+        let counts_of = |m: &Mapping| -> Vec<usize> {
+            (0..p.num_servers())
+                .map(|s| m.ops_on(ServerId::from(s)).len())
+                .collect()
+        };
+        let start_counts = counts_of(&start);
+        let (refined, cost) = swap_refine_from(&p, start, 50);
+        assert!(cost <= start_cost + 1e-12);
+        assert_eq!(counts_of(&refined), start_counts, "swaps preserve counts");
+    }
+
+    #[test]
+    fn combined_refinement_at_least_as_good_as_either() {
+        let p = problem();
+        let start = RandomMapping::new(5).deploy(&p).unwrap();
+        let (_, c_moves) = hill_climb_from(&p, start.clone(), 50);
+        let (_, c_swaps) = swap_refine_from(&p, start.clone(), 50);
+        let (_, c_both) = refine_moves_and_swaps(&p, start, 10);
+        assert!(c_both <= c_moves + 1e-12);
+        assert!(c_both <= c_swaps + 1e-12);
+    }
+
+    #[test]
+    fn annealing_is_deterministic_per_seed_and_valid() {
+        let p = problem();
+        let a = SimulatedAnnealing::new(5).deploy(&p).unwrap();
+        let b = SimulatedAnnealing::new(5).deploy(&p).unwrap();
+        assert_eq!(a, b);
+        assert!(a.is_valid_for(p.num_servers()));
+    }
+
+    #[test]
+    fn annealing_approaches_optimum() {
+        let p = problem();
+        let (_, opt_cost) = optimum(&p, 1_000).unwrap();
+        let m = SimulatedAnnealing::new(1).deploy(&p).unwrap();
+        let mut ev = Evaluator::new(&p);
+        let cost = ev.combined(&m).value();
+        assert!(
+            cost <= opt_cost * 1.05 + 1e-9,
+            "annealing {cost} vs optimum {opt_cost}"
+        );
+    }
+}

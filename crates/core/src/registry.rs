@@ -1,0 +1,57 @@
+//! Named collections of algorithms for the experiment harness.
+
+use crate::algorithm::DeploymentAlgorithm;
+use crate::baselines::{AllOnFastest, BestOfRandom, RandomMapping, RoundRobin};
+use crate::fair_load::FairLoad;
+use crate::flmme::FairLoadMergeMessages;
+use crate::fltr::FairLoadTieResolver;
+use crate::fltr2::FairLoadTieResolver2;
+use crate::holm::HeavyOpsLargeMsgs;
+use crate::line_line::LineLine;
+
+/// The five bus-topology algorithms the paper's figures compare
+/// (Fair Load, FLTR, FLTR², FL-MergeMsgEnds, HeavyOps-LargeMsgs), seeded
+/// for reproducibility.
+pub fn paper_bus_algorithms(seed: u64) -> Vec<Box<dyn DeploymentAlgorithm>> {
+    vec![
+        Box::new(FairLoad),
+        Box::new(FairLoadTieResolver::new(seed)),
+        Box::new(FairLoadTieResolver2::new(seed)),
+        Box::new(FairLoadMergeMessages::new(seed)),
+        Box::new(HeavyOpsLargeMsgs),
+    ]
+}
+
+/// The four Line–Line variants (§3.2).
+pub fn line_line_variants() -> Vec<Box<dyn DeploymentAlgorithm>> {
+    LineLine::variants()
+        .into_iter()
+        .map(|v| Box::new(v) as Box<dyn DeploymentAlgorithm>)
+        .collect()
+}
+
+/// Baseline strategies for context in plots and tables.
+pub fn baselines(seed: u64, samples: usize) -> Vec<Box<dyn DeploymentAlgorithm>> {
+    vec![
+        Box::new(RandomMapping::new(seed)),
+        Box::new(BestOfRandom::new(samples, seed)),
+        Box::new(RoundRobin),
+        Box::new(AllOnFastest),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registries_have_expected_sizes_and_unique_names() {
+        let algos = paper_bus_algorithms(0);
+        assert_eq!(algos.len(), 5);
+        let names: std::collections::HashSet<String> =
+            algos.iter().map(|a| a.name().to_string()).collect();
+        assert_eq!(names.len(), 5);
+        assert_eq!(line_line_variants().len(), 4);
+        assert_eq!(baselines(0, 10).len(), 4);
+    }
+}

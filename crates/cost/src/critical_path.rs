@@ -1,0 +1,325 @@
+//! Critical-path analysis of a deployed workflow.
+//!
+//! `Texecute` is determined by one dominating chain of operations and
+//! messages; everything else has slack. Knowing *which* chain that is
+//! tells an operator what to optimise: move an operation, upgrade a
+//! link, or accept the processing floor. (The paper optimises the
+//! aggregate; this analysis explains individual deployments and powers
+//! the CLI's `explain` output.)
+//!
+//! Semantics follow the expected-time evaluator
+//! ([`texecute`](crate::texecute::texecute)): at an `/AND` join the
+//! slowest arrival is critical; at `/OR` the fastest; at `/XOR` the
+//! branch with the largest probability-weighted contribution (the one
+//! whose improvement moves the expectation most).
+
+use wsflow_model::traversal::topo_sort;
+use wsflow_model::{DecisionKind, MsgId, OpId, OpKind, Seconds};
+
+use crate::load::tproc;
+use crate::mapping::Mapping;
+use crate::problem::Problem;
+use crate::texecute::tcomm;
+
+/// One step of the critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalStep {
+    /// The operation executed at this step.
+    pub op: OpId,
+    /// When it could start (expected time).
+    pub ready: Seconds,
+    /// When it finishes (expected time).
+    pub finish: Seconds,
+    /// The incoming message that made it wait (None for the source or
+    /// when the critical predecessor is co-located with zero transfer).
+    pub via: Option<MsgId>,
+    /// Communication time contributed by `via`.
+    pub comm: Seconds,
+}
+
+/// The result of the analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// Steps from source to sink, in execution order.
+    pub steps: Vec<CriticalStep>,
+    /// The workflow's expected execution time (equals
+    /// [`texecute`](crate::texecute::texecute)).
+    pub total: Seconds,
+    /// Total processing time along the path.
+    pub processing: Seconds,
+    /// Total communication time along the path.
+    pub communication: Seconds,
+}
+
+impl CriticalPath {
+    /// Fraction of the total spent communicating along the path.
+    pub fn communication_fraction(&self) -> f64 {
+        if self.total.value() <= 0.0 {
+            0.0
+        } else {
+            self.communication.value() / self.total.value()
+        }
+    }
+}
+
+/// Compute the critical path of `mapping` on `problem`.
+pub fn critical_path(problem: &Problem, mapping: &Mapping) -> CriticalPath {
+    let w = problem.workflow();
+    let order = topo_sort(w).expect("problem workflows are acyclic");
+    let n = w.num_ops();
+    let mut finish = vec![Seconds::ZERO; n];
+    let mut ready = vec![Seconds::ZERO; n];
+    // The incoming message responsible for each node's ready time.
+    let mut critical_in: Vec<Option<MsgId>> = vec![None; n];
+
+    for &u in &order {
+        let in_msgs = w.in_msgs(u);
+        if !in_msgs.is_empty() {
+            let arrival = |m: MsgId| -> Seconds {
+                let msg = w.message(m);
+                finish[msg.from.index()] + tcomm(problem, m, mapping)
+            };
+            let (r, via) = match w.op(u).kind {
+                OpKind::Close(DecisionKind::Or) => in_msgs
+                    .iter()
+                    .map(|&m| (arrival(m), Some(m)))
+                    .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"))
+                    .expect("non-empty"),
+                OpKind::Close(DecisionKind::Xor) => {
+                    // The expectation is the probability-weighted mean;
+                    // the *critical* branch is the one contributing the
+                    // most to it.
+                    let total: f64 = in_msgs
+                        .iter()
+                        .map(|&m| problem.probabilities().of_msg(m).value())
+                        .sum();
+                    let expected: Seconds = if total <= 0.0 {
+                        in_msgs
+                            .iter()
+                            .map(|&m| arrival(m))
+                            .fold(Seconds::ZERO, Seconds::max)
+                    } else {
+                        in_msgs
+                            .iter()
+                            .map(|&m| {
+                                arrival(m)
+                                    * (problem.probabilities().of_msg(m).value() / total)
+                            })
+                            .sum()
+                    };
+                    let dominant = in_msgs
+                        .iter()
+                        .copied()
+                        .max_by(|&a, &b| {
+                            let wa = problem.probabilities().of_msg(a).value()
+                                * arrival(a).value();
+                            let wb = problem.probabilities().of_msg(b).value()
+                                * arrival(b).value();
+                            wa.partial_cmp(&wb).expect("finite")
+                        })
+                        .expect("non-empty");
+                    (expected, Some(dominant))
+                }
+                // AND joins and single-predecessor nodes: slowest arrival.
+                _ => in_msgs
+                    .iter()
+                    .map(|&m| (arrival(m), Some(m)))
+                    .max_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"))
+                    .expect("non-empty"),
+            };
+            ready[u.index()] = r;
+            critical_in[u.index()] = via;
+        }
+        finish[u.index()] = ready[u.index()] + tproc(problem, u, mapping.server_of(u));
+    }
+
+    // Walk back from the sink along critical predecessors.
+    let sink = w.sinks()[0];
+    let mut chain = Vec::new();
+    let mut cur = Some(sink);
+    while let Some(u) = cur {
+        chain.push(u);
+        cur = critical_in[u.index()].map(|m| w.message(m).from);
+    }
+    chain.reverse();
+
+    let mut steps = Vec::with_capacity(chain.len());
+    let mut processing = Seconds::ZERO;
+    let mut communication = Seconds::ZERO;
+    for &u in &chain {
+        let via = critical_in[u.index()];
+        let comm = via
+            .map(|m| tcomm(problem, m, mapping))
+            .unwrap_or(Seconds::ZERO);
+        processing += finish[u.index()] - ready[u.index()];
+        communication += comm;
+        steps.push(CriticalStep {
+            op: u,
+            ready: ready[u.index()],
+            finish: finish[u.index()],
+            via,
+            comm,
+        });
+    }
+    CriticalPath {
+        steps,
+        total: finish[sink.index()],
+        processing,
+        communication,
+    }
+}
+
+/// Render the path as a human-readable report.
+pub fn render(problem: &Problem, mapping: &Mapping, path: &CriticalPath) -> String {
+    use std::fmt::Write as _;
+    let w = problem.workflow();
+    let net = problem.network();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "critical path: {:.3} ms total ({:.3} processing + {:.3} communication, {:.0}% comm)",
+        path.total.value() * 1e3,
+        path.processing.value() * 1e3,
+        path.communication.value() * 1e3,
+        path.communication_fraction() * 100.0
+    );
+    for step in &path.steps {
+        if let Some(m) = step.via {
+            let msg = w.message(m);
+            if step.comm.value() > 0.0 {
+                let _ = writeln!(
+                    out,
+                    "    | {} -> {} ({:.3} ms on the wire)",
+                    w.op(msg.from).name,
+                    w.op(msg.to).name,
+                    step.comm.value() * 1e3
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  {:>9.3} ms  {} on {} (runs {:.3} ms)",
+            step.ready.value() * 1e3,
+            w.op(step.op).name,
+            net.server(mapping.server_of(step.op)).name,
+            (step.finish - step.ready).value() * 1e3
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::texecute::texecute;
+    use wsflow_model::{BlockSpec, MCycles, Mbits, MbitsPerSec, WorkflowBuilder};
+    use wsflow_net::topology::{bus, homogeneous_servers};
+    use wsflow_net::ServerId;
+
+    fn bus_problem(w: wsflow_model::Workflow, n: usize, mbps: f64) -> Problem {
+        let net = bus("n", homogeneous_servers(n, 1.0), MbitsPerSec(mbps)).unwrap();
+        Problem::new(w, net).unwrap()
+    }
+
+    #[test]
+    fn line_path_is_the_whole_line() {
+        let mut b = WorkflowBuilder::new("w");
+        b.line("o", &[MCycles(10.0), MCycles(20.0), MCycles(30.0)], Mbits(1.0));
+        let p = bus_problem(b.build().unwrap(), 2, 10.0);
+        let m = Mapping::from_fn(3, |o| ServerId::new(o.0 % 2));
+        let cp = critical_path(&p, &m);
+        assert_eq!(cp.steps.len(), 3);
+        assert!((cp.total.value() - texecute(&p, &m).value()).abs() < 1e-12);
+        // 60 Mcycles of processing at 1 GHz.
+        assert!((cp.processing.value() - 0.060).abs() < 1e-12);
+        // Two crossings of 1 Mbit at 10 Mbps.
+        assert!((cp.communication.value() - 0.200).abs() < 1e-12);
+        assert!((cp.communication_fraction() - 0.2 / 0.26).abs() < 1e-9);
+    }
+
+    #[test]
+    fn and_join_follows_slow_branch() {
+        let spec = BlockSpec::and(
+            "a",
+            vec![
+                BlockSpec::op("fast", MCycles(10.0)),
+                BlockSpec::op("slow", MCycles(90.0)),
+            ],
+        );
+        let w = spec.lower("w", &mut || Mbits::ZERO).unwrap();
+        let p = bus_problem(w, 2, 100.0);
+        let m = Mapping::all_on(4, ServerId::new(0));
+        let cp = critical_path(&p, &m);
+        let names: Vec<&str> = cp
+            .steps
+            .iter()
+            .map(|s| p.workflow().op(s.op).name.as_str())
+            .collect();
+        assert!(names.contains(&"slow"), "critical path {names:?}");
+        assert!(!names.contains(&"fast"));
+    }
+
+    #[test]
+    fn or_join_follows_fast_branch() {
+        let spec = BlockSpec::or(
+            "o",
+            vec![
+                BlockSpec::op("fast", MCycles(10.0)),
+                BlockSpec::op("slow", MCycles(90.0)),
+            ],
+        );
+        let w = spec.lower("w", &mut || Mbits::ZERO).unwrap();
+        let p = bus_problem(w, 2, 100.0);
+        let m = Mapping::all_on(4, ServerId::new(0));
+        let cp = critical_path(&p, &m);
+        let names: Vec<&str> = cp
+            .steps
+            .iter()
+            .map(|s| p.workflow().op(s.op).name.as_str())
+            .collect();
+        assert!(names.contains(&"fast"));
+        assert!(!names.contains(&"slow"));
+    }
+
+    #[test]
+    fn xor_join_follows_dominant_contribution() {
+        use wsflow_model::Probability;
+        let spec = BlockSpec::Decision {
+            kind: DecisionKind::Xor,
+            name: "x".into(),
+            branches: vec![
+                (Probability::new(0.9), BlockSpec::op("likely", MCycles(10.0))),
+                (
+                    Probability::new(0.1),
+                    BlockSpec::op("unlikely", MCycles(30.0)),
+                ),
+            ],
+        };
+        let w = spec.lower("w", &mut || Mbits::ZERO).unwrap();
+        let p = bus_problem(w, 2, 100.0);
+        let m = Mapping::all_on(4, ServerId::new(0));
+        let cp = critical_path(&p, &m);
+        // 0.9·10 = 9 dominates 0.1·30 = 3.
+        let names: Vec<&str> = cp
+            .steps
+            .iter()
+            .map(|s| p.workflow().op(s.op).name.as_str())
+            .collect();
+        assert!(names.contains(&"likely"));
+        // Expected total matches the evaluator.
+        assert!((cp.total.value() - texecute(&p, &m).value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_names_servers_and_wires() {
+        let mut b = WorkflowBuilder::new("w");
+        b.line("o", &[MCycles(10.0), MCycles(20.0)], Mbits(1.0));
+        let p = bus_problem(b.build().unwrap(), 2, 10.0);
+        let m = Mapping::new(vec![ServerId::new(0), ServerId::new(1)]);
+        let cp = critical_path(&p, &m);
+        let text = render(&p, &m, &cp);
+        assert!(text.contains("critical path"));
+        assert!(text.contains("o0 on s0"));
+        assert!(text.contains("on the wire"));
+    }
+}

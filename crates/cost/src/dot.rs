@@ -1,0 +1,89 @@
+//! Graphviz (DOT) export of a *deployment*: the workflow graph drawn
+//! with one cluster per server, so a mapping can be inspected at a
+//! glance. Inter-server edges are bold; co-located edges dotted.
+
+use std::fmt::Write as _;
+
+use wsflow_model::OpKind;
+
+use crate::mapping::Mapping;
+use crate::problem::Problem;
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render the deployed workflow as a clustered DOT digraph.
+pub fn deployment_dot(problem: &Problem, mapping: &Mapping) -> String {
+    let w = problem.workflow();
+    let net = problem.network();
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(w.name()));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [fontsize=10];");
+    for server in net.server_ids() {
+        let ops = mapping.ops_on(server);
+        let _ = writeln!(out, "  subgraph cluster_s{} {{", server.0);
+        let _ = writeln!(
+            out,
+            "    label=\"{} ({:.1} GHz)\";",
+            escape(&net.server(server).name),
+            net.server(server).power.as_ghz()
+        );
+        let _ = writeln!(out, "    style=filled; fillcolor=\"#f0f0f0\";");
+        for op in ops {
+            let o = w.op(op);
+            let shape = match o.kind {
+                OpKind::Operational => "box",
+                _ => "diamond",
+            };
+            let _ = writeln!(
+                out,
+                "    n{} [shape={shape}, label=\"{}\"];",
+                op.0,
+                escape(&o.name)
+            );
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    for m in w.messages() {
+        let crossing = mapping.server_of(m.from) != mapping.server_of(m.to);
+        let style = if crossing {
+            format!("style=bold, color=red, label=\"{:.4} Mb\", fontsize=8", m.size.value())
+        } else {
+            "style=dotted".to_string()
+        };
+        let _ = writeln!(out, "  n{} -> n{} [{style}];", m.from.0, m.to.0);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsflow_model::{MCycles, Mbits, MbitsPerSec, WorkflowBuilder};
+    use wsflow_net::topology::{bus, homogeneous_servers};
+    use wsflow_net::ServerId;
+
+    #[test]
+    fn renders_clusters_and_crossing_edges() {
+        let mut b = WorkflowBuilder::new("w");
+        b.line("o", &[MCycles(1.0), MCycles(2.0), MCycles(3.0)], Mbits(0.5));
+        let net = bus("n", homogeneous_servers(2, 1.0), MbitsPerSec(10.0)).unwrap();
+        let problem = Problem::new(b.build().unwrap(), net).unwrap();
+        let mapping = Mapping::new(vec![
+            ServerId::new(0),
+            ServerId::new(0),
+            ServerId::new(1),
+        ]);
+        let dot = deployment_dot(&problem, &mapping);
+        assert!(dot.contains("subgraph cluster_s0"));
+        assert!(dot.contains("subgraph cluster_s1"));
+        // Exactly one crossing edge (o1 → o2), drawn bold.
+        assert_eq!(dot.matches("style=bold").count(), 1);
+        assert_eq!(dot.matches("style=dotted").count(), 1);
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+        assert!(dot.contains("1.0 GHz"));
+    }
+}

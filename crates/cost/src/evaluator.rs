@@ -1,0 +1,320 @@
+//! A prepared, allocation-free evaluator for repeated cost queries.
+//!
+//! The exhaustive algorithm and the quality-sampling study evaluate up to
+//! tens of thousands of mappings per instance (`N^M` is ~10¹⁹ for the
+//! paper's largest configuration; samples of 32 000 are drawn). This
+//! evaluator precomputes everything that does not depend on the mapping —
+//! topological order, per-op expected processing seconds per server,
+//! per-server-pair communication coefficients — and reuses scratch
+//! buffers across calls.
+
+use wsflow_model::traversal::topo_sort;
+use wsflow_model::{DecisionKind, OpId, OpKind, Seconds};
+use wsflow_net::ServerId;
+
+use crate::load::time_penalty_of_loads;
+use crate::mapping::Mapping;
+use crate::objective::CostBreakdown;
+use crate::problem::Problem;
+
+/// Per-(server, server) affine communication coefficients:
+/// `t = size · bw_term + fixed_term`.
+#[derive(Debug, Clone, Copy)]
+struct PairCoeff {
+    /// Σ 1/speed over the routed path (seconds per Mbit).
+    bw_term: f64,
+    /// Σ propagation over the routed path (seconds).
+    fixed_term: f64,
+}
+
+/// Prepared evaluator; create once per [`Problem`], call
+/// [`Evaluator::evaluate`] per mapping.
+#[derive(Debug, Clone)]
+pub struct Evaluator<'p> {
+    problem: &'p Problem,
+    order: Vec<OpId>,
+    /// `proc_secs[op][server]` = `Tproc(op)` on that server.
+    proc_secs: Vec<Vec<f64>>,
+    /// `prob_op[op]` = execution probability.
+    prob_op: Vec<f64>,
+    /// `prob_msg[msg]` = send probability.
+    prob_msg: Vec<f64>,
+    /// Row-major `[from][to]` communication coefficients.
+    pair: Vec<PairCoeff>,
+    n_servers: usize,
+    /// Scratch: finish time per op.
+    finish: Vec<f64>,
+    /// Scratch: load per server.
+    loads: Vec<Seconds>,
+}
+
+impl<'p> Evaluator<'p> {
+    /// Prepare an evaluator for a problem.
+    pub fn new(problem: &'p Problem) -> Self {
+        let w = problem.workflow();
+        let net = problem.network();
+        let order = topo_sort(w).expect("problem workflows are acyclic");
+        let proc_secs = w
+            .ops()
+            .iter()
+            .map(|op| {
+                net.servers()
+                    .iter()
+                    .map(|s| (op.cost / s.power).value())
+                    .collect()
+            })
+            .collect();
+        let prob_op = problem
+            .probabilities()
+            .op_prob
+            .iter()
+            .map(|p| p.value())
+            .collect();
+        let prob_msg = problem
+            .probabilities()
+            .msg_prob
+            .iter()
+            .map(|p| p.value())
+            .collect();
+        let n = net.num_servers();
+        let mut pair = Vec::with_capacity(n * n);
+        for from in net.server_ids() {
+            for to in net.server_ids() {
+                let path = problem
+                    .routing()
+                    .path(from, to)
+                    .expect("problem networks are fully routable");
+                let mut bw_term = 0.0;
+                let mut fixed_term = 0.0;
+                for &l in &path.links {
+                    let link = net.link(l);
+                    bw_term += 1.0 / link.speed.value();
+                    fixed_term += link.propagation.value();
+                }
+                pair.push(PairCoeff { bw_term, fixed_term });
+            }
+        }
+        Self {
+            problem,
+            order,
+            proc_secs,
+            prob_op,
+            prob_msg,
+            pair,
+            n_servers: n,
+            finish: vec![0.0; w.num_ops()],
+            loads: vec![Seconds::ZERO; n],
+        }
+    }
+
+    /// The problem this evaluator was prepared for.
+    #[inline]
+    pub fn problem(&self) -> &'p Problem {
+        self.problem
+    }
+
+    #[inline]
+    fn comm_secs(&self, from: ServerId, to: ServerId, size_mbits: f64) -> f64 {
+        let c = self.pair[from.index() * self.n_servers + to.index()];
+        size_mbits * c.bw_term + c.fixed_term
+    }
+
+    /// Expected execution time of `mapping` (same value as
+    /// [`texecute`](crate::texecute::texecute)).
+    pub fn execution_time(&mut self, mapping: &Mapping) -> Seconds {
+        let w = self.problem.workflow();
+        // Split borrows: read-only tables vs the finish scratch buffer.
+        let finish = std::mem::take(&mut self.finish);
+        let mut finish = finish;
+        for &u in &self.order {
+            let in_msgs = w.in_msgs(u);
+            let ready = if in_msgs.is_empty() {
+                0.0
+            } else {
+                let arrival = |mid: wsflow_model::MsgId| -> f64 {
+                    let msg = w.message(mid);
+                    let t = self.comm_secs(
+                        mapping.server_of(msg.from),
+                        mapping.server_of(msg.to),
+                        msg.size.value(),
+                    );
+                    finish[msg.from.index()] + t
+                };
+                match w.op(u).kind {
+                    OpKind::Close(DecisionKind::And) => in_msgs
+                        .iter()
+                        .map(|&m| arrival(m))
+                        .fold(0.0f64, f64::max),
+                    OpKind::Close(DecisionKind::Or) => in_msgs
+                        .iter()
+                        .map(|&m| arrival(m))
+                        .fold(f64::INFINITY, f64::min),
+                    OpKind::Close(DecisionKind::Xor) => {
+                        let total: f64 =
+                            in_msgs.iter().map(|&m| self.prob_msg[m.index()]).sum();
+                        if total <= 0.0 {
+                            in_msgs.iter().map(|&m| arrival(m)).fold(0.0f64, f64::max)
+                        } else {
+                            in_msgs
+                                .iter()
+                                .map(|&m| arrival(m) * self.prob_msg[m.index()] / total)
+                                .sum()
+                        }
+                    }
+                    _ => in_msgs.iter().map(|&m| arrival(m)).fold(0.0f64, f64::max),
+                }
+            };
+            finish[u.index()] =
+                ready + self.proc_secs[u.index()][mapping.server_of(u).index()];
+        }
+        let result = w
+            .sinks()
+            .into_iter()
+            .map(|s| finish[s.index()])
+            .fold(0.0f64, f64::max);
+        self.finish = finish;
+        Seconds(result)
+    }
+
+    /// Per-server loads (probability-weighted processing seconds).
+    pub fn compute_loads(&mut self, mapping: &Mapping) -> &[Seconds] {
+        for l in self.loads.iter_mut() {
+            *l = Seconds::ZERO;
+        }
+        for (op, server) in mapping.iter() {
+            let secs = self.proc_secs[op.index()][server.index()];
+            self.loads[server.index()] += Seconds(secs * self.prob_op[op.index()]);
+        }
+        &self.loads
+    }
+
+    /// Fairness time penalty of `mapping`.
+    pub fn penalty(&mut self, mapping: &Mapping) -> Seconds {
+        self.compute_loads(mapping);
+        time_penalty_of_loads(&self.loads)
+    }
+
+    /// Full cost breakdown of `mapping`.
+    pub fn evaluate(&mut self, mapping: &Mapping) -> CostBreakdown {
+        let execution = self.execution_time(mapping);
+        let penalty = self.penalty(mapping);
+        CostBreakdown::new(execution, penalty, self.problem.weights())
+    }
+
+    /// The scalar combined cost of `mapping` (shorthand for
+    /// `evaluate(..).combined`).
+    pub fn combined(&mut self, mapping: &Mapping) -> Seconds {
+        self.evaluate(mapping).combined
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::{loads, time_penalty};
+    use crate::texecute::texecute;
+    use wsflow_model::{BlockSpec, MCycles, Mbits, MbitsPerSec, WorkflowBuilder};
+    use wsflow_net::topology::{bus, homogeneous_servers, line_uniform};
+
+    fn spread(p: &Problem, k: u32) -> Mapping {
+        Mapping::from_fn(p.num_ops(), |o| ServerId::new(o.0 % k))
+    }
+
+    #[test]
+    fn matches_direct_texecute_and_penalty_on_line_bus() {
+        let mut b = WorkflowBuilder::new("w");
+        b.line(
+            "o",
+            &[MCycles(10.0), MCycles(20.0), MCycles(30.0), MCycles(5.0)],
+            Mbits(0.5),
+        );
+        let net = bus("b", homogeneous_servers(3, 2.0), MbitsPerSec(10.0)).unwrap();
+        let p = Problem::new(b.build().unwrap(), net).unwrap();
+        let mut ev = Evaluator::new(&p);
+        for k in 1..=3u32 {
+            let m = spread(&p, k);
+            let direct_exec = texecute(&p, &m);
+            let direct_pen = time_penalty(&p, &m);
+            let cb = ev.evaluate(&m);
+            assert!((cb.execution.value() - direct_exec.value()).abs() < 1e-12);
+            assert!((cb.penalty.value() - direct_pen.value()).abs() < 1e-12);
+            assert!(
+                (cb.combined.value() - (direct_exec + direct_pen).value()).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn matches_direct_on_random_graph() {
+        let spec = BlockSpec::seq(vec![
+            BlockSpec::op("s", MCycles(15.0)),
+            BlockSpec::and(
+                "a",
+                vec![
+                    BlockSpec::xor_uniform(
+                        "x",
+                        vec![
+                            BlockSpec::op("q", MCycles(10.0)),
+                            BlockSpec::op("r", MCycles(90.0)),
+                        ],
+                    ),
+                    BlockSpec::op("t", MCycles(70.0)),
+                ],
+            ),
+        ]);
+        let mut i = 0usize;
+        let w = spec
+            .lower("w", &mut || {
+                i += 1;
+                Mbits(0.02 * i as f64)
+            })
+            .unwrap();
+        let net = line_uniform("l", homogeneous_servers(3, 1.0), MbitsPerSec(10.0)).unwrap();
+        let p = Problem::new(w, net).unwrap();
+        let mut ev = Evaluator::new(&p);
+        let m = spread(&p, 3);
+        assert!((ev.execution_time(&m).value() - texecute(&p, &m).value()).abs() < 1e-12);
+        let direct = loads(&p, &m);
+        let fast = ev.compute_loads(&m).to_vec();
+        for (a, b) in direct.iter().zip(&fast) {
+            assert!((a.value() - b.value()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn propagation_delays_enter_communication_cost() {
+        use wsflow_net::topology::full_mesh;
+        let mut b = WorkflowBuilder::new("w");
+        b.line("o", &[MCycles(10.0), MCycles(10.0)], Mbits(1.0));
+        let net = full_mesh(
+            "m",
+            homogeneous_servers(2, 1.0),
+            MbitsPerSec(100.0),
+            wsflow_model::Seconds(0.5), // huge propagation delay
+        )
+        .unwrap();
+        let p = Problem::new(b.build().unwrap(), net).unwrap();
+        let mut ev = Evaluator::new(&p);
+        let split = Mapping::from_fn(2, |o| ServerId::new(o.0 % 2));
+        // 10 ms + (1 Mbit / 100 Mbps = 10 ms) + 500 ms prop + 10 ms.
+        let t = ev.execution_time(&split);
+        assert!((t.value() - 0.530).abs() < 1e-12, "got {t}");
+        // Direct function agrees.
+        assert!((texecute(&p, &split).value() - t.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_evaluation_is_consistent() {
+        let mut b = WorkflowBuilder::new("w");
+        b.line("o", &[MCycles(10.0); 6], Mbits(0.1));
+        let net = bus("b", homogeneous_servers(3, 1.0), MbitsPerSec(100.0)).unwrap();
+        let p = Problem::new(b.build().unwrap(), net).unwrap();
+        let mut ev = Evaluator::new(&p);
+        let m1 = spread(&p, 2);
+        let m2 = spread(&p, 3);
+        let a1 = ev.evaluate(&m1);
+        let _ = ev.evaluate(&m2);
+        let a1_again = ev.evaluate(&m1);
+        assert_eq!(a1, a1_again);
+    }
+}

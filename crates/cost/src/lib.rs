@@ -1,0 +1,40 @@
+//! # wsflow-cost — the analytic cost model
+//!
+//! Implements Table 1 of *"Efficient Deployment of Web Service
+//! Workflows"*: processing time, communication time, per-server load,
+//! the fairness *time penalty*, the workflow execution time `Texecute`,
+//! and the combined bi-objective cost.
+//!
+//! Main entry points:
+//!
+//! * [`Problem`] — a validated (workflow, network, objective) instance.
+//! * [`Mapping`] / [`PartialMapping`] — deployments `O → S`.
+//! * [`texecute()`], [`time_penalty`], [`loads`] — one-shot metric
+//!   functions.
+//! * [`Evaluator`] — prepared, allocation-free evaluation for the
+//!   exhaustive/sampling hot paths.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod constraints;
+pub mod critical_path;
+pub mod dot;
+pub mod evaluator;
+pub mod load;
+pub mod mapping;
+pub mod objective;
+pub mod pareto;
+pub mod problem;
+pub mod texecute;
+
+pub use constraints::{ConstraintViolation, UserConstraints};
+pub use critical_path::{critical_path, CriticalPath, CriticalStep};
+pub use dot::deployment_dot;
+pub use evaluator::Evaluator;
+pub use load::{effective_cycles, ideal_cycles, loads, max_load, time_penalty, tproc};
+pub use mapping::{Mapping, PartialMapping};
+pub use objective::{CostBreakdown, CostWeights};
+pub use pareto::{dominated_fraction, hypervolume, pareto_front, ParetoPoint};
+pub use problem::{Problem, ProblemError};
+pub use texecute::{network_traffic, tcomm, texecute, texecute_block};

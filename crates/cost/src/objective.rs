@@ -1,0 +1,165 @@
+//! The bi-objective cost: execution time + load-distribution fairness.
+//!
+//! §3.1 of the paper: "Unless otherwise stated … we will assume an
+//! equally weighted sum of the execution time and load distribution as
+//! our cost model. To use the same units, we assess fairness in the form
+//! of a time penalty."
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use wsflow_model::Seconds;
+
+/// Weights for combining the two antagonistic measures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostWeights {
+    /// Weight of the workflow execution time `Texecute`.
+    pub execution: f64,
+    /// Weight of the fairness time penalty.
+    pub penalty: f64,
+}
+
+impl CostWeights {
+    /// The paper's default: equally weighted sum.
+    pub const EQUAL: Self = Self {
+        execution: 1.0,
+        penalty: 1.0,
+    };
+
+    /// Only execution time matters.
+    pub const EXECUTION_ONLY: Self = Self {
+        execution: 1.0,
+        penalty: 0.0,
+    };
+
+    /// Only fairness matters.
+    pub const PENALTY_ONLY: Self = Self {
+        execution: 0.0,
+        penalty: 1.0,
+    };
+
+    /// Arbitrary weights (must be finite and non-negative).
+    pub fn new(execution: f64, penalty: f64) -> Self {
+        assert!(
+            execution >= 0.0 && penalty >= 0.0 && execution.is_finite() && penalty.is_finite(),
+            "weights must be finite and non-negative"
+        );
+        Self { execution, penalty }
+    }
+
+    /// Combine the two measures into a scalar.
+    #[inline]
+    pub fn combine(&self, execution: Seconds, penalty: Seconds) -> Seconds {
+        Seconds(self.execution * execution.value() + self.penalty * penalty.value())
+    }
+}
+
+impl Default for CostWeights {
+    fn default() -> Self {
+        Self::EQUAL
+    }
+}
+
+/// The evaluated cost of a mapping, in all its components.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// `Texecute`: expected time from workflow start to completion.
+    pub execution: Seconds,
+    /// The fairness time penalty (0 = perfectly proportional loads).
+    pub penalty: Seconds,
+    /// `weights.combine(execution, penalty)`.
+    pub combined: Seconds,
+}
+
+impl CostBreakdown {
+    /// Assemble a breakdown given the weights.
+    pub fn new(execution: Seconds, penalty: Seconds, weights: &CostWeights) -> Self {
+        Self {
+            execution,
+            penalty,
+            combined: weights.combine(execution, penalty),
+        }
+    }
+
+    /// Dominance in the Pareto sense: better-or-equal in both dimensions
+    /// and strictly better in at least one.
+    pub fn dominates(&self, other: &CostBreakdown) -> bool {
+        (self.execution <= other.execution && self.penalty <= other.penalty)
+            && (self.execution < other.execution || self.penalty < other.penalty)
+    }
+
+    /// Euclidean distance from the ideal point (0, 0) — the paper plots
+    /// solutions on (execution, penalty) axes and calls solutions closer
+    /// to the origin better.
+    pub fn distance_to_origin(&self) -> f64 {
+        self.execution
+            .value()
+            .hypot(self.penalty.value())
+    }
+}
+
+impl fmt::Display for CostBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "exec {:.4}, penalty {:.4}, combined {:.4}",
+            self.execution, self.penalty, self.combined
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_weights_sum() {
+        let w = CostWeights::default();
+        assert_eq!(w, CostWeights::EQUAL);
+        assert_eq!(w.combine(Seconds(2.0), Seconds(3.0)), Seconds(5.0));
+    }
+
+    #[test]
+    fn single_objective_weights() {
+        assert_eq!(
+            CostWeights::EXECUTION_ONLY.combine(Seconds(2.0), Seconds(3.0)),
+            Seconds(2.0)
+        );
+        assert_eq!(
+            CostWeights::PENALTY_ONLY.combine(Seconds(2.0), Seconds(3.0)),
+            Seconds(3.0)
+        );
+    }
+
+    #[test]
+    fn custom_weights() {
+        let w = CostWeights::new(0.25, 0.75);
+        assert_eq!(w.combine(Seconds(4.0), Seconds(4.0)), Seconds(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_negative_weights() {
+        let _ = CostWeights::new(-1.0, 0.5);
+    }
+
+    #[test]
+    fn breakdown() {
+        let b = CostBreakdown::new(Seconds(3.0), Seconds(4.0), &CostWeights::EQUAL);
+        assert_eq!(b.combined, Seconds(7.0));
+        assert!((b.distance_to_origin() - 5.0).abs() < 1e-12);
+        assert!(b.to_string().contains("combined"));
+    }
+
+    #[test]
+    fn dominance() {
+        let w = CostWeights::EQUAL;
+        let a = CostBreakdown::new(Seconds(1.0), Seconds(1.0), &w);
+        let b = CostBreakdown::new(Seconds(2.0), Seconds(1.0), &w);
+        let c = CostBreakdown::new(Seconds(0.5), Seconds(2.0), &w);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&c) && !c.dominates(&a)); // incomparable
+        assert!(!a.dominates(&a)); // not strict
+    }
+}

@@ -1,0 +1,185 @@
+//! Pareto-front utilities over the bi-objective space.
+//!
+//! The paper plots solutions on (execution time, time penalty) axes and
+//! notes that "assuming different weights for the two measures,
+//! different distance measures could also be considered" (§4.2). The
+//! combined cost is one scalarisation; the Pareto front is the
+//! weight-independent view: every mapping on it is optimal for *some*
+//! weighting.
+
+use crate::objective::CostBreakdown;
+
+/// A point in the (execution, penalty) plane with an attached payload
+/// (typically an algorithm name or a mapping).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint<T> {
+    /// Execution time in seconds.
+    pub execution: f64,
+    /// Time penalty in seconds.
+    pub penalty: f64,
+    /// The payload this point describes.
+    pub item: T,
+}
+
+impl<T> ParetoPoint<T> {
+    /// Construct from a cost breakdown.
+    pub fn from_cost(cost: &CostBreakdown, item: T) -> Self {
+        Self {
+            execution: cost.execution.value(),
+            penalty: cost.penalty.value(),
+            item,
+        }
+    }
+
+    /// Weak dominance: better-or-equal in both coordinates, strictly
+    /// better in at least one.
+    pub fn dominates<U>(&self, other: &ParetoPoint<U>) -> bool {
+        (self.execution <= other.execution && self.penalty <= other.penalty)
+            && (self.execution < other.execution || self.penalty < other.penalty)
+    }
+}
+
+/// Extract the Pareto-optimal subset (minimising both coordinates).
+///
+/// Returns the front sorted by ascending execution time. Duplicate
+/// coordinate pairs are all kept (they are mutually non-dominating).
+pub fn pareto_front<T>(points: Vec<ParetoPoint<T>>) -> Vec<ParetoPoint<T>> {
+    let mut sorted = points;
+    // Sort by execution asc, then penalty asc: a point is on the front
+    // iff its penalty is strictly below every earlier point's penalty
+    // (or ties both coordinates with the current best).
+    sorted.sort_by(|a, b| {
+        a.execution
+            .partial_cmp(&b.execution)
+            .expect("finite coordinates")
+            .then(
+                a.penalty
+                    .partial_cmp(&b.penalty)
+                    .expect("finite coordinates"),
+            )
+    });
+    let mut front: Vec<ParetoPoint<T>> = Vec::new();
+    let mut best_penalty = f64::INFINITY;
+    let mut best_exec = f64::NEG_INFINITY;
+    for p in sorted {
+        if p.penalty < best_penalty || (p.penalty == best_penalty && p.execution == best_exec)
+        {
+            best_penalty = best_penalty.min(p.penalty);
+            best_exec = p.execution;
+            front.push(p);
+        }
+    }
+    front
+}
+
+/// Fraction of `points` dominated by at least one element of `by`.
+pub fn dominated_fraction<T, U>(points: &[ParetoPoint<T>], by: &[ParetoPoint<U>]) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    let dominated = points
+        .iter()
+        .filter(|p| by.iter().any(|q| q.dominates(p)))
+        .count();
+    dominated as f64 / points.len() as f64
+}
+
+/// The hypervolume indicator w.r.t. a reference point `(ref_exec,
+/// ref_pen)`: the area of the objective space dominated by the front.
+/// Larger is better. Points beyond the reference contribute nothing.
+pub fn hypervolume<T>(front: &[ParetoPoint<T>], ref_exec: f64, ref_pen: f64) -> f64 {
+    let mut pts: Vec<(f64, f64)> = front
+        .iter()
+        .filter(|p| p.execution < ref_exec && p.penalty < ref_pen)
+        .map(|p| (p.execution, p.penalty))
+        .collect();
+    pts.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+    let mut area = 0.0;
+    let mut prev_pen = ref_pen;
+    for (e, p) in pts {
+        if p < prev_pen {
+            area += (ref_exec - e) * (prev_pen - p);
+            prev_pen = p;
+        }
+    }
+    area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(e: f64, p: f64, tag: &str) -> ParetoPoint<&str> {
+        ParetoPoint {
+            execution: e,
+            penalty: p,
+            item: tag,
+        }
+    }
+
+    #[test]
+    fn dominance() {
+        assert!(pt(1.0, 1.0, "a").dominates(&pt(2.0, 2.0, "b")));
+        assert!(pt(1.0, 1.0, "a").dominates(&pt(1.0, 2.0, "b")));
+        assert!(!pt(1.0, 1.0, "a").dominates(&pt(1.0, 1.0, "b")));
+        assert!(!pt(1.0, 3.0, "a").dominates(&pt(2.0, 1.0, "b")));
+    }
+
+    #[test]
+    fn front_extraction() {
+        let points = vec![
+            pt(3.0, 1.0, "right"),
+            pt(1.0, 3.0, "left"),
+            pt(2.0, 2.0, "mid"),
+            pt(2.5, 2.5, "dominated"),
+            pt(4.0, 4.0, "worst"),
+        ];
+        let front = pareto_front(points);
+        let tags: Vec<&str> = front.iter().map(|p| p.item).collect();
+        assert_eq!(tags, vec!["left", "mid", "right"]);
+    }
+
+    #[test]
+    fn front_keeps_coordinate_ties() {
+        let points = vec![pt(1.0, 1.0, "a"), pt(1.0, 1.0, "b")];
+        let front = pareto_front(points);
+        assert_eq!(front.len(), 2);
+    }
+
+    #[test]
+    fn single_point_front() {
+        let front = pareto_front(vec![pt(1.0, 1.0, "only")]);
+        assert_eq!(front.len(), 1);
+        let empty: Vec<ParetoPoint<&str>> = pareto_front(Vec::new());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn dominated_fraction_counts() {
+        let points = vec![pt(2.0, 2.0, "x"), pt(0.5, 0.5, "y")];
+        let by = vec![pt(1.0, 1.0, "ref")];
+        assert_eq!(dominated_fraction(&points, &by), 0.5);
+        assert_eq!(dominated_fraction::<&str, &str>(&[], &by), 0.0);
+    }
+
+    #[test]
+    fn hypervolume_of_staircase() {
+        // Two points (1,2) and (2,1) vs reference (3,3):
+        // (3-1)*(3-2) + (3-2)*(2-1) = 2 + 1 = 3.
+        let front = vec![pt(1.0, 2.0, "a"), pt(2.0, 1.0, "b")];
+        assert!((hypervolume(&front, 3.0, 3.0) - 3.0).abs() < 1e-12);
+        // Points beyond the reference are ignored.
+        let front = vec![pt(5.0, 5.0, "out")];
+        assert_eq!(hypervolume(&front, 3.0, 3.0), 0.0);
+    }
+
+    #[test]
+    fn from_cost_breakdown() {
+        use crate::objective::CostWeights;
+        use wsflow_model::Seconds;
+        let cb = CostBreakdown::new(Seconds(1.5), Seconds(0.5), &CostWeights::EQUAL);
+        let p = ParetoPoint::from_cost(&cb, "algo");
+        assert_eq!(p.execution, 1.5);
+        assert_eq!(p.penalty, 0.5);
+    }
+}

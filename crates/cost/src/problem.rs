@@ -1,0 +1,226 @@
+//! The deployment problem instance: workflow + network + objective.
+
+use std::fmt;
+
+use wsflow_model::{ExecutionProbabilities, ValidationError, Workflow};
+use wsflow_net::{Network, RoutingTable};
+
+use crate::constraints::UserConstraints;
+use crate::objective::CostWeights;
+
+/// Errors raised when assembling a [`Problem`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProblemError {
+    /// The workflow failed well-formedness validation.
+    Workflow(ValidationError),
+    /// Some ordered server pair is unroutable, so a mapping could place
+    /// communicating operations on mutually unreachable servers.
+    DisconnectedNetwork,
+}
+
+impl fmt::Display for ProblemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProblemError::Workflow(e) => write!(f, "ill-formed workflow: {e}"),
+            ProblemError::DisconnectedNetwork => {
+                f.write_str("network is not fully routable; some server pairs cannot communicate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProblemError {}
+
+/// A fully prepared instance of the deployment problem.
+///
+/// Owns the workflow, the network, the precomputed routing table, the
+/// derived execution probabilities, the cost weights, and any user
+/// constraints — everything an algorithm or evaluator needs.
+///
+/// # Examples
+///
+/// ```
+/// use wsflow_cost::Problem;
+/// use wsflow_model::{MCycles, Mbits, MbitsPerSec, WorkflowBuilder};
+/// use wsflow_net::topology::{bus, homogeneous_servers};
+///
+/// let mut b = WorkflowBuilder::new("w");
+/// b.line("op", &[MCycles(10.0), MCycles(20.0)], Mbits(0.5));
+/// let net = bus("n", homogeneous_servers(2, 2.0), MbitsPerSec(100.0)).unwrap();
+/// let problem = Problem::new(b.build().unwrap(), net).unwrap();
+/// assert_eq!(problem.num_ops(), 2);
+/// assert_eq!(problem.search_space(), 4.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Problem {
+    workflow: Workflow,
+    network: Network,
+    routing: RoutingTable,
+    probabilities: ExecutionProbabilities,
+    weights: CostWeights,
+    constraints: UserConstraints,
+}
+
+impl Problem {
+    /// Assemble a problem, validating the workflow (well-formedness) and
+    /// network (full routability), deriving execution probabilities, and
+    /// precomputing routes. Uses the paper's default equally-weighted
+    /// objective and no user constraints.
+    pub fn new(workflow: Workflow, network: Network) -> Result<Self, ProblemError> {
+        Self::with_weights(workflow, network, CostWeights::default())
+    }
+
+    /// Assemble with explicit cost weights.
+    pub fn with_weights(
+        workflow: Workflow,
+        network: Network,
+        weights: CostWeights,
+    ) -> Result<Self, ProblemError> {
+        let probabilities =
+            ExecutionProbabilities::derive(&workflow).map_err(ProblemError::Workflow)?;
+        let routing = RoutingTable::new(&network);
+        if !routing.fully_connected() {
+            return Err(ProblemError::DisconnectedNetwork);
+        }
+        Ok(Self {
+            workflow,
+            network,
+            routing,
+            probabilities,
+            weights,
+            constraints: UserConstraints::none(),
+        })
+    }
+
+    /// Builder-style: attach user constraints.
+    pub fn with_constraints(mut self, constraints: UserConstraints) -> Self {
+        self.constraints = constraints;
+        self
+    }
+
+    /// Builder-style: replace the cost weights.
+    pub fn set_weights(mut self, weights: CostWeights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// The workflow `W(O, E)`.
+    #[inline]
+    pub fn workflow(&self) -> &Workflow {
+        &self.workflow
+    }
+
+    /// The server network `N(S, L)`.
+    #[inline]
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Precomputed all-pairs routes.
+    #[inline]
+    pub fn routing(&self) -> &RoutingTable {
+        &self.routing
+    }
+
+    /// Derived execution probabilities (all 1 for linear workflows).
+    #[inline]
+    pub fn probabilities(&self) -> &ExecutionProbabilities {
+        &self.probabilities
+    }
+
+    /// Objective weights.
+    #[inline]
+    pub fn weights(&self) -> &CostWeights {
+        &self.weights
+    }
+
+    /// User constraints (may be empty).
+    #[inline]
+    pub fn constraints(&self) -> &UserConstraints {
+        &self.constraints
+    }
+
+    /// Number of operations `M`.
+    #[inline]
+    pub fn num_ops(&self) -> usize {
+        self.workflow.num_ops()
+    }
+
+    /// Number of servers `N`.
+    #[inline]
+    pub fn num_servers(&self) -> usize {
+        self.network.num_servers()
+    }
+
+    /// Size of the search space `N^M` (saturating; the paper quotes up to
+    /// `10¹⁹` for 5 servers × 19 operations).
+    pub fn search_space(&self) -> f64 {
+        (self.num_servers() as f64).powi(self.num_ops() as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsflow_model::{MCycles, Mbits, MbitsPerSec, WorkflowBuilder};
+    use wsflow_net::topology::{bus, homogeneous_servers};
+    use wsflow_net::{Link, ServerId, TopologyKind};
+
+    fn line_workflow(n: usize) -> Workflow {
+        let mut b = WorkflowBuilder::new("w");
+        b.line("o", &vec![MCycles(10.0); n], Mbits(0.05));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn assembles() {
+        let w = line_workflow(5);
+        let net = bus(
+            "b",
+            homogeneous_servers(3, 1.0),
+            MbitsPerSec(100.0),
+        )
+        .unwrap();
+        let p = Problem::new(w, net).unwrap();
+        assert_eq!(p.num_ops(), 5);
+        assert_eq!(p.num_servers(), 3);
+        assert!((p.search_space() - 243.0).abs() < 1e-9);
+        assert!(p.constraints().is_none());
+    }
+
+    #[test]
+    fn rejects_disconnected_network() {
+        let w = line_workflow(3);
+        let servers = homogeneous_servers(3, 1.0);
+        let links = vec![Link::new(
+            ServerId::new(0),
+            ServerId::new(1),
+            MbitsPerSec(10.0),
+        )];
+        let net = wsflow_net::Network::new("n", servers, links, TopologyKind::Custom).unwrap();
+        assert_eq!(
+            Problem::new(w, net).unwrap_err(),
+            ProblemError::DisconnectedNetwork
+        );
+    }
+
+    #[test]
+    fn rejects_ill_formed_workflow() {
+        let mut b = WorkflowBuilder::new("w");
+        let a = b.op("a", MCycles(1.0));
+        let c = b.op("b", MCycles(1.0));
+        b.msg(a, c, Mbits(0.1));
+        b.msg(c, a, Mbits(0.1)); // cycle
+        let w = b.build().unwrap();
+        let net = bus(
+            "b",
+            homogeneous_servers(2, 1.0),
+            MbitsPerSec(100.0),
+        )
+        .unwrap();
+        assert!(matches!(
+            Problem::new(w, net).unwrap_err(),
+            ProblemError::Workflow(_)
+        ));
+    }
+}

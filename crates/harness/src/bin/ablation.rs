@@ -1,0 +1,7 @@
+//! Runs the design-choice ablation studies.
+
+fn main() {
+    let opts = wsflow_harness::cli::parse_or_exit();
+    let out = wsflow_harness::ablation::run(&opts.params);
+    wsflow_harness::cli::emit(&out, &opts);
+}

@@ -1,0 +1,35 @@
+//! Runs the full experiment suite in sequence (every table and figure).
+
+fn main() {
+    let opts = wsflow_harness::cli::parse_or_exit();
+    let params = &opts.params;
+    eprintln!("== Table 6 ==");
+    wsflow_harness::cli::emit(&wsflow_harness::table6::run(), &opts);
+    eprintln!("== Line–Line ==");
+    wsflow_harness::cli::emit(&wsflow_harness::line_line_exp::run(params), &opts);
+    eprintln!("== Figure 6 ==");
+    wsflow_harness::cli::emit(&wsflow_harness::fig6::run(params), &opts);
+    eprintln!("== Figure 7 ==");
+    wsflow_harness::cli::emit(&wsflow_harness::fig7::run(params), &opts);
+    eprintln!("== Figure 8 ==");
+    wsflow_harness::cli::emit(&wsflow_harness::fig8::run(params), &opts);
+    eprintln!("== Quality study ==");
+    wsflow_harness::cli::emit(&wsflow_harness::quality::run(params), &opts);
+    eprintln!("== Classes A/B ==");
+    wsflow_harness::cli::emit(&wsflow_harness::class_ab::run(params), &opts);
+    eprintln!("== Simulator validation ==");
+    let trials = if params.seeds >= 50 { 2000 } else { 400 };
+    wsflow_harness::cli::emit(&wsflow_harness::sim_validation::run(params, trials), &opts);
+    eprintln!("== Ablations ==");
+    wsflow_harness::cli::emit(&wsflow_harness::ablation::run(params), &opts);
+    eprintln!("== Load scale-up ==");
+    let instances = if params.seeds >= 50 { 400 } else { 60 };
+    wsflow_harness::cli::emit(&wsflow_harness::scale_up::run(params, instances), &opts);
+    eprintln!("== Multi-workflow ==");
+    wsflow_harness::cli::emit(&wsflow_harness::multi_wf::run(params, 4), &opts);
+    eprintln!("== Topology sweep ==");
+    wsflow_harness::cli::emit(&wsflow_harness::topologies::run(params), &opts);
+    eprintln!("== True-front coverage ==");
+    let (ops, n, instances) = if params.seeds >= 50 { (8, 3, 25) } else { (6, 2, 4) };
+    wsflow_harness::cli::emit(&wsflow_harness::front::run(params, ops, n, instances), &opts);
+}

@@ -1,0 +1,7 @@
+//! Runs the class A and class B experiments (§4.1).
+
+fn main() {
+    let opts = wsflow_harness::cli::parse_or_exit();
+    let out = wsflow_harness::class_ab::run(&opts.params);
+    wsflow_harness::cli::emit(&out, &opts);
+}

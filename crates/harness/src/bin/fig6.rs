@@ -1,0 +1,7 @@
+//! Regenerates Figure 6 (Line–Bus algorithms, 19 operations).
+
+fn main() {
+    let opts = wsflow_harness::cli::parse_or_exit();
+    let out = wsflow_harness::fig6::run(&opts.params);
+    wsflow_harness::cli::emit(&out, &opts);
+}

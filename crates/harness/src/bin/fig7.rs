@@ -1,0 +1,7 @@
+//! Regenerates Figure 7 (Random Graph–Bus algorithms, overall).
+
+fn main() {
+    let opts = wsflow_harness::cli::parse_or_exit();
+    let out = wsflow_harness::fig7::run(&opts.params);
+    wsflow_harness::cli::emit(&out, &opts);
+}

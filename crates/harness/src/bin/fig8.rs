@@ -1,0 +1,7 @@
+//! Regenerates Figure 8 (Graph–Bus algorithms per graph structure).
+
+fn main() {
+    let opts = wsflow_harness::cli::parse_or_exit();
+    let out = wsflow_harness::fig8::run(&opts.params);
+    wsflow_harness::cli::emit(&out, &opts);
+}

@@ -1,0 +1,7 @@
+//! Runs the Line–Line experiments (§3.2).
+
+fn main() {
+    let opts = wsflow_harness::cli::parse_or_exit();
+    let out = wsflow_harness::line_line_exp::run(&opts.params);
+    wsflow_harness::cli::emit(&out, &opts);
+}

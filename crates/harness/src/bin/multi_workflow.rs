@@ -1,0 +1,7 @@
+//! Runs the multi-workflow deployment experiment (future work).
+
+fn main() {
+    let opts = wsflow_harness::cli::parse_or_exit();
+    let out = wsflow_harness::multi_wf::run(&opts.params, 4);
+    wsflow_harness::cli::emit(&out, &opts);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the §4.1 solution-quality sampling study.
+
+fn main() {
+    let opts = wsflow_harness::cli::parse_or_exit();
+    let out = wsflow_harness::quality::run(&opts.params);
+    wsflow_harness::cli::emit(&out, &opts);
+}

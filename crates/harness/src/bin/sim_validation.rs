@@ -1,0 +1,8 @@
+//! Cross-validates the analytic cost model against the simulator.
+
+fn main() {
+    let opts = wsflow_harness::cli::parse_or_exit();
+    let trials = if opts.params.seeds >= 50 { 2000 } else { 400 };
+    let out = wsflow_harness::sim_validation::run(&opts.params, trials);
+    wsflow_harness::cli::emit(&out, &opts);
+}

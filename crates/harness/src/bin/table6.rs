@@ -1,0 +1,7 @@
+//! Prints Table 6 (the class-C experimental configuration).
+
+fn main() {
+    let opts = wsflow_harness::cli::parse_or_exit();
+    let out = wsflow_harness::table6::run();
+    wsflow_harness::cli::emit(&out, &opts);
+}

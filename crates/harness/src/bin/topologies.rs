@@ -1,0 +1,7 @@
+//! Runs the beyond-bus topology sweep (extension).
+
+fn main() {
+    let opts = wsflow_harness::cli::parse_or_exit();
+    let out = wsflow_harness::topologies::run(&opts.params);
+    wsflow_harness::cli::emit(&out, &opts);
+}

@@ -1,0 +1,119 @@
+//! Minimal command-line handling shared by the experiment binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--quick` — run the seconds-scale configuration instead of the
+//!   paper's full sizes;
+//! * `--seeds N` — override the number of scenarios per configuration;
+//! * `--ops M` — override the workflow size;
+//! * `--out DIR` — CSV output directory (default `results/`).
+
+use crate::params::Params;
+
+/// Parsed common options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliOptions {
+    /// Experiment sizing.
+    pub params: Params,
+    /// CSV output directory.
+    pub out_dir: String,
+}
+
+/// Parse options from an argument iterator (excluding `argv[0]`).
+/// Unknown flags produce an error string listing usage.
+pub fn parse(args: impl Iterator<Item = String>) -> Result<CliOptions, String> {
+    let mut params = Params::paper();
+    let mut out_dir = "results".to_string();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => params = Params::quick(),
+            "--seeds" => {
+                let v = args.next().ok_or("--seeds needs a value")?;
+                params.seeds = v.parse().map_err(|_| format!("bad --seeds value {v:?}"))?;
+            }
+            "--ops" => {
+                let v = args.next().ok_or("--ops needs a value")?;
+                params.ops = v.parse().map_err(|_| format!("bad --ops value {v:?}"))?;
+            }
+            "--workers" => {
+                let v = args.next().ok_or("--workers needs a value")?;
+                params.workers = v
+                    .parse()
+                    .map_err(|_| format!("bad --workers value {v:?}"))?;
+            }
+            "--out" => {
+                out_dir = args.next().ok_or("--out needs a value")?;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: [--quick] [--seeds N] [--ops M] [--workers W] [--out DIR]".into(),
+                )
+            }
+            other => return Err(format!("unknown flag {other:?}; try --help")),
+        }
+    }
+    Ok(CliOptions { params, out_dir })
+}
+
+/// Parse from the process arguments, exiting with a message on error.
+pub fn parse_or_exit() -> CliOptions {
+    match parse(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Print an experiment's tables and write its CSVs.
+pub fn emit(output: &crate::output::ExperimentOutput, opts: &CliOptions) {
+    print!("{}", output.render());
+    match output.write_csv(&opts.out_dir) {
+        Ok(paths) => {
+            for p in paths {
+                eprintln!("wrote {}", p.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not write CSVs: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_vec(args: &[&str]) -> Result<CliOptions, String> {
+        parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let opts = parse_vec(&[]).unwrap();
+        assert_eq!(opts.params, Params::paper());
+        assert_eq!(opts.out_dir, "results");
+    }
+
+    #[test]
+    fn quick_and_overrides() {
+        let opts = parse_vec(&["--quick", "--seeds", "7", "--ops", "11", "--out", "tmp"]).unwrap();
+        assert_eq!(opts.params.seeds, 7);
+        assert_eq!(opts.params.ops, 11);
+        assert_eq!(opts.out_dir, "tmp");
+    }
+
+    #[test]
+    fn workers_override() {
+        let opts = parse_vec(&["--workers", "3"]).unwrap();
+        assert_eq!(opts.params.workers, 3);
+    }
+
+    #[test]
+    fn rejects_unknown_and_missing() {
+        assert!(parse_vec(&["--bogus"]).is_err());
+        assert!(parse_vec(&["--seeds"]).is_err());
+        assert!(parse_vec(&["--seeds", "x"]).is_err());
+        assert!(parse_vec(&["--help"]).is_err());
+    }
+}

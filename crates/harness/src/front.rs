@@ -1,0 +1,181 @@
+//! True-front coverage (extension): on instances small enough to
+//! enumerate, compute the exact Pareto front of all `N^M` mappings and
+//! measure how close each greedy algorithm lands to it.
+//!
+//! The distance metric is the smallest additive gap to any front point,
+//! normalised per axis by the front's span (so 0 % = on the front, and
+//! 100 % = a full front-width away in the worst axis).
+
+use wsflow_core::registry::paper_bus_algorithms;
+use wsflow_core::pareto_front_exhaustive;
+use wsflow_cost::{Evaluator, Mapping, ParetoPoint, Problem};
+use wsflow_workload::{generate_batch, Configuration, ExperimentClass};
+
+use crate::output::ExperimentOutput;
+use crate::params::Params;
+use crate::table::{pct, Table};
+
+/// Per-algorithm front-coverage summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontRow {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Fraction of instances where the algorithm's mapping is exactly on
+    /// the true front.
+    pub on_true_front: f64,
+    /// Mean normalised distance to the true front.
+    pub mean_distance: f64,
+    /// Worst normalised distance to the true front.
+    pub worst_distance: f64,
+}
+
+/// Normalised distance of `point` to the front (0 = on it).
+fn distance_to_front(
+    point: &ParetoPoint<String>,
+    front: &[ParetoPoint<Mapping>],
+) -> f64 {
+    let exec_span = front
+        .iter()
+        .map(|p| p.execution)
+        .fold(f64::NEG_INFINITY, f64::max)
+        - front
+            .iter()
+            .map(|p| p.execution)
+            .fold(f64::INFINITY, f64::min);
+    let pen_span = front
+        .iter()
+        .map(|p| p.penalty)
+        .fold(f64::NEG_INFINITY, f64::max)
+        - front.iter().map(|p| p.penalty).fold(f64::INFINITY, f64::min);
+    let exec_span = exec_span.max(1e-12);
+    let pen_span = pen_span.max(1e-12);
+    front
+        .iter()
+        .map(|f| {
+            let de = ((point.execution - f.execution) / exec_span).max(0.0);
+            let dp = ((point.penalty - f.penalty) / pen_span).max(0.0);
+            de.max(dp)
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Run the coverage study on `instances` small instances of `ops`
+/// operations over `servers` servers (keep `servers^ops` enumerable).
+pub fn rows(
+    params: &Params,
+    ops: usize,
+    n_servers: usize,
+    instances: usize,
+) -> Vec<FrontRow> {
+    let class = ExperimentClass::class_c();
+    let scenarios = generate_batch(
+        Configuration::LineBus(params.bus_speeds[0]),
+        ops,
+        n_servers,
+        &class,
+        params.base_seed,
+        instances,
+    );
+    let algorithms = paper_bus_algorithms(params.base_seed);
+    let mut on_front = vec![0usize; algorithms.len()];
+    let mut sum_dist = vec![0.0f64; algorithms.len()];
+    let mut worst_dist = vec![0.0f64; algorithms.len()];
+    for s in &scenarios {
+        let problem = Problem::new(s.workflow.clone(), s.network.clone()).expect("valid");
+        let front =
+            pareto_front_exhaustive(&problem, 10_000_000).expect("instance kept enumerable");
+        let mut ev = Evaluator::new(&problem);
+        for (i, algo) in algorithms.iter().enumerate() {
+            let mapping = algo.deploy(&problem).expect("deployable");
+            let cost = ev.evaluate(&mapping);
+            let point = ParetoPoint::from_cost(&cost, algo.name().to_string());
+            let d = distance_to_front(&point, &front);
+            if d < 1e-9 {
+                on_front[i] += 1;
+            }
+            sum_dist[i] += d;
+            worst_dist[i] = worst_dist[i].max(d);
+        }
+    }
+    algorithms
+        .iter()
+        .enumerate()
+        .map(|(i, a)| FrontRow {
+            algorithm: a.name().to_string(),
+            on_true_front: on_front[i] as f64 / scenarios.len() as f64,
+            mean_distance: sum_dist[i] / scenarios.len() as f64,
+            worst_distance: worst_dist[i],
+        })
+        .collect()
+}
+
+/// Run and tabulate.
+pub fn run(params: &Params, ops: usize, n_servers: usize, instances: usize) -> ExperimentOutput {
+    let data = rows(params, ops, n_servers, instances);
+    let mut t = Table::new(
+        format!(
+            "True Pareto-front coverage — {instances} instances of M={ops}, N={n_servers}, bus {} Mbps",
+            params.bus_speeds[0].value()
+        ),
+        &["algorithm", "on_true_front", "mean_distance", "worst_distance"],
+    );
+    for r in &data {
+        t.push_row(vec![
+            r.algorithm.clone(),
+            pct(r.on_true_front),
+            pct(r.mean_distance),
+            pct(r.worst_distance),
+        ]);
+    }
+    let mut out = ExperimentOutput::new("front_coverage");
+    out.tables.push(t);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_rows_are_sane() {
+        let params = Params::quick();
+        let data = rows(&params, 6, 2, 3); // 2^6 = 64 per instance
+        assert_eq!(data.len(), 5);
+        for r in &data {
+            assert!((0.0..=1.0).contains(&r.on_true_front));
+            assert!(r.mean_distance >= 0.0);
+            assert!(r.worst_distance >= r.mean_distance - 1e-12);
+        }
+        // At least one algorithm reaches the true front sometimes on
+        // tiny instances.
+        assert!(data.iter().any(|r| r.on_true_front > 0.0));
+    }
+
+    #[test]
+    fn distance_zero_for_front_points() {
+        let front = vec![
+            ParetoPoint {
+                execution: 1.0,
+                penalty: 3.0,
+                item: Mapping::new(vec![]),
+            },
+            ParetoPoint {
+                execution: 3.0,
+                penalty: 1.0,
+                item: Mapping::new(vec![]),
+            },
+        ];
+        let on = ParetoPoint {
+            execution: 1.0,
+            penalty: 3.0,
+            item: "x".to_string(),
+        };
+        assert!(distance_to_front(&on, &front) < 1e-12);
+        let off = ParetoPoint {
+            execution: 3.0,
+            penalty: 3.0,
+            item: "y".to_string(),
+        };
+        assert!(distance_to_front(&off, &front) > 0.5);
+    }
+}

@@ -1,0 +1,48 @@
+//! # wsflow-harness — experiment harness
+//!
+//! Regenerates every table and figure in the paper's evaluation (§4):
+//!
+//! | Paper artefact | Module | Binary |
+//! |---|---|---|
+//! | Table 6 (class-C configuration) | [`table6`] | `table6` |
+//! | Fig. 6 (Line–Bus, 19 ops) | [`fig6`] | `fig6` |
+//! | Fig. 7 (Graph–Bus overall) | [`fig7`] | `fig7` |
+//! | Fig. 8 (Graph–Bus per structure) | [`fig8`] | `fig8` |
+//! | §4.1 quality sampling | [`quality`] | `quality` |
+//! | Class A/B sweeps (mentioned, unreported) | [`class_ab`] | `class_ab` |
+//! | Line–Line experiments (§3.2) | [`line_line_exp`] | `line_line` |
+//! | Analytic-vs-simulator validation (extension) | [`sim_validation`] | `sim_validation` |
+//!
+//! Every binary takes `--quick` for a seconds-scale run and writes raw
+//! records + summary tables as CSV under `results/`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ablation;
+pub mod class_ab;
+pub mod cli;
+pub mod fig6;
+pub mod front;
+pub mod fig7;
+pub mod fig8;
+pub mod line_line_exp;
+pub mod multi_wf;
+pub mod output;
+pub mod parallel;
+pub mod params;
+pub mod pareto_report;
+pub mod quality;
+pub mod runner;
+pub mod scale_up;
+pub mod sim_validation;
+pub mod summary;
+pub mod table;
+pub mod topologies;
+pub mod table6;
+
+pub use output::ExperimentOutput;
+pub use params::Params;
+pub use runner::{run_batch, run_on_problem, Record};
+pub use summary::{aggregate, aggregates_table, Aggregate};
+pub use table::Table;

@@ -1,0 +1,145 @@
+//! Multi-workflow deployment experiment (the paper's future-work case).
+//!
+//! Several class-C workflows share one bus of servers. Compare
+//! deploying each workflow independently (sequential FairLoad — each
+//! balanced in isolation) against the joint strategy that budgets the
+//! pool once across all workflows.
+
+use wsflow_core::{deploy_joint_fair, deploy_sequential, FairLoad, MultiProblem};
+use wsflow_workload::{bus_network, linear_workflow, ExperimentClass};
+
+use crate::output::ExperimentOutput;
+use crate::params::Params;
+use crate::table::{ms, Table};
+
+/// One comparison row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiRow {
+    /// Number of co-deployed workflows.
+    pub workflows: usize,
+    /// Joint penalty of the sequential deployment (s).
+    pub sequential_penalty: f64,
+    /// Joint penalty of the joint deployment (s).
+    pub joint_penalty: f64,
+    /// Total execution time, sequential (s).
+    pub sequential_execution: f64,
+    /// Total execution time, joint (s).
+    pub joint_execution: f64,
+}
+
+/// Compare sequential vs joint for 1..=`max_workflows` co-deployed
+/// workflows, averaged over `params.seeds` draws.
+pub fn rows(params: &Params, max_workflows: usize) -> Vec<MultiRow> {
+    let class = ExperimentClass::class_c();
+    let n = *params.server_counts.last().expect("at least one N");
+    let bus_speed = *params.bus_speeds.last().expect("at least one speed");
+    (1..=max_workflows)
+        .map(|k| {
+            let mut seq_pen = 0.0;
+            let mut joint_pen = 0.0;
+            let mut seq_exec = 0.0;
+            let mut joint_exec = 0.0;
+            for seed in 0..params.seeds as u64 {
+                let workflows = (0..k)
+                    .map(|i| {
+                        linear_workflow(
+                            format!("w{i}"),
+                            params.ops,
+                            &class,
+                            params.base_seed + seed * 100 + i as u64,
+                        )
+                    })
+                    .collect();
+                let network =
+                    bus_network(n, bus_speed, &class, params.base_seed + seed);
+                let multi = MultiProblem::new(workflows, network).expect("valid");
+                let sequential =
+                    deploy_sequential(&multi, &FairLoad).expect("deployable");
+                let joint = deploy_joint_fair(&multi);
+                let sc = multi.evaluate(&sequential);
+                let jc = multi.evaluate(&joint);
+                seq_pen += sc.joint_penalty.value();
+                joint_pen += jc.joint_penalty.value();
+                seq_exec += sc.total_execution.value();
+                joint_exec += jc.total_execution.value();
+            }
+            let runs = params.seeds as f64;
+            MultiRow {
+                workflows: k,
+                sequential_penalty: seq_pen / runs,
+                joint_penalty: joint_pen / runs,
+                sequential_execution: seq_exec / runs,
+                joint_execution: joint_exec / runs,
+            }
+        })
+        .collect()
+}
+
+/// The bus speed used: the sweep's fastest (communication is not the
+/// point of this experiment).
+pub fn run(params: &Params, max_workflows: usize) -> ExperimentOutput {
+    let data = rows(params, max_workflows);
+    let mut t = Table::new(
+        format!(
+            "Multi-workflow deployment — sequential FairLoad vs joint, {} seeds",
+            params.seeds
+        ),
+        &[
+            "workflows",
+            "seq_penalty_ms",
+            "joint_penalty_ms",
+            "seq_exec_ms",
+            "joint_exec_ms",
+        ],
+    );
+    for r in &data {
+        t.push_row(vec![
+            r.workflows.to_string(),
+            ms(r.sequential_penalty),
+            ms(r.joint_penalty),
+            ms(r.sequential_execution),
+            ms(r.joint_execution),
+        ]);
+    }
+    let mut out = ExperimentOutput::new("multi_workflow");
+    out.tables.push(t);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joint_is_no_less_fair_on_average() {
+        let mut params = Params::quick();
+        params.seeds = 6;
+        for r in rows(&params, 3) {
+            assert!(
+                r.joint_penalty <= r.sequential_penalty + 1e-9,
+                "{} workflows: joint {} vs sequential {}",
+                r.workflows,
+                r.joint_penalty,
+                r.sequential_penalty
+            );
+        }
+    }
+
+    #[test]
+    fn single_workflow_joint_equals_fair_load_balance() {
+        let mut params = Params::quick();
+        params.seeds = 3;
+        let r = &rows(&params, 1)[0];
+        // With one workflow, joint fair IS Fair Load (same budget), so
+        // penalties agree.
+        assert!((r.joint_penalty - r.sequential_penalty).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_renders() {
+        let mut params = Params::quick();
+        params.seeds = 2;
+        let out = run(&params, 2);
+        assert_eq!(out.tables[0].num_rows(), 2);
+    }
+}

@@ -1,0 +1,124 @@
+//! Multi-threaded scenario evaluation.
+//!
+//! The paper's class-C sweeps run 50 seeds × several algorithms ×
+//! several bus speeds; scenarios are independent, so we fan them out
+//! over worker threads with `crossbeam::scope` and reassemble the
+//! records in deterministic (scenario-index) order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use wsflow_core::DeploymentAlgorithm;
+use wsflow_cost::Problem;
+use wsflow_workload::Scenario;
+
+use crate::runner::{run_on_problem, Record};
+
+/// A factory building a fresh algorithm suite per worker thread.
+///
+/// Boxed algorithms are not `Sync`, so each worker constructs its own
+/// suite (construction is trivially cheap — the suites are stateless
+/// apart from seeds).
+pub type SuiteFactory<'a> = dyn Fn() -> Vec<Box<dyn DeploymentAlgorithm>> + Sync + 'a;
+
+/// Run the suite over all scenarios using up to `workers` threads.
+/// Records are returned grouped by scenario, in scenario order —
+/// identical to the sequential [`run_batch`](crate::runner::run_batch)
+/// output for the same suite.
+pub fn run_batch_parallel(
+    scenarios: &[Scenario],
+    suite: &SuiteFactory<'_>,
+    workers: usize,
+) -> Vec<Record> {
+    let workers = workers.max(1).min(scenarios.len().max(1));
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Vec<Record>> = vec![Vec::new(); scenarios.len()];
+    {
+        let slot_refs: Vec<std::sync::Mutex<&mut Vec<Record>>> =
+            slots.iter_mut().map(std::sync::Mutex::new).collect();
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| {
+                    let algorithms = suite();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= scenarios.len() {
+                            break;
+                        }
+                        let s = &scenarios[i];
+                        let problem =
+                            Problem::new(s.workflow.clone(), s.network.clone())
+                                .expect("generated scenarios are valid problems");
+                        let records =
+                            run_on_problem(&problem, &algorithms, &s.name, s.seed);
+                        **slot_refs[i].lock().expect("slot lock") = records;
+                    }
+                });
+            }
+        })
+        .expect("worker threads do not panic");
+    }
+    slots.into_iter().flatten().collect()
+}
+
+/// A sensible default worker count.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsflow_core::registry::paper_bus_algorithms;
+    use wsflow_model::MbitsPerSec;
+    use wsflow_workload::{generate_batch, Configuration, ExperimentClass};
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let class = ExperimentClass::class_c();
+        let scenarios = generate_batch(
+            Configuration::LineBus(MbitsPerSec(100.0)),
+            10,
+            3,
+            &class,
+            5,
+            6,
+        );
+        let sequential = crate::runner::run_batch(&scenarios, &paper_bus_algorithms(0));
+        let parallel = run_batch_parallel(&scenarios, &|| paper_bus_algorithms(0), 3);
+        assert_eq!(sequential.len(), parallel.len());
+        for (a, b) in sequential.iter().zip(&parallel) {
+            assert_eq!(a.algorithm, b.algorithm);
+            assert_eq!(a.scenario, b.scenario);
+            assert!((a.execution - b.execution).abs() < 1e-12);
+            assert!((a.penalty - b.penalty).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_worker_works() {
+        let class = ExperimentClass::class_c();
+        let scenarios = generate_batch(
+            Configuration::LineBus(MbitsPerSec(10.0)),
+            6,
+            2,
+            &class,
+            1,
+            2,
+        );
+        let records = run_batch_parallel(&scenarios, &|| paper_bus_algorithms(0), 1);
+        assert_eq!(records.len(), 2 * 5);
+    }
+
+    #[test]
+    fn default_workers_positive() {
+        assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn empty_scenario_list_yields_no_records() {
+        let records = run_batch_parallel(&[], &|| paper_bus_algorithms(0), 4);
+        assert!(records.is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! Pareto analysis of experiment records.
+//!
+//! The paper's figures plot per-run (execution, penalty) points and eye-
+//! ball "closeness to the origin"; this report makes that rigorous: for
+//! every scenario it extracts the Pareto front over the algorithms'
+//! solutions and counts, per algorithm, how often it lands on the front
+//! and how often it is strictly dominated.
+
+use std::collections::BTreeMap;
+
+use wsflow_cost::{pareto_front, ParetoPoint};
+
+use crate::runner::Record;
+use crate::table::{pct, Table};
+
+/// Per-algorithm Pareto statistics over a set of scenarios.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoRow {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Number of scenarios the algorithm appeared in.
+    pub scenarios: usize,
+    /// Fraction of scenarios where it is on the Pareto front.
+    pub on_front: f64,
+    /// Fraction of scenarios where it has the strictly best execution
+    /// time.
+    pub best_execution: f64,
+    /// Fraction of scenarios where it has the strictly best penalty.
+    pub best_penalty: f64,
+}
+
+/// Compute Pareto statistics, grouping records by scenario.
+pub fn analyze(records: &[Record]) -> Vec<ParetoRow> {
+    // scenario → (algorithm, exec, penalty)
+    let mut by_scenario: BTreeMap<&str, Vec<&Record>> = BTreeMap::new();
+    for r in records {
+        by_scenario.entry(r.scenario.as_str()).or_default().push(r);
+    }
+    let mut order: Vec<String> = Vec::new();
+    let mut stats: BTreeMap<String, (usize, usize, usize, usize)> = BTreeMap::new();
+    for rs in by_scenario.values() {
+        let points: Vec<ParetoPoint<String>> = rs
+            .iter()
+            .map(|r| ParetoPoint {
+                execution: r.execution,
+                penalty: r.penalty,
+                item: r.algorithm.clone(),
+            })
+            .collect();
+        let front = pareto_front(points.clone());
+        let best_exec = points
+            .iter()
+            .map(|p| p.execution)
+            .fold(f64::INFINITY, f64::min);
+        let best_pen = points
+            .iter()
+            .map(|p| p.penalty)
+            .fold(f64::INFINITY, f64::min);
+        for p in &points {
+            if !stats.contains_key(&p.item) {
+                order.push(p.item.clone());
+            }
+            let entry = stats.entry(p.item.clone()).or_insert((0, 0, 0, 0));
+            entry.0 += 1;
+            if front.iter().any(|f| f.item == p.item) {
+                entry.1 += 1;
+            }
+            if p.execution <= best_exec {
+                entry.2 += 1;
+            }
+            if p.penalty <= best_pen {
+                entry.3 += 1;
+            }
+        }
+    }
+    order
+        .into_iter()
+        .map(|name| {
+            let (n, front, be, bp) = stats[&name];
+            ParetoRow {
+                algorithm: name,
+                scenarios: n,
+                on_front: front as f64 / n as f64,
+                best_execution: be as f64 / n as f64,
+                best_penalty: bp as f64 / n as f64,
+            }
+        })
+        .collect()
+}
+
+/// Tabulate the analysis.
+pub fn table(title: impl Into<String>, rows: &[ParetoRow]) -> Table {
+    let mut t = Table::new(
+        title,
+        &[
+            "algorithm",
+            "scenarios",
+            "on_pareto_front",
+            "best_execution",
+            "best_penalty",
+        ],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.algorithm.clone(),
+            r.scenarios.to_string(),
+            pct(r.on_front),
+            pct(r.best_execution),
+            pct(r.best_penalty),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(algo: &str, scenario: &str, exec: f64, pen: f64) -> Record {
+        Record {
+            algorithm: algo.into(),
+            scenario: scenario.into(),
+            seed: 0,
+            execution: exec,
+            penalty: pen,
+            combined: exec + pen,
+            traffic_mbits: 0.0,
+            runtime_micros: 0,
+        }
+    }
+
+    #[test]
+    fn counts_front_membership() {
+        let records = vec![
+            // Scenario 1: A and B are both on the front, C dominated.
+            rec("A", "s1", 1.0, 3.0),
+            rec("B", "s1", 3.0, 1.0),
+            rec("C", "s1", 4.0, 4.0),
+            // Scenario 2: A dominates everyone.
+            rec("A", "s2", 1.0, 1.0),
+            rec("B", "s2", 2.0, 2.0),
+            rec("C", "s2", 3.0, 1.5),
+        ];
+        let rows = analyze(&records);
+        let a = rows.iter().find(|r| r.algorithm == "A").unwrap();
+        assert_eq!(a.scenarios, 2);
+        assert_eq!(a.on_front, 1.0);
+        assert_eq!(a.best_execution, 1.0);
+        let b = rows.iter().find(|r| r.algorithm == "B").unwrap();
+        assert_eq!(b.on_front, 0.5);
+        assert_eq!(b.best_penalty, 0.5); // best penalty only in s1
+        let c = rows.iter().find(|r| r.algorithm == "C").unwrap();
+        assert_eq!(c.on_front, 0.0);
+    }
+
+    #[test]
+    fn table_renders() {
+        let rows = analyze(&[rec("A", "s", 1.0, 1.0)]);
+        let t = table("pareto", &rows);
+        assert_eq!(t.num_rows(), 1);
+        assert!(t.render().contains("100.0%"));
+    }
+
+    #[test]
+    fn empty_records() {
+        assert!(analyze(&[]).is_empty());
+    }
+}

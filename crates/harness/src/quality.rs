@@ -1,0 +1,254 @@
+//! The §4.1 solution-quality study.
+//!
+//! "To assess the quality of our solutions, we have performed sampling
+//! of solutions with configurations with varying number of servers
+//! (3–5) and operations (5–19). We report worst case numbers of 50
+//! experiments over a configuration of 5 servers and 19 operations.
+//! Each sample involved 32,000 potential solutions over search spaces
+//! that spanned from 32,000 to 10¹⁹ solutions."
+//!
+//! For every experiment we draw `quality_samples` random mappings and
+//! take, per metric, the best value across the samples *and* the
+//! algorithms' own solutions as the best-known reference; each
+//! algorithm's deviation is `(alg − best) / best`, reported worst-case
+//! (max) over the experiments. (Referencing the samples alone would
+//! produce huge penalty deviations whenever random sampling happens to
+//! find a near-perfectly-fair mapping that no execution-aware algorithm
+//! targets, and *negative* execution deviations whenever a heuristic
+//! beats all 32 000 samples — which HeavyOps-LargeMsgs regularly does
+//! on slow buses.) The paper reports, e.g., HeavyOps-LargeMsgs at
+//! (2.9 %, 12 %) for the 1 Mbps bus and (29 %, 0.3 %) at 100 Mbps on
+//! Line–Bus.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wsflow_core::registry::paper_bus_algorithms;
+use wsflow_core::RandomMapping;
+use wsflow_cost::{Evaluator, Problem};
+use wsflow_model::MbitsPerSec;
+use wsflow_workload::{generate_batch, Configuration, ExperimentClass, GraphClass};
+
+use crate::output::ExperimentOutput;
+use crate::params::Params;
+use crate::table::{pct, Table};
+
+/// Per-algorithm worst-case deviations from the sampled reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityRow {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Worst-case relative deviation of execution time.
+    pub worst_exec_deviation: f64,
+    /// Worst-case relative deviation of time penalty.
+    pub worst_penalty_deviation: f64,
+    /// Mean relative deviations (context for the worst case).
+    pub mean_exec_deviation: f64,
+    /// Mean penalty deviation.
+    pub mean_penalty_deviation: f64,
+}
+
+/// The per-metric best costs found by sampling one instance.
+fn sampled_reference(problem: &Problem, samples: usize, seed: u64) -> (f64, f64) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut ev = Evaluator::new(problem);
+    let mut best_exec = f64::INFINITY;
+    let mut best_pen = f64::INFINITY;
+    for _ in 0..samples {
+        let m = RandomMapping::draw(problem, &mut rng);
+        let cost = ev.evaluate(&m);
+        best_exec = best_exec.min(cost.execution.value());
+        best_pen = best_pen.min(cost.penalty.value());
+    }
+    (best_exec, best_pen)
+}
+
+fn relative_deviation(value: f64, best: f64) -> f64 {
+    if best > 1e-12 {
+        (value - best) / best
+    } else if value <= 1e-12 {
+        0.0
+    } else {
+        // Reference is (numerically) zero but the algorithm isn't:
+        // express the gap against a 1 ms yardstick so it stays finite.
+        value / 1e-3
+    }
+}
+
+/// Run the quality study over one configuration.
+pub fn study(
+    config: Configuration,
+    params: &Params,
+    experiments: usize,
+) -> Vec<QualityRow> {
+    let class = ExperimentClass::class_c();
+    let n = *params.server_counts.last().expect("at least one N");
+    let scenarios = generate_batch(config, params.ops, n, &class, params.base_seed, experiments);
+    let algorithms = paper_bus_algorithms(params.base_seed);
+    let mut worst_exec = vec![f64::NEG_INFINITY; algorithms.len()];
+    let mut worst_pen = vec![f64::NEG_INFINITY; algorithms.len()];
+    let mut sum_exec = vec![0.0f64; algorithms.len()];
+    let mut sum_pen = vec![0.0f64; algorithms.len()];
+    for s in &scenarios {
+        let problem = Problem::new(s.workflow.clone(), s.network.clone())
+            .expect("generated scenarios are valid");
+        let (mut best_exec, mut best_pen) =
+            sampled_reference(&problem, params.quality_samples, s.seed ^ 0xBEEF);
+        let mut ev = Evaluator::new(&problem);
+        // Best-known reference: the sampled minima sharpened by the
+        // algorithms' own solutions.
+        let costs: Vec<_> = algorithms
+            .iter()
+            .map(|algo| {
+                let mapping = algo
+                    .deploy(&problem)
+                    .expect("bus algorithms accept any instance");
+                ev.evaluate(&mapping)
+            })
+            .collect();
+        for cost in &costs {
+            best_exec = best_exec.min(cost.execution.value());
+            best_pen = best_pen.min(cost.penalty.value());
+        }
+        for (i, cost) in costs.iter().enumerate() {
+            let de = relative_deviation(cost.execution.value(), best_exec);
+            let dp = relative_deviation(cost.penalty.value(), best_pen);
+            worst_exec[i] = worst_exec[i].max(de);
+            worst_pen[i] = worst_pen[i].max(dp);
+            sum_exec[i] += de;
+            sum_pen[i] += dp;
+        }
+    }
+    algorithms
+        .iter()
+        .enumerate()
+        .map(|(i, a)| QualityRow {
+            algorithm: a.name().to_string(),
+            worst_exec_deviation: worst_exec[i],
+            worst_penalty_deviation: worst_pen[i],
+            mean_exec_deviation: sum_exec[i] / scenarios.len() as f64,
+            mean_penalty_deviation: sum_pen[i] / scenarios.len() as f64,
+        })
+        .collect()
+}
+
+fn rows_to_table(title: String, rows: &[QualityRow]) -> Table {
+    let mut t = Table::new(
+        title,
+        &[
+            "algorithm",
+            "worst_exec_dev",
+            "worst_penalty_dev",
+            "mean_exec_dev",
+            "mean_penalty_dev",
+        ],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.algorithm.clone(),
+            pct(r.worst_exec_deviation),
+            pct(r.worst_penalty_deviation),
+            pct(r.mean_exec_deviation),
+            pct(r.mean_penalty_deviation),
+        ]);
+    }
+    t
+}
+
+/// Run the full §4.1 quality study: Line–Bus and Graph–Bus, at the slow
+/// (1 Mbps) and fast (100 Mbps) bus points the paper quotes.
+pub fn run(params: &Params) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("quality");
+    let experiments = params.seeds;
+    for &bus in &[MbitsPerSec(1.0), MbitsPerSec(100.0)] {
+        let rows = study(Configuration::LineBus(bus), params, experiments);
+        out.tables.push(rows_to_table(
+            format!(
+                "Quality vs {} sampled solutions — Line–Bus, {} Mbps, worst of {} experiments (M={}, N={})",
+                params.quality_samples,
+                bus.value(),
+                experiments,
+                params.ops,
+                params.server_counts.last().unwrap(),
+            ),
+            &rows,
+        ));
+        let rows = study(
+            Configuration::GraphBus(GraphClass::Hybrid, bus),
+            params,
+            experiments,
+        );
+        out.tables.push(rows_to_table(
+            format!(
+                "Quality vs {} sampled solutions — Graph–Bus (hybrid), {} Mbps, worst of {} experiments",
+                params.quality_samples,
+                bus.value(),
+                experiments,
+            ),
+            &rows,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_deviation_edge_cases() {
+        assert!((relative_deviation(1.2, 1.0) - 0.2).abs() < 1e-12);
+        assert_eq!(relative_deviation(0.0, 0.0), 0.0);
+        assert!(relative_deviation(0.5, 0.0) > 0.0);
+        assert!(relative_deviation(0.8, 1.0) < 0.0); // better than sampled best
+    }
+
+    #[test]
+    fn quick_study_produces_rows_for_every_algorithm() {
+        let params = Params::quick();
+        let rows = study(Configuration::LineBus(MbitsPerSec(100.0)), &params, 3);
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(r.worst_exec_deviation.is_finite());
+            assert!(r.worst_penalty_deviation.is_finite());
+            assert!(r.worst_exec_deviation >= r.mean_exec_deviation - 1e-12);
+            // Best-known referencing makes deviations non-negative.
+            assert!(r.mean_exec_deviation >= -1e-12);
+            assert!(r.mean_penalty_deviation >= -1e-12);
+        }
+        // At least one algorithm achieves the best-known execution time
+        // (deviation 0) in some experiment... per metric the minimum
+        // worst deviation across algorithms need not be 0 (different
+        // experiments may have different winners), but the minimum MEAN
+        // deviation should be small for the execution-oriented ones.
+        let min_mean_exec = rows
+            .iter()
+            .map(|r| r.mean_exec_deviation)
+            .fold(f64::INFINITY, f64::min);
+        assert!(min_mean_exec < 1.0, "no algorithm is ever near best-known");
+    }
+
+    #[test]
+    fn full_quick_run_has_four_tables() {
+        let params = Params::quick();
+        let out = run(&params);
+        assert_eq!(out.tables.len(), 4);
+        for t in &out.tables {
+            assert_eq!(t.num_rows(), 5);
+        }
+    }
+
+    #[test]
+    fn fair_load_penalty_competitive_with_sampling() {
+        // FairLoad is tuned for fairness: its penalty deviation from the
+        // best of a small sample should typically be small or negative.
+        let mut params = Params::quick();
+        params.quality_samples = 500;
+        let rows = study(Configuration::LineBus(MbitsPerSec(100.0)), &params, 4);
+        let fair = rows.iter().find(|r| r.algorithm == "FairLoad").unwrap();
+        assert!(
+            fair.mean_penalty_deviation < 1.0,
+            "FairLoad mean penalty deviation {} looks broken",
+            fair.mean_penalty_deviation
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Load scale-up experiment (extension; the paper's §2.1 motivation).
+//!
+//! Sweep the arrival rate of workflow instances and measure mean
+//! sojourn time under the open-loop simulator for three deployments:
+//! the fairness-oriented FairLoad, the execution-oriented
+//! HeavyOps-LargeMsgs, and the naive all-on-fastest. The fair
+//! deployments should hold up as load grows; the stacked one should
+//! saturate its single server early.
+
+use wsflow_core::{AllOnFastest, DeploymentAlgorithm, FairLoad, HeavyOpsLargeMsgs};
+use wsflow_cost::Problem;
+use wsflow_sim::{open_loop, OpenLoopConfig};
+use wsflow_workload::{generate, Configuration, ExperimentClass};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::output::ExperimentOutput;
+use crate::params::Params;
+use crate::table::{ms, Table};
+
+/// One measurement point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalePoint {
+    /// Deployment strategy.
+    pub algorithm: String,
+    /// Offered arrival rate (instances/s).
+    pub rate_hz: f64,
+    /// Mean sojourn time (s).
+    pub mean_sojourn: f64,
+    /// Achieved throughput (instances/s).
+    pub throughput_hz: f64,
+    /// Highest single-server utilisation.
+    pub max_utilization: f64,
+}
+
+/// The arrival rates swept, in instances per second.
+pub const RATES_HZ: [f64; 5] = [1.0, 5.0, 20.0, 50.0, 100.0];
+
+/// Run the sweep over one class-C Line–Bus instance.
+pub fn points(params: &Params, instances: usize) -> Vec<ScalePoint> {
+    let class = ExperimentClass::class_c();
+    let n = *params.server_counts.last().expect("at least one N");
+    let bus = *params.bus_speeds.last().expect("at least one speed");
+    let s = generate(
+        Configuration::LineBus(bus),
+        params.ops,
+        n,
+        &class,
+        params.base_seed,
+    );
+    let problem = Problem::new(s.workflow, s.network).expect("valid scenario");
+    let strategies: Vec<(&str, Box<dyn DeploymentAlgorithm>)> = vec![
+        ("FairLoad", Box::new(FairLoad)),
+        ("HeavyOps-LargeMsgs", Box::new(HeavyOpsLargeMsgs)),
+        ("AllOnFastest", Box::new(AllOnFastest)),
+    ];
+    let mut result = Vec::new();
+    for (name, algo) in &strategies {
+        let mapping = algo.deploy(&problem).expect("deployable");
+        for &rate in &RATES_HZ {
+            let mut rng = ChaCha8Rng::seed_from_u64(params.base_seed ^ rate.to_bits());
+            let r = open_loop(
+                &problem,
+                &mapping,
+                OpenLoopConfig::new(instances, rate),
+                &mut rng,
+            );
+            result.push(ScalePoint {
+                algorithm: name.to_string(),
+                rate_hz: rate,
+                mean_sojourn: r.sojourn.mean.value(),
+                throughput_hz: r.throughput_hz,
+                max_utilization: r
+                    .utilization
+                    .iter()
+                    .copied()
+                    .fold(0.0, f64::max),
+            });
+        }
+    }
+    result
+}
+
+/// Run and tabulate.
+pub fn run(params: &Params, instances: usize) -> ExperimentOutput {
+    let data = points(params, instances);
+    let mut t = Table::new(
+        format!("Load scale-up — open-loop simulation, {instances} instances per point"),
+        &[
+            "algorithm",
+            "rate_hz",
+            "mean_sojourn_ms",
+            "throughput_hz",
+            "max_utilization",
+        ],
+    );
+    for p in &data {
+        t.push_row(vec![
+            p.algorithm.clone(),
+            format!("{}", p.rate_hz),
+            ms(p.mean_sojourn),
+            format!("{:.2}", p.throughput_hz),
+            format!("{:.2}", p.max_utilization),
+        ]);
+    }
+    let mut out = ExperimentOutput::new("scale_up");
+    out.tables.push(t);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_all_strategies_and_rates() {
+        let params = Params::quick();
+        let pts = points(&params, 30);
+        assert_eq!(pts.len(), 3 * RATES_HZ.len());
+        for p in &pts {
+            assert!(p.mean_sojourn > 0.0);
+            assert!(p.throughput_hz > 0.0);
+            assert!(p.max_utilization <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn sojourn_grows_with_rate_for_stacked_deployment() {
+        let params = Params::quick();
+        let pts = points(&params, 60);
+        let stacked: Vec<&ScalePoint> = pts
+            .iter()
+            .filter(|p| p.algorithm == "AllOnFastest")
+            .collect();
+        let first = stacked.first().expect("has points").mean_sojourn;
+        let last = stacked.last().expect("has points").mean_sojourn;
+        assert!(
+            last >= first,
+            "sojourn should not improve as load increases: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn table_renders() {
+        let params = Params::quick();
+        let out = run(&params, 20);
+        assert_eq!(out.tables[0].num_rows(), 3 * RATES_HZ.len());
+    }
+}

@@ -1,0 +1,70 @@
+//! Table 6: the class-C experimental configuration, regenerated from
+//! the workload crate's definitions (a self-check that the code matches
+//! the paper, and a reference printout).
+
+use wsflow_workload::ExperimentClass;
+
+use crate::output::ExperimentOutput;
+use crate::table::Table;
+
+/// Render Table 6 from the live distributions.
+pub fn run() -> ExperimentOutput {
+    let c = ExperimentClass::class_c();
+    let mut t = Table::new(
+        "Table 6 — experimental configuration for Class C",
+        &["parameter", "value", "probability"],
+    );
+    let probs = c.msg_size.probabilities();
+    for (v, p) in c.msg_size.values().zip(&probs) {
+        t.push_row(vec![
+            "MsgSize(Oi,Oi+1)".into(),
+            format!("{} Mbit", v.value()),
+            format!("{:.0}%", p * 100.0),
+        ]);
+    }
+    let probs = c.line_speed.probabilities();
+    for (v, p) in c.line_speed.values().zip(&probs) {
+        t.push_row(vec![
+            "Line_Speed(Si,Si+1)".into(),
+            format!("{} Mbps", v.value()),
+            format!("{:.0}%", p * 100.0),
+        ]);
+    }
+    let probs = c.op_cycles.probabilities();
+    for (v, p) in c.op_cycles.values().zip(&probs) {
+        t.push_row(vec![
+            "C(Oi)".into(),
+            format!("{} Mcycles", v.value()),
+            format!("{:.0}%", p * 100.0),
+        ]);
+    }
+    let probs = c.power_ghz.probabilities();
+    for (v, p) in c.power_ghz.values().zip(&probs) {
+        t.push_row(vec![
+            "P(Si)".into(),
+            format!("{v} GHz"),
+            format!("{:.0}%", p * 100.0),
+        ]);
+    }
+    let mut out = ExperimentOutput::new("table6");
+    out.tables.push(t);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_rows_three_per_parameter() {
+        let out = run();
+        assert_eq!(out.tables.len(), 1);
+        assert_eq!(out.tables[0].num_rows(), 12);
+        let rendered = out.render();
+        assert!(rendered.contains("0.00666 Mbit"));
+        assert!(rendered.contains("1000 Mbps"));
+        assert!(rendered.contains("30 Mcycles"));
+        assert!(rendered.contains("3 GHz"));
+        assert!(rendered.contains("50%"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Beyond-bus topologies (extension).
+//!
+//! The paper evaluates Line and Bus networks only (Fig. 2); the routing
+//! substrate supports star, ring, and full-mesh networks too, and the
+//! bus-family algorithms run on them unchanged (the instance view falls
+//! back to the mean pairwise transfer time). This experiment asks how
+//! the algorithms' ranking survives once the network is no longer
+//! all-pairs-equal — the bus assumption baked into their gain
+//! reasoning.
+
+use wsflow_core::registry::paper_bus_algorithms;
+use wsflow_model::MbitsPerSec;
+use wsflow_net::topology;
+use wsflow_net::Network;
+use wsflow_workload::{linear_workflow, servers, ExperimentClass};
+
+use crate::output::ExperimentOutput;
+use crate::params::Params;
+use crate::runner::{run_on_problem, Record};
+use crate::summary::{aggregate, aggregates_table};
+
+/// The non-bus topologies swept.
+pub const SHAPES: [&str; 4] = ["bus", "star", "ring", "mesh"];
+
+fn build(shape: &str, n: usize, speed: MbitsPerSec, class: &ExperimentClass, seed: u64) -> Network {
+    let servers = servers(n, class, seed);
+    match shape {
+        "bus" => topology::bus("bus", servers, speed).expect("valid"),
+        "star" => topology::star("star", servers, speed).expect("valid"),
+        "ring" => topology::ring("ring", servers, speed).expect("valid"),
+        "mesh" => topology::full_mesh(
+            "mesh",
+            servers,
+            speed,
+            wsflow_model::Seconds(0.0),
+        )
+        .expect("valid"),
+        other => unreachable!("unknown shape {other}"),
+    }
+}
+
+/// Run the topology sweep; returns all records.
+pub fn records(params: &Params) -> Vec<Record> {
+    let class = ExperimentClass::class_c();
+    let n = *params.server_counts.last().expect("at least one N");
+    let speed = params.bus_speeds[0];
+    let mut records = Vec::new();
+    for shape in SHAPES {
+        for seed in 0..params.seeds as u64 {
+            let w = linear_workflow("w", params.ops, &class, params.base_seed + seed);
+            let net = build(shape, n, speed, &class, params.base_seed ^ seed);
+            let problem = wsflow_cost::Problem::new(w, net).expect("valid");
+            let algos = paper_bus_algorithms(params.base_seed);
+            let scenario = format!("{shape} N={n} seed={seed}");
+            let mut rs = run_on_problem(&problem, &algos, &scenario, seed);
+            for r in &mut rs {
+                r.algorithm = format!("{}@{shape}", r.algorithm);
+            }
+            records.extend(rs);
+        }
+    }
+    records
+}
+
+/// Run and tabulate, one table per topology shape.
+pub fn run(params: &Params) -> ExperimentOutput {
+    let all = records(params);
+    let mut out = ExperimentOutput::new("topologies");
+    for shape in SHAPES {
+        let subset: Vec<Record> = all
+            .iter()
+            .filter(|r| r.algorithm.ends_with(&format!("@{shape}")))
+            .cloned()
+            .map(|mut r| {
+                r.algorithm = r
+                    .algorithm
+                    .trim_end_matches(&format!("@{shape}"))
+                    .to_string();
+                r
+            })
+            .collect();
+        let aggs = aggregate(&subset);
+        out.tables.push(aggregates_table(
+            format!(
+                "Topology sweep — {shape} network, M={}, N={}, {} Mbps links, {} runs",
+                params.ops,
+                params.server_counts.last().unwrap(),
+                params.bus_speeds[0].value(),
+                params.seeds
+            ),
+            &aggs,
+        ));
+    }
+    out.records = all;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_shapes_and_algorithms() {
+        let mut params = Params::quick();
+        params.seeds = 3;
+        let out = run(&params);
+        assert_eq!(out.tables.len(), SHAPES.len());
+        for t in &out.tables {
+            assert_eq!(t.num_rows(), 5, "{}", t.title());
+        }
+        assert_eq!(out.records.len(), SHAPES.len() * 3 * 5);
+    }
+
+    #[test]
+    fn mesh_and_bus_agree_when_uniform() {
+        // With homogeneous servers drawn identically and a zero-delay
+        // mesh, bus and mesh are the same metric space, so FairLoad (a
+        // communication-blind algorithm) must produce identical costs.
+        let mut params = Params::quick();
+        params.seeds = 2;
+        let all = records(&params);
+        let penalty_of = |tag: &str| -> f64 {
+            all.iter()
+                .filter(|r| r.algorithm == format!("FairLoad@{tag}"))
+                .map(|r| r.penalty)
+                .sum()
+        };
+        assert!((penalty_of("bus") - penalty_of("mesh")).abs() < 1e-12);
+    }
+}

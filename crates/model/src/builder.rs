@@ -1,0 +1,427 @@
+//! Fluent construction of workflows.
+//!
+//! Two levels are provided:
+//!
+//! * [`WorkflowBuilder`] — a low-level graph builder (add nodes, add
+//!   edges), convenient for hand-built workflows in tests and examples.
+//! * [`BlockSpec`] — a structured, compositional description (sequences
+//!   and decision blocks) that *lowers* to a workflow which is
+//!   well-formed by construction. The random-graph generators build
+//!   `BlockSpec`s.
+
+use crate::error::ModelError;
+use crate::ids::OpId;
+use crate::message::Message;
+use crate::op::{DecisionKind, Operation};
+use crate::units::{MCycles, Mbits, Probability};
+use crate::workflow::Workflow;
+
+/// Low-level fluent builder for [`Workflow`].
+#[derive(Debug, Clone, Default)]
+pub struct WorkflowBuilder {
+    name: String,
+    ops: Vec<Operation>,
+    msgs: Vec<Message>,
+}
+
+impl WorkflowBuilder {
+    /// Start building a workflow with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ops: Vec::new(),
+            msgs: Vec::new(),
+        }
+    }
+
+    /// Add an arbitrary operation, returning its id.
+    pub fn add(&mut self, op: Operation) -> OpId {
+        let id = OpId::from(self.ops.len());
+        self.ops.push(op);
+        id
+    }
+
+    /// Add an operational node.
+    pub fn op(&mut self, name: impl Into<String>, cost: MCycles) -> OpId {
+        self.add(Operation::operational(name, cost))
+    }
+
+    /// Add a decision opener.
+    pub fn open(&mut self, name: impl Into<String>, kind: DecisionKind) -> OpId {
+        self.add(Operation::open(name, kind))
+    }
+
+    /// Add a decision closer.
+    pub fn close(&mut self, name: impl Into<String>, kind: DecisionKind) -> OpId {
+        self.add(Operation::close(name, kind))
+    }
+
+    /// Add an unconditional message.
+    pub fn msg(&mut self, from: OpId, to: OpId, size: Mbits) -> &mut Self {
+        self.msgs.push(Message::new(from, to, size));
+        self
+    }
+
+    /// Add an XOR-branch message with probability `p`.
+    pub fn msg_p(&mut self, from: OpId, to: OpId, size: Mbits, p: Probability) -> &mut Self {
+        self.msgs.push(Message::new(from, to, size).with_probability(p));
+        self
+    }
+
+    /// Chain a whole line of operations with uniform message size,
+    /// returning the created ids. Convenient for linear workflows.
+    pub fn line(
+        &mut self,
+        prefix: &str,
+        costs: &[MCycles],
+        msg_size: Mbits,
+    ) -> Vec<OpId> {
+        let ids: Vec<OpId> = costs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| self.op(format!("{prefix}{i}"), c))
+            .collect();
+        for pair in ids.windows(2) {
+            self.msg(pair[0], pair[1], msg_size);
+        }
+        ids
+    }
+
+    /// Number of operations added so far.
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Finish and validate structural sanity.
+    pub fn build(self) -> Result<Workflow, ModelError> {
+        Workflow::new(self.name, self.ops, self.msgs)
+    }
+}
+
+/// A structured workflow description: operations composed in sequence and
+/// decision blocks. Lowering a `BlockSpec` always produces a well-formed
+/// workflow (in the paper's parenthesis sense).
+///
+/// # Examples
+///
+/// ```
+/// use wsflow_model::{is_well_formed, BlockSpec, MCycles, Mbits};
+///
+/// let spec = BlockSpec::seq(vec![
+///     BlockSpec::op("intake", MCycles(10.0)),
+///     BlockSpec::xor_uniform(
+///         "route",
+///         vec![
+///             BlockSpec::op("fast_path", MCycles(5.0)),
+///             BlockSpec::op("slow_path", MCycles(50.0)),
+///         ],
+///     ),
+/// ]);
+/// let workflow = spec.lower("demo", &mut || Mbits(0.057838)).unwrap();
+/// assert_eq!(workflow.num_ops(), 5); // intake + XOR pair + 2 branches
+/// assert!(is_well_formed(&workflow));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlockSpec {
+    /// A single operational node with a name and cost.
+    Op {
+        /// Operation name (must be unique across the whole spec).
+        name: String,
+        /// Computational cost.
+        cost: MCycles,
+    },
+    /// A sequence of blocks executed one after another.
+    Seq(Vec<BlockSpec>),
+    /// A decision block: opener, parallel/alternative branches, closer.
+    ///
+    /// Branch probabilities are meaningful for `Xor` (must sum to 1);
+    /// for `And`/`Or` they are ignored and recorded as 1.
+    Decision {
+        /// Decision kind of the opener/closer pair.
+        kind: DecisionKind,
+        /// Name of the opener (`/name` is used for the closer).
+        name: String,
+        /// The branches, each with its XOR probability.
+        branches: Vec<(Probability, BlockSpec)>,
+    },
+}
+
+impl BlockSpec {
+    /// Convenience: a named operational node.
+    pub fn op(name: impl Into<String>, cost: MCycles) -> Self {
+        BlockSpec::Op {
+            name: name.into(),
+            cost,
+        }
+    }
+
+    /// Convenience: a sequence.
+    pub fn seq(items: Vec<BlockSpec>) -> Self {
+        BlockSpec::Seq(items)
+    }
+
+    /// Convenience: an XOR block with equiprobable branches.
+    pub fn xor_uniform(name: impl Into<String>, branches: Vec<BlockSpec>) -> Self {
+        let p = Probability::new(1.0 / branches.len().max(1) as f64);
+        BlockSpec::Decision {
+            kind: DecisionKind::Xor,
+            name: name.into(),
+            branches: branches.into_iter().map(|b| (p, b)).collect(),
+        }
+    }
+
+    /// Convenience: an AND block.
+    pub fn and(name: impl Into<String>, branches: Vec<BlockSpec>) -> Self {
+        BlockSpec::Decision {
+            kind: DecisionKind::And,
+            name: name.into(),
+            branches: branches
+                .into_iter()
+                .map(|b| (Probability::ONE, b))
+                .collect(),
+        }
+    }
+
+    /// Convenience: an OR block.
+    pub fn or(name: impl Into<String>, branches: Vec<BlockSpec>) -> Self {
+        BlockSpec::Decision {
+            kind: DecisionKind::Or,
+            name: name.into(),
+            branches: branches
+                .into_iter()
+                .map(|b| (Probability::ONE, b))
+                .collect(),
+        }
+    }
+
+    /// Count the operations (nodes) this spec will lower to, including
+    /// decision openers/closers.
+    pub fn node_count(&self) -> usize {
+        match self {
+            BlockSpec::Op { .. } => 1,
+            BlockSpec::Seq(items) => items.iter().map(BlockSpec::node_count).sum(),
+            BlockSpec::Decision { branches, .. } => {
+                2 + branches.iter().map(|(_, b)| b.node_count()).sum::<usize>()
+            }
+        }
+    }
+
+    /// Lower to a workflow. `msg_size` is called once per created message
+    /// (in creation order) so callers can draw sizes from a distribution.
+    pub fn lower(
+        &self,
+        workflow_name: impl Into<String>,
+        msg_size: &mut dyn FnMut() -> Mbits,
+    ) -> Result<Workflow, ModelError> {
+        let mut b = WorkflowBuilder::new(workflow_name);
+        let (entry, exit) = self.lower_into(&mut b, msg_size)?;
+        // A block with distinct entry/exit is already wired internally;
+        // nothing further to connect at top level.
+        let _ = (entry, exit);
+        b.build()
+    }
+
+    /// Recursively lower, returning the (entry, exit) node ids of this
+    /// block. An empty `Seq` returns `None` (it lowers to nothing and is
+    /// spliced out by the parent).
+    #[allow(clippy::type_complexity)]
+    fn lower_into(
+        &self,
+        b: &mut WorkflowBuilder,
+        msg_size: &mut dyn FnMut() -> Mbits,
+    ) -> Result<(Option<OpId>, Option<OpId>), ModelError> {
+        match self {
+            BlockSpec::Op { name, cost } => {
+                let id = b.op(name.clone(), *cost);
+                Ok((Some(id), Some(id)))
+            }
+            BlockSpec::Seq(items) => {
+                let mut entry: Option<OpId> = None;
+                let mut last_exit: Option<OpId> = None;
+                for item in items {
+                    let (e, x) = item.lower_into(b, msg_size)?;
+                    if let (Some(prev), Some(head)) = (last_exit, e) {
+                        b.msg(prev, head, msg_size());
+                    }
+                    if entry.is_none() {
+                        entry = e;
+                    }
+                    if x.is_some() {
+                        last_exit = x;
+                    }
+                }
+                Ok((entry, last_exit))
+            }
+            BlockSpec::Decision {
+                kind,
+                name,
+                branches,
+            } => {
+                let open = b.open(name.clone(), *kind);
+                let close = b.close(format!("/{name}"), *kind);
+                // Empty branches all lower to the same opener→closer
+                // "skip" edge; merge them into one edge (their XOR
+                // probabilities add) to respect the one-message-per-pair
+                // rule.
+                let mut skip_prob = 0.0f64;
+                let mut any_skip = false;
+                for (p, branch) in branches {
+                    let prob = if *kind == DecisionKind::Xor {
+                        *p
+                    } else {
+                        Probability::ONE
+                    };
+                    let (e, x) = branch.lower_into(b, msg_size)?;
+                    match (e, x) {
+                        (Some(e), Some(x)) => {
+                            b.msg_p(open, e, msg_size(), prob);
+                            b.msg(x, close, msg_size());
+                        }
+                        _ => {
+                            any_skip = true;
+                            skip_prob += prob.value();
+                        }
+                    }
+                }
+                if any_skip {
+                    let prob = if *kind == DecisionKind::Xor {
+                        Probability::clamped(skip_prob)
+                    } else {
+                        Probability::ONE
+                    };
+                    b.msg_p(open, close, msg_size(), prob);
+                }
+                Ok((Some(open), Some(close)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    fn fixed_size() -> impl FnMut() -> Mbits {
+        || Mbits(0.05)
+    }
+
+    #[test]
+    fn builder_line_helper() {
+        let mut b = WorkflowBuilder::new("line");
+        let ids = b.line("o", &[MCycles(1.0), MCycles(2.0), MCycles(3.0)], Mbits(0.1));
+        assert_eq!(ids.len(), 3);
+        assert_eq!(b.num_ops(), 3);
+        let w = b.build().unwrap();
+        assert!(w.is_line());
+        assert_eq!(w.num_messages(), 2);
+    }
+
+    #[test]
+    fn spec_single_op() {
+        let spec = BlockSpec::op("a", MCycles(5.0));
+        assert_eq!(spec.node_count(), 1);
+        let w = spec.lower("w", &mut fixed_size()).unwrap();
+        assert_eq!(w.num_ops(), 1);
+        assert_eq!(w.num_messages(), 0);
+    }
+
+    #[test]
+    fn spec_sequence() {
+        let spec = BlockSpec::seq(vec![
+            BlockSpec::op("a", MCycles(1.0)),
+            BlockSpec::op("b", MCycles(2.0)),
+            BlockSpec::op("c", MCycles(3.0)),
+        ]);
+        assert_eq!(spec.node_count(), 3);
+        let w = spec.lower("w", &mut fixed_size()).unwrap();
+        assert!(w.is_line());
+        assert_eq!(w.num_messages(), 2);
+    }
+
+    #[test]
+    fn spec_xor_block_lowers_to_well_formed_graph() {
+        let spec = BlockSpec::seq(vec![
+            BlockSpec::op("pre", MCycles(1.0)),
+            BlockSpec::xor_uniform(
+                "x",
+                vec![
+                    BlockSpec::op("left", MCycles(2.0)),
+                    BlockSpec::op("right", MCycles(3.0)),
+                ],
+            ),
+            BlockSpec::op("post", MCycles(1.0)),
+        ]);
+        assert_eq!(spec.node_count(), 6);
+        let w = spec.lower("w", &mut fixed_size()).unwrap();
+        assert_eq!(w.num_ops(), 6);
+        validate(&w).unwrap();
+        // XOR branch probabilities are annotated on the opener's edges.
+        let x = w.op_by_name("x").unwrap();
+        let probs: Vec<f64> = w
+            .out_msgs(x)
+            .iter()
+            .map(|&m| w.message(m).branch_probability.value())
+            .collect();
+        assert_eq!(probs, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn spec_empty_branch_becomes_skip_edge() {
+        let spec = BlockSpec::Decision {
+            kind: DecisionKind::Xor,
+            name: "x".into(),
+            branches: vec![
+                (Probability::new(0.7), BlockSpec::op("work", MCycles(10.0))),
+                (Probability::new(0.3), BlockSpec::Seq(vec![])),
+            ],
+        };
+        let w = spec.lower("w", &mut fixed_size()).unwrap();
+        validate(&w).unwrap();
+        let x = w.op_by_name("x").unwrap();
+        let close = w.op_by_name("/x").unwrap();
+        assert!(w.find_message(x, close).is_some());
+    }
+
+    #[test]
+    fn nested_blocks_are_well_formed() {
+        let spec = BlockSpec::seq(vec![
+            BlockSpec::op("s", MCycles(1.0)),
+            BlockSpec::and(
+                "a",
+                vec![
+                    BlockSpec::op("p", MCycles(1.0)),
+                    BlockSpec::seq(vec![
+                        BlockSpec::xor_uniform(
+                            "x",
+                            vec![
+                                BlockSpec::op("q", MCycles(1.0)),
+                                BlockSpec::op("r", MCycles(1.0)),
+                            ],
+                        ),
+                        BlockSpec::op("t", MCycles(1.0)),
+                    ]),
+                ],
+            ),
+            BlockSpec::op("e", MCycles(1.0)),
+        ]);
+        let w = spec.lower("nested", &mut fixed_size()).unwrap();
+        assert_eq!(w.num_ops(), spec.node_count());
+        validate(&w).unwrap();
+    }
+
+    #[test]
+    fn or_block_probabilities_are_one() {
+        let spec = BlockSpec::or(
+            "o",
+            vec![
+                BlockSpec::op("p", MCycles(1.0)),
+                BlockSpec::op("q", MCycles(1.0)),
+            ],
+        );
+        let w = spec.lower("w", &mut fixed_size()).unwrap();
+        for m in w.messages() {
+            assert_eq!(m.branch_probability, Probability::ONE);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Workflow composition: renaming and sequential concatenation.
+//!
+//! Larger workflows are routinely built from smaller ones (the paper's
+//! motivating system chains an appointment workflow into a registration
+//! workflow). Sequential composition preserves well-formedness: the
+//! sink of the first workflow feeds the source of the second through a
+//! bridging message.
+
+use crate::error::ModelError;
+use crate::ids::OpId;
+use crate::message::Message;
+use crate::units::Mbits;
+use crate::workflow::Workflow;
+
+/// A copy of `w` with every operation name prefixed (`prefix` + `/` +
+/// old name). Needed before concatenating workflows that share names.
+pub fn renamed(w: &Workflow, prefix: &str) -> Workflow {
+    let ops = w
+        .ops()
+        .iter()
+        .map(|op| {
+            let mut op = op.clone();
+            op.name = format!("{prefix}/{}", op.name);
+            op
+        })
+        .collect();
+    Workflow::new(format!("{prefix}/{}", w.name()), ops, w.messages().to_vec())
+        .expect("renaming preserves structure")
+}
+
+/// Sequential composition `first ; second`: the sink of `first` sends a
+/// `bridge`-sized message to the source of `second`.
+///
+/// Requires both workflows to have a unique sink / source respectively
+/// (guaranteed for well-formed workflows); fails with
+/// [`ModelError::DuplicateName`] if operation names collide — rename
+/// with [`renamed`] first.
+pub fn concat(first: &Workflow, second: &Workflow, bridge: Mbits) -> Result<Workflow, ModelError> {
+    let sinks = first.sinks();
+    let sources = second.sources();
+    assert_eq!(sinks.len(), 1, "first workflow must have a unique sink");
+    assert_eq!(sources.len(), 1, "second workflow must have a unique source");
+    let offset = first.num_ops() as u32;
+    let mut ops = first.ops().to_vec();
+    ops.extend(second.ops().iter().cloned());
+    let mut msgs = first.messages().to_vec();
+    msgs.extend(second.messages().iter().map(|m| {
+        let mut m = m.clone();
+        m.from = OpId::new(m.from.0 + offset);
+        m.to = OpId::new(m.to.0 + offset);
+        m
+    }));
+    msgs.push(Message::new(
+        sinks[0],
+        OpId::new(sources[0].0 + offset),
+        bridge,
+    ));
+    Workflow::new(
+        format!("{};{}", first.name(), second.name()),
+        ops,
+        msgs,
+    )
+}
+
+/// Sequentially compose many workflows with a uniform bridge size,
+/// auto-renaming each part (`p0/…`, `p1/…`) to avoid collisions.
+pub fn chain(parts: &[&Workflow], bridge: Mbits) -> Result<Workflow, ModelError> {
+    assert!(!parts.is_empty(), "chain needs at least one workflow");
+    let mut result = renamed(parts[0], "p0");
+    for (i, part) in parts.iter().enumerate().skip(1) {
+        let part = renamed(part, &format!("p{i}"));
+        result = concat(&result, &part, bridge)?;
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{BlockSpec, WorkflowBuilder};
+    use crate::units::MCycles;
+    use crate::validate::is_well_formed;
+
+    fn small(name: &str) -> Workflow {
+        let mut b = WorkflowBuilder::new(name);
+        b.line("o", &[MCycles(10.0), MCycles(20.0)], Mbits(0.1));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn renaming_prefixes_everything() {
+        let w = renamed(&small("a"), "left");
+        assert_eq!(w.name(), "left/a");
+        assert_eq!(w.op(OpId::new(0)).name, "left/o0");
+        assert!(is_well_formed(&w));
+    }
+
+    #[test]
+    fn concat_joins_sink_to_source() {
+        let a = renamed(&small("a"), "a");
+        let b = renamed(&small("b"), "b");
+        let joined = concat(&a, &b, Mbits(0.5)).unwrap();
+        assert_eq!(joined.num_ops(), 4);
+        assert_eq!(joined.num_messages(), 3);
+        assert!(joined.is_line());
+        assert!(is_well_formed(&joined));
+        // The bridge message has the requested size.
+        let bridge = joined
+            .find_message(OpId::new(1), OpId::new(2))
+            .expect("bridge exists");
+        assert_eq!(joined.message(bridge).size, Mbits(0.5));
+    }
+
+    #[test]
+    fn concat_rejects_name_collisions() {
+        let a = small("a");
+        let b = small("b"); // same op names o0, o1
+        assert!(matches!(
+            concat(&a, &b, Mbits(0.1)),
+            Err(ModelError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn concat_preserves_decision_blocks() {
+        let blocky = BlockSpec::xor_uniform(
+            "x",
+            vec![
+                BlockSpec::op("l", MCycles(5.0)),
+                BlockSpec::op("r", MCycles(15.0)),
+            ],
+        )
+        .lower("blocky", &mut || Mbits(0.05))
+        .unwrap();
+        let line = small("tail");
+        let joined = concat(
+            &renamed(&blocky, "head"),
+            &renamed(&line, "tail"),
+            Mbits(0.2),
+        )
+        .unwrap();
+        assert!(is_well_formed(&joined));
+        assert_eq!(joined.num_ops(), blocky.num_ops() + line.num_ops());
+        // Probabilities survive.
+        let x = joined.op_by_name("head/x").unwrap();
+        let sum: f64 = joined
+            .out_msgs(x)
+            .iter()
+            .map(|&m| joined.message(m).branch_probability.value())
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_composes_many() {
+        let parts = [small("a"), small("b"), small("c")];
+        let refs: Vec<&Workflow> = parts.iter().collect();
+        let chained = chain(&refs, Mbits(0.3)).unwrap();
+        assert_eq!(chained.num_ops(), 6);
+        assert!(chained.is_line());
+        assert!(is_well_formed(&chained));
+        assert!(chained.op_by_name("p2/o1").is_some());
+    }
+}

@@ -1,0 +1,113 @@
+//! Graphviz (DOT) export of workflows.
+//!
+//! Render with e.g. `dot -Tsvg workflow.dot -o workflow.svg`.
+//! Operational nodes are boxes, decision openers/closers are diamonds;
+//! edges are labelled with their message size (and XOR probability).
+
+use std::fmt::Write as _;
+
+use crate::op::OpKind;
+use crate::units::Probability;
+use crate::workflow::Workflow;
+
+/// Escape a string for use inside a double-quoted DOT identifier.
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render the workflow as a DOT digraph.
+pub fn workflow_dot(w: &Workflow) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(w.name()));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [fontsize=10];");
+    for id in w.op_ids() {
+        let op = w.op(id);
+        match op.kind {
+            OpKind::Operational => {
+                let _ = writeln!(
+                    out,
+                    "  n{} [shape=box, label=\"{}\\n{} Mc\"];",
+                    id.0,
+                    escape(&op.name),
+                    op.cost.value()
+                );
+            }
+            OpKind::Open(k) => {
+                let _ = writeln!(
+                    out,
+                    "  n{} [shape=diamond, style=filled, fillcolor=lightblue, label=\"{}\\n{}\"];",
+                    id.0,
+                    escape(&op.name),
+                    k
+                );
+            }
+            OpKind::Close(k) => {
+                let _ = writeln!(
+                    out,
+                    "  n{} [shape=diamond, style=filled, fillcolor=lightgrey, label=\"{}\\n/{}\"];",
+                    id.0,
+                    escape(&op.name),
+                    k
+                );
+            }
+        }
+    }
+    for m in w.messages() {
+        let label = if m.branch_probability == Probability::ONE {
+            format!("{:.4} Mb", m.size.value())
+        } else {
+            format!("{:.4} Mb\\np={}", m.size.value(), m.branch_probability)
+        };
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"{label}\", fontsize=8];",
+            m.from.0, m.to.0
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::BlockSpec;
+    use crate::units::{MCycles, Mbits};
+
+    #[test]
+    fn renders_all_node_kinds_and_edges() {
+        let spec = BlockSpec::seq(vec![
+            BlockSpec::op("start", MCycles(5.0)),
+            BlockSpec::xor_uniform(
+                "choice",
+                vec![
+                    BlockSpec::op("left", MCycles(1.0)),
+                    BlockSpec::op("right", MCycles(2.0)),
+                ],
+            ),
+        ]);
+        let w = spec.lower("demo", &mut || Mbits(0.05)).unwrap();
+        let dot = workflow_dot(&w);
+        assert!(dot.starts_with("digraph \"demo\""));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=diamond"));
+        assert!(dot.contains("XOR"));
+        assert!(dot.contains("p=0.500"));
+        assert!(dot.contains("->"));
+        // Balanced braces.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+        // One node line per operation, one edge line per message.
+        assert_eq!(dot.matches("shape=").count(), w.num_ops());
+        assert_eq!(dot.matches(" -> ").count(), w.num_messages());
+    }
+
+    #[test]
+    fn escapes_quotes_in_names() {
+        let mut b = crate::builder::WorkflowBuilder::new("has \"quotes\"");
+        b.op("plain", MCycles(1.0));
+        let w = b.build().unwrap();
+        let dot = workflow_dot(&w);
+        assert!(dot.contains("has \\\"quotes\\\""));
+    }
+}

@@ -1,0 +1,419 @@
+//! A small line-oriented text format for workflows.
+//!
+//! Useful for fixtures, examples, and for dumping generated workflows in
+//! a human-auditable form. The format is deliberately flat:
+//!
+//! ```text
+//! # Anything after '#' is a comment.
+//! workflow demo
+//! node A  op   50        # name, kind, cost in Mcycles (optional, default 0)
+//! node X  xor
+//! node B  op   10
+//! node C  op   5
+//! node Xc /xor
+//! msg A X  0.007          # from, to, size in Mbit
+//! msg X B  0.007 0.5      # … optional XOR branch probability
+//! msg X C  0.007 0.5
+//! msg B Xc 0.007
+//! msg C Xc 0.007
+//! ```
+//!
+//! Node kinds: `op`, `and`, `or`, `xor`, `/and`, `/or`, `/xor`.
+
+use std::fmt;
+
+use crate::error::ModelError;
+use crate::ids::OpId;
+use crate::message::Message;
+use crate::op::{DecisionKind, OpKind, Operation};
+use crate::units::{MCycles, Mbits, Probability};
+use crate::workflow::Workflow;
+
+/// A parse failure, carrying the 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line where the problem was found.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+/// The ways parsing can fail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseErrorKind {
+    /// The first significant line must be `workflow NAME`.
+    MissingHeader,
+    /// Line does not start with a known directive.
+    UnknownDirective(String),
+    /// Wrong number of fields for the directive.
+    WrongArity {
+        /// The directive whose arity was wrong.
+        directive: &'static str,
+        /// Number of argument fields actually present.
+        got: usize,
+    },
+    /// A numeric field failed to parse.
+    BadNumber(String),
+    /// Unknown node kind.
+    BadKind(String),
+    /// Probability outside `[0, 1]`.
+    BadProbability(f64),
+    /// A `msg` line references an undeclared node.
+    UnknownNode(String),
+    /// Structural error when assembling the workflow.
+    Model(ModelError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            ParseErrorKind::MissingHeader => f.write_str("expected `workflow NAME` header"),
+            ParseErrorKind::UnknownDirective(d) => write!(f, "unknown directive {d:?}"),
+            ParseErrorKind::WrongArity { directive, got } => {
+                write!(f, "wrong number of fields for `{directive}` (got {got})")
+            }
+            ParseErrorKind::BadNumber(s) => write!(f, "invalid number {s:?}"),
+            ParseErrorKind::BadKind(s) => write!(f, "unknown node kind {s:?}"),
+            ParseErrorKind::BadProbability(p) => write!(f, "probability {p} outside [0, 1]"),
+            ParseErrorKind::UnknownNode(n) => write!(f, "undeclared node {n:?}"),
+            ParseErrorKind::Model(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn parse_kind(s: &str) -> Option<OpKind> {
+    Some(match s {
+        "op" => OpKind::Operational,
+        "and" => OpKind::Open(DecisionKind::And),
+        "or" => OpKind::Open(DecisionKind::Or),
+        "xor" => OpKind::Open(DecisionKind::Xor),
+        "/and" => OpKind::Close(DecisionKind::And),
+        "/or" => OpKind::Close(DecisionKind::Or),
+        "/xor" => OpKind::Close(DecisionKind::Xor),
+        _ => return None,
+    })
+}
+
+fn kind_str(k: OpKind) -> &'static str {
+    match k {
+        OpKind::Operational => "op",
+        OpKind::Open(DecisionKind::And) => "and",
+        OpKind::Open(DecisionKind::Or) => "or",
+        OpKind::Open(DecisionKind::Xor) => "xor",
+        OpKind::Close(DecisionKind::And) => "/and",
+        OpKind::Close(DecisionKind::Or) => "/or",
+        OpKind::Close(DecisionKind::Xor) => "/xor",
+    }
+}
+
+/// Parse the text format into a [`Workflow`].
+///
+/// Only structural sanity is checked (via [`Workflow::new`]); run
+/// [`validate`](crate::validate::validate) separately if you need the
+/// paper's well-formedness guarantee.
+///
+/// # Examples
+///
+/// ```
+/// let w = wsflow_model::dsl::parse(
+///     "workflow demo\nnode A op 50\nnode B op 10\nmsg A B 0.05\n",
+/// ).unwrap();
+/// assert_eq!(w.num_ops(), 2);
+/// assert!(w.is_line());
+/// ```
+pub fn parse(input: &str) -> Result<Workflow, ParseError> {
+    let mut name: Option<String> = None;
+    let mut ops: Vec<Operation> = Vec::new();
+    let mut msgs: Vec<Message> = Vec::new();
+    let mut index: std::collections::HashMap<String, OpId> = std::collections::HashMap::new();
+
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = lineno + 1;
+        let text = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        };
+        let fields: Vec<&str> = text.split_whitespace().collect();
+        if fields.is_empty() {
+            continue;
+        }
+        let err = |kind| ParseError { line, kind };
+        match fields[0] {
+            "workflow" => {
+                if fields.len() != 2 {
+                    return Err(err(ParseErrorKind::WrongArity {
+                        directive: "workflow",
+                        got: fields.len() - 1,
+                    }));
+                }
+                name = Some(fields[1].to_string());
+            }
+            "node" => {
+                if name.is_none() {
+                    return Err(err(ParseErrorKind::MissingHeader));
+                }
+                if !(3..=4).contains(&fields.len()) {
+                    return Err(err(ParseErrorKind::WrongArity {
+                        directive: "node",
+                        got: fields.len() - 1,
+                    }));
+                }
+                let node_name = fields[1].to_string();
+                let kind = parse_kind(fields[2])
+                    .ok_or_else(|| err(ParseErrorKind::BadKind(fields[2].to_string())))?;
+                let cost = if fields.len() == 4 {
+                    MCycles(
+                        fields[3]
+                            .parse::<f64>()
+                            .map_err(|_| err(ParseErrorKind::BadNumber(fields[3].to_string())))?,
+                    )
+                } else {
+                    MCycles::ZERO
+                };
+                let id = OpId::from(ops.len());
+                index.insert(node_name.clone(), id);
+                ops.push(Operation {
+                    name: node_name,
+                    kind,
+                    cost,
+                });
+            }
+            "msg" => {
+                if name.is_none() {
+                    return Err(err(ParseErrorKind::MissingHeader));
+                }
+                if !(4..=5).contains(&fields.len()) {
+                    return Err(err(ParseErrorKind::WrongArity {
+                        directive: "msg",
+                        got: fields.len() - 1,
+                    }));
+                }
+                let from = *index
+                    .get(fields[1])
+                    .ok_or_else(|| err(ParseErrorKind::UnknownNode(fields[1].to_string())))?;
+                let to = *index
+                    .get(fields[2])
+                    .ok_or_else(|| err(ParseErrorKind::UnknownNode(fields[2].to_string())))?;
+                let size = Mbits(
+                    fields[3]
+                        .parse::<f64>()
+                        .map_err(|_| err(ParseErrorKind::BadNumber(fields[3].to_string())))?,
+                );
+                let prob = if fields.len() == 5 {
+                    let p = fields[4]
+                        .parse::<f64>()
+                        .map_err(|_| err(ParseErrorKind::BadNumber(fields[4].to_string())))?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(err(ParseErrorKind::BadProbability(p)));
+                    }
+                    Probability::new(p)
+                } else {
+                    Probability::ONE
+                };
+                msgs.push(Message::new(from, to, size).with_probability(prob));
+            }
+            other => {
+                return Err(err(ParseErrorKind::UnknownDirective(other.to_string())));
+            }
+        }
+    }
+
+    let name = name.ok_or(ParseError {
+        line: input.lines().count().max(1),
+        kind: ParseErrorKind::MissingHeader,
+    })?;
+    Workflow::new(name, ops, msgs).map_err(|e| ParseError {
+        line: 0,
+        kind: ParseErrorKind::Model(e),
+    })
+}
+
+/// Serialise a workflow into the text format. [`parse`] of the output
+/// reproduces the workflow exactly (ids, names, sizes, probabilities).
+pub fn serialize(w: &Workflow) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "workflow {}", w.name());
+    for op in w.ops() {
+        if op.cost.is_zero() {
+            let _ = writeln!(s, "node {} {}", op.name, kind_str(op.kind));
+        } else {
+            let _ = writeln!(s, "node {} {} {}", op.name, kind_str(op.kind), op.cost.value());
+        }
+    }
+    for m in w.messages() {
+        let from = &w.op(m.from).name;
+        let to = &w.op(m.to).name;
+        if m.branch_probability == Probability::ONE {
+            let _ = writeln!(s, "msg {from} {to} {}", m.size.value());
+        } else {
+            let _ = writeln!(
+                s,
+                "msg {from} {to} {} {}",
+                m.size.value(),
+                m.branch_probability.value()
+            );
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::is_well_formed;
+
+    const DEMO: &str = r#"
+# demo workflow
+workflow demo
+node A  op   50
+node X  xor
+node B  op   10
+node C  op   5
+node Xc /xor
+msg A X  0.007
+msg X B  0.007 0.5
+msg X C  0.007 0.5
+msg B Xc 0.007
+msg C Xc 0.007
+"#;
+
+    #[test]
+    fn parses_demo() {
+        let w = parse(DEMO).unwrap();
+        assert_eq!(w.name(), "demo");
+        assert_eq!(w.num_ops(), 5);
+        assert_eq!(w.num_messages(), 5);
+        assert!(is_well_formed(&w));
+        let x = w.op_by_name("X").unwrap();
+        assert_eq!(w.op(x).kind, OpKind::Open(DecisionKind::Xor));
+        assert_eq!(w.op(x).cost, MCycles::ZERO);
+        let a = w.op_by_name("A").unwrap();
+        assert_eq!(w.op(a).cost, MCycles(50.0));
+    }
+
+    #[test]
+    fn round_trips() {
+        let w = parse(DEMO).unwrap();
+        let text = serialize(&w);
+        let back = parse(&text).unwrap();
+        assert_eq!(back, w);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let err = parse("node A op 1").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert_eq!(err.kind, ParseErrorKind::MissingHeader);
+        let err = parse("# only comments\n").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::MissingHeader));
+    }
+
+    #[test]
+    fn rejects_unknown_directive() {
+        let err = parse("workflow w\nfoo bar").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.kind, ParseErrorKind::UnknownDirective("foo".into()));
+    }
+
+    #[test]
+    fn rejects_bad_kind_and_number() {
+        let err = parse("workflow w\nnode A sorcery").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::BadKind("sorcery".into()));
+        let err = parse("workflow w\nnode A op twelve").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::BadNumber("twelve".into()));
+    }
+
+    #[test]
+    fn rejects_unknown_node_in_msg() {
+        let err = parse("workflow w\nnode A op 1\nmsg A B 0.1").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert_eq!(err.kind, ParseErrorKind::UnknownNode("B".into()));
+    }
+
+    #[test]
+    fn rejects_bad_probability() {
+        let err = parse("workflow w\nnode A op 1\nnode B op 1\nmsg A B 0.1 1.5").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::BadProbability(1.5));
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let err = parse("workflow w\nnode A").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::WrongArity {
+                directive: "node",
+                got: 1
+            }
+        ));
+        let err = parse("workflow a b").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::WrongArity {
+                directive: "workflow",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn surfaces_model_errors() {
+        let err = parse("workflow w\nnode A op 1\nnode B op 1\nmsg A B 0.1\nmsg A B 0.2")
+            .unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::Model(_)));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let w = parse("\n\n# hi\nworkflow w # trailing\nnode A op 1 # trailing too\n").unwrap();
+        assert_eq!(w.num_ops(), 1);
+    }
+
+    mod fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// The parser never panics, whatever bytes it is fed.
+            #[test]
+            fn parse_never_panics(input in "[ -~\n]{0,200}") {
+                let _ = parse(&input);
+            }
+
+            /// Token soup built from the grammar's own vocabulary also
+            /// never panics and never produces an invalid workflow.
+            #[test]
+            fn grammar_soup_never_panics(
+                tokens in prop::collection::vec(
+                    prop_oneof![
+                        Just("workflow".to_string()),
+                        Just("node".to_string()),
+                        Just("msg".to_string()),
+                        Just("op".to_string()),
+                        Just("xor".to_string()),
+                        Just("/xor".to_string()),
+                        Just("A".to_string()),
+                        Just("B".to_string()),
+                        Just("0.5".to_string()),
+                        Just("10".to_string()),
+                        Just("\n".to_string()),
+                        Just("#".to_string()),
+                    ],
+                    0..40,
+                )
+            ) {
+                let input = tokens.join(" ");
+                if let Ok(w) = parse(&input) {
+                    prop_assert!(w.num_ops() >= 1);
+                }
+            }
+        }
+    }
+
+}

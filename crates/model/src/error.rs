@@ -1,0 +1,174 @@
+//! Error types for workflow construction and validation.
+
+use std::fmt;
+
+use crate::ids::OpId;
+use crate::op::DecisionKind;
+
+/// Errors raised while constructing a [`Workflow`](crate::Workflow).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A message references an operation id outside `0..num_ops`.
+    UnknownOp(OpId),
+    /// A message connects an operation to itself.
+    SelfLoop(OpId),
+    /// Two messages share the same `(from, to)` pair — the paper assumes
+    /// each pair of operations is connected through at most one message.
+    DuplicateMessage(OpId, OpId),
+    /// Two operations share a name.
+    DuplicateName(String),
+    /// The workflow has no operations at all.
+    Empty,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownOp(id) => write!(f, "message references unknown operation {id}"),
+            ModelError::SelfLoop(id) => write!(f, "operation {id} sends a message to itself"),
+            ModelError::DuplicateMessage(a, b) => {
+                write!(f, "duplicate message {a} -> {b}; at most one allowed per pair")
+            }
+            ModelError::DuplicateName(n) => write!(f, "duplicate operation name {n:?}"),
+            ModelError::Empty => f.write_str("workflow has no operations"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Errors raised by well-formedness validation (§2.2 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidationError {
+    /// The workflow graph contains a directed cycle.
+    Cyclic,
+    /// The workflow does not have exactly one source node (in-degree 0).
+    NotSingleSource(Vec<OpId>),
+    /// The workflow does not have exactly one sink node (out-degree 0).
+    NotSingleSink(Vec<OpId>),
+    /// Some operation is unreachable from the source.
+    Unreachable(OpId),
+    /// An operational node forks (out-degree > 1) — only decision openers
+    /// may fork.
+    IllegalFork(OpId),
+    /// An operational node joins (in-degree > 1) — only decision closers
+    /// may join.
+    IllegalJoin(OpId),
+    /// A decision opener has no matching complement of the same kind on
+    /// all of its outgoing paths.
+    UnmatchedOpen(OpId),
+    /// A decision closer is not the complement of any opener.
+    UnmatchedClose(OpId),
+    /// A decision opener of one kind is closed by the complement of
+    /// another kind.
+    KindMismatch {
+        /// The opener node.
+        open: OpId,
+        /// The opener's decision kind.
+        open_kind: DecisionKind,
+        /// The node acting as its closer.
+        close: OpId,
+        /// The closer's decision kind.
+        close_kind: DecisionKind,
+    },
+    /// The branch probabilities on an XOR opener's outgoing messages do
+    /// not sum to 1 (within tolerance).
+    BadXorProbabilities {
+        /// The XOR opener.
+        open: OpId,
+        /// The observed probability sum.
+        sum: f64,
+    },
+    /// A non-XOR edge carries a branch probability other than 1.
+    StrayProbability {
+        /// Sender of the offending message.
+        from: OpId,
+        /// Receiver of the offending message.
+        to: OpId,
+    },
+    /// A decision closer is immediately followed by another fork in a way
+    /// that cannot be parsed into nested blocks.
+    NotBlockStructured(OpId),
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::Cyclic => f.write_str("workflow graph contains a cycle"),
+            ValidationError::NotSingleSource(v) => {
+                write!(f, "workflow must have exactly one source, found {v:?}")
+            }
+            ValidationError::NotSingleSink(v) => {
+                write!(f, "workflow must have exactly one sink, found {v:?}")
+            }
+            ValidationError::Unreachable(id) => {
+                write!(f, "operation {id} is unreachable from the source")
+            }
+            ValidationError::IllegalFork(id) => {
+                write!(f, "operational node {id} forks; only decision openers may fork")
+            }
+            ValidationError::IllegalJoin(id) => {
+                write!(f, "operational node {id} joins; only decision closers may join")
+            }
+            ValidationError::UnmatchedOpen(id) => {
+                write!(f, "decision opener {id} has no matching complement")
+            }
+            ValidationError::UnmatchedClose(id) => {
+                write!(f, "decision closer {id} matches no opener")
+            }
+            ValidationError::KindMismatch {
+                open,
+                open_kind,
+                close,
+                close_kind,
+            } => write!(
+                f,
+                "opener {open} ({open_kind}) is closed by {close} (/{close_kind})"
+            ),
+            ValidationError::BadXorProbabilities { open, sum } => write!(
+                f,
+                "XOR opener {open}: branch probabilities sum to {sum}, expected 1"
+            ),
+            ValidationError::StrayProbability { from, to } => write!(
+                f,
+                "message {from} -> {to} carries a probability but is not an XOR branch"
+            ),
+            ValidationError::NotBlockStructured(id) => {
+                write!(f, "workflow is not block-structured near {id}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ModelError::DuplicateMessage(OpId::new(1), OpId::new(2));
+        assert!(e.to_string().contains("O1 -> O2"));
+        let e = ValidationError::KindMismatch {
+            open: OpId::new(0),
+            open_kind: DecisionKind::And,
+            close: OpId::new(3),
+            close_kind: DecisionKind::Xor,
+        };
+        assert!(e.to_string().contains("AND"));
+        assert!(e.to_string().contains("/XOR"));
+        let e = ValidationError::BadXorProbabilities {
+            open: OpId::new(2),
+            sum: 0.8,
+        };
+        assert!(e.to_string().contains("0.8"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&ModelError::Empty);
+        assert_err(&ValidationError::Cyclic);
+    }
+}

@@ -1,0 +1,213 @@
+//! Execution probabilities for operations and messages.
+//!
+//! For random-graph workflows the paper weights every cost by the
+//! probability that the operation (or message) actually executes, "due to
+//! the existence of XOR decision nodes … amortized for a large number of
+//! workflow executions" (§3.4). This module derives those probabilities
+//! from the XOR branch annotations using the recovered block structure:
+//!
+//! * everything in a sequence inherits the probability of its context,
+//! * `AND`/`OR` branches inherit the block's probability (all branches
+//!   start executing),
+//! * `XOR` branches multiply the block's probability by the branch
+//!   probability.
+
+use crate::structure::BlockTree;
+use crate::units::Probability;
+use crate::validate::validate_structure;
+use crate::workflow::Workflow;
+use crate::error::ValidationError;
+use crate::op::DecisionKind;
+
+/// Per-operation and per-message execution probabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionProbabilities {
+    /// `op_prob[i]` = probability that operation `OpId(i)` executes.
+    pub op_prob: Vec<Probability>,
+    /// `msg_prob[i]` = probability that message `MsgId(i)` is sent.
+    pub msg_prob: Vec<Probability>,
+}
+
+impl ExecutionProbabilities {
+    /// Derive probabilities for a well-formed workflow.
+    pub fn derive(w: &Workflow) -> Result<Self, ValidationError> {
+        let tree = validate_structure(w)?;
+        Ok(Self::from_structure(w, &tree))
+    }
+
+    /// Derive from an already-recovered structure (skips re-validation).
+    pub fn from_structure(w: &Workflow, tree: &BlockTree) -> Self {
+        let mut op_prob = vec![Probability::ONE; w.num_ops()];
+        assign(w, tree, Probability::ONE, &mut op_prob);
+        // A message executes iff its sender executes, scaled by the XOR
+        // branch weight on the edge itself.
+        let msg_prob = w
+            .messages()
+            .iter()
+            .map(|m| op_prob[m.from.index()].and(m.branch_probability))
+            .collect();
+        Self { op_prob, msg_prob }
+    }
+
+    /// Probability that the given operation executes.
+    #[inline]
+    pub fn of_op(&self, op: crate::ids::OpId) -> Probability {
+        self.op_prob[op.index()]
+    }
+
+    /// Probability that the given message is sent.
+    #[inline]
+    pub fn of_msg(&self, msg: crate::ids::MsgId) -> Probability {
+        self.msg_prob[msg.index()]
+    }
+
+    /// Uniform probabilities (all 1) — the linear-workflow special case,
+    /// where every operation always executes.
+    pub fn uniform(w: &Workflow) -> Self {
+        Self {
+            op_prob: vec![Probability::ONE; w.num_ops()],
+            msg_prob: vec![Probability::ONE; w.num_messages()],
+        }
+    }
+}
+
+fn assign(w: &Workflow, tree: &BlockTree, p: Probability, out: &mut [Probability]) {
+    match tree {
+        BlockTree::Op(id) => out[id.index()] = p,
+        BlockTree::Seq(items) => {
+            for item in items {
+                assign(w, item, p, out);
+            }
+        }
+        BlockTree::Decision {
+            kind,
+            open,
+            close,
+            branches,
+        } => {
+            out[open.index()] = p;
+            out[close.index()] = p;
+            // Branch order mirrors the opener's outgoing edge order (the
+            // structure parser builds branches from `successors(open)`).
+            let branch_ps: Vec<Probability> = w
+                .out_msgs(*open)
+                .iter()
+                .map(|&m| w.message(m).branch_probability)
+                .collect();
+            for (i, branch) in branches.iter().enumerate() {
+                let bp = match kind {
+                    DecisionKind::Xor => p.and(branch_ps[i]),
+                    DecisionKind::And | DecisionKind::Or => p,
+                };
+                assign(w, branch, bp, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::BlockSpec;
+    use crate::units::{MCycles, Mbits};
+
+    fn sz() -> impl FnMut() -> Mbits {
+        || Mbits(0.01)
+    }
+
+    #[test]
+    fn line_probabilities_are_one() {
+        let spec = BlockSpec::seq(vec![
+            BlockSpec::op("a", MCycles(1.0)),
+            BlockSpec::op("b", MCycles(1.0)),
+        ]);
+        let w = spec.lower("w", &mut sz()).unwrap();
+        let p = ExecutionProbabilities::derive(&w).unwrap();
+        assert!(p.op_prob.iter().all(|&x| x == Probability::ONE));
+        assert!(p.msg_prob.iter().all(|&x| x == Probability::ONE));
+        assert_eq!(p, ExecutionProbabilities::uniform(&w));
+    }
+
+    #[test]
+    fn xor_branches_scale() {
+        let spec = BlockSpec::xor_uniform(
+            "x",
+            vec![
+                BlockSpec::op("l", MCycles(1.0)),
+                BlockSpec::op("r", MCycles(1.0)),
+            ],
+        );
+        let w = spec.lower("w", &mut sz()).unwrap();
+        let p = ExecutionProbabilities::derive(&w).unwrap();
+        let l = w.op_by_name("l").unwrap();
+        let r = w.op_by_name("r").unwrap();
+        let x = w.op_by_name("x").unwrap();
+        assert_eq!(p.of_op(x).value(), 1.0);
+        assert!((p.of_op(l).value() - 0.5).abs() < 1e-12);
+        assert!((p.of_op(r).value() - 0.5).abs() < 1e-12);
+        // Messages into the close node carry the branch probability too.
+        let close = w.op_by_name("/x").unwrap();
+        let m = w.find_message(l, close).unwrap();
+        assert!((p.of_msg(m).value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_xor_multiplies() {
+        let spec = BlockSpec::xor_uniform(
+            "outer",
+            vec![
+                BlockSpec::xor_uniform(
+                    "inner",
+                    vec![
+                        BlockSpec::op("a", MCycles(1.0)),
+                        BlockSpec::op("b", MCycles(1.0)),
+                    ],
+                ),
+                BlockSpec::op("c", MCycles(1.0)),
+            ],
+        );
+        let w = spec.lower("w", &mut sz()).unwrap();
+        let p = ExecutionProbabilities::derive(&w).unwrap();
+        let a = w.op_by_name("a").unwrap();
+        let c = w.op_by_name("c").unwrap();
+        assert!((p.of_op(a).value() - 0.25).abs() < 1e-12);
+        assert!((p.of_op(c).value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn and_branches_do_not_scale() {
+        let spec = BlockSpec::and(
+            "a",
+            vec![
+                BlockSpec::op("p", MCycles(1.0)),
+                BlockSpec::op("q", MCycles(1.0)),
+            ],
+        );
+        let w = spec.lower("w", &mut sz()).unwrap();
+        let p = ExecutionProbabilities::derive(&w).unwrap();
+        assert!(p.op_prob.iter().all(|&x| x == Probability::ONE));
+    }
+
+    #[test]
+    fn xor_inside_and_inherits_context() {
+        let spec = BlockSpec::and(
+            "a",
+            vec![
+                BlockSpec::xor_uniform(
+                    "x",
+                    vec![
+                        BlockSpec::op("p", MCycles(1.0)),
+                        BlockSpec::op("q", MCycles(1.0)),
+                    ],
+                ),
+                BlockSpec::op("r", MCycles(1.0)),
+            ],
+        );
+        let w = spec.lower("w", &mut sz()).unwrap();
+        let p = ExecutionProbabilities::derive(&w).unwrap();
+        let q = w.op_by_name("q").unwrap();
+        let r = w.op_by_name("r").unwrap();
+        assert!((p.of_op(q).value() - 0.5).abs() < 1e-12);
+        assert_eq!(p.of_op(r).value(), 1.0);
+    }
+}

@@ -1,0 +1,415 @@
+//! Block-structure recovery for well-formed workflows.
+//!
+//! The paper requires workflows to be *well-formed*: every decision node
+//! `a` has a complement `/a` and all paths stemming from `a` pass through
+//! `/a` — decision pairs act as parentheses (§2.2). Equivalently, the
+//! workflow parses into a tree of nested sequence / decision blocks.
+//!
+//! [`recover_structure`] performs that parse. It is both the strongest
+//! possible well-formedness check (it fails with a precise
+//! [`ValidationError`] when the graph is not block-structured) and the
+//! basis for the recursive execution-time evaluator in `wsflow-cost`.
+
+use crate::error::ValidationError;
+use crate::ids::OpId;
+use crate::op::{DecisionKind, OpKind};
+use crate::traversal::{immediate_post_dominators, reachable_from, topo_sort};
+use crate::workflow::Workflow;
+
+/// The recovered block structure of a well-formed workflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockTree {
+    /// A single operation (operational node).
+    Op(OpId),
+    /// A sequence of blocks, executed left to right.
+    Seq(Vec<BlockTree>),
+    /// A decision block `open … close` with parallel/alternative branches.
+    Decision {
+        /// Decision kind (shared by opener and closer).
+        kind: DecisionKind,
+        /// The opener node.
+        open: OpId,
+        /// The closer (complement) node.
+        close: OpId,
+        /// One entry per outgoing edge of the opener, in edge order.
+        /// An empty `Seq` denotes a direct opener→closer "skip" edge.
+        branches: Vec<BlockTree>,
+    },
+}
+
+impl BlockTree {
+    /// Total number of workflow nodes contained in this tree.
+    pub fn node_count(&self) -> usize {
+        match self {
+            BlockTree::Op(_) => 1,
+            BlockTree::Seq(items) => items.iter().map(BlockTree::node_count).sum(),
+            BlockTree::Decision { branches, .. } => {
+                2 + branches.iter().map(BlockTree::node_count).sum::<usize>()
+            }
+        }
+    }
+
+    /// Depth of decision-block nesting (0 for a plain sequence).
+    pub fn nesting_depth(&self) -> usize {
+        match self {
+            BlockTree::Op(_) => 0,
+            BlockTree::Seq(items) => items
+                .iter()
+                .map(BlockTree::nesting_depth)
+                .max()
+                .unwrap_or(0),
+            BlockTree::Decision { branches, .. } => {
+                1 + branches
+                    .iter()
+                    .map(BlockTree::nesting_depth)
+                    .max()
+                    .unwrap_or(0)
+            }
+        }
+    }
+
+    /// Visit every operation id in the tree, in left-to-right order.
+    pub fn visit_ops(&self, f: &mut dyn FnMut(OpId)) {
+        match self {
+            BlockTree::Op(id) => f(*id),
+            BlockTree::Seq(items) => {
+                for item in items {
+                    item.visit_ops(f);
+                }
+            }
+            BlockTree::Decision {
+                open,
+                close,
+                branches,
+                ..
+            } => {
+                f(*open);
+                for b in branches {
+                    b.visit_ops(f);
+                }
+                f(*close);
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    w: &'a Workflow,
+    ipostdom: Vec<OpId>,
+    visited: Vec<bool>,
+}
+
+impl<'a> Parser<'a> {
+    /// Parse the chain starting at `start` and stopping when `stop` is
+    /// reached (`stop` itself is not consumed). `stop == None` means
+    /// "walk to the sink inclusive".
+    fn parse_seq(&mut self, start: OpId, stop: Option<OpId>) -> Result<Vec<BlockTree>, ValidationError> {
+        let mut items = Vec::new();
+        let mut cur = start;
+        loop {
+            if Some(cur) == stop {
+                return Ok(items);
+            }
+            if self.visited[cur.index()] {
+                // A node reached twice outside a recognised join — the
+                // graph shares structure in a non-block way.
+                return Err(ValidationError::NotBlockStructured(cur));
+            }
+            self.visited[cur.index()] = true;
+
+            match self.w.op(cur).kind {
+                OpKind::Operational => {
+                    if self.w.out_degree(cur) > 1 {
+                        return Err(ValidationError::IllegalFork(cur));
+                    }
+                    // Joins are only legal at decision closers; the single
+                    // source aside, an operational node fed by more than
+                    // one message merges paths illegally.
+                    if self.w.in_degree(cur) > 1 {
+                        return Err(ValidationError::IllegalJoin(cur));
+                    }
+                    items.push(BlockTree::Op(cur));
+                    match self.w.successors(cur).next() {
+                        Some(next) => cur = next,
+                        None => return Ok(items), // reached the sink
+                    }
+                }
+                OpKind::Close(_) => {
+                    // A closer encountered outside its block's parse.
+                    return Err(ValidationError::UnmatchedClose(cur));
+                }
+                OpKind::Open(kind) => {
+                    let close = self.ipostdom[cur.index()];
+                    let close_kind = match self.w.op(close).kind {
+                        OpKind::Close(k) => k,
+                        // All paths converge at a non-closer node: the
+                        // opener has no complement.
+                        _ => return Err(ValidationError::UnmatchedOpen(cur)),
+                    };
+                    if close_kind != kind {
+                        return Err(ValidationError::KindMismatch {
+                            open: cur,
+                            open_kind: kind,
+                            close,
+                            close_kind,
+                        });
+                    }
+                    let succs: Vec<OpId> = self.w.successors(cur).collect();
+                    if succs.is_empty() {
+                        return Err(ValidationError::UnmatchedOpen(cur));
+                    }
+                    let mut branches = Vec::with_capacity(succs.len());
+                    for head in succs {
+                        if head == close {
+                            branches.push(BlockTree::Seq(Vec::new()));
+                        } else {
+                            let body = self.parse_seq(head, Some(close))?;
+                            branches.push(BlockTree::Seq(body));
+                        }
+                    }
+                    // Each branch must deliver exactly one message into
+                    // the closer; anything else means edges sneak in from
+                    // elsewhere (caught here or by the node-count check).
+                    if self.w.in_degree(close) != branches.len() {
+                        return Err(ValidationError::NotBlockStructured(close));
+                    }
+                    if self.visited[close.index()] {
+                        return Err(ValidationError::NotBlockStructured(close));
+                    }
+                    self.visited[close.index()] = true;
+                    if self.w.out_degree(close) > 1 {
+                        return Err(ValidationError::IllegalFork(close));
+                    }
+                    items.push(BlockTree::Decision {
+                        kind,
+                        open: cur,
+                        close,
+                        branches,
+                    });
+                    match self.w.successors(close).next() {
+                        Some(next) => cur = next,
+                        None => return Ok(items),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Recover the block structure of a well-formed workflow, or report the
+/// precise way in which it is ill-formed.
+pub fn recover_structure(w: &Workflow) -> Result<BlockTree, ValidationError> {
+    if topo_sort(w).is_none() {
+        return Err(ValidationError::Cyclic);
+    }
+    let sources = w.sources();
+    if sources.len() != 1 {
+        return Err(ValidationError::NotSingleSource(sources));
+    }
+    let sinks = w.sinks();
+    if sinks.len() != 1 {
+        return Err(ValidationError::NotSingleSink(sinks));
+    }
+    let source = sources[0];
+    let reach = reachable_from(w, source);
+    if let Some(unreached) = w.op_ids().find(|o| !reach[o.index()]) {
+        return Err(ValidationError::Unreachable(unreached));
+    }
+    let ipostdom = immediate_post_dominators(w)
+        .expect("acyclic single-sink graph has post-dominators");
+    let mut parser = Parser {
+        w,
+        ipostdom,
+        visited: vec![false; w.num_ops()],
+    };
+    let items = parser.parse_seq(source, None)?;
+    let tree = BlockTree::Seq(items);
+    if tree.node_count() != w.num_ops() {
+        // Some node was never consumed by the parse.
+        let missed = w
+            .op_ids()
+            .find(|o| !parser.visited[o.index()])
+            .unwrap_or(source);
+        return Err(ValidationError::NotBlockStructured(missed));
+    }
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{BlockSpec, WorkflowBuilder};
+    use crate::op::Operation;
+    use crate::units::{MCycles, Mbits, Probability};
+
+    fn sz() -> impl FnMut() -> Mbits {
+        || Mbits(0.01)
+    }
+
+    #[test]
+    fn recovers_line() {
+        let spec = BlockSpec::seq(vec![
+            BlockSpec::op("a", MCycles(1.0)),
+            BlockSpec::op("b", MCycles(2.0)),
+        ]);
+        let w = spec.lower("w", &mut sz()).unwrap();
+        let t = recover_structure(&w).unwrap();
+        assert_eq!(t.node_count(), 2);
+        assert_eq!(t.nesting_depth(), 0);
+        match t {
+            BlockTree::Seq(items) => assert_eq!(items.len(), 2),
+            other => panic!("expected Seq, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recovers_nested_decision() {
+        let spec = BlockSpec::seq(vec![
+            BlockSpec::op("s", MCycles(1.0)),
+            BlockSpec::and(
+                "a",
+                vec![
+                    BlockSpec::op("p", MCycles(1.0)),
+                    BlockSpec::xor_uniform(
+                        "x",
+                        vec![
+                            BlockSpec::op("q", MCycles(1.0)),
+                            BlockSpec::Seq(vec![]),
+                        ],
+                    ),
+                ],
+            ),
+        ]);
+        let w = spec.lower("w", &mut sz()).unwrap();
+        let t = recover_structure(&w).unwrap();
+        assert_eq!(t.node_count(), w.num_ops());
+        assert_eq!(t.nesting_depth(), 2);
+        // Visit order covers every node exactly once.
+        let mut seen = vec![false; w.num_ops()];
+        t.visit_ops(&mut |id| {
+            assert!(!seen[id.index()], "node visited twice");
+            seen[id.index()] = true;
+        });
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn rejects_two_sources() {
+        let mut b = WorkflowBuilder::new("w");
+        let a = b.op("a", MCycles(1.0));
+        let c = b.op("c", MCycles(1.0));
+        let d = b.op("d", MCycles(1.0));
+        b.msg(a, d, Mbits(0.1));
+        // c is a second source feeding d, making d an illegal join too.
+        b.msg(c, d, Mbits(0.1));
+        let w = b.build().unwrap();
+        match recover_structure(&w).unwrap_err() {
+            ValidationError::NotSingleSource(v) => assert_eq!(v.len(), 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_operational_fork() {
+        let mut b = WorkflowBuilder::new("w");
+        let a = b.op("a", MCycles(1.0));
+        let p = b.op("p", MCycles(1.0));
+        let q = b.op("q", MCycles(1.0));
+        let j = b.add(Operation::close("/x", crate::op::DecisionKind::Xor));
+        b.msg(a, p, Mbits(0.1));
+        b.msg(a, q, Mbits(0.1));
+        b.msg(p, j, Mbits(0.1));
+        b.msg(q, j, Mbits(0.1));
+        let w = b.build().unwrap();
+        assert_eq!(
+            recover_structure(&w).unwrap_err(),
+            ValidationError::IllegalFork(a)
+        );
+    }
+
+    #[test]
+    fn rejects_kind_mismatch() {
+        use crate::op::DecisionKind;
+        let mut b = WorkflowBuilder::new("w");
+        let open = b.open("x", DecisionKind::Xor);
+        let p = b.op("p", MCycles(1.0));
+        let q = b.op("q", MCycles(1.0));
+        let close = b.close("/a", DecisionKind::And);
+        b.msg_p(open, p, Mbits(0.1), Probability::new(0.5));
+        b.msg_p(open, q, Mbits(0.1), Probability::new(0.5));
+        b.msg(p, close, Mbits(0.1));
+        b.msg(q, close, Mbits(0.1));
+        let w = b.build().unwrap();
+        match recover_structure(&w).unwrap_err() {
+            ValidationError::KindMismatch {
+                open_kind,
+                close_kind,
+                ..
+            } => {
+                assert_eq!(open_kind, DecisionKind::Xor);
+                assert_eq!(close_kind, DecisionKind::And);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_open_without_close() {
+        use crate::op::DecisionKind;
+        let mut b = WorkflowBuilder::new("w");
+        let open = b.open("x", DecisionKind::And);
+        let p = b.op("p", MCycles(1.0));
+        let q = b.op("q", MCycles(1.0));
+        let end = b.op("end", MCycles(1.0));
+        b.msg(open, p, Mbits(0.1));
+        b.msg(open, q, Mbits(0.1));
+        b.msg(p, end, Mbits(0.1));
+        b.msg(q, end, Mbits(0.1));
+        let w = b.build().unwrap();
+        // All paths converge at `end`, which is operational, not /AND.
+        let err = recover_structure(&w).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ValidationError::UnmatchedOpen(_) | ValidationError::IllegalJoin(_)
+            ),
+            "unexpected error {err:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_stray_close() {
+        use crate::op::DecisionKind;
+        let mut b = WorkflowBuilder::new("w");
+        let a = b.op("a", MCycles(1.0));
+        let c = b.close("/x", DecisionKind::Xor);
+        b.msg(a, c, Mbits(0.1));
+        let w = b.build().unwrap();
+        assert_eq!(
+            recover_structure(&w).unwrap_err(),
+            ValidationError::UnmatchedClose(c)
+        );
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        // Cycles cannot be built through messages alone in a Workflow? They
+        // can: a → b → a is two distinct edges.
+        let mut b = WorkflowBuilder::new("w");
+        let a = b.op("a", MCycles(1.0));
+        let c = b.op("b", MCycles(1.0));
+        b.msg(a, c, Mbits(0.1));
+        b.msg(c, a, Mbits(0.1));
+        let w = b.build().unwrap();
+        assert_eq!(recover_structure(&w).unwrap_err(), ValidationError::Cyclic);
+    }
+
+    #[test]
+    fn single_op_is_well_formed() {
+        let w = BlockSpec::op("only", MCycles(1.0))
+            .lower("w", &mut sz())
+            .unwrap();
+        let t = recover_structure(&w).unwrap();
+        assert_eq!(t.node_count(), 1);
+    }
+}

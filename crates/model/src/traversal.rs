@@ -1,0 +1,290 @@
+//! Graph traversal utilities: topological order, reachability, depth.
+
+use crate::ids::OpId;
+use crate::workflow::Workflow;
+
+/// A topological ordering of the workflow's operations, or `None` if the
+/// graph contains a directed cycle (Kahn's algorithm).
+pub fn topo_sort(w: &Workflow) -> Option<Vec<OpId>> {
+    let n = w.num_ops();
+    let mut in_deg: Vec<usize> = w.op_ids().map(|o| w.in_degree(o)).collect();
+    let mut queue: Vec<OpId> = w
+        .op_ids()
+        .filter(|&o| in_deg[o.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        order.push(u);
+        for v in w.successors(u) {
+            in_deg[v.index()] -= 1;
+            if in_deg[v.index()] == 0 {
+                queue.push(v);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// `true` if the workflow graph is acyclic.
+pub fn is_acyclic(w: &Workflow) -> bool {
+    topo_sort(w).is_some()
+}
+
+/// The set of operations reachable from `start` (including `start`),
+/// as a boolean vector indexed by operation id.
+pub fn reachable_from(w: &Workflow, start: OpId) -> Vec<bool> {
+    let mut seen = vec![false; w.num_ops()];
+    let mut stack = vec![start];
+    seen[start.index()] = true;
+    while let Some(u) = stack.pop() {
+        for v in w.successors(u) {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                stack.push(v);
+            }
+        }
+    }
+    seen
+}
+
+/// The set of operations that can reach `end` (including `end`).
+pub fn co_reachable_to(w: &Workflow, end: OpId) -> Vec<bool> {
+    let mut seen = vec![false; w.num_ops()];
+    let mut stack = vec![end];
+    seen[end.index()] = true;
+    while let Some(u) = stack.pop() {
+        for v in w.predecessors(u) {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                stack.push(v);
+            }
+        }
+    }
+    seen
+}
+
+/// Length (in edges) of the longest path in the DAG, or `None` if cyclic.
+///
+/// This is the workflow "depth" used to characterise bushy vs lengthy
+/// graphs (§4.2 of the paper).
+pub fn longest_path_len(w: &Workflow) -> Option<usize> {
+    let order = topo_sort(w)?;
+    let mut dist = vec![0usize; w.num_ops()];
+    let mut best = 0;
+    for &u in &order {
+        for v in w.successors(u) {
+            let cand = dist[u.index()] + 1;
+            if cand > dist[v.index()] {
+                dist[v.index()] = cand;
+                best = best.max(cand);
+            }
+        }
+    }
+    Some(best)
+}
+
+/// Maximum out-degree over all nodes (the "fan-out" of the workflow).
+pub fn max_fan_out(w: &Workflow) -> usize {
+    w.op_ids().map(|o| w.out_degree(o)).max().unwrap_or(0)
+}
+
+/// Immediate post-dominators for a single-sink DAG.
+///
+/// `ipostdom[v]` is the unique node closest to `v` through which *every*
+/// path from `v` to the sink passes (the sink's entry is itself). Returns
+/// `None` if the graph is cyclic or has no unique sink.
+///
+/// This is exactly the paper's well-formedness condition: "for every
+/// decision node `a` … all paths stemming from `a` also pass from `/a`" —
+/// `/a` must post-dominate `a`. We use the classic Cooper–Harvey–Kennedy
+/// iterative algorithm on the reverse graph.
+pub fn immediate_post_dominators(w: &Workflow) -> Option<Vec<OpId>> {
+    let order = topo_sort(w)?;
+    let sinks = w.sinks();
+    if sinks.len() != 1 {
+        return None;
+    }
+    let sink = sinks[0];
+    let n = w.num_ops();
+    // Position of each node in reverse topological order (sink first).
+    let mut rpo_index = vec![0usize; n];
+    let rev_order: Vec<OpId> = order.iter().rev().copied().collect();
+    for (i, &u) in rev_order.iter().enumerate() {
+        rpo_index[u.index()] = i;
+    }
+    let mut idom: Vec<Option<OpId>> = vec![None; n];
+    idom[sink.index()] = Some(sink);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &u in &rev_order {
+            if u == sink {
+                continue;
+            }
+            // Intersect over successors (post-dominance works on the
+            // reverse graph, so "predecessors" there are successors here).
+            let mut new_idom: Option<OpId> = None;
+            for v in w.successors(u) {
+                if idom[v.index()].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => v,
+                    Some(cur) => intersect(&idom, &rpo_index, cur, v),
+                });
+            }
+            if let Some(nd) = new_idom {
+                if idom[u.index()] != Some(nd) {
+                    idom[u.index()] = Some(nd);
+                    changed = true;
+                }
+            }
+        }
+    }
+    // Every node in a single-sink DAG reaches the sink ⇒ all Some, unless
+    // some node cannot reach the sink (possible with multiple components).
+    let mut result = Vec::with_capacity(n);
+    for entry in idom.iter().take(n) {
+        result.push((*entry)?);
+    }
+    Some(result)
+}
+
+fn intersect(idom: &[Option<OpId>], rpo_index: &[usize], a: OpId, b: OpId) -> OpId {
+    let (mut a, mut b) = (a, b);
+    while a != b {
+        while rpo_index[a.index()] > rpo_index[b.index()] {
+            a = idom[a.index()].expect("idom set for processed node");
+        }
+        while rpo_index[b.index()] > rpo_index[a.index()] {
+            b = idom[b.index()].expect("idom set for processed node");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+    use crate::op::{DecisionKind, Operation};
+    use crate::units::{MCycles, Mbits};
+
+    fn op(name: &str) -> Operation {
+        Operation::operational(name, MCycles(1.0))
+    }
+
+    fn msg(a: u32, b: u32) -> Message {
+        Message::new(OpId::new(a), OpId::new(b), Mbits(0.1))
+    }
+
+    fn diamond() -> Workflow {
+        // 0 → {1, 2} → 3
+        Workflow::new(
+            "d",
+            vec![
+                Operation::open("x", DecisionKind::And),
+                op("b"),
+                op("c"),
+                Operation::close("/x", DecisionKind::And),
+            ],
+            vec![msg(0, 1), msg(0, 2), msg(1, 3), msg(2, 3)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn topo_sort_line() {
+        let w = Workflow::new("w", vec![op("a"), op("b"), op("c")], vec![msg(0, 1), msg(1, 2)])
+            .unwrap();
+        assert_eq!(
+            topo_sort(&w).unwrap(),
+            vec![OpId::new(0), OpId::new(1), OpId::new(2)]
+        );
+        assert!(is_acyclic(&w));
+    }
+
+    #[test]
+    fn topo_sort_respects_edges_in_diamond() {
+        let w = diamond();
+        let order = topo_sort(&w).unwrap();
+        let pos = |o: u32| order.iter().position(|&x| x == OpId::new(o)).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(0) < pos(2));
+        assert!(pos(1) < pos(3));
+        assert!(pos(2) < pos(3));
+    }
+
+    #[test]
+    fn reachability() {
+        let w = diamond();
+        let r = reachable_from(&w, OpId::new(1));
+        assert_eq!(r, vec![false, true, false, true]);
+        let cr = co_reachable_to(&w, OpId::new(2));
+        assert_eq!(cr, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn longest_path() {
+        let w = diamond();
+        assert_eq!(longest_path_len(&w), Some(2));
+        assert_eq!(max_fan_out(&w), 2);
+    }
+
+    #[test]
+    fn post_dominators_of_diamond() {
+        let w = diamond();
+        let pd = immediate_post_dominators(&w).unwrap();
+        // All of 0, 1, 2 are post-dominated by the join 3.
+        assert_eq!(pd[0], OpId::new(3));
+        assert_eq!(pd[1], OpId::new(3));
+        assert_eq!(pd[2], OpId::new(3));
+        assert_eq!(pd[3], OpId::new(3)); // sink maps to itself
+    }
+
+    #[test]
+    fn post_dominators_of_nested_blocks() {
+        // 0=AND → {1, 2=XOR → {3,4} → 5=/XOR} → 6=/AND
+        let w = Workflow::new(
+            "n",
+            vec![
+                Operation::open("a", DecisionKind::And),   // 0
+                op("p"),                                   // 1
+                Operation::open("x", DecisionKind::Xor),   // 2
+                op("q"),                                   // 3
+                op("r"),                                   // 4
+                Operation::close("/x", DecisionKind::Xor), // 5
+                Operation::close("/a", DecisionKind::And), // 6
+            ],
+            vec![
+                msg(0, 1),
+                msg(0, 2),
+                msg(2, 3),
+                msg(2, 4),
+                msg(3, 5),
+                msg(4, 5),
+                msg(1, 6),
+                msg(5, 6),
+            ],
+        )
+        .unwrap();
+        let pd = immediate_post_dominators(&w).unwrap();
+        assert_eq!(pd[2], OpId::new(5)); // XOR closes at /XOR
+        assert_eq!(pd[0], OpId::new(6)); // AND closes at /AND
+        assert_eq!(pd[5], OpId::new(6));
+    }
+
+    #[test]
+    fn post_dominators_need_single_sink() {
+        let w = Workflow::new(
+            "two-sinks",
+            vec![Operation::open("x", DecisionKind::And), op("b"), op("c")],
+            vec![msg(0, 1), msg(0, 2)],
+        )
+        .unwrap();
+        assert!(immediate_post_dominators(&w).is_none());
+    }
+}

@@ -1,0 +1,141 @@
+//! Well-formedness validation (§2.2 of the paper).
+//!
+//! A workflow is well-formed when it parses into nested blocks
+//! ([`crate::structure::recover_structure`]) and its
+//! XOR probability annotations are consistent: each XOR opener's branch
+//! probabilities sum to 1 and no other edge carries a probability ≠ 1.
+
+use crate::error::ValidationError;
+use crate::op::{DecisionKind, OpKind};
+use crate::structure::{recover_structure, BlockTree};
+use crate::workflow::Workflow;
+
+/// Tolerance for XOR branch probabilities summing to 1.
+pub const PROB_SUM_TOLERANCE: f64 = 1e-6;
+
+/// Validate well-formedness; returns the recovered block structure so
+/// callers that need it (e.g. the cost evaluator) don't parse twice.
+pub fn validate_structure(w: &Workflow) -> Result<BlockTree, ValidationError> {
+    let tree = recover_structure(w)?;
+    validate_probabilities(w)?;
+    Ok(tree)
+}
+
+/// Validate well-formedness, discarding the structure.
+pub fn validate(w: &Workflow) -> Result<(), ValidationError> {
+    validate_structure(w).map(|_| ())
+}
+
+/// `true` if the workflow is well-formed.
+pub fn is_well_formed(w: &Workflow) -> bool {
+    validate(w).is_ok()
+}
+
+/// Check only the probability annotations (assumes structure is sound).
+pub fn validate_probabilities(w: &Workflow) -> Result<(), ValidationError> {
+    for op in w.op_ids() {
+        let is_xor_open = w.op(op).kind == OpKind::Open(DecisionKind::Xor);
+        if is_xor_open {
+            let sum: f64 = w
+                .out_msgs(op)
+                .iter()
+                .map(|&m| w.message(m).branch_probability.value())
+                .sum();
+            if (sum - 1.0).abs() > PROB_SUM_TOLERANCE {
+                return Err(ValidationError::BadXorProbabilities { open: op, sum });
+            }
+        } else {
+            for &m in w.out_msgs(op) {
+                let msg = w.message(m);
+                if (msg.branch_probability.value() - 1.0).abs() > PROB_SUM_TOLERANCE {
+                    return Err(ValidationError::StrayProbability {
+                        from: msg.from,
+                        to: msg.to,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{BlockSpec, WorkflowBuilder};
+    use crate::units::{MCycles, Mbits, Probability};
+
+    #[test]
+    fn line_is_well_formed() {
+        let mut b = WorkflowBuilder::new("w");
+        b.line("o", &[MCycles(1.0), MCycles(2.0)], Mbits(0.1));
+        let w = b.build().unwrap();
+        assert!(is_well_formed(&w));
+        validate(&w).unwrap();
+    }
+
+    #[test]
+    fn lowered_specs_are_well_formed() {
+        let spec = BlockSpec::seq(vec![
+            BlockSpec::op("a", MCycles(1.0)),
+            BlockSpec::xor_uniform(
+                "x",
+                vec![
+                    BlockSpec::op("l", MCycles(1.0)),
+                    BlockSpec::op("r", MCycles(1.0)),
+                    BlockSpec::op("m", MCycles(1.0)),
+                ],
+            ),
+        ]);
+        let w = spec.lower("w", &mut || Mbits(0.05)).unwrap();
+        let tree = validate_structure(&w).unwrap();
+        assert_eq!(tree.node_count(), w.num_ops());
+    }
+
+    #[test]
+    fn detects_bad_xor_probabilities() {
+        use crate::op::DecisionKind;
+        let mut b = WorkflowBuilder::new("w");
+        let open = b.open("x", DecisionKind::Xor);
+        let p = b.op("p", MCycles(1.0));
+        let q = b.op("q", MCycles(1.0));
+        let close = b.close("/x", DecisionKind::Xor);
+        b.msg_p(open, p, Mbits(0.1), Probability::new(0.5));
+        b.msg_p(open, q, Mbits(0.1), Probability::new(0.2)); // sums to 0.7
+        b.msg(p, close, Mbits(0.1));
+        b.msg(q, close, Mbits(0.1));
+        let w = b.build().unwrap();
+        match validate(&w).unwrap_err() {
+            ValidationError::BadXorProbabilities { sum, .. } => {
+                assert!((sum - 0.7).abs() < 1e-9);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_stray_probability() {
+        let mut b = WorkflowBuilder::new("w");
+        let a = b.op("a", MCycles(1.0));
+        let c = b.op("b", MCycles(1.0));
+        b.msg_p(a, c, Mbits(0.1), Probability::new(0.5));
+        let w = b.build().unwrap();
+        assert!(matches!(
+            validate(&w).unwrap_err(),
+            ValidationError::StrayProbability { .. }
+        ));
+    }
+
+    #[test]
+    fn and_branches_carry_probability_one() {
+        let spec = BlockSpec::and(
+            "a",
+            vec![
+                BlockSpec::op("p", MCycles(1.0)),
+                BlockSpec::op("q", MCycles(1.0)),
+            ],
+        );
+        let w = spec.lower("w", &mut || Mbits(0.01)).unwrap();
+        validate(&w).unwrap();
+    }
+}

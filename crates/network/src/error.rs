@@ -1,0 +1,84 @@
+//! Error types for network construction.
+
+use std::fmt;
+
+use crate::ids::ServerId;
+
+/// Errors raised while constructing a [`Network`](crate::Network).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetError {
+    /// A link references a server id outside `0..num_servers`.
+    UnknownServer(ServerId),
+    /// A link connects a server to itself.
+    SelfLink(ServerId),
+    /// Two links share the same endpoint pair.
+    DuplicateLink(ServerId, ServerId),
+    /// Two servers share a name.
+    DuplicateName(String),
+    /// The network has no servers.
+    Empty,
+    /// A link has non-positive speed — transmission time would be
+    /// infinite or negative.
+    BadSpeed {
+        /// One endpoint of the offending link.
+        a: ServerId,
+        /// The other endpoint.
+        b: ServerId,
+        /// The offending speed value in Mbps.
+        speed: f64,
+    },
+    /// A server has non-positive computational power.
+    BadPower {
+        /// The offending server.
+        server: ServerId,
+        /// The offending power value in MHz.
+        power: f64,
+    },
+    /// The requested topology constructor needs at least this many
+    /// servers.
+    TooFewServers {
+        /// Minimum servers required.
+        needed: usize,
+        /// Servers actually provided.
+        got: usize,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownServer(id) => write!(f, "link references unknown server {id}"),
+            NetError::SelfLink(id) => write!(f, "server {id} linked to itself"),
+            NetError::DuplicateLink(a, b) => write!(f, "duplicate link {a} -- {b}"),
+            NetError::DuplicateName(n) => write!(f, "duplicate server name {n:?}"),
+            NetError::Empty => f.write_str("network has no servers"),
+            NetError::BadSpeed { a, b, speed } => {
+                write!(f, "link {a} -- {b} has non-positive speed {speed} Mbps")
+            }
+            NetError::BadPower { server, power } => {
+                write!(f, "server {server} has non-positive power {power} MHz")
+            }
+            NetError::TooFewServers { needed, got } => {
+                write!(f, "topology needs at least {needed} servers, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = NetError::BadSpeed {
+            a: ServerId::new(0),
+            b: ServerId::new(1),
+            speed: 0.0,
+        };
+        assert!(e.to_string().contains("non-positive speed"));
+        assert!(NetError::Empty.to_string().contains("no servers"));
+    }
+}

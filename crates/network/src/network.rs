@@ -1,0 +1,415 @@
+//! The server network `N(S, L)`.
+
+use serde::{Deserialize, Serialize};
+use wsflow_model::units::{MbitsPerSec, MegaHertz};
+
+use crate::error::NetError;
+use crate::ids::{LinkId, ServerId};
+use crate::link::Link;
+use crate::server::Server;
+
+/// A hint recording how the network was constructed.
+///
+/// The deployment algorithms specialise per topology (Fig. 2 of the
+/// paper: Line–Line, Line–Bus, Graph–Bus), and the simulator uses the
+/// hint to decide whether links contend individually (line) or share a
+/// single medium (bus).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// Servers chained `S₁ — S₂ — … — S_N`.
+    Line,
+    /// All servers attached to one shared bus; every pair communicates
+    /// at the same speed and the medium is shared.
+    Bus,
+    /// All servers attached to a central hub server (`S₀`).
+    Star,
+    /// Servers arranged in a cycle.
+    Ring,
+    /// Every pair of servers connected by a dedicated link.
+    FullMesh,
+    /// Anything hand-built.
+    Custom,
+}
+
+impl std::fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TopologyKind::Line => "line",
+            TopologyKind::Bus => "bus",
+            TopologyKind::Star => "star",
+            TopologyKind::Ring => "ring",
+            TopologyKind::FullMesh => "full-mesh",
+            TopologyKind::Custom => "custom",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A network of servers: nodes with computational power, undirected links
+/// with throughput and propagation delay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    name: String,
+    servers: Vec<Server>,
+    links: Vec<Link>,
+    kind: TopologyKind,
+    /// For [`TopologyKind::Bus`]: the shared medium speed. Stored so the
+    /// simulator can model bus contention without inferring it from
+    /// links.
+    bus_speed: Option<MbitsPerSec>,
+    /// Adjacency: per server, the incident links.
+    #[serde(skip)]
+    adj: Vec<Vec<LinkId>>,
+}
+
+impl Network {
+    /// Build a network from parts, verifying sanity: unique names,
+    /// positive powers and speeds, valid endpoints, no self-links or
+    /// duplicate links.
+    pub fn new(
+        name: impl Into<String>,
+        servers: Vec<Server>,
+        links: Vec<Link>,
+        kind: TopologyKind,
+    ) -> Result<Self, NetError> {
+        if servers.is_empty() {
+            return Err(NetError::Empty);
+        }
+        let mut names = std::collections::HashSet::with_capacity(servers.len());
+        for (i, s) in servers.iter().enumerate() {
+            if !names.insert(s.name.as_str()) {
+                return Err(NetError::DuplicateName(s.name.clone()));
+            }
+            if s.power.value() <= 0.0 || s.power.value().is_nan() {
+                return Err(NetError::BadPower {
+                    server: ServerId::from(i),
+                    power: s.power.value(),
+                });
+            }
+        }
+        let n = servers.len();
+        let mut seen = std::collections::HashSet::with_capacity(links.len());
+        for l in &links {
+            if l.a.index() >= n {
+                return Err(NetError::UnknownServer(l.a));
+            }
+            if l.b.index() >= n {
+                return Err(NetError::UnknownServer(l.b));
+            }
+            if l.a == l.b {
+                return Err(NetError::SelfLink(l.a));
+            }
+            if !seen.insert(l.canonical()) {
+                let (a, b) = l.canonical();
+                return Err(NetError::DuplicateLink(a, b));
+            }
+            if l.speed.value() <= 0.0 || l.speed.value().is_nan() {
+                return Err(NetError::BadSpeed {
+                    a: l.a,
+                    b: l.b,
+                    speed: l.speed.value(),
+                });
+            }
+        }
+        let mut net = Self {
+            name: name.into(),
+            servers,
+            links,
+            kind,
+            bus_speed: None,
+            adj: Vec::new(),
+        };
+        net.reindex();
+        Ok(net)
+    }
+
+    /// Rebuild the adjacency index (needed after deserialisation).
+    pub fn reindex(&mut self) {
+        self.adj = vec![Vec::new(); self.servers.len()];
+        for (i, l) in self.links.iter().enumerate() {
+            let id = LinkId::from(i);
+            self.adj[l.a.index()].push(id);
+            self.adj[l.b.index()].push(id);
+        }
+    }
+
+    pub(crate) fn set_bus_speed(&mut self, speed: MbitsPerSec) {
+        self.bus_speed = Some(speed);
+    }
+
+    /// The network's name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// How the network was constructed.
+    #[inline]
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// For bus networks, the shared medium speed.
+    #[inline]
+    pub fn bus_speed(&self) -> Option<MbitsPerSec> {
+        self.bus_speed
+    }
+
+    /// Number of servers `N`.
+    #[inline]
+    pub fn num_servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Number of links `|L|`.
+    #[inline]
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The server with the given id.
+    #[inline]
+    pub fn server(&self, id: ServerId) -> &Server {
+        &self.servers[id.index()]
+    }
+
+    /// The link with the given id.
+    #[inline]
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// All servers, in id order.
+    #[inline]
+    pub fn servers(&self) -> &[Server] {
+        &self.servers
+    }
+
+    /// All links, in id order.
+    #[inline]
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Iterator over all server ids.
+    pub fn server_ids(&self) -> impl ExactSizeIterator<Item = ServerId> {
+        (0..self.servers.len() as u32).map(ServerId::new)
+    }
+
+    /// Iterator over all link ids.
+    pub fn link_ids(&self) -> impl ExactSizeIterator<Item = LinkId> {
+        (0..self.links.len() as u32).map(LinkId::new)
+    }
+
+    /// Links incident to `s`.
+    #[inline]
+    pub fn incident(&self, s: ServerId) -> &[LinkId] {
+        &self.adj[s.index()]
+    }
+
+    /// Neighbouring servers of `s`.
+    pub fn neighbors(&self, s: ServerId) -> impl Iterator<Item = ServerId> + '_ {
+        self.adj[s.index()]
+            .iter()
+            .filter_map(move |&l| self.links[l.index()].opposite(s))
+    }
+
+    /// Degree of `s`.
+    #[inline]
+    pub fn degree(&self, s: ServerId) -> usize {
+        self.adj[s.index()].len()
+    }
+
+    /// The link between `a` and `b`, if present (either orientation).
+    pub fn find_link(&self, a: ServerId, b: ServerId) -> Option<LinkId> {
+        self.adj[a.index()]
+            .iter()
+            .copied()
+            .find(|&l| self.links[l.index()].opposite(a) == Some(b))
+    }
+
+    /// Total computational capacity `Σ P(Sᵢ)` — the paper's
+    /// `Sum_Capacity`.
+    pub fn total_capacity(&self) -> MegaHertz {
+        self.servers.iter().map(|s| s.power).sum()
+    }
+
+    /// Look up a server id by name.
+    pub fn server_by_name(&self, name: &str) -> Option<ServerId> {
+        self.servers
+            .iter()
+            .position(|s| s.name == name)
+            .map(ServerId::from)
+    }
+
+    /// `true` if every server can reach every other (ignoring direction —
+    /// links are undirected).
+    pub fn is_connected(&self) -> bool {
+        if self.servers.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.servers.len()];
+        let mut stack = vec![ServerId::new(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for v in self.neighbors(u) {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == self.servers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsflow_model::units::Seconds;
+
+    fn two_servers() -> Vec<Server> {
+        vec![Server::with_ghz("s0", 1.0), Server::with_ghz("s1", 2.0)]
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let net = Network::new(
+            "n",
+            two_servers(),
+            vec![Link::new(ServerId::new(0), ServerId::new(1), MbitsPerSec(100.0))],
+            TopologyKind::Line,
+        )
+        .unwrap();
+        assert_eq!(net.name(), "n");
+        assert_eq!(net.num_servers(), 2);
+        assert_eq!(net.num_links(), 1);
+        assert_eq!(net.kind(), TopologyKind::Line);
+        assert_eq!(net.total_capacity(), MegaHertz(3000.0));
+        assert_eq!(net.server_by_name("s1"), Some(ServerId::new(1)));
+        assert_eq!(net.server_by_name("zz"), None);
+        assert_eq!(net.degree(ServerId::new(0)), 1);
+        assert_eq!(
+            net.neighbors(ServerId::new(0)).collect::<Vec<_>>(),
+            vec![ServerId::new(1)]
+        );
+        assert!(net
+            .find_link(ServerId::new(1), ServerId::new(0))
+            .is_some());
+        assert!(net.is_connected());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(
+            Network::new("n", vec![], vec![], TopologyKind::Custom).unwrap_err(),
+            NetError::Empty
+        );
+    }
+
+    #[test]
+    fn rejects_bad_power() {
+        let err = Network::new(
+            "n",
+            vec![Server::new("s", MegaHertz(0.0))],
+            vec![],
+            TopologyKind::Custom,
+        )
+        .unwrap_err();
+        assert!(matches!(err, NetError::BadPower { .. }));
+    }
+
+    #[test]
+    fn rejects_zero_speed_link() {
+        let err = Network::new(
+            "n",
+            two_servers(),
+            vec![Link::new(ServerId::new(0), ServerId::new(1), MbitsPerSec(0.0))],
+            TopologyKind::Line,
+        )
+        .unwrap_err();
+        assert!(matches!(err, NetError::BadSpeed { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_link_in_either_orientation() {
+        let err = Network::new(
+            "n",
+            two_servers(),
+            vec![
+                Link::new(ServerId::new(0), ServerId::new(1), MbitsPerSec(10.0)),
+                Link::new(ServerId::new(1), ServerId::new(0), MbitsPerSec(20.0)),
+            ],
+            TopologyKind::Custom,
+        )
+        .unwrap_err();
+        assert_eq!(err, NetError::DuplicateLink(ServerId::new(0), ServerId::new(1)));
+    }
+
+    #[test]
+    fn rejects_self_link_and_unknown_server() {
+        let err = Network::new(
+            "n",
+            two_servers(),
+            vec![Link::new(ServerId::new(0), ServerId::new(0), MbitsPerSec(10.0))],
+            TopologyKind::Custom,
+        )
+        .unwrap_err();
+        assert_eq!(err, NetError::SelfLink(ServerId::new(0)));
+        let err = Network::new(
+            "n",
+            two_servers(),
+            vec![Link::new(ServerId::new(0), ServerId::new(9), MbitsPerSec(10.0))],
+            TopologyKind::Custom,
+        )
+        .unwrap_err();
+        assert_eq!(err, NetError::UnknownServer(ServerId::new(9)));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let err = Network::new(
+            "n",
+            vec![Server::with_ghz("s", 1.0), Server::with_ghz("s", 2.0)],
+            vec![],
+            TopologyKind::Custom,
+        )
+        .unwrap_err();
+        assert_eq!(err, NetError::DuplicateName("s".into()));
+    }
+
+    #[test]
+    fn disconnected_network_detected() {
+        let net = Network::new(
+            "n",
+            vec![
+                Server::with_ghz("a", 1.0),
+                Server::with_ghz("b", 1.0),
+                Server::with_ghz("c", 1.0),
+            ],
+            vec![Link::new(ServerId::new(0), ServerId::new(1), MbitsPerSec(10.0))],
+            TopologyKind::Custom,
+        )
+        .unwrap();
+        assert!(!net.is_connected());
+    }
+
+    #[test]
+    fn serde_round_trip_with_reindex() {
+        let net = Network::new(
+            "n",
+            two_servers(),
+            vec![Link::new(ServerId::new(0), ServerId::new(1), MbitsPerSec(100.0))
+                .with_propagation(Seconds(0.001))],
+            TopologyKind::Line,
+        )
+        .unwrap();
+        let json = serde_json::to_string(&net).unwrap();
+        let mut back: Network = serde_json::from_str(&json).unwrap();
+        back.reindex();
+        assert_eq!(back, net);
+        assert_eq!(back.degree(ServerId::new(1)), 1);
+    }
+}

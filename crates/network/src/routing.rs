@@ -1,0 +1,353 @@
+//! Routing: all-pairs shortest paths over the server network.
+//!
+//! The cost model (Table 1 of the paper) defines `Path(s, s')` as the
+//! path a message follows and charges each traversed link its
+//! transmission plus propagation time. For line networks the path is
+//! forced; for bus networks every pair is one hop; star/ring/mesh get
+//! genuine shortest-path routing.
+//!
+//! Routes are chosen by Dijkstra with link weight
+//! `propagation + 1 Mbit / speed` (a reference message), with ties broken
+//! by hop count and then by smallest next-server id so routing is fully
+//! deterministic.
+
+use std::collections::BinaryHeap;
+
+use wsflow_model::units::{Mbits, Seconds};
+
+use crate::ids::{LinkId, ServerId};
+use crate::network::Network;
+
+/// A route between two servers: the links to traverse, in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    /// Links traversed, in order from source to destination. Empty for a
+    /// path from a server to itself.
+    pub links: Vec<LinkId>,
+}
+
+impl Path {
+    /// The empty (same-server) path.
+    pub fn empty() -> Self {
+        Self { links: Vec::new() }
+    }
+
+    /// Number of hops.
+    #[inline]
+    pub fn hops(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Time to push a message of `size` along this path:
+    /// `Σ (size / speed + propagation)` over the traversed links.
+    ///
+    /// Intra-server messages (empty path) are free, matching the paper's
+    /// assumption that co-located operations communicate at no cost.
+    pub fn transfer_time(&self, net: &Network, size: Mbits) -> Seconds {
+        self.links
+            .iter()
+            .map(|&l| {
+                let link = net.link(l);
+                size / link.speed + link.propagation
+            })
+            .sum()
+    }
+
+    /// The slowest (minimum-speed) link on the path, if any.
+    pub fn bottleneck(&self, net: &Network) -> Option<LinkId> {
+        self.links
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                net.link(a)
+                    .speed
+                    .partial_cmp(&net.link(b).speed)
+                    .expect("link speeds are finite")
+            })
+    }
+}
+
+/// Precomputed all-pairs routes for a network.
+///
+/// `N` is small in this problem (the paper uses 3–5 servers), so the
+/// dense `N × N` table is the simplest correct structure. Unreachable
+/// pairs hold `None`.
+///
+/// # Examples
+///
+/// ```
+/// use wsflow_net::topology::{homogeneous_servers, line_uniform};
+/// use wsflow_net::{RoutingTable, ServerId};
+/// use wsflow_model::{Mbits, MbitsPerSec};
+///
+/// let net = line_uniform("l", homogeneous_servers(3, 1.0), MbitsPerSec(10.0)).unwrap();
+/// let routes = RoutingTable::new(&net);
+/// // End-to-end over two 10 Mbps hops: 1 Mbit takes 0.2 s.
+/// let t = routes
+///     .transfer_time(&net, ServerId::new(0), ServerId::new(2), Mbits(1.0))
+///     .unwrap();
+/// assert!((t.value() - 0.2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    n: usize,
+    /// Row-major `[from][to]`.
+    paths: Vec<Option<Path>>,
+}
+
+impl RoutingTable {
+    /// Compute routes for every ordered pair of servers.
+    pub fn new(net: &Network) -> Self {
+        let n = net.num_servers();
+        let mut paths: Vec<Option<Path>> = vec![None; n * n];
+        for src in net.server_ids() {
+            let tree = dijkstra(net, src);
+            for dst in net.server_ids() {
+                let entry = &mut paths[src.index() * n + dst.index()];
+                if src == dst {
+                    *entry = Some(Path::empty());
+                } else if let Some(p) = extract_path(&tree, src, dst) {
+                    *entry = Some(p);
+                }
+            }
+        }
+        Self { n, paths }
+    }
+
+    /// The route from `from` to `to`; `None` if unreachable.
+    #[inline]
+    pub fn path(&self, from: ServerId, to: ServerId) -> Option<&Path> {
+        self.paths[from.index() * self.n + to.index()].as_ref()
+    }
+
+    /// `true` if every ordered pair is routable.
+    pub fn fully_connected(&self) -> bool {
+        self.paths.iter().all(Option::is_some)
+    }
+
+    /// Transfer time for a message of `size` from `from` to `to`;
+    /// `None` if unreachable. Zero when `from == to`.
+    pub fn transfer_time(
+        &self,
+        net: &Network,
+        from: ServerId,
+        to: ServerId,
+        size: Mbits,
+    ) -> Option<Seconds> {
+        self.path(from, to).map(|p| p.transfer_time(net, size))
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    hops: usize,
+    server: ServerId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap on (dist, hops, id) via reversed comparison.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("distances are finite")
+            .then_with(|| other.hops.cmp(&self.hops))
+            .then_with(|| other.server.cmp(&self.server))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct SpTree {
+    /// Per server: the link used to arrive there, or None for the source
+    /// / unreachable nodes.
+    via: Vec<Option<(ServerId, LinkId)>>,
+    dist: Vec<f64>,
+}
+
+const REFERENCE_SIZE: Mbits = Mbits(1.0);
+
+fn dijkstra(net: &Network, src: ServerId) -> SpTree {
+    let n = net.num_servers();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut hops = vec![usize::MAX; n];
+    let mut via: Vec<Option<(ServerId, LinkId)>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[src.index()] = 0.0;
+    hops[src.index()] = 0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        hops: 0,
+        server: src,
+    });
+    while let Some(HeapEntry {
+        dist: d,
+        hops: h,
+        server: u,
+    }) = heap.pop()
+    {
+        if d > dist[u.index()] || (d == dist[u.index()] && h > hops[u.index()]) {
+            continue;
+        }
+        for &lid in net.incident(u) {
+            let link = net.link(lid);
+            let v = link.opposite(u).expect("incident link touches u");
+            let w = (REFERENCE_SIZE / link.speed + link.propagation).value();
+            let nd = d + w;
+            let nh = h + 1;
+            let better = nd < dist[v.index()]
+                || (nd == dist[v.index()] && nh < hops[v.index()])
+                || (nd == dist[v.index()]
+                    && nh == hops[v.index()]
+                    && via[v.index()].map(|(p, _)| u < p).unwrap_or(false));
+            if better {
+                dist[v.index()] = nd;
+                hops[v.index()] = nh;
+                via[v.index()] = Some((u, lid));
+                heap.push(HeapEntry {
+                    dist: nd,
+                    hops: nh,
+                    server: v,
+                });
+            }
+        }
+    }
+    SpTree { via, dist }
+}
+
+fn extract_path(tree: &SpTree, src: ServerId, dst: ServerId) -> Option<Path> {
+    if tree.dist[dst.index()].is_infinite() {
+        return None;
+    }
+    let mut links = Vec::new();
+    let mut cur = dst;
+    while cur != src {
+        let (prev, link) = tree.via[cur.index()]?;
+        links.push(link);
+        cur = prev;
+    }
+    links.reverse();
+    Some(Path { links })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{bus, homogeneous_servers, line_uniform, ring, star};
+    use wsflow_model::units::MbitsPerSec;
+
+    #[test]
+    fn line_routes_are_forced() {
+        let net = line_uniform("l", homogeneous_servers(4, 1.0), MbitsPerSec(10.0)).unwrap();
+        let rt = RoutingTable::new(&net);
+        assert!(rt.fully_connected());
+        let p = rt.path(ServerId::new(0), ServerId::new(3)).unwrap();
+        assert_eq!(p.hops(), 3);
+        // 1 Mbit over three 10 Mbps hops = 0.3 s.
+        let t = p.transfer_time(&net, Mbits(1.0));
+        assert!((t.value() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_server_is_free() {
+        let net = bus("b", homogeneous_servers(3, 1.0), MbitsPerSec(100.0)).unwrap();
+        let rt = RoutingTable::new(&net);
+        let t = rt
+            .transfer_time(&net, ServerId::new(1), ServerId::new(1), Mbits(5.0))
+            .unwrap();
+        assert_eq!(t, Seconds::ZERO);
+        assert_eq!(rt.path(ServerId::new(2), ServerId::new(2)).unwrap().hops(), 0);
+    }
+
+    #[test]
+    fn bus_is_always_one_hop() {
+        let net = bus("b", homogeneous_servers(5, 1.0), MbitsPerSec(100.0)).unwrap();
+        let rt = RoutingTable::new(&net);
+        for a in net.server_ids() {
+            for b in net.server_ids() {
+                if a != b {
+                    assert_eq!(rt.path(a, b).unwrap().hops(), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bus_pairwise_costs_are_uniform() {
+        // The paper's bus assumption: same communication cost per pair.
+        let net = bus("b", homogeneous_servers(4, 1.0), MbitsPerSec(10.0)).unwrap();
+        let rt = RoutingTable::new(&net);
+        let t01 = rt
+            .transfer_time(&net, ServerId::new(0), ServerId::new(1), Mbits(0.5))
+            .unwrap();
+        let t23 = rt
+            .transfer_time(&net, ServerId::new(2), ServerId::new(3), Mbits(0.5))
+            .unwrap();
+        assert_eq!(t01, t23);
+        assert!((t01.value() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_routes_via_hub() {
+        let net = star("s", homogeneous_servers(4, 1.0), MbitsPerSec(10.0)).unwrap();
+        let rt = RoutingTable::new(&net);
+        let p = rt.path(ServerId::new(1), ServerId::new(3)).unwrap();
+        assert_eq!(p.hops(), 2);
+    }
+
+    #[test]
+    fn ring_takes_shorter_arc() {
+        let net = ring("r", homogeneous_servers(5, 1.0), MbitsPerSec(10.0)).unwrap();
+        let rt = RoutingTable::new(&net);
+        // 0 → 4 directly via the closing link, not through 1,2,3.
+        let p = rt.path(ServerId::new(0), ServerId::new(4)).unwrap();
+        assert_eq!(p.hops(), 1);
+        let p = rt.path(ServerId::new(0), ServerId::new(2)).unwrap();
+        assert_eq!(p.hops(), 2);
+    }
+
+    #[test]
+    fn routing_prefers_faster_links() {
+        // 0 -1000Mbps- 1 -1000Mbps- 2 and a direct slow 0 -1Mbps- 2 link:
+        // the two-hop fast route wins for the reference message.
+        let servers = homogeneous_servers(3, 1.0);
+        let links = vec![
+            crate::link::Link::new(ServerId::new(0), ServerId::new(1), MbitsPerSec(1000.0)),
+            crate::link::Link::new(ServerId::new(1), ServerId::new(2), MbitsPerSec(1000.0)),
+            crate::link::Link::new(ServerId::new(0), ServerId::new(2), MbitsPerSec(1.0)),
+        ];
+        let net =
+            Network::new("n", servers, links, crate::network::TopologyKind::Custom).unwrap();
+        let rt = RoutingTable::new(&net);
+        let p = rt.path(ServerId::new(0), ServerId::new(2)).unwrap();
+        assert_eq!(p.hops(), 2);
+        assert_eq!(p.bottleneck(&net), Some(LinkId::new(0)));
+    }
+
+    #[test]
+    fn disconnected_pairs_are_none() {
+        let servers = homogeneous_servers(3, 1.0);
+        let links = vec![crate::link::Link::new(
+            ServerId::new(0),
+            ServerId::new(1),
+            MbitsPerSec(10.0),
+        )];
+        let net =
+            Network::new("n", servers, links, crate::network::TopologyKind::Custom).unwrap();
+        let rt = RoutingTable::new(&net);
+        assert!(rt.path(ServerId::new(0), ServerId::new(2)).is_none());
+        assert!(!rt.fully_connected());
+        assert!(rt
+            .transfer_time(&net, ServerId::new(0), ServerId::new(2), Mbits(1.0))
+            .is_none());
+    }
+
+    use crate::network::Network;
+}

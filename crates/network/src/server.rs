@@ -1,0 +1,58 @@
+//! Servers — the nodes of the provider's network.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use wsflow_model::units::MegaHertz;
+
+/// A server that can host web-service operations.
+///
+/// The only property the paper's cost model uses is the computational
+/// power `P(s)` (Table 1); a name is kept for reporting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Server {
+    /// Human-readable name (unique within a network; enforced at
+    /// construction).
+    pub name: String,
+    /// Computational power `P(s)`.
+    pub power: MegaHertz,
+}
+
+impl Server {
+    /// Construct a server.
+    pub fn new(name: impl Into<String>, power: MegaHertz) -> Self {
+        Self {
+            name: name.into(),
+            power,
+        }
+    }
+
+    /// Construct with power given in GHz (the paper's Table 6 scale).
+    pub fn with_ghz(name: impl Into<String>, ghz: f64) -> Self {
+        Self::new(name, MegaHertz::from_ghz(ghz))
+    }
+}
+
+impl fmt::Display for Server {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({:.1} GHz)", self.name, self.power.as_ghz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let s = Server::new("s0", MegaHertz(2000.0));
+        assert_eq!(s.power.as_ghz(), 2.0);
+        let s = Server::with_ghz("s1", 1.5);
+        assert_eq!(s.power, MegaHertz(1500.0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Server::with_ghz("db", 3.0).to_string(), "db (3.0 GHz)");
+    }
+}

@@ -1,0 +1,594 @@
+//! The discrete-event engine: one simulated execution of a deployed
+//! workflow.
+//!
+//! Where the analytic model (`wsflow-cost`) computes *expected* values,
+//! the engine plays out a single run: XOR branches are sampled, OR
+//! branches genuinely race, and (optionally) operations queue FIFO on
+//! their server and inter-server messages serialise on the shared bus —
+//! two contention effects the paper's cost model abstracts away.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use rand::Rng;
+use wsflow_cost::{Mapping, Problem};
+use wsflow_model::{DecisionKind, Mbits, MsgId, OpId, OpKind, Seconds};
+
+use crate::trace::{ExecutionTrace, TraceKind};
+
+/// What the engine models beyond the analytic assumptions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimConfig {
+    /// Operations on the same server execute one at a time (FIFO).
+    /// When `false` (default, matching the analytic model) a server
+    /// processes any number of ready operations concurrently.
+    pub server_fifo: bool,
+    /// Inter-server messages serialise on the shared bus medium (only
+    /// meaningful for bus networks; ignored otherwise). When `false`
+    /// every message sees the full link bandwidth.
+    pub bus_serial: bool,
+}
+
+impl SimConfig {
+    /// The analytic model's assumptions: no contention anywhere.
+    pub fn ideal() -> Self {
+        Self::default()
+    }
+
+    /// Full contention: FIFO servers and a serialised bus.
+    pub fn contended() -> Self {
+        Self {
+            server_fifo: true,
+            bus_serial: true,
+        }
+    }
+}
+
+/// The outcome of one simulated execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome {
+    /// Time from workflow start to the sink's completion.
+    pub completion: Seconds,
+    /// Per-server total processing time actually spent this run.
+    pub server_busy: Vec<Seconds>,
+    /// Number of inter-server messages sent.
+    pub messages_sent: usize,
+    /// Total inter-server traffic.
+    pub bytes_sent: Mbits,
+    /// For each XOR opener that executed: the chosen outgoing message.
+    pub xor_choices: Vec<(OpId, MsgId)>,
+    /// Number of operations that actually executed.
+    pub ops_executed: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Action {
+    /// The operation's join condition is satisfied; it may enter service.
+    Ready(OpId),
+    /// The operation finishes processing.
+    Finish(OpId),
+    /// The message reaches its destination server.
+    Arrive(MsgId),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: f64,
+    seq: u64,
+    action: Action,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap: earliest time first, then insertion order.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct ServerState {
+    queue: VecDeque<OpId>,
+    busy: bool,
+}
+
+/// Simulate one execution of `problem`'s workflow under `mapping`.
+///
+/// Panics if the workflow's sink never completes — impossible for the
+/// well-formed workflows a [`Problem`] guarantees.
+///
+/// # Examples
+///
+/// A deterministic (XOR-free) workflow under the ideal configuration
+/// reproduces the analytic `Texecute` exactly:
+///
+/// ```
+/// use rand::SeedableRng;
+/// use wsflow_cost::{texecute, Mapping, Problem};
+/// use wsflow_model::{MCycles, Mbits, MbitsPerSec, WorkflowBuilder};
+/// use wsflow_net::topology::{bus, homogeneous_servers};
+/// use wsflow_net::ServerId;
+/// use wsflow_sim::{simulate, SimConfig};
+///
+/// let mut b = WorkflowBuilder::new("w");
+/// b.line("op", &[MCycles(10.0), MCycles(20.0)], Mbits(0.5));
+/// let net = bus("n", homogeneous_servers(2, 1.0), MbitsPerSec(10.0)).unwrap();
+/// let problem = Problem::new(b.build().unwrap(), net).unwrap();
+/// let mapping = Mapping::from_fn(2, |o| ServerId::new(o.0 % 2));
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let outcome = simulate(&problem, &mapping, SimConfig::ideal(), &mut rng);
+/// assert!((outcome.completion.value() - texecute(&problem, &mapping).value()).abs() < 1e-12);
+/// ```
+pub fn simulate(
+    problem: &Problem,
+    mapping: &Mapping,
+    config: SimConfig,
+    rng: &mut impl Rng,
+) -> SimOutcome {
+    run(problem, mapping, config, rng, None)
+}
+
+/// Like [`simulate`], additionally recording a full event trace.
+pub fn simulate_traced(
+    problem: &Problem,
+    mapping: &Mapping,
+    config: SimConfig,
+    rng: &mut impl Rng,
+) -> (SimOutcome, ExecutionTrace) {
+    let mut trace = ExecutionTrace::new();
+    let outcome = run(problem, mapping, config, rng, Some(&mut trace));
+    (outcome, trace)
+}
+
+fn run(
+    problem: &Problem,
+    mapping: &Mapping,
+    config: SimConfig,
+    rng: &mut impl Rng,
+    mut trace: Option<&mut ExecutionTrace>,
+) -> SimOutcome {
+    let w = problem.workflow();
+    let net = problem.network();
+    let n_ops = w.num_ops();
+    let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+    let mut seq = 0u64;
+    fn push(heap: &mut BinaryHeap<Event>, seq: &mut u64, time: f64, action: Action) {
+        heap.push(Event {
+            time,
+            seq: *seq,
+            action,
+        });
+        *seq += 1;
+    }
+
+    let mut arrived = vec![0usize; n_ops];
+    let mut fired = vec![false; n_ops];
+    let mut finished = vec![false; n_ops];
+    let mut finish_time = vec![0.0f64; n_ops];
+    let mut servers: Vec<ServerState> = (0..net.num_servers())
+        .map(|_| ServerState {
+            queue: VecDeque::new(),
+            busy: false,
+        })
+        .collect();
+    let mut server_busy = vec![0.0f64; net.num_servers()];
+    let mut bus_free = 0.0f64;
+    let mut messages_sent = 0usize;
+    let mut bytes_sent = 0.0f64;
+    let mut xor_choices = Vec::new();
+    let mut ops_executed = 0usize;
+
+    let tproc = |op: OpId| -> f64 {
+        (w.op(op).cost / net.server(mapping.server_of(op)).power).value()
+    };
+
+    let sources = w.sources();
+    assert_eq!(sources.len(), 1, "problems guarantee a single source");
+    let source = sources[0];
+    let sinks = w.sinks();
+    assert_eq!(sinks.len(), 1, "problems guarantee a single sink");
+    let sink = sinks[0];
+
+    fired[source.index()] = true;
+    push(&mut heap, &mut seq, 0.0, Action::Ready(source));
+
+    while let Some(Event { time, action, .. }) = heap.pop() {
+        match action {
+            Action::Ready(op) => {
+                let s = mapping.server_of(op);
+                if config.server_fifo {
+                    let state = &mut servers[s.index()];
+                    state.queue.push_back(op);
+                    if !state.busy {
+                        let next = state.queue.pop_front().expect("just pushed");
+                        state.busy = true;
+                        if let Some(t) = trace.as_deref_mut() {
+                            t.record(time, TraceKind::OpStarted { op: next, server: s });
+                        }
+                        push(&mut heap, &mut seq, time + tproc(next), Action::Finish(next));
+                    }
+                } else {
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.record(time, TraceKind::OpStarted { op, server: s });
+                    }
+                    push(&mut heap, &mut seq, time + tproc(op), Action::Finish(op));
+                }
+            }
+            Action::Finish(op) => {
+                let s = mapping.server_of(op);
+                finished[op.index()] = true;
+                finish_time[op.index()] = time;
+                server_busy[s.index()] += tproc(op);
+                ops_executed += 1;
+                if let Some(t) = trace.as_deref_mut() {
+                    t.record(time, TraceKind::OpFinished { op, server: s });
+                }
+                if config.server_fifo {
+                    let state = &mut servers[s.index()];
+                    if let Some(next) = state.queue.pop_front() {
+                        if let Some(t) = trace.as_deref_mut() {
+                            t.record(
+                                time,
+                                TraceKind::OpStarted {
+                                    op: next,
+                                    server: s,
+                                },
+                            );
+                        }
+                        push(&mut heap, &mut seq, time + tproc(next), Action::Finish(next));
+                    } else {
+                        state.busy = false;
+                    }
+                }
+                // Dispatch outgoing messages.
+                let out = w.out_msgs(op);
+                if out.is_empty() {
+                    continue;
+                }
+                let chosen: Vec<MsgId> = if w.op(op).kind == OpKind::Open(DecisionKind::Xor)
+                {
+                    let mid = sample_branch(w, op, rng);
+                    xor_choices.push((op, mid));
+                    vec![mid]
+                } else {
+                    out.to_vec()
+                };
+                for mid in chosen {
+                    let msg = w.message(mid);
+                    let from = mapping.server_of(msg.from);
+                    let to = mapping.server_of(msg.to);
+                    let arrival = if from == to {
+                        time
+                    } else {
+                        messages_sent += 1;
+                        bytes_sent += msg.size.value();
+                        if let Some(t) = trace.as_deref_mut() {
+                            t.record(time, TraceKind::MsgSent { msg: mid, from, to });
+                        }
+                        match (config.bus_serial, net.bus_speed()) {
+                            (true, Some(speed)) => {
+                                let start = time.max(bus_free);
+                                bus_free = start + (msg.size / speed).value();
+                                bus_free
+                            }
+                            _ => {
+                                time + problem
+                                    .routing()
+                                    .transfer_time(net, from, to, msg.size)
+                                    .expect("problem networks are fully routable")
+                                    .value()
+                            }
+                        }
+                    };
+                    push(&mut heap, &mut seq, arrival, Action::Arrive(mid));
+                }
+            }
+            Action::Arrive(mid) => {
+                if let Some(t) = trace.as_deref_mut() {
+                    t.record(time, TraceKind::MsgArrived { msg: mid });
+                }
+                let target = w.message(mid).to;
+                if fired[target.index()] {
+                    continue; // late OR arrival
+                }
+                arrived[target.index()] += 1;
+                let fire = match w.op(target).kind {
+                    OpKind::Close(DecisionKind::And) => {
+                        arrived[target.index()] == w.in_degree(target)
+                    }
+                    // /OR fires on the first arrival; /XOR receives
+                    // exactly one; everything else has in-degree 1.
+                    _ => true,
+                };
+                if fire {
+                    fired[target.index()] = true;
+                    push(&mut heap, &mut seq, time, Action::Ready(target));
+                }
+            }
+        }
+    }
+
+    assert!(
+        finished[sink.index()],
+        "sink never completed — ill-formed workflow slipped through validation"
+    );
+    SimOutcome {
+        completion: Seconds(finish_time[sink.index()]),
+        server_busy: server_busy.into_iter().map(Seconds).collect(),
+        messages_sent,
+        bytes_sent: Mbits(bytes_sent),
+        xor_choices,
+        ops_executed,
+    }
+}
+
+fn sample_branch(w: &wsflow_model::Workflow, op: OpId, rng: &mut impl Rng) -> MsgId {
+    let out = w.out_msgs(op);
+    let total: f64 = out
+        .iter()
+        .map(|&m| w.message(m).branch_probability.value())
+        .sum();
+    let mut x = rng.gen::<f64>() * total;
+    for &m in out {
+        x -= w.message(m).branch_probability.value();
+        if x <= 0.0 {
+            return m;
+        }
+    }
+    *out.last().expect("XOR openers have outgoing edges")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use wsflow_cost::texecute;
+    use wsflow_model::{BlockSpec, MCycles, MbitsPerSec, WorkflowBuilder};
+    use wsflow_net::topology::{bus, homogeneous_servers};
+    use wsflow_net::ServerId;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn bus_problem(w: wsflow_model::Workflow, servers: usize, mbps: f64) -> Problem {
+        let net = bus("n", homogeneous_servers(servers, 1.0), MbitsPerSec(mbps)).unwrap();
+        Problem::new(w, net).unwrap()
+    }
+
+    #[test]
+    fn deterministic_line_matches_analytic_exactly() {
+        let mut b = WorkflowBuilder::new("w");
+        b.line(
+            "o",
+            &[MCycles(10.0), MCycles(20.0), MCycles(30.0)],
+            Mbits(0.5),
+        );
+        let p = bus_problem(b.build().unwrap(), 2, 10.0);
+        let m = Mapping::from_fn(3, |o| ServerId::new(o.0 % 2));
+        let out = simulate(&p, &m, SimConfig::ideal(), &mut rng(0));
+        let analytic = texecute(&p, &m);
+        assert!(
+            (out.completion.value() - analytic.value()).abs() < 1e-12,
+            "sim {} vs analytic {}",
+            out.completion,
+            analytic
+        );
+        assert_eq!(out.ops_executed, 3);
+        assert_eq!(out.messages_sent, 2);
+        assert!((out.bytes_sent.value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn and_block_matches_analytic() {
+        let spec = BlockSpec::and(
+            "a",
+            vec![
+                BlockSpec::op("fast", MCycles(10.0)),
+                BlockSpec::op("slow", MCycles(50.0)),
+            ],
+        );
+        let w = spec.lower("w", &mut || Mbits(0.1)).unwrap();
+        let p = bus_problem(w, 2, 100.0);
+        let m = Mapping::all_on(4, ServerId::new(0));
+        let out = simulate(&p, &m, SimConfig::ideal(), &mut rng(0));
+        assert!((out.completion.value() - texecute(&p, &m).value()).abs() < 1e-12);
+        assert_eq!(out.ops_executed, 4);
+    }
+
+    #[test]
+    fn or_block_races_to_fastest() {
+        let spec = BlockSpec::or(
+            "o",
+            vec![
+                BlockSpec::op("fast", MCycles(10.0)),
+                BlockSpec::op("slow", MCycles(50.0)),
+            ],
+        );
+        let w = spec.lower("w", &mut || Mbits::ZERO).unwrap();
+        let p = bus_problem(w, 2, 100.0);
+        let m = Mapping::all_on(4, ServerId::new(0));
+        let out = simulate(&p, &m, SimConfig::ideal(), &mut rng(0));
+        assert!((out.completion.value() - 0.010).abs() < 1e-12);
+        // Both branches still executed (they were all started).
+        assert_eq!(out.ops_executed, 4);
+    }
+
+    #[test]
+    fn xor_executes_exactly_one_branch() {
+        let spec = BlockSpec::xor_uniform(
+            "x",
+            vec![
+                BlockSpec::op("l", MCycles(10.0)),
+                BlockSpec::op("r", MCycles(50.0)),
+            ],
+        );
+        let w = spec.lower("w", &mut || Mbits::ZERO).unwrap();
+        let p = bus_problem(w, 2, 100.0);
+        let m = Mapping::all_on(4, ServerId::new(0));
+        for seed in 0..10 {
+            let out = simulate(&p, &m, SimConfig::ideal(), &mut rng(seed));
+            // open, close, and exactly one of {l, r}.
+            assert_eq!(out.ops_executed, 3, "seed {seed}");
+            assert_eq!(out.xor_choices.len(), 1);
+            let t = out.completion.value();
+            assert!(
+                (t - 0.010).abs() < 1e-12 || (t - 0.050).abs() < 1e-12,
+                "completion {t} is neither branch"
+            );
+        }
+    }
+
+    #[test]
+    fn xor_branch_frequencies_respect_probabilities() {
+        use wsflow_model::Probability;
+        let spec = BlockSpec::Decision {
+            kind: DecisionKind::Xor,
+            name: "x".into(),
+            branches: vec![
+                (Probability::new(0.9), BlockSpec::op("l", MCycles(10.0))),
+                (Probability::new(0.1), BlockSpec::op("r", MCycles(50.0))),
+            ],
+        };
+        let w = spec.lower("w", &mut || Mbits::ZERO).unwrap();
+        let p = bus_problem(w, 2, 100.0);
+        let m = Mapping::all_on(4, ServerId::new(0));
+        let mut r = rng(42);
+        let mut left = 0;
+        let trials = 2000;
+        for _ in 0..trials {
+            let out = simulate(&p, &m, SimConfig::ideal(), &mut r);
+            let (_, chosen) = out.xor_choices[0];
+            if p.workflow().message(chosen).to == p.workflow().op_by_name("l").unwrap() {
+                left += 1;
+            }
+        }
+        let freq = left as f64 / trials as f64;
+        assert!((freq - 0.9).abs() < 0.03, "observed left frequency {freq}");
+    }
+
+    #[test]
+    fn server_fifo_serialises_parallel_branches() {
+        // Two parallel 10-Mcycle ops on the same 1 GHz server: ideal
+        // model finishes at 10 ms (both run concurrently), FIFO at 20 ms.
+        let spec = BlockSpec::and(
+            "a",
+            vec![
+                BlockSpec::op("p", MCycles(10.0)),
+                BlockSpec::op("q", MCycles(10.0)),
+            ],
+        );
+        let w = spec.lower("w", &mut || Mbits::ZERO).unwrap();
+        let p = bus_problem(w, 2, 100.0);
+        let m = Mapping::all_on(4, ServerId::new(0));
+        let ideal = simulate(&p, &m, SimConfig::ideal(), &mut rng(0));
+        let fifo = simulate(
+            &p,
+            &m,
+            SimConfig {
+                server_fifo: true,
+                bus_serial: false,
+            },
+            &mut rng(0),
+        );
+        assert!((ideal.completion.value() - 0.010).abs() < 1e-12);
+        assert!((fifo.completion.value() - 0.020).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bus_serialisation_delays_concurrent_messages() {
+        // AND fork on s0 whose two branches run on s1 and s2: the two
+        // fork messages leave at the same instant; a serialised bus sends
+        // them one after the other.
+        let spec = BlockSpec::and(
+            "a",
+            vec![
+                BlockSpec::op("p", MCycles(10.0)),
+                BlockSpec::op("q", MCycles(10.0)),
+            ],
+        );
+        let w = spec.lower("w", &mut || Mbits(1.0)).unwrap();
+        let p = bus_problem(w, 3, 1.0); // 1 Mbps: 1 s per message
+        let open = p.workflow().op_by_name("a").unwrap();
+        let close = p.workflow().op_by_name("/a").unwrap();
+        let op_p = p.workflow().op_by_name("p").unwrap();
+        let op_q = p.workflow().op_by_name("q").unwrap();
+        let mut m = Mapping::all_on(4, ServerId::new(0));
+        let _ = (open, close);
+        m.assign(op_p, ServerId::new(1));
+        m.assign(op_q, ServerId::new(2));
+        let ideal = simulate(&p, &m, SimConfig::ideal(), &mut rng(0));
+        let serial = simulate(
+            &p,
+            &m,
+            SimConfig {
+                server_fifo: false,
+                bus_serial: true,
+            },
+            &mut rng(0),
+        );
+        assert!(
+            serial.completion > ideal.completion,
+            "serial {} should exceed ideal {}",
+            serial.completion,
+            ideal.completion
+        );
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_orders_events() {
+        let mut b = WorkflowBuilder::new("w");
+        b.line(
+            "o",
+            &[MCycles(10.0), MCycles(20.0), MCycles(30.0)],
+            Mbits(0.5),
+        );
+        let p = bus_problem(b.build().unwrap(), 2, 10.0);
+        let m = Mapping::from_fn(3, |o| ServerId::new(o.0 % 2));
+        let plain = simulate(&p, &m, SimConfig::ideal(), &mut rng(1));
+        let (traced, trace) = simulate_traced(&p, &m, SimConfig::ideal(), &mut rng(1));
+        assert_eq!(plain, traced);
+        // 3 starts + 3 finishes + 2 sends + 2 arrivals.
+        assert_eq!(trace.len(), 10);
+        // Events are time-ordered.
+        let times: Vec<f64> = trace.events().iter().map(|e| e.time.value()).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        // Render resolves names.
+        let rendered = trace.render(p.workflow(), p.network());
+        assert!(rendered.contains("start  o0"));
+        assert!(rendered.contains("finish o2"));
+        assert!(rendered.contains("send"));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let spec = BlockSpec::xor_uniform(
+            "x",
+            vec![
+                BlockSpec::op("l", MCycles(10.0)),
+                BlockSpec::op("r", MCycles(50.0)),
+            ],
+        );
+        let w = spec.lower("w", &mut || Mbits(0.3)).unwrap();
+        let p = bus_problem(w, 2, 10.0);
+        let m = Mapping::from_fn(4, |o| ServerId::new(o.0 % 2));
+        let a = simulate(&p, &m, SimConfig::contended(), &mut rng(9));
+        let b = simulate(&p, &m, SimConfig::contended(), &mut rng(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,180 @@
+//! XOR branch-probability estimation from observed executions.
+//!
+//! §3.4 of the paper: "The determination of this probability is based on
+//! monitoring initial executions of the workflow or simple prediction
+//! mechanisms." This module closes that loop for the reproduction: run
+//! the workflow (under its *true* probabilities) through the simulator,
+//! count which XOR branches fire, and produce a re-annotated workflow
+//! whose edge probabilities are the observed frequencies — the input a
+//! deployment algorithm would actually see in production.
+
+use std::collections::HashMap;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wsflow_cost::{Mapping, Problem};
+use wsflow_model::{Message, MsgId, OpId, Operation, Probability, Workflow};
+
+use crate::engine::{simulate, SimConfig};
+
+/// Observed XOR branch frequencies.
+#[derive(Debug, Clone, Default)]
+pub struct BranchEstimates {
+    /// Per XOR opener: per outgoing message, the number of times it was
+    /// chosen.
+    counts: HashMap<OpId, HashMap<MsgId, u64>>,
+    /// Per XOR opener: total executions observed.
+    totals: HashMap<OpId, u64>,
+}
+
+impl BranchEstimates {
+    /// Record one observed choice.
+    pub fn record(&mut self, opener: OpId, chosen: MsgId) {
+        *self
+            .counts
+            .entry(opener)
+            .or_default()
+            .entry(chosen)
+            .or_insert(0) += 1;
+        *self.totals.entry(opener).or_insert(0) += 1;
+    }
+
+    /// Observed frequency of `msg` at `opener`, if that opener was ever
+    /// seen.
+    pub fn frequency(&self, opener: OpId, msg: MsgId) -> Option<f64> {
+        let total = *self.totals.get(&opener)?;
+        let count = self
+            .counts
+            .get(&opener)
+            .and_then(|m| m.get(&msg))
+            .copied()
+            .unwrap_or(0);
+        Some(count as f64 / total as f64)
+    }
+
+    /// Number of executions observed for `opener`.
+    pub fn observations(&self, opener: OpId) -> u64 {
+        self.totals.get(&opener).copied().unwrap_or(0)
+    }
+
+    /// Collect estimates by simulating `trials` executions of the
+    /// deployed workflow.
+    pub fn from_simulation(
+        problem: &Problem,
+        mapping: &Mapping,
+        trials: usize,
+        seed: u64,
+    ) -> Self {
+        let mut est = Self::default();
+        for t in 0..trials {
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(seed.wrapping_add(t as u64 * 0x51_7C_C1_B7));
+            let out = simulate(problem, mapping, SimConfig::ideal(), &mut rng);
+            for (opener, chosen) in out.xor_choices {
+                est.record(opener, chosen);
+            }
+        }
+        est
+    }
+
+    /// Produce a workflow identical to `w` but with XOR branch
+    /// probabilities replaced by observed frequencies.
+    ///
+    /// Openers never observed keep their original annotations (no data
+    /// beats a guess). Branches never taken get frequency 0 — which is
+    /// what a monitoring-based deployment would believe.
+    pub fn apply(&self, w: &Workflow) -> Workflow {
+        let ops: Vec<Operation> = w.ops().to_vec();
+        let msgs: Vec<Message> = w
+            .messages()
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let mid = MsgId::from(i);
+                let mut msg = m.clone();
+                if let Some(freq) = self.frequency(m.from, mid) {
+                    msg.branch_probability = Probability::clamped(freq);
+                }
+                msg
+            })
+            .collect();
+        Workflow::new(w.name().to_string(), ops, msgs)
+            .expect("re-annotation preserves structure")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsflow_cost::Problem;
+    use wsflow_model::{BlockSpec, MCycles, Mbits, MbitsPerSec};
+    use wsflow_net::topology::{bus, homogeneous_servers};
+    use wsflow_net::ServerId;
+
+    fn xor_problem(p_left: f64) -> Problem {
+        let spec = BlockSpec::Decision {
+            kind: wsflow_model::DecisionKind::Xor,
+            name: "x".into(),
+            branches: vec![
+                (
+                    Probability::new(p_left),
+                    BlockSpec::op("l", MCycles(10.0)),
+                ),
+                (
+                    Probability::new(1.0 - p_left),
+                    BlockSpec::op("r", MCycles(20.0)),
+                ),
+            ],
+        };
+        let w = spec.lower("w", &mut || Mbits(0.1)).unwrap();
+        let net = bus("n", homogeneous_servers(2, 1.0), MbitsPerSec(100.0)).unwrap();
+        Problem::new(w, net).unwrap()
+    }
+
+    #[test]
+    fn record_and_query() {
+        let mut est = BranchEstimates::default();
+        let opener = OpId::new(0);
+        est.record(opener, MsgId::new(0));
+        est.record(opener, MsgId::new(0));
+        est.record(opener, MsgId::new(1));
+        assert_eq!(est.observations(opener), 3);
+        assert!((est.frequency(opener, MsgId::new(0)).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((est.frequency(opener, MsgId::new(1)).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(est.frequency(OpId::new(9), MsgId::new(0)), None);
+    }
+
+    #[test]
+    fn estimates_converge_to_true_probabilities() {
+        let p = xor_problem(0.8);
+        let m = Mapping::all_on(p.num_ops(), ServerId::new(0));
+        let est = BranchEstimates::from_simulation(&p, &m, 3000, 17);
+        let x = p.workflow().op_by_name("x").unwrap();
+        assert_eq!(est.observations(x), 3000);
+        let left_msg = p
+            .workflow()
+            .find_message(x, p.workflow().op_by_name("l").unwrap())
+            .unwrap();
+        let freq = est.frequency(x, left_msg).unwrap();
+        assert!((freq - 0.8).abs() < 0.03, "estimated {freq}");
+    }
+
+    #[test]
+    fn apply_reannotates_only_observed_openers() {
+        let p = xor_problem(0.8);
+        let m = Mapping::all_on(p.num_ops(), ServerId::new(0));
+        let est = BranchEstimates::from_simulation(&p, &m, 500, 23);
+        let reannotated = est.apply(p.workflow());
+        assert_eq!(reannotated.num_ops(), p.workflow().num_ops());
+        let x = reannotated.op_by_name("x").unwrap();
+        let probs: f64 = reannotated
+            .out_msgs(x)
+            .iter()
+            .map(|&mid| reannotated.message(mid).branch_probability.value())
+            .sum();
+        assert!((probs - 1.0).abs() < 1e-9, "frequencies sum to {probs}");
+        // The estimated workflow remains usable in a Problem.
+        let net = bus("n2", homogeneous_servers(2, 1.0), MbitsPerSec(100.0)).unwrap();
+        Problem::new(reannotated, net).unwrap();
+    }
+}

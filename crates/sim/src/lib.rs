@@ -1,0 +1,32 @@
+//! # wsflow-sim — discrete-event simulator
+//!
+//! An independent execution model for deployed workflows. Where
+//! `wsflow-cost` computes the paper's *analytic expected* metrics, this
+//! crate plays executions out event by event: XOR branches are sampled,
+//! OR branches race, and — beyond the paper's assumptions — servers can
+//! queue operations FIFO and the shared bus can serialise messages.
+//!
+//! Uses:
+//!
+//! * cross-validate the analytic model ([`simulate`] with
+//!   [`SimConfig::ideal`] matches `texecute` exactly on deterministic
+//!   workflows, and in expectation on XOR workflows),
+//! * quantify what the analytic model misses under contention
+//!   ([`SimConfig::contended`]),
+//! * estimate XOR probabilities from "monitored" executions
+//!   ([`BranchEstimates`]), the paper's §3.4 deployment input.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod engine;
+pub mod estimate;
+pub mod monte_carlo;
+pub mod open_loop;
+pub mod trace;
+
+pub use engine::{simulate, simulate_traced, SimConfig, SimOutcome};
+pub use trace::{ExecutionTrace, TraceEvent, TraceKind};
+pub use estimate::BranchEstimates;
+pub use monte_carlo::{run as monte_carlo, MonteCarloResult, SampleStats};
+pub use open_loop::{open_loop, OpenLoopConfig, OpenLoopResult};

@@ -1,0 +1,436 @@
+//! Open-loop simulation: a stream of workflow *instances* arriving over
+//! time and competing for the same servers.
+//!
+//! The paper deploys for a single request and motivates fairness with
+//! "whenever additional workflows are deployed … a reasonable load
+//! scale-up is still possible" (§2.1). This module quantifies that
+//! scale-up: instances arrive as a Poisson process, servers process
+//! operations FIFO across instances, and we measure sojourn time,
+//! throughput, and per-server utilisation. Fair deployments should
+//! degrade gracefully as the arrival rate grows; deployments that pile
+//! work on one server should hit its capacity wall early.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use rand::Rng;
+use wsflow_cost::{Mapping, Problem};
+use wsflow_model::{DecisionKind, MsgId, OpId, OpKind, Seconds};
+
+use crate::monte_carlo::SampleStats;
+
+/// Configuration of an open-loop run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpenLoopConfig {
+    /// Number of workflow instances to inject.
+    pub instances: usize,
+    /// Mean arrival rate (instances per second). Inter-arrival times
+    /// are exponential.
+    pub arrival_rate_hz: f64,
+    /// Whether inter-server messages serialise on the shared bus.
+    pub bus_serial: bool,
+}
+
+impl OpenLoopConfig {
+    /// `instances` arrivals at `rate` Hz, without bus serialisation.
+    pub fn new(instances: usize, arrival_rate_hz: f64) -> Self {
+        assert!(instances > 0, "at least one instance required");
+        assert!(
+            arrival_rate_hz > 0.0 && arrival_rate_hz.is_finite(),
+            "arrival rate must be positive"
+        );
+        Self {
+            instances,
+            arrival_rate_hz,
+            bus_serial: false,
+        }
+    }
+
+    /// Builder-style: enable bus serialisation.
+    pub fn with_bus_serial(mut self) -> Self {
+        self.bus_serial = true;
+        self
+    }
+}
+
+/// The measurements of an open-loop run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopResult {
+    /// Sojourn time (arrival → sink completion) statistics over all
+    /// instances.
+    pub sojourn: SampleStats,
+    /// Completed instances per second of simulated time.
+    pub throughput_hz: f64,
+    /// Per-server busy fraction of the makespan.
+    pub utilization: Vec<f64>,
+    /// Time from the first arrival to the last completion.
+    pub makespan: Seconds,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Action {
+    /// Instance `usize` is injected (its source becomes ready).
+    Inject(usize),
+    /// `(instance, op)` may enter service.
+    Ready(usize, OpId),
+    /// `(instance, op)` finishes processing.
+    Finish(usize, OpId),
+    /// `(instance, msg)` arrives at its destination.
+    Arrive(usize, MsgId),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: f64,
+    seq: u64,
+    action: Action,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Run an open-loop simulation of `config.instances` arrivals.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use wsflow_cost::{Mapping, Problem};
+/// use wsflow_model::{MCycles, Mbits, MbitsPerSec, WorkflowBuilder};
+/// use wsflow_net::topology::{bus, homogeneous_servers};
+/// use wsflow_net::ServerId;
+/// use wsflow_sim::{open_loop, OpenLoopConfig};
+///
+/// let mut b = WorkflowBuilder::new("w");
+/// b.line("op", &[MCycles(10.0), MCycles(20.0)], Mbits(0.1));
+/// let net = bus("n", homogeneous_servers(2, 1.0), MbitsPerSec(100.0)).unwrap();
+/// let problem = Problem::new(b.build().unwrap(), net).unwrap();
+/// let mapping = Mapping::from_fn(2, |op| ServerId::new(op.0 % 2));
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let result = open_loop(&problem, &mapping, OpenLoopConfig::new(50, 10.0), &mut rng);
+/// assert_eq!(result.sojourn.trials, 50);
+/// assert!(result.throughput_hz > 0.0);
+/// ```
+pub fn open_loop(
+    problem: &Problem,
+    mapping: &Mapping,
+    config: OpenLoopConfig,
+    rng: &mut impl Rng,
+) -> OpenLoopResult {
+    let w = problem.workflow();
+    let net = problem.network();
+    let n_ops = w.num_ops();
+    let k = config.instances;
+    let source = w.sources()[0];
+    let sink = w.sinks()[0];
+
+    let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut push = |heap: &mut BinaryHeap<Event>, time: f64, action: Action| {
+        heap.push(Event {
+            time,
+            seq,
+            action,
+        });
+        seq += 1;
+    };
+
+    // Poisson arrivals.
+    let mut arrivals = Vec::with_capacity(k);
+    let mut t = 0.0f64;
+    for i in 0..k {
+        // First instance arrives at t = 0; subsequent ones after
+        // exponential gaps.
+        if i > 0 {
+            let u: f64 = rng.gen::<f64>().max(1e-300);
+            t += -u.ln() / config.arrival_rate_hz;
+        }
+        arrivals.push(t);
+        push(&mut heap, t, Action::Inject(i));
+    }
+
+    // Per-instance state, flattened: index = instance * n_ops + op.
+    let mut arrived = vec![0usize; k * n_ops];
+    let mut fired = vec![false; k * n_ops];
+    let mut completion = vec![f64::NAN; k];
+    // Per-server FIFO across instances.
+    let mut queues: Vec<VecDeque<(usize, OpId)>> =
+        (0..net.num_servers()).map(|_| VecDeque::new()).collect();
+    let mut busy = vec![false; net.num_servers()];
+    let mut server_busy_time = vec![0.0f64; net.num_servers()];
+    let mut bus_free = 0.0f64;
+    let mut last_completion = 0.0f64;
+
+    let tproc = |op: OpId| -> f64 {
+        (w.op(op).cost / net.server(mapping.server_of(op)).power).value()
+    };
+
+    while let Some(Event { time, action, .. }) = heap.pop() {
+        match action {
+            Action::Inject(inst) => {
+                fired[inst * n_ops + source.index()] = true;
+                push(&mut heap, time, Action::Ready(inst, source));
+            }
+            Action::Ready(inst, op) => {
+                let s = mapping.server_of(op);
+                queues[s.index()].push_back((inst, op));
+                if !busy[s.index()] {
+                    let (ni, no) = queues[s.index()].pop_front().expect("just pushed");
+                    busy[s.index()] = true;
+                    push(&mut heap, time + tproc(no), Action::Finish(ni, no));
+                }
+            }
+            Action::Finish(inst, op) => {
+                let s = mapping.server_of(op);
+                server_busy_time[s.index()] += tproc(op);
+                if op == sink {
+                    completion[inst] = time;
+                    last_completion = last_completion.max(time);
+                }
+                // Next queued operation on this server.
+                if let Some((ni, no)) = queues[s.index()].pop_front() {
+                    push(&mut heap, time + tproc(no), Action::Finish(ni, no));
+                } else {
+                    busy[s.index()] = false;
+                }
+                // Dispatch messages.
+                let out = w.out_msgs(op);
+                let chosen: Vec<MsgId> =
+                    if w.op(op).kind == OpKind::Open(DecisionKind::Xor) {
+                        vec![sample_branch(w, op, rng)]
+                    } else {
+                        out.to_vec()
+                    };
+                for mid in chosen {
+                    let msg = w.message(mid);
+                    let from = mapping.server_of(msg.from);
+                    let to = mapping.server_of(msg.to);
+                    let arrival = if from == to {
+                        time
+                    } else {
+                        match (config.bus_serial, net.bus_speed()) {
+                            (true, Some(speed)) => {
+                                let start = time.max(bus_free);
+                                bus_free = start + (msg.size / speed).value();
+                                bus_free
+                            }
+                            _ => {
+                                time + problem
+                                    .routing()
+                                    .transfer_time(net, from, to, msg.size)
+                                    .expect("fully routable")
+                                    .value()
+                            }
+                        }
+                    };
+                    push(&mut heap, arrival, Action::Arrive(inst, mid));
+                }
+            }
+            Action::Arrive(inst, mid) => {
+                let target = w.message(mid).to;
+                let idx = inst * n_ops + target.index();
+                if fired[idx] {
+                    continue;
+                }
+                arrived[idx] += 1;
+                let fire = match w.op(target).kind {
+                    OpKind::Close(DecisionKind::And) => arrived[idx] == w.in_degree(target),
+                    _ => true,
+                };
+                if fire {
+                    fired[idx] = true;
+                    push(&mut heap, time, Action::Ready(inst, target));
+                }
+            }
+        }
+    }
+
+    let sojourns: Vec<f64> = completion
+        .iter()
+        .zip(&arrivals)
+        .map(|(&c, &a)| {
+            assert!(!c.is_nan(), "every instance must complete");
+            c - a
+        })
+        .collect();
+    let makespan = last_completion; // first arrival is at t = 0
+    OpenLoopResult {
+        sojourn: SampleStats::from_values(&sojourns),
+        throughput_hz: if makespan > 0.0 {
+            k as f64 / makespan
+        } else {
+            f64::INFINITY
+        },
+        utilization: server_busy_time
+            .iter()
+            .map(|&b| if makespan > 0.0 { b / makespan } else { 0.0 })
+            .collect(),
+        makespan: Seconds(makespan),
+    }
+}
+
+fn sample_branch(w: &wsflow_model::Workflow, op: OpId, rng: &mut impl Rng) -> MsgId {
+    let out = w.out_msgs(op);
+    let total: f64 = out
+        .iter()
+        .map(|&m| w.message(m).branch_probability.value())
+        .sum();
+    let mut x = rng.gen::<f64>() * total;
+    for &m in out {
+        x -= w.message(m).branch_probability.value();
+        if x <= 0.0 {
+            return m;
+        }
+    }
+    *out.last().expect("XOR openers have outgoing edges")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate, SimConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use wsflow_model::{MCycles, Mbits, MbitsPerSec, WorkflowBuilder};
+    use wsflow_net::topology::{bus, homogeneous_servers};
+    use wsflow_net::ServerId;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn line_problem() -> Problem {
+        let mut b = WorkflowBuilder::new("w");
+        b.line(
+            "o",
+            &[MCycles(10.0), MCycles(20.0), MCycles(10.0)],
+            Mbits(0.1),
+        );
+        let net = bus("n", homogeneous_servers(2, 1.0), MbitsPerSec(100.0)).unwrap();
+        Problem::new(b.build().unwrap(), net).unwrap()
+    }
+
+    #[test]
+    fn light_load_sojourn_matches_single_instance() {
+        let p = line_problem();
+        let m = Mapping::from_fn(3, |o| ServerId::new(o.0 % 2));
+        let single = simulate(
+            &p,
+            &m,
+            SimConfig {
+                server_fifo: true,
+                bus_serial: false,
+            },
+            &mut rng(0),
+        );
+        // One arrival every 100 s: zero interference.
+        let result = open_loop(&p, &m, OpenLoopConfig::new(20, 0.01), &mut rng(0));
+        assert!(
+            (result.sojourn.mean.value() - single.completion.value()).abs() < 1e-9,
+            "light load mean {} vs single {}",
+            result.sojourn.mean,
+            single.completion
+        );
+        assert!(result.sojourn.std_dev.value() < 1e-9);
+    }
+
+    #[test]
+    fn heavy_load_queues() {
+        let p = line_problem();
+        let m = Mapping::from_fn(3, |o| ServerId::new(o.0 % 2));
+        let light = open_loop(&p, &m, OpenLoopConfig::new(50, 0.01), &mut rng(1));
+        // 1000 arrivals/s onto a ~40 ms workflow: heavy queueing.
+        let heavy = open_loop(&p, &m, OpenLoopConfig::new(50, 1000.0), &mut rng(1));
+        assert!(
+            heavy.sojourn.mean > light.sojourn.mean,
+            "heavy {} vs light {}",
+            heavy.sojourn.mean,
+            light.sojourn.mean
+        );
+        // Utilisation rises with load.
+        let light_util: f64 = light.utilization.iter().sum();
+        let heavy_util: f64 = heavy.utilization.iter().sum();
+        assert!(heavy_util > light_util);
+        assert!(heavy.utilization.iter().all(|&u| u <= 1.0 + 1e-9));
+    }
+
+    #[test]
+    fn throughput_is_instances_over_makespan() {
+        let p = line_problem();
+        let m = Mapping::all_on(3, ServerId::new(0));
+        let r = open_loop(&p, &m, OpenLoopConfig::new(10, 5.0), &mut rng(2));
+        let expected = 10.0 / r.makespan.value();
+        assert!((r.throughput_hz - expected).abs() < 1e-9);
+        assert!(r.makespan.value() > 0.0);
+    }
+
+    #[test]
+    fn fair_deployment_scales_better_than_single_server() {
+        // The paper's motivation: under load, spreading work beats
+        // stacking it on one machine.
+        let p = line_problem();
+        let fair = Mapping::from_fn(3, |o| ServerId::new(o.0 % 2));
+        let stacked = Mapping::all_on(3, ServerId::new(0));
+        let cfg = OpenLoopConfig::new(100, 100.0);
+        let fair_result = open_loop(&p, &fair, cfg, &mut rng(3));
+        let stacked_result = open_loop(&p, &stacked, cfg, &mut rng(3));
+        assert!(
+            fair_result.sojourn.mean < stacked_result.sojourn.mean,
+            "fair {} vs stacked {}",
+            fair_result.sojourn.mean,
+            stacked_result.sojourn.mean
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = line_problem();
+        let m = Mapping::from_fn(3, |o| ServerId::new(o.0 % 2));
+        let a = open_loop(&p, &m, OpenLoopConfig::new(30, 50.0), &mut rng(7));
+        let b = open_loop(&p, &m, OpenLoopConfig::new(30, 50.0), &mut rng(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn works_with_xor_graphs_and_bus_serial() {
+        use wsflow_model::BlockSpec;
+        let spec = BlockSpec::xor_uniform(
+            "x",
+            vec![
+                BlockSpec::op("l", MCycles(10.0)),
+                BlockSpec::op("r", MCycles(30.0)),
+            ],
+        );
+        let w = spec.lower("g", &mut || Mbits(0.5)).unwrap();
+        let net = bus("n", homogeneous_servers(3, 1.0), MbitsPerSec(10.0)).unwrap();
+        let p = Problem::new(w, net).unwrap();
+        let m = Mapping::from_fn(p.num_ops(), |o| ServerId::new(o.0 % 3));
+        let r = open_loop(
+            &p,
+            &m,
+            OpenLoopConfig::new(40, 20.0).with_bus_serial(),
+            &mut rng(5),
+        );
+        assert_eq!(r.sojourn.trials, 40);
+        assert!(r.sojourn.mean.value() > 0.0);
+    }
+}

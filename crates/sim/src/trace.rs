@@ -1,0 +1,181 @@
+//! Execution traces: a time-ordered record of everything a simulated
+//! run did, for debugging deployments and for rendering timelines.
+
+use std::fmt;
+
+use wsflow_model::{MsgId, OpId, Seconds};
+use wsflow_net::ServerId;
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Simulation time of the event.
+    pub time: Seconds,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// The kinds of traced events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceKind {
+    /// An operation began processing on a server.
+    OpStarted {
+        /// The operation.
+        op: OpId,
+        /// Where it runs.
+        server: ServerId,
+    },
+    /// An operation finished processing.
+    OpFinished {
+        /// The operation.
+        op: OpId,
+        /// Where it ran.
+        server: ServerId,
+    },
+    /// A message left its sender (only inter-server messages are
+    /// traced; co-located handoffs are instantaneous).
+    MsgSent {
+        /// The message.
+        msg: MsgId,
+        /// Sending server.
+        from: ServerId,
+        /// Receiving server.
+        to: ServerId,
+    },
+    /// A message reached its destination.
+    MsgArrived {
+        /// The message.
+        msg: MsgId,
+    },
+}
+
+/// A full execution trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecutionTrace {
+    events: Vec<TraceEvent>,
+}
+
+impl ExecutionTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event (engine-internal).
+    pub(crate) fn record(&mut self, time: f64, kind: TraceKind) {
+        self.events.push(TraceEvent {
+            time: Seconds(time),
+            kind,
+        });
+    }
+
+    /// The recorded events, in chronological order of recording.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events of one kind predicate.
+    pub fn filter(&self, mut pred: impl FnMut(&TraceKind) -> bool) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| pred(&e.kind)).collect()
+    }
+
+    /// Render a human-readable timeline, resolving names through the
+    /// workflow and network.
+    pub fn render(
+        &self,
+        workflow: &wsflow_model::Workflow,
+        network: &wsflow_net::Network,
+    ) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.events {
+            let _ = write!(out, "{:>10.3} ms  ", e.time.value() * 1e3);
+            match e.kind {
+                TraceKind::OpStarted { op, server } => {
+                    let _ = writeln!(
+                        out,
+                        "start  {} on {}",
+                        workflow.op(op).name,
+                        network.server(server).name
+                    );
+                }
+                TraceKind::OpFinished { op, server } => {
+                    let _ = writeln!(
+                        out,
+                        "finish {} on {}",
+                        workflow.op(op).name,
+                        network.server(server).name
+                    );
+                }
+                TraceKind::MsgSent { msg, from, to } => {
+                    let m = workflow.message(msg);
+                    let _ = writeln!(
+                        out,
+                        "send   {} -> {} ({} -> {}, {})",
+                        workflow.op(m.from).name,
+                        workflow.op(m.to).name,
+                        network.server(from).name,
+                        network.server(to).name,
+                        m.size
+                    );
+                }
+                TraceKind::MsgArrived { msg } => {
+                    let m = workflow.message(msg);
+                    let _ = writeln!(
+                        out,
+                        "recv   {} -> {}",
+                        workflow.op(m.from).name,
+                        workflow.op(m.to).name
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.6}s] {:?}", self.time.value(), self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_filter() {
+        let mut t = ExecutionTrace::new();
+        assert!(t.is_empty());
+        t.record(
+            0.0,
+            TraceKind::OpStarted {
+                op: OpId::new(0),
+                server: ServerId::new(0),
+            },
+        );
+        t.record(
+            0.5,
+            TraceKind::OpFinished {
+                op: OpId::new(0),
+                server: ServerId::new(0),
+            },
+        );
+        assert_eq!(t.len(), 2);
+        let finishes = t.filter(|k| matches!(k, TraceKind::OpFinished { .. }));
+        assert_eq!(finishes.len(), 1);
+        assert_eq!(finishes[0].time, Seconds(0.5));
+        assert!(finishes[0].to_string().contains("OpFinished"));
+    }
+}

@@ -1,0 +1,145 @@
+//! The paper's experiment classes (§4.1).
+//!
+//! * **Class A** varies link capacity and message sizes.
+//! * **Class B** varies server CPU power and operation workload.
+//! * **Class C** varies everything at once; Table 6 gives its
+//!   distributions, which are the defaults here.
+
+use wsflow_model::{MCycles, Mbits, MbitsPerSec};
+
+use crate::distributions::WeightedChoice;
+use crate::soap;
+
+/// The random distributions one experiment class draws from.
+#[derive(Debug, Clone)]
+pub struct ExperimentClass {
+    /// Name for reports ("A", "B", "C", or a sweep point label).
+    pub name: String,
+    /// Message size distribution `MsgSize(Oᵢ, Oᵢ₊₁)`.
+    pub msg_size: WeightedChoice<Mbits>,
+    /// Per-link speed distribution `Line_Speed(Sᵢ, Sᵢ₊₁)` (used for line
+    /// networks; bus networks take an explicit bus speed).
+    pub line_speed: WeightedChoice<MbitsPerSec>,
+    /// Operation cost distribution `C(Oᵢ)`.
+    pub op_cycles: WeightedChoice<MCycles>,
+    /// Server power distribution `P(Sᵢ)` in GHz.
+    pub power_ghz: WeightedChoice<f64>,
+}
+
+impl ExperimentClass {
+    /// Table 6: the Class C configuration.
+    ///
+    /// Message sizes are the three SOAP classes at 25/50/25 %, line
+    /// speeds {10, 100, 1000} Mbps at 25/50/25 %, operation costs
+    /// {10, 20, 30} M cycles at 25/50/25 %, powers {1, 2, 3} GHz at
+    /// 25/50/25 %.
+    pub fn class_c() -> Self {
+        Self {
+            name: "C".into(),
+            msg_size: WeightedChoice::new(vec![
+                (soap::MSG_SIMPLE, 0.25),
+                (soap::MSG_MEDIUM, 0.50),
+                (soap::MSG_COMPLEX, 0.25),
+            ]),
+            line_speed: WeightedChoice::new(vec![
+                (MbitsPerSec(10.0), 0.25),
+                (MbitsPerSec(100.0), 0.50),
+                (MbitsPerSec(1000.0), 0.25),
+            ]),
+            op_cycles: WeightedChoice::new(vec![
+                (MCycles(10.0), 0.25),
+                (MCycles(20.0), 0.50),
+                (MCycles(30.0), 0.25),
+            ]),
+            power_ghz: WeightedChoice::new(vec![(1.0, 0.25), (2.0, 0.50), (3.0, 0.25)]),
+        }
+    }
+
+    /// Class A: link capacity and message sizes vary; CPU power and
+    /// workload are pinned to their Class C medians (2 GHz, 20 M cycles).
+    pub fn class_a() -> Self {
+        let c = Self::class_c();
+        Self {
+            name: "A".into(),
+            msg_size: c.msg_size,
+            line_speed: c.line_speed,
+            op_cycles: WeightedChoice::constant(MCycles(20.0)),
+            power_ghz: WeightedChoice::constant(2.0),
+        }
+    }
+
+    /// Class B: CPU power and workload vary; message sizes and link
+    /// speeds are pinned to their Class C medians (medium SOAP message,
+    /// 100 Mbps).
+    pub fn class_b() -> Self {
+        let c = Self::class_c();
+        Self {
+            name: "B".into(),
+            msg_size: WeightedChoice::constant(soap::MSG_MEDIUM),
+            line_speed: WeightedChoice::constant(MbitsPerSec(100.0)),
+            op_cycles: c.op_cycles,
+            power_ghz: c.power_ghz,
+        }
+    }
+
+    /// Builder-style: rename (for sweep point labels).
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn class_c_matches_table_6() {
+        let c = ExperimentClass::class_c();
+        let sizes: Vec<Mbits> = c.msg_size.values().copied().collect();
+        assert_eq!(
+            sizes,
+            vec![Mbits(0.00666), Mbits(0.057838), Mbits(0.163208)]
+        );
+        assert_eq!(c.msg_size.probabilities(), vec![0.25, 0.50, 0.25]);
+        let cycles: Vec<MCycles> = c.op_cycles.values().copied().collect();
+        assert_eq!(cycles, vec![MCycles(10.0), MCycles(20.0), MCycles(30.0)]);
+        let powers: Vec<f64> = c.power_ghz.values().copied().collect();
+        assert_eq!(powers, vec![1.0, 2.0, 3.0]);
+        let speeds: Vec<MbitsPerSec> = c.line_speed.values().copied().collect();
+        assert_eq!(
+            speeds,
+            vec![MbitsPerSec(10.0), MbitsPerSec(100.0), MbitsPerSec(1000.0)]
+        );
+    }
+
+    #[test]
+    fn class_a_pins_compute() {
+        let a = ExperimentClass::class_a();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(a.op_cycles.sample(&mut rng), MCycles(20.0));
+            assert_eq!(a.power_ghz.sample(&mut rng), 2.0);
+        }
+        assert_eq!(a.msg_size.values().count(), 3);
+    }
+
+    #[test]
+    fn class_b_pins_network() {
+        let b = ExperimentClass::class_b();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(b.msg_size.sample(&mut rng), soap::MSG_MEDIUM);
+            assert_eq!(b.line_speed.sample(&mut rng), MbitsPerSec(100.0));
+        }
+        assert_eq!(b.op_cycles.values().count(), 3);
+    }
+
+    #[test]
+    fn renaming() {
+        let c = ExperimentClass::class_c().named("C-1Mbps");
+        assert_eq!(c.name, "C-1Mbps");
+    }
+}

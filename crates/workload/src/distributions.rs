@@ -1,0 +1,123 @@
+//! Weighted discrete distributions for workload parameters.
+
+use rand::Rng;
+
+/// A discrete distribution over values of `T` with explicit weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedChoice<T> {
+    items: Vec<(T, f64)>,
+    total: f64,
+}
+
+impl<T: Clone> WeightedChoice<T> {
+    /// Build from `(value, weight)` pairs. Weights must be positive and
+    /// finite; they need not sum to 1.
+    pub fn new(items: Vec<(T, f64)>) -> Self {
+        assert!(!items.is_empty(), "distribution needs at least one item");
+        assert!(
+            items.iter().all(|(_, w)| *w > 0.0 && w.is_finite()),
+            "weights must be positive and finite"
+        );
+        let total = items.iter().map(|(_, w)| w).sum();
+        Self { items, total }
+    }
+
+    /// A single certain value.
+    pub fn constant(value: T) -> Self {
+        Self::new(vec![(value, 1.0)])
+    }
+
+    /// Draw one value.
+    pub fn sample(&self, rng: &mut impl Rng) -> T {
+        let mut x = rng.gen::<f64>() * self.total;
+        for (v, w) in &self.items {
+            x -= w;
+            if x <= 0.0 {
+                return v.clone();
+            }
+        }
+        self.items
+            .last()
+            .map(|(v, _)| v.clone())
+            .expect("distribution is non-empty")
+    }
+
+    /// The possible values.
+    pub fn values(&self) -> impl Iterator<Item = &T> {
+        self.items.iter().map(|(v, _)| v)
+    }
+
+    /// The normalised probability of each item.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.items.iter().map(|(_, w)| w / self.total).collect()
+    }
+
+    /// The expected value for numeric distributions.
+    pub fn mean(&self) -> f64
+    where
+        T: Into<f64> + Copy,
+    {
+        self.items
+            .iter()
+            .map(|&(v, w)| Into::<f64>::into(v) * w / self.total)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn sampling_respects_weights() {
+        let d = WeightedChoice::new(vec![(1u32, 0.25), (2, 0.5), (3, 0.25)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut counts = [0u32; 4];
+        let n = 20_000;
+        for _ in 0..n {
+            counts[d.sample(&mut rng) as usize] += 1;
+        }
+        let f1 = counts[1] as f64 / n as f64;
+        let f2 = counts[2] as f64 / n as f64;
+        let f3 = counts[3] as f64 / n as f64;
+        assert!((f1 - 0.25).abs() < 0.02, "{f1}");
+        assert!((f2 - 0.50).abs() < 0.02, "{f2}");
+        assert!((f3 - 0.25).abs() < 0.02, "{f3}");
+    }
+
+    #[test]
+    fn constant_always_returns_value() {
+        let d = WeightedChoice::constant(7u32);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 7);
+        }
+    }
+
+    #[test]
+    fn probabilities_normalise() {
+        let d = WeightedChoice::new(vec![("a", 1.0), ("b", 3.0)]);
+        assert_eq!(d.probabilities(), vec![0.25, 0.75]);
+        assert_eq!(d.values().count(), 2);
+    }
+
+    #[test]
+    fn mean_of_numeric_distribution() {
+        let d = WeightedChoice::new(vec![(10.0f64, 0.25), (20.0, 0.5), (30.0, 0.25)]);
+        assert!((d.mean() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn rejects_zero_weight() {
+        let _ = WeightedChoice::new(vec![(1u32, 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn rejects_empty() {
+        let _: WeightedChoice<u32> = WeightedChoice::new(vec![]);
+    }
+}

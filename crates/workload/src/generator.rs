@@ -1,0 +1,356 @@
+//! Workflow and network generators.
+//!
+//! Linear workflows for the Line–Line and Line–Bus experiments, and
+//! random well-formed graphs (bushy / lengthy / hybrid, §4.2) for the
+//! Graph–Bus experiments. All generators are deterministic per seed.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use wsflow_model::{
+    BlockSpec, DecisionKind, MCycles, Probability, Workflow, WorkflowBuilder,
+};
+use wsflow_net::topology;
+use wsflow_net::{Network, Server};
+use wsflow_model::MbitsPerSec;
+
+use crate::classes::ExperimentClass;
+
+/// The three random-graph shapes of §4.2, defined by their
+/// decision/operational node balance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphClass {
+    /// 50 % decision / 50 % operational: short, high fan-out.
+    Bushy,
+    /// 16 % decision / 84 % operational: long paths.
+    Lengthy,
+    /// 35 % decision / 65 % operational: in between.
+    Hybrid,
+}
+
+impl GraphClass {
+    /// All classes, for sweeps.
+    pub const ALL: [GraphClass; 3] = [GraphClass::Bushy, GraphClass::Lengthy, GraphClass::Hybrid];
+
+    /// Target fraction of decision nodes.
+    pub fn decision_ratio(self) -> f64 {
+        match self {
+            GraphClass::Bushy => 0.50,
+            GraphClass::Lengthy => 0.16,
+            GraphClass::Hybrid => 0.35,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GraphClass::Bushy => "bushy",
+            GraphClass::Lengthy => "lengthy",
+            GraphClass::Hybrid => "hybrid",
+        }
+    }
+}
+
+impl std::fmt::Display for GraphClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Generate a linear workflow of `m` operations with costs and message
+/// sizes drawn from `class`.
+pub fn linear_workflow(
+    name: impl Into<String>,
+    m: usize,
+    class: &ExperimentClass,
+    seed: u64,
+) -> Workflow {
+    assert!(m >= 1, "workflow needs at least one operation");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = WorkflowBuilder::new(name);
+    let ids: Vec<_> = (0..m)
+        .map(|i| b.op(format!("o{i}"), class.op_cycles.sample(&mut rng)))
+        .collect();
+    for pair in ids.windows(2) {
+        b.msg(pair[0], pair[1], class.msg_size.sample(&mut rng));
+    }
+    b.build().expect("generated lines are structurally valid")
+}
+
+/// Generate a random well-formed workflow of exactly `m` nodes whose
+/// decision-node fraction approximates `graph_class.decision_ratio()`.
+///
+/// # Examples
+///
+/// ```
+/// use wsflow_workload::{random_graph_workflow, ExperimentClass, GraphClass};
+///
+/// let class = ExperimentClass::class_c();
+/// let w = random_graph_workflow("g", 19, GraphClass::Bushy, &class, 7);
+/// assert_eq!(w.num_ops(), 19);
+/// assert!(wsflow_model::is_well_formed(&w));
+/// ```
+///
+/// Construction: decide the number of decision blocks
+/// `B = round(ratio·m/2)` (each block contributes an opener and a
+/// closer), then scatter the `B` blocks and the `m − 2B` operational
+/// nodes over a growing tree of sequence slots — every decision branch
+/// opens a fresh slot. Lowering the resulting [`BlockSpec`] yields a
+/// well-formed graph by construction.
+pub fn random_graph_workflow(
+    name: impl Into<String>,
+    m: usize,
+    graph_class: GraphClass,
+    class: &ExperimentClass,
+    seed: u64,
+) -> Workflow {
+    assert!(m >= 1, "workflow needs at least one operation");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let blocks = ((graph_class.decision_ratio() * m as f64) / 2.0).round() as usize;
+    let blocks = blocks.min((m.saturating_sub(1)) / 2);
+    let op_nodes = m - 2 * blocks;
+
+    // Slot tree: each slot is a list of items; decision items point at
+    // child slots (their branches).
+    #[derive(Debug)]
+    enum Item {
+        Op(MCycles),
+        Block {
+            kind: DecisionKind,
+            branches: Vec<usize>, // slot indices
+        },
+    }
+    let mut slots: Vec<Vec<Item>> = vec![Vec::new()];
+
+    for _ in 0..blocks {
+        let parent = rng.gen_range(0..slots.len());
+        let fanout = rng.gen_range(2..=3usize);
+        let kind = *[DecisionKind::And, DecisionKind::Or, DecisionKind::Xor]
+            .choose(&mut rng)
+            .expect("non-empty");
+        let mut branch_slots = Vec::with_capacity(fanout);
+        for _ in 0..fanout {
+            slots.push(Vec::new());
+            branch_slots.push(slots.len() - 1);
+        }
+        slots[parent].push(Item::Block {
+            kind,
+            branches: branch_slots,
+        });
+    }
+    for _ in 0..op_nodes {
+        let slot = rng.gen_range(0..slots.len());
+        slots[slot].push(Item::Op(class.op_cycles.sample(&mut rng)));
+    }
+
+    // Materialise the slot tree into a BlockSpec, naming operations and
+    // blocks in discovery order.
+    let mut op_counter = 0usize;
+    let mut block_counter = 0usize;
+    fn build(
+        slot: usize,
+        slots: &[Vec<Item>],
+        op_counter: &mut usize,
+        block_counter: &mut usize,
+        rng: &mut ChaCha8Rng,
+    ) -> BlockSpec {
+        let mut items = Vec::new();
+        for item in &slots[slot] {
+            match item {
+                Item::Op(cost) => {
+                    items.push(BlockSpec::op(format!("o{}", *op_counter), *cost));
+                    *op_counter += 1;
+                }
+                Item::Block { kind, branches } => {
+                    let name = format!("d{}", *block_counter);
+                    *block_counter += 1;
+                    let children: Vec<BlockSpec> = branches
+                        .iter()
+                        .map(|&b| build(b, slots, op_counter, block_counter, rng))
+                        .collect();
+                    let probs = if *kind == DecisionKind::Xor {
+                        random_probabilities(children.len(), rng)
+                    } else {
+                        vec![Probability::ONE; children.len()]
+                    };
+                    items.push(BlockSpec::Decision {
+                        kind: *kind,
+                        name,
+                        branches: probs.into_iter().zip(children).collect(),
+                    });
+                }
+            }
+        }
+        BlockSpec::Seq(items)
+    }
+    let spec = build(0, &slots, &mut op_counter, &mut block_counter, &mut rng);
+
+    let mut sizer = {
+        let class = class.clone();
+        let mut size_rng = ChaCha8Rng::seed_from_u64(seed ^ 0xA5A5_A5A5_A5A5_A5A5);
+        move || class.msg_size.sample(&mut size_rng)
+    };
+    spec.lower(name, &mut sizer)
+        .expect("generated specs are structurally valid")
+}
+
+/// Random XOR branch probabilities: uniform weights normalised to 1.
+fn random_probabilities(k: usize, rng: &mut impl Rng) -> Vec<Probability> {
+    let weights: Vec<f64> = (0..k).map(|_| rng.gen_range(0.1..1.0)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut probs: Vec<f64> = weights.iter().map(|w| w / total).collect();
+    // Force an exact sum of 1 despite rounding.
+    let correction = 1.0 - probs.iter().sum::<f64>();
+    if let Some(last) = probs.last_mut() {
+        *last += correction;
+    }
+    probs.into_iter().map(Probability::clamped).collect()
+}
+
+/// Generate `n` servers with powers drawn from `class`.
+pub fn servers(n: usize, class: &ExperimentClass, seed: u64) -> Vec<Server> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| Server::with_ghz(format!("s{i}"), class.power_ghz.sample(&mut rng)))
+        .collect()
+}
+
+/// A bus network of `n` servers (powers from `class`) at `bus_speed`.
+pub fn bus_network(
+    n: usize,
+    bus_speed: MbitsPerSec,
+    class: &ExperimentClass,
+    seed: u64,
+) -> Network {
+    topology::bus("bus", servers(n, class, seed), bus_speed)
+        .expect("generated networks are valid")
+}
+
+/// A line network of `n` servers with per-link speeds drawn from
+/// `class`.
+pub fn line_network(n: usize, class: &ExperimentClass, seed: u64) -> Network {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5A5A_5A5A);
+    let speeds: Vec<MbitsPerSec> = (0..n.saturating_sub(1))
+        .map(|_| class.line_speed.sample(&mut rng))
+        .collect();
+    topology::line("line", servers(n, class, seed), &speeds)
+        .expect("generated networks are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsflow_model::{is_well_formed, WorkflowStats};
+
+    #[test]
+    fn linear_workflows_are_lines_and_deterministic() {
+        let class = ExperimentClass::class_c();
+        let w = linear_workflow("w", 19, &class, 42);
+        assert_eq!(w.num_ops(), 19);
+        assert!(w.is_line());
+        assert!(is_well_formed(&w));
+        let w2 = linear_workflow("w", 19, &class, 42);
+        assert_eq!(w, w2);
+        let w3 = linear_workflow("w", 19, &class, 43);
+        assert_ne!(w, w3);
+    }
+
+    #[test]
+    fn linear_costs_come_from_class_distribution() {
+        let class = ExperimentClass::class_c();
+        let w = linear_workflow("w", 100, &class, 7);
+        for op in w.ops() {
+            assert!(
+                [10.0, 20.0, 30.0].contains(&op.cost.value()),
+                "unexpected cost {}",
+                op.cost
+            );
+        }
+        for m in w.messages() {
+            assert!(
+                [0.00666, 0.057838, 0.163208].contains(&m.size.value()),
+                "unexpected size {}",
+                m.size
+            );
+        }
+    }
+
+    #[test]
+    fn random_graphs_are_well_formed_and_sized() {
+        let class = ExperimentClass::class_c();
+        for gc in GraphClass::ALL {
+            for seed in 0..20 {
+                let w = random_graph_workflow("g", 19, gc, &class, seed);
+                assert_eq!(w.num_ops(), 19, "{gc} seed {seed}");
+                assert!(is_well_formed(&w), "{gc} seed {seed} ill-formed");
+            }
+        }
+    }
+
+    #[test]
+    fn graph_classes_hit_their_decision_ratios() {
+        let class = ExperimentClass::class_c();
+        for gc in GraphClass::ALL {
+            let mut total_ratio = 0.0;
+            let runs = 20;
+            for seed in 0..runs {
+                let w = random_graph_workflow("g", 40, gc, &class, seed);
+                total_ratio += WorkflowStats::of(&w).decision_ratio;
+            }
+            let mean = total_ratio / runs as f64;
+            assert!(
+                (mean - gc.decision_ratio()).abs() < 0.08,
+                "{gc}: mean decision ratio {mean} vs target {}",
+                gc.decision_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn bushy_graphs_are_shorter_than_lengthy() {
+        let class = ExperimentClass::class_c();
+        let mean_depth = |gc: GraphClass| -> f64 {
+            (0..20)
+                .map(|seed| {
+                    let w = random_graph_workflow("g", 30, gc, &class, seed);
+                    WorkflowStats::of(&w).depth as f64
+                })
+                .sum::<f64>()
+                / 20.0
+        };
+        let bushy = mean_depth(GraphClass::Bushy);
+        let lengthy = mean_depth(GraphClass::Lengthy);
+        assert!(
+            bushy < lengthy,
+            "bushy depth {bushy} should be below lengthy {lengthy}"
+        );
+    }
+
+    #[test]
+    fn tiny_graphs_degenerate_gracefully() {
+        let class = ExperimentClass::class_c();
+        for m in 1..=4 {
+            let w = random_graph_workflow("g", m, GraphClass::Bushy, &class, 1);
+            assert_eq!(w.num_ops(), m);
+            assert!(is_well_formed(&w));
+        }
+    }
+
+    #[test]
+    fn networks_are_valid_and_deterministic() {
+        let class = ExperimentClass::class_c();
+        let b1 = bus_network(5, MbitsPerSec(100.0), &class, 3);
+        let b2 = bus_network(5, MbitsPerSec(100.0), &class, 3);
+        assert_eq!(b1, b2);
+        assert_eq!(b1.num_servers(), 5);
+        assert_eq!(b1.bus_speed(), Some(MbitsPerSec(100.0)));
+        for s in b1.servers() {
+            assert!([1.0, 2.0, 3.0].contains(&s.power.as_ghz()));
+        }
+        let l = line_network(4, &class, 3);
+        assert_eq!(l.num_links(), 3);
+        for link in l.links() {
+            assert!([10.0, 100.0, 1000.0].contains(&link.speed.value()));
+        }
+    }
+}

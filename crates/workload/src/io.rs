@@ -1,0 +1,137 @@
+//! Saving and loading scenarios as JSON.
+//!
+//! Lets an experiment archive the exact instances it ran on (the
+//! `results/` CSVs keep measurements; these files keep inputs), and
+//! lets bug reports carry a reproducible instance.
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+use wsflow_model::Workflow;
+use wsflow_net::Network;
+
+use crate::scenario::Scenario;
+
+/// Serialisable form of a [`Scenario`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioFile {
+    /// Scenario name.
+    pub name: String,
+    /// Seed that generated it (0 if hand-built).
+    pub seed: u64,
+    /// The workflow.
+    pub workflow: Workflow,
+    /// The network.
+    pub network: Network,
+}
+
+impl From<Scenario> for ScenarioFile {
+    fn from(s: Scenario) -> Self {
+        Self {
+            name: s.name,
+            seed: s.seed,
+            workflow: s.workflow,
+            network: s.network,
+        }
+    }
+}
+
+impl From<ScenarioFile> for Scenario {
+    fn from(mut f: ScenarioFile) -> Self {
+        // Adjacency indexes are not serialised; rebuild them.
+        f.workflow.reindex();
+        f.network.reindex();
+        Scenario {
+            name: f.name,
+            seed: f.seed,
+            workflow: f.workflow,
+            network: f.network,
+        }
+    }
+}
+
+/// Serialise a scenario to a JSON string.
+pub fn to_json(scenario: &Scenario) -> String {
+    let file = ScenarioFile {
+        name: scenario.name.clone(),
+        seed: scenario.seed,
+        workflow: scenario.workflow.clone(),
+        network: scenario.network.clone(),
+    };
+    serde_json::to_string_pretty(&file).expect("scenarios are serialisable")
+}
+
+/// Parse a scenario from JSON (rebuilding the in-memory indexes).
+pub fn from_json(json: &str) -> Result<Scenario, serde_json::Error> {
+    let file: ScenarioFile = serde_json::from_str(json)?;
+    Ok(file.into())
+}
+
+/// Write a scenario to a file.
+pub fn save(scenario: &Scenario, path: impl AsRef<Path>) -> std::io::Result<()> {
+    std::fs::write(path, to_json(scenario))
+}
+
+/// Read a scenario from a file.
+pub fn load(path: impl AsRef<Path>) -> std::io::Result<Scenario> {
+    let json = std::fs::read_to_string(path)?;
+    from_json(&json).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::ExperimentClass;
+    use crate::scenario::{generate, Configuration};
+    use crate::generator::GraphClass;
+    use wsflow_model::MbitsPerSec;
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let class = ExperimentClass::class_c();
+        let s = generate(
+            Configuration::GraphBus(GraphClass::Hybrid, MbitsPerSec(10.0)),
+            12,
+            3,
+            &class,
+            7,
+        );
+        let json = to_json(&s);
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.name, s.name);
+        assert_eq!(back.seed, s.seed);
+        assert_eq!(back.workflow, s.workflow);
+        assert_eq!(back.network, s.network);
+        // Indexes were rebuilt: adjacency queries work.
+        let src = back.workflow.sources();
+        assert_eq!(src.len(), 1);
+        assert!(back.network.is_connected());
+    }
+
+    #[test]
+    fn round_tripped_scenario_is_deployable() {
+        use wsflow_cost::Problem;
+        let class = ExperimentClass::class_c();
+        let s = generate(Configuration::LineBus(MbitsPerSec(100.0)), 8, 3, &class, 1);
+        let back = from_json(&to_json(&s)).unwrap();
+        let p = Problem::new(back.workflow, back.network).expect("valid after round trip");
+        assert_eq!(p.num_ops(), 8);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let class = ExperimentClass::class_c();
+        let s = generate(Configuration::LineBus(MbitsPerSec(100.0)), 5, 2, &class, 3);
+        let path = std::env::temp_dir().join(format!("wsflow-io-{}.json", std::process::id()));
+        save(&s, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.workflow, s.workflow);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_json_is_an_error() {
+        assert!(from_json("{not json").is_err());
+        assert!(from_json("{}").is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! Complete experiment scenarios: a workflow plus a network, ready to
+//! become a `wsflow_cost::Problem`.
+
+use wsflow_model::{MbitsPerSec, Workflow};
+use wsflow_net::Network;
+
+use crate::classes::ExperimentClass;
+use crate::generator::{
+    bus_network, line_network, linear_workflow, random_graph_workflow, GraphClass,
+};
+
+/// Which of the paper's Fig.-2 configurations a scenario instantiates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Configuration {
+    /// Linear workflow over a line network.
+    LineLine,
+    /// Linear workflow over a bus of the given speed.
+    LineBus(MbitsPerSec),
+    /// Random-graph workflow of the given shape over a bus.
+    GraphBus(GraphClass, MbitsPerSec),
+}
+
+impl std::fmt::Display for Configuration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Configuration::LineLine => write!(f, "line-line"),
+            Configuration::LineBus(speed) => write!(f, "line-bus@{}", speed.value()),
+            Configuration::GraphBus(gc, speed) => {
+                write!(f, "{gc}-bus@{}", speed.value())
+            }
+        }
+    }
+}
+
+/// A generated scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Human-readable identifier (configuration + sizes + seed).
+    pub name: String,
+    /// The generated workflow.
+    pub workflow: Workflow,
+    /// The generated network.
+    pub network: Network,
+    /// The seed that produced it.
+    pub seed: u64,
+}
+
+/// Generate one scenario with `m` operations and `n` servers.
+pub fn generate(
+    config: Configuration,
+    m: usize,
+    n: usize,
+    class: &ExperimentClass,
+    seed: u64,
+) -> Scenario {
+    // Decorrelate the workflow and network streams.
+    let wf_seed = seed;
+    let net_seed = seed ^ 0xDEAD_BEEF_CAFE_F00D;
+    let (workflow, network) = match config {
+        Configuration::LineLine => (
+            linear_workflow("w", m, class, wf_seed),
+            line_network(n, class, net_seed),
+        ),
+        Configuration::LineBus(speed) => (
+            linear_workflow("w", m, class, wf_seed),
+            bus_network(n, speed, class, net_seed),
+        ),
+        Configuration::GraphBus(gc, speed) => (
+            random_graph_workflow("w", m, gc, class, wf_seed),
+            bus_network(n, speed, class, net_seed),
+        ),
+    };
+    Scenario {
+        name: format!("{config} M={m} N={n} seed={seed}"),
+        workflow,
+        network,
+        seed,
+    }
+}
+
+/// Generate `count` scenarios with consecutive seeds starting at
+/// `base_seed`.
+pub fn generate_batch(
+    config: Configuration,
+    m: usize,
+    n: usize,
+    class: &ExperimentClass,
+    base_seed: u64,
+    count: usize,
+) -> Vec<Scenario> {
+    (0..count as u64)
+        .map(|i| generate(config, m, n, class, base_seed + i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsflow_cost::Problem;
+    use wsflow_net::TopologyKind;
+
+    #[test]
+    fn all_configurations_produce_valid_problems() {
+        let class = ExperimentClass::class_c();
+        let configs = [
+            Configuration::LineLine,
+            Configuration::LineBus(MbitsPerSec(100.0)),
+            Configuration::GraphBus(GraphClass::Bushy, MbitsPerSec(100.0)),
+            Configuration::GraphBus(GraphClass::Lengthy, MbitsPerSec(10.0)),
+            Configuration::GraphBus(GraphClass::Hybrid, MbitsPerSec(1000.0)),
+        ];
+        for config in configs {
+            let s = generate(config, 12, 4, &class, 7);
+            let p = Problem::new(s.workflow, s.network).expect("valid problem");
+            assert_eq!(p.num_ops(), 12);
+            assert_eq!(p.num_servers(), 4);
+        }
+    }
+
+    #[test]
+    fn configuration_selects_topology() {
+        let class = ExperimentClass::class_c();
+        let s = generate(Configuration::LineLine, 8, 3, &class, 1);
+        assert_eq!(s.network.kind(), TopologyKind::Line);
+        assert!(s.workflow.is_line());
+        let s = generate(
+            Configuration::GraphBus(GraphClass::Bushy, MbitsPerSec(10.0)),
+            12,
+            3,
+            &class,
+            1,
+        );
+        assert_eq!(s.network.kind(), TopologyKind::Bus);
+        assert_eq!(s.network.bus_speed(), Some(MbitsPerSec(10.0)));
+    }
+
+    #[test]
+    fn batch_uses_distinct_seeds() {
+        let class = ExperimentClass::class_c();
+        let batch = generate_batch(
+            Configuration::LineBus(MbitsPerSec(100.0)),
+            10,
+            3,
+            &class,
+            100,
+            5,
+        );
+        assert_eq!(batch.len(), 5);
+        for (i, s) in batch.iter().enumerate() {
+            assert_eq!(s.seed, 100 + i as u64);
+        }
+        assert_ne!(batch[0].workflow, batch[1].workflow);
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        let class = ExperimentClass::class_c();
+        let s = generate(
+            Configuration::GraphBus(GraphClass::Hybrid, MbitsPerSec(100.0)),
+            19,
+            5,
+            &class,
+            3,
+        );
+        assert!(s.name.contains("hybrid"));
+        assert!(s.name.contains("M=19"));
+        assert!(s.name.contains("N=5"));
+    }
+}

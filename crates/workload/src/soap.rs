@@ -1,0 +1,74 @@
+//! The paper's experimental constants (§4.1).
+//!
+//! Message sizes come from \[NgCG04\]'s three SOAP message classes and
+//! service times from [HGSL+05]; the paper derives cycle costs from them
+//! assuming 37 % of service time goes to message parsing. The operation
+//! weights (5/50/500 M cycles) are the paper's simple/medium/heavy
+//! service classes.
+//!
+//! Note: Table 6 prints the simple message as "0.06666 Mbits" while
+//! §4.1 derives 0.00666 Mbit from the 873-byte measurement; we follow
+//! §4.1 (the derivation), as EXPERIMENTS.md documents.
+
+use wsflow_model::{MCycles, Mbits, Seconds};
+
+/// Simple SOAP message: 873 bytes.
+pub const MSG_SIMPLE: Mbits = Mbits(0.00666);
+/// Medium SOAP message: 7 581 bytes.
+pub const MSG_MEDIUM: Mbits = Mbits(0.057838);
+/// Complex SOAP message: 21 392 bytes.
+pub const MSG_COMPLEX: Mbits = Mbits(0.163208);
+
+/// Web-service end-to-end times the paper assumes (4, 10, 20 ms).
+pub const SERVICE_TIMES: [Seconds; 3] = [Seconds(0.004), Seconds(0.010), Seconds(0.020)];
+
+/// Fraction of a service's time spent parsing the message (37 %).
+pub const PARSING_FRACTION: f64 = 0.37;
+
+/// Cycle cost of parsing a simple/medium/complex message (derived by
+/// the paper over a 1.67 GHz CPU): 2.5, 6.3, 12.7 M cycles.
+pub const PARSE_CYCLES: [MCycles; 3] = [MCycles(2.5), MCycles(6.3), MCycles(12.7)];
+
+/// A simple web-service operation: 5 M cycles.
+pub const OP_SIMPLE: MCycles = MCycles(5.0);
+/// A medium web-service operation: 50 M cycles.
+pub const OP_MEDIUM: MCycles = MCycles(50.0);
+/// A heavy web-service operation: 500 M cycles.
+pub const OP_HEAVY: MCycles = MCycles(500.0);
+
+/// The reference CPU the parse costs were derived on (1.67 GHz; the
+/// paper's "1.67 MHz" is a typo — 2.5 M cycles in 37 % of 4 ms implies
+/// GHz scale).
+pub const REFERENCE_CPU_GHZ: f64 = 1.67;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_sizes_roughly_match_byte_counts() {
+        // 873 B = 0.006984 Mbit; the paper rounds to 0.00666. Check the
+        // constants stay within the same order.
+        assert!((MSG_SIMPLE.value() - Mbits::from_bytes(873.0).value()).abs() < 0.001);
+        assert!((MSG_MEDIUM.value() - Mbits::from_bytes(7581.0).value()).abs() < 0.005);
+        assert!((MSG_COMPLEX.value() - Mbits::from_bytes(21392.0).value()).abs() < 0.01);
+    }
+
+    #[test]
+    fn parse_cycles_consistent_with_service_times() {
+        // parse_cycles ≈ service_time · 37 % · 1.67 GHz.
+        for (t, c) in SERVICE_TIMES.iter().zip(PARSE_CYCLES.iter()) {
+            let derived = t.value() * PARSING_FRACTION * REFERENCE_CPU_GHZ * 1000.0;
+            assert!(
+                (derived - c.value()).abs() / c.value() < 0.25,
+                "derived {derived} vs paper {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn operation_classes_are_ordered() {
+        assert!(OP_SIMPLE < OP_MEDIUM);
+        assert!(OP_MEDIUM < OP_HEAVY);
+    }
+}

@@ -1,0 +1,52 @@
+//! Visual inspection tooling: export a workflow and its deployment as
+//! Graphviz DOT, and print a full execution trace timeline.
+//!
+//! Run with: `cargo run --example deployment_visualization`
+//! Then render: `dot -Tsvg /tmp/wsflow_deployment.dot -o deployment.svg`
+
+use wsflow::cost::deployment_dot;
+use wsflow::model::workflow_dot;
+use wsflow::prelude::*;
+use wsflow::sim::simulate_traced;
+use wsflow::workload::{generate, Configuration, ExperimentClass, GraphClass};
+
+fn main() {
+    let class = ExperimentClass::class_c();
+    let scenario = generate(
+        Configuration::GraphBus(GraphClass::Hybrid, MbitsPerSec(10.0)),
+        12,
+        3,
+        &class,
+        5,
+    );
+    let problem = Problem::new(scenario.workflow, scenario.network).expect("valid");
+    let mapping = HeavyOpsLargeMsgs.deploy(&problem).expect("deployable");
+
+    // 1. Workflow structure as DOT.
+    let wf_dot = workflow_dot(problem.workflow());
+    let wf_path = std::env::temp_dir().join("wsflow_workflow.dot");
+    std::fs::write(&wf_path, &wf_dot).expect("writable temp dir");
+    println!("workflow DOT ({} bytes) -> {}", wf_dot.len(), wf_path.display());
+
+    // 2. Deployment (clustered by server) as DOT.
+    let dep_dot = deployment_dot(&problem, &mapping);
+    let dep_path = std::env::temp_dir().join("wsflow_deployment.dot");
+    std::fs::write(&dep_path, &dep_dot).expect("writable temp dir");
+    println!(
+        "deployment DOT ({} bytes) -> {}",
+        dep_dot.len(),
+        dep_path.display()
+    );
+    let crossings = dep_dot.matches("style=bold").count();
+    println!("inter-server messages in this deployment: {crossings}");
+
+    // 3. One traced execution, as a timeline.
+    let mut rng = rand::rngs::mock::StepRng::new(u64::MAX / 3, 12345);
+    let (outcome, trace) = simulate_traced(&problem, &mapping, SimConfig::ideal(), &mut rng);
+    println!(
+        "\nexecution completed in {:.3} ms; {} events:\n",
+        outcome.completion.value() * 1e3,
+        trace.len()
+    );
+    print!("{}", trace.render(problem.workflow(), problem.network()));
+}

@@ -1,0 +1,72 @@
+//! Quickstart: define a workflow, define a server network, deploy, and
+//! inspect the cost of the result.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use wsflow::prelude::*;
+
+fn main() {
+    // 1. A linear workflow of six operations. Costs use the paper's
+    //    class-C values (10–30 M cycles); messages are medium SOAP
+    //    messages (7 581 bytes ≈ 0.058 Mbit).
+    let mut b = WorkflowBuilder::new("order-pipeline");
+    let ids = b.line(
+        "stage",
+        &[
+            MCycles(20.0),
+            MCycles(10.0),
+            MCycles(30.0),
+            MCycles(20.0),
+            MCycles(10.0),
+            MCycles(30.0),
+        ],
+        Mbits(0.057838),
+    );
+    println!("workflow has {} operations: {:?}", ids.len(), ids);
+    let workflow = b.build().expect("structurally valid workflow");
+
+    // 2. Three servers (1, 2, 3 GHz) on a 100 Mbps bus.
+    let network = wsflow::net::topology::bus(
+        "cluster",
+        vec![
+            Server::with_ghz("edge", 1.0),
+            Server::with_ghz("mid", 2.0),
+            Server::with_ghz("big", 3.0),
+        ],
+        MbitsPerSec(100.0),
+    )
+    .expect("valid network");
+
+    // 3. Bundle into a problem (validates well-formedness and routing).
+    let problem = Problem::new(workflow, network).expect("valid problem");
+    println!(
+        "search space: {} servers ^ {} ops = {:.0} mappings",
+        problem.num_servers(),
+        problem.num_ops(),
+        problem.search_space()
+    );
+
+    // 4. Deploy with the paper's best all-round algorithm…
+    let mapping = HeavyOpsLargeMsgs
+        .deploy(&problem)
+        .expect("bus algorithms accept any instance");
+    println!("HeavyOps-LargeMsgs mapping: {mapping}");
+
+    // 5. …and evaluate it.
+    let mut ev = Evaluator::new(&problem);
+    let cost = ev.evaluate(&mapping);
+    println!(
+        "execution {:.3} ms, time penalty {:.3} ms, combined {:.3} ms",
+        cost.execution.value() * 1e3,
+        cost.penalty.value() * 1e3,
+        cost.combined.value() * 1e3
+    );
+
+    // 6. Compare against the global optimum (3^6 = 729 mappings, cheap).
+    let (opt_mapping, opt_cost) = wsflow::core::optimum(&problem, 10_000).expect("small space");
+    println!("exhaustive optimum: {opt_mapping} at {:.3} ms", opt_cost * 1e3);
+    println!(
+        "HeavyOps-LargeMsgs is within {:.1}% of optimal",
+        (cost.combined.value() / opt_cost - 1.0) * 100.0
+    );
+}

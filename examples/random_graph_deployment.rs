@@ -1,0 +1,56 @@
+//! Deploying random-graph workflows (§3.4 / §4.2): generate bushy,
+//! lengthy, and hybrid workflows, inspect their shapes, and watch how
+//! the probability-weighted algorithms handle each.
+//!
+//! Run with: `cargo run --example random_graph_deployment`
+
+use wsflow::core::registry::paper_bus_algorithms;
+use wsflow::model::WorkflowStats;
+use wsflow::prelude::*;
+use wsflow::workload::{bus_network, random_graph_workflow, ExperimentClass, GraphClass};
+
+fn main() {
+    let class = ExperimentClass::class_c();
+    let network = bus_network(5, MbitsPerSec(10.0), &class, 99);
+    println!("network: 5 servers on a 10 Mbps bus\n");
+
+    for gc in GraphClass::ALL {
+        let workflow = random_graph_workflow(format!("{gc}"), 19, gc, &class, 7);
+        let stats = WorkflowStats::of(&workflow);
+        println!(
+            "{gc:>8} ({}% decision target): {stats}",
+            (gc.decision_ratio() * 100.0).round()
+        );
+        let problem =
+            Problem::new(workflow, network.clone()).expect("generated scenarios are valid");
+
+        // Execution probabilities derived from the XOR annotations: how
+        // much of the workflow runs on an average request?
+        let expected_ops: f64 = problem
+            .workflow()
+            .op_ids()
+            .map(|o| problem.probabilities().of_op(o).value())
+            .sum();
+        println!(
+            "         expected operations executed per request: {expected_ops:.1} of {}",
+            problem.num_ops()
+        );
+
+        let mut ev = Evaluator::new(&problem);
+        for algo in paper_bus_algorithms(3) {
+            let mapping = algo.deploy(&problem).expect("bus algorithms accept graphs");
+            let cost = ev.evaluate(&mapping);
+            // Validate the analytic expectation against 500 simulated
+            // requests.
+            let mc = monte_carlo(&problem, &mapping, SimConfig::ideal(), 500, 5);
+            println!(
+                "         {:<20} exec {:>8.3} ms (sim {:>8.3} ms), penalty {:>7.3} ms",
+                algo.name(),
+                cost.execution.value() * 1e3,
+                mc.completion.mean.value() * 1e3,
+                cost.penalty.value() * 1e3,
+            );
+        }
+        println!();
+    }
+}

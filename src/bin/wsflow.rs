@@ -1,0 +1,16 @@
+//! The `wsflow` command-line tool. All logic lives in
+//! `wsflow::cli`; this binary only dispatches and sets the exit code.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match wsflow::cli::dispatch(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(match e {
+                wsflow::cli::CliError::Usage(_) => 2,
+                _ => 1,
+            });
+        }
+    }
+}

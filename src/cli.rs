@@ -1,0 +1,623 @@
+//! Implementation of the `wsflow` command-line tool.
+//!
+//! Kept separate from the thin binary (`src/bin/wsflow.rs`) so every
+//! command is directly unit-testable: each takes parsed options and
+//! returns the output it would print.
+
+use std::fmt;
+
+use wsflow_core::registry::paper_bus_algorithms;
+use wsflow_core::{
+    DeploymentAlgorithm, Exhaustive, FairLoad, FairLoadMergeMessages, FairLoadTieResolver,
+    FairLoadTieResolver2, HeavyOpsLargeMsgs, Portfolio,
+};
+use wsflow_cost::{deployment_dot, network_traffic, Evaluator, Problem};
+use wsflow_model::{dsl, workflow_dot, MbitsPerSec, Workflow, WorkflowStats};
+use wsflow_net::topology;
+use wsflow_net::Server;
+use wsflow_sim::{monte_carlo, SimConfig};
+use wsflow_workload::{random_graph_workflow, ExperimentClass, GraphClass};
+
+/// CLI failures, each mapping to a non-zero exit.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Usage(String),
+    /// The workflow file could not be read.
+    Io(std::io::Error),
+    /// The workflow file did not parse.
+    Parse(dsl::ParseError),
+    /// The workflow parsed but is ill-formed / unusable.
+    Invalid(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}\n\n{USAGE}"),
+            CliError::Io(e) => write!(f, "cannot read workflow file: {e}"),
+            CliError::Parse(e) => write!(f, "parse error: {e}"),
+            CliError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The tool's usage text.
+pub const USAGE: &str = "\
+wsflow — deploy web service workflows onto servers
+
+USAGE:
+  wsflow validate <workflow.wsf>
+  wsflow stats    <workflow.wsf>
+  wsflow dot      <workflow.wsf>
+  wsflow generate --ops N [--shape line|bushy|lengthy|hybrid] [--seed S]
+  wsflow deploy   <workflow.wsf> --servers GHZ[,GHZ…] [--bus MBPS] [--algo NAME]
+                  [--dot]
+  wsflow simulate <workflow.wsf> --servers GHZ[,GHZ…] [--bus MBPS] [--algo NAME]
+                  [--trials K] [--contended]
+  wsflow explain  <workflow.wsf> --servers GHZ[,GHZ…] [--bus MBPS] [--algo NAME]
+
+Workflow files use the line-oriented text format (see `wsflow::model::dsl`).
+Algorithms: fairload, fltr, fltr2, flmme, holm (default), portfolio,
+exhaustive, all.
+--servers 1.0,2.0,3.0 declares three servers with those GHz ratings;
+--bus sets the shared bus speed in Mbps (default 100).";
+
+/// A parsed server pool + bus speed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolSpec {
+    /// Server powers in GHz.
+    pub ghz: Vec<f64>,
+    /// Bus speed in Mbps.
+    pub bus_mbps: f64,
+}
+
+impl PoolSpec {
+    fn network(&self) -> Result<wsflow_net::Network, CliError> {
+        let servers: Vec<Server> = self
+            .ghz
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| Server::with_ghz(format!("s{i}"), g))
+            .collect();
+        topology::bus("pool", servers, MbitsPerSec(self.bus_mbps))
+            .map_err(|e| CliError::Invalid(format!("invalid server pool: {e}")))
+    }
+}
+
+/// Parse `--servers 1.0,2.0 --bus 100 --algo holm --trials K --contended`
+/// style flags from `args`; returns (pool, algo name, trials, contended).
+fn parse_flags(
+    args: &[String],
+) -> Result<(PoolSpec, String, usize, bool, bool), CliError> {
+    let mut ghz: Option<Vec<f64>> = None;
+    let mut bus = 100.0;
+    let mut algo = "holm".to_string();
+    let mut trials = 1000usize;
+    let mut contended = false;
+    let mut dot = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--servers" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::Usage("--servers needs a value".into()))?;
+                let parsed: Result<Vec<f64>, _> = v.split(',').map(str::parse).collect();
+                ghz = Some(parsed.map_err(|_| {
+                    CliError::Usage(format!("bad --servers value {v:?}; expected GHZ[,GHZ…]"))
+                })?);
+                i += 2;
+            }
+            "--bus" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::Usage("--bus needs a value".into()))?;
+                bus = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --bus value {v:?}")))?;
+                i += 2;
+            }
+            "--algo" => {
+                algo = args
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::Usage("--algo needs a value".into()))?
+                    .clone();
+                i += 2;
+            }
+            "--trials" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::Usage("--trials needs a value".into()))?;
+                trials = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --trials value {v:?}")))?;
+                i += 2;
+            }
+            "--contended" => {
+                contended = true;
+                i += 1;
+            }
+            "--dot" => {
+                dot = true;
+                i += 1;
+            }
+            other => {
+                return Err(CliError::Usage(format!("unknown flag {other:?}")));
+            }
+        }
+    }
+    let ghz = ghz.ok_or_else(|| CliError::Usage("--servers is required".into()))?;
+    if ghz.is_empty() || ghz.iter().any(|&g| g <= 0.0 || g.is_nan()) {
+        return Err(CliError::Usage("--servers needs positive GHz values".into()));
+    }
+    Ok((PoolSpec { ghz, bus_mbps: bus }, algo, trials, contended, dot))
+}
+
+fn load_workflow(path: &str) -> Result<Workflow, CliError> {
+    let text = std::fs::read_to_string(path).map_err(CliError::Io)?;
+    dsl::parse(&text).map_err(CliError::Parse)
+}
+
+fn algorithm_by_name(name: &str) -> Result<Box<dyn DeploymentAlgorithm>, CliError> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "fairload" => Box::new(FairLoad),
+        "fltr" => Box::new(FairLoadTieResolver::new(0)),
+        "fltr2" => Box::new(FairLoadTieResolver2::new(0)),
+        "flmme" => Box::new(FairLoadMergeMessages::new(0)),
+        "holm" => Box::new(HeavyOpsLargeMsgs),
+        "portfolio" => Box::new(Portfolio::new(0)),
+        "exhaustive" => Box::new(Exhaustive::new()),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown algorithm {other:?}; try fairload, fltr, fltr2, flmme, holm, portfolio, exhaustive, all"
+            )))
+        }
+    })
+}
+
+/// `wsflow validate <file>`: parse + well-formedness report.
+pub fn cmd_validate(path: &str) -> Result<String, CliError> {
+    let w = load_workflow(path)?;
+    match wsflow_model::validate(&w) {
+        Ok(()) => Ok(format!(
+            "{}: OK — well-formed workflow, {}\n",
+            path,
+            WorkflowStats::of(&w)
+        )),
+        Err(e) => Err(CliError::Invalid(format!("{path}: ill-formed — {e}"))),
+    }
+}
+
+/// `wsflow stats <file>`: shape statistics.
+pub fn cmd_stats(path: &str) -> Result<String, CliError> {
+    let w = load_workflow(path)?;
+    let stats = WorkflowStats::of(&w);
+    let mut out = format!("workflow {}\n", w.name());
+    out.push_str(&format!("  operations      {}\n", stats.num_ops));
+    out.push_str(&format!("  operational     {}\n", stats.num_operational));
+    out.push_str(&format!("  decision nodes  {}\n", stats.num_decision));
+    out.push_str(&format!("  decision ratio  {:.2}\n", stats.decision_ratio));
+    out.push_str(&format!("  messages        {}\n", stats.num_messages));
+    out.push_str(&format!("  depth           {}\n", stats.depth));
+    out.push_str(&format!("  max fan-out     {}\n", stats.max_fan_out));
+    out.push_str(&format!("  total work      {}\n", stats.total_cycles));
+    out.push_str(&format!("  linear          {}\n", stats.is_line));
+    Ok(out)
+}
+
+/// `wsflow dot <file>`: Graphviz export.
+pub fn cmd_dot(path: &str) -> Result<String, CliError> {
+    let w = load_workflow(path)?;
+    Ok(workflow_dot(&w))
+}
+
+/// `wsflow generate --ops N [--shape …] [--seed S]`: emit a random
+/// class-C workflow in the text format.
+pub fn cmd_generate(args: &[String]) -> Result<String, CliError> {
+    let mut ops = 19usize;
+    let mut shape = "line".to_string();
+    let mut seed = 0u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--ops" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::Usage("--ops needs a value".into()))?;
+                ops = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --ops value {v:?}")))?;
+                i += 2;
+            }
+            "--shape" => {
+                shape = args
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::Usage("--shape needs a value".into()))?
+                    .clone();
+                i += 2;
+            }
+            "--seed" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::Usage("--seed needs a value".into()))?;
+                seed = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --seed value {v:?}")))?;
+                i += 2;
+            }
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    let class = ExperimentClass::class_c();
+    let w = match shape.as_str() {
+        "line" => wsflow_workload::linear_workflow("generated", ops, &class, seed),
+        "bushy" => random_graph_workflow("generated", ops, GraphClass::Bushy, &class, seed),
+        "lengthy" => random_graph_workflow("generated", ops, GraphClass::Lengthy, &class, seed),
+        "hybrid" => random_graph_workflow("generated", ops, GraphClass::Hybrid, &class, seed),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown shape {other:?}; try line, bushy, lengthy, hybrid"
+            )))
+        }
+    };
+    Ok(dsl::serialize(&w))
+}
+
+/// `wsflow deploy <file> --servers … [--bus …] [--algo …]`.
+pub fn cmd_deploy(path: &str, flags: &[String]) -> Result<String, CliError> {
+    let w = load_workflow(path)?;
+    let (pool, algo_name, _, _, dot) = parse_flags(flags)?;
+    let problem = Problem::new(w, pool.network()?)
+        .map_err(|e| CliError::Invalid(format!("cannot assemble problem: {e}")))?;
+    if dot {
+        let algo = algorithm_by_name(if algo_name == "all" { "holm" } else { &algo_name })?;
+        let mapping = algo
+            .deploy(&problem)
+            .map_err(|e| CliError::Invalid(format!("{}: {e}", algo.name())))?;
+        return Ok(deployment_dot(&problem, &mapping));
+    }
+    let algos: Vec<Box<dyn DeploymentAlgorithm>> = if algo_name == "all" {
+        paper_bus_algorithms(0)
+    } else {
+        vec![algorithm_by_name(&algo_name)?]
+    };
+    let mut ev = Evaluator::new(&problem);
+    let mut out = String::new();
+    for algo in &algos {
+        let mapping = algo
+            .deploy(&problem)
+            .map_err(|e| CliError::Invalid(format!("{}: {e}", algo.name())))?;
+        let cost = ev.evaluate(&mapping);
+        out.push_str(&format!(
+            "{:<20} exec {:>10.3} ms  penalty {:>10.3} ms  traffic {:>8.4} Mbit\n",
+            algo.name(),
+            cost.execution.value() * 1e3,
+            cost.penalty.value() * 1e3,
+            network_traffic(&problem, &mapping).value()
+        ));
+        for server in problem.network().server_ids() {
+            let names: Vec<&str> = mapping
+                .ops_on(server)
+                .iter()
+                .map(|&o| problem.workflow().op(o).name.as_str())
+                .collect();
+            out.push_str(&format!(
+                "  {:<6} [{}]\n",
+                problem.network().server(server).name,
+                names.join(", ")
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// `wsflow simulate <file> --servers … [--trials K] [--contended]`.
+pub fn cmd_simulate(path: &str, flags: &[String]) -> Result<String, CliError> {
+    let w = load_workflow(path)?;
+    let (pool, algo_name, trials, contended, _) = parse_flags(flags)?;
+    let problem = Problem::new(w, pool.network()?)
+        .map_err(|e| CliError::Invalid(format!("cannot assemble problem: {e}")))?;
+    let algo = algorithm_by_name(if algo_name == "all" { "holm" } else { &algo_name })?;
+    let mapping = algo
+        .deploy(&problem)
+        .map_err(|e| CliError::Invalid(format!("{}: {e}", algo.name())))?;
+    let config = if contended {
+        SimConfig::contended()
+    } else {
+        SimConfig::ideal()
+    };
+    let analytic = wsflow_cost::texecute(&problem, &mapping);
+    let mc = monte_carlo(&problem, &mapping, config, trials, 0);
+    Ok(format!(
+        "{} under {} ({} trials{}):\n  analytic expected {:>10.3} ms\n  simulated mean    {:>10.3} ms ± {:.3} (95% CI)\n  min / max         {:>10.3} / {:.3} ms\n  mean bus messages {:>10.1}\n",
+        problem.workflow().name(),
+        algo.name(),
+        trials,
+        if contended { ", contended" } else { "" },
+        analytic.value() * 1e3,
+        mc.completion.mean.value() * 1e3,
+        mc.completion.ci95_half_width.value() * 1e3,
+        mc.completion.min.value() * 1e3,
+        mc.completion.max.value() * 1e3,
+        mc.mean_messages,
+    ))
+}
+
+/// `wsflow explain <file> --servers …`: deploy and report the critical
+/// path plus per-server loads — what to optimise and where the work
+/// landed.
+pub fn cmd_explain(path: &str, flags: &[String]) -> Result<String, CliError> {
+    let w = load_workflow(path)?;
+    let (pool, algo_name, _, _, _) = parse_flags(flags)?;
+    let problem = Problem::new(w, pool.network()?)
+        .map_err(|e| CliError::Invalid(format!("cannot assemble problem: {e}")))?;
+    let algo = algorithm_by_name(if algo_name == "all" { "holm" } else { &algo_name })?;
+    let mapping = algo
+        .deploy(&problem)
+        .map_err(|e| CliError::Invalid(format!("{}: {e}", algo.name())))?;
+    let cp = wsflow_cost::critical_path(&problem, &mapping);
+    let mut out = format!("deployment by {}\n\n", algo.name());
+    out.push_str(&wsflow_cost::critical_path::render(&problem, &mapping, &cp));
+    out.push_str("\nper-server load:\n");
+    let loads = wsflow_cost::loads(&problem, &mapping);
+    let avg: f64 =
+        loads.iter().map(|l| l.value()).sum::<f64>() / loads.len().max(1) as f64;
+    for (server, load) in problem.network().server_ids().zip(&loads) {
+        out.push_str(&format!(
+            "  {:<8} {:>9.3} ms ({:+.3} vs avg)\n",
+            problem.network().server(server).name,
+            load.value() * 1e3,
+            (load.value() - avg) * 1e3
+        ));
+    }
+    out.push_str(&format!(
+        "\ntime penalty {:.3} ms, expected bus traffic {:.4} Mbit\n",
+        wsflow_cost::time_penalty(&problem, &mapping).value() * 1e3,
+        network_traffic(&problem, &mapping).value().max(0.0)
+    ));
+    Ok(out)
+}
+
+/// Dispatch a full argument vector (without `argv[0]`).
+pub fn dispatch(args: &[String]) -> Result<String, CliError> {
+    let (cmd, rest) = args
+        .split_first()
+        .ok_or_else(|| CliError::Usage("no command given".into()))?;
+    match cmd.as_str() {
+        "validate" => {
+            let path = rest
+                .first()
+                .ok_or_else(|| CliError::Usage("validate needs a workflow file".into()))?;
+            cmd_validate(path)
+        }
+        "stats" => {
+            let path = rest
+                .first()
+                .ok_or_else(|| CliError::Usage("stats needs a workflow file".into()))?;
+            cmd_stats(path)
+        }
+        "dot" => {
+            let path = rest
+                .first()
+                .ok_or_else(|| CliError::Usage("dot needs a workflow file".into()))?;
+            cmd_dot(path)
+        }
+        "generate" => cmd_generate(rest),
+        "deploy" => {
+            let path = rest
+                .first()
+                .ok_or_else(|| CliError::Usage("deploy needs a workflow file".into()))?;
+            cmd_deploy(path, &rest[1..])
+        }
+        "simulate" => {
+            let path = rest
+                .first()
+                .ok_or_else(|| CliError::Usage("simulate needs a workflow file".into()))?;
+            cmd_simulate(path, &rest[1..])
+        }
+        "explain" => {
+            let path = rest
+                .first()
+                .ok_or_else(|| CliError::Usage("explain needs a workflow file".into()))?;
+            cmd_explain(path, &rest[1..])
+        }
+        "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn temp_workflow(content: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "wsflow-cli-test-{}-{}.wsf",
+            std::process::id(),
+            content.len()
+        ));
+        std::fs::write(&path, content).expect("temp dir writable");
+        path
+    }
+
+    const DEMO: &str = "workflow demo\nnode A op 50\nnode B op 10\nmsg A B 0.05\n";
+
+    #[test]
+    fn validate_ok_and_ill_formed() {
+        let path = temp_workflow(DEMO);
+        let out = cmd_validate(path.to_str().unwrap()).unwrap();
+        assert!(out.contains("OK"));
+        assert!(out.contains("2 ops"));
+        // Two sources → ill-formed.
+        let bad = temp_workflow("workflow bad\nnode A op 1\nnode B op 1\n");
+        let err = cmd_validate(bad.to_str().unwrap()).unwrap_err();
+        assert!(err.to_string().contains("ill-formed"));
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(bad).ok();
+    }
+
+    #[test]
+    fn stats_reports_shape() {
+        let path = temp_workflow(DEMO);
+        let out = cmd_stats(path.to_str().unwrap()).unwrap();
+        assert!(out.contains("operations      2"));
+        assert!(out.contains("linear          true"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn dot_emits_digraph() {
+        let path = temp_workflow(DEMO);
+        let out = cmd_dot(path.to_str().unwrap()).unwrap();
+        assert!(out.starts_with("digraph"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn generate_round_trips_through_parse() {
+        let out = cmd_generate(&strs(&["--ops", "12", "--shape", "hybrid", "--seed", "3"]))
+            .unwrap();
+        let w = dsl::parse(&out).unwrap();
+        assert_eq!(w.num_ops(), 12);
+        assert!(wsflow_model::is_well_formed(&w));
+    }
+
+    #[test]
+    fn generate_rejects_bad_shape() {
+        let err = cmd_generate(&strs(&["--shape", "donut"])).unwrap_err();
+        assert!(err.to_string().contains("unknown shape"));
+    }
+
+    #[test]
+    fn deploy_single_and_all() {
+        let path = temp_workflow(DEMO);
+        let out = cmd_deploy(
+            path.to_str().unwrap(),
+            &strs(&["--servers", "1.0,2.0", "--algo", "holm"]),
+        )
+        .unwrap();
+        assert!(out.contains("HeavyOps-LargeMsgs"));
+        assert!(out.contains("s0"));
+        let out = cmd_deploy(
+            path.to_str().unwrap(),
+            &strs(&["--servers", "1.0,2.0", "--algo", "all"]),
+        )
+        .unwrap();
+        assert!(out.contains("FairLoad"));
+        assert!(out.contains("FL-TieResolver2"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn deploy_requires_servers() {
+        let path = temp_workflow(DEMO);
+        let err = cmd_deploy(path.to_str().unwrap(), &[]).unwrap_err();
+        assert!(err.to_string().contains("--servers is required"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn simulate_reports_stats() {
+        let path = temp_workflow(DEMO);
+        let out = cmd_simulate(
+            path.to_str().unwrap(),
+            &strs(&["--servers", "1.0,1.0", "--trials", "50"]),
+        )
+        .unwrap();
+        assert!(out.contains("simulated mean"));
+        assert!(out.contains("50 trials"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn dispatch_covers_commands_and_errors() {
+        assert!(dispatch(&strs(&["help"])).unwrap().contains("USAGE"));
+        assert!(matches!(
+            dispatch(&strs(&["frobnicate"])).unwrap_err(),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(dispatch(&[]).unwrap_err(), CliError::Usage(_)));
+        assert!(matches!(
+            dispatch(&strs(&["validate"])).unwrap_err(),
+            CliError::Usage(_)
+        ));
+        // Missing file surfaces as Io.
+        assert!(matches!(
+            dispatch(&strs(&["validate", "/nonexistent/x.wsf"])).unwrap_err(),
+            CliError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn flag_parsing_errors() {
+        assert!(parse_flags(&strs(&["--servers", "abc"])).is_err());
+        assert!(parse_flags(&strs(&["--servers", "1.0", "--bus", "x"])).is_err());
+        assert!(parse_flags(&strs(&["--servers", "0.0"])).is_err());
+        assert!(parse_flags(&strs(&["--wat"])).is_err());
+        let (pool, algo, trials, contended, dot) = parse_flags(&strs(&[
+            "--servers",
+            "1.0,2.5",
+            "--bus",
+            "10",
+            "--algo",
+            "fltr",
+            "--trials",
+            "7",
+            "--contended",
+            "--dot",
+        ]))
+        .unwrap();
+        assert_eq!(pool.ghz, vec![1.0, 2.5]);
+        assert_eq!(pool.bus_mbps, 10.0);
+        assert_eq!(algo, "fltr");
+        assert_eq!(trials, 7);
+        assert!(contended);
+        assert!(dot);
+    }
+
+    #[test]
+    fn deploy_dot_emits_clusters() {
+        let path = temp_workflow(DEMO);
+        let out = cmd_deploy(
+            path.to_str().unwrap(),
+            &strs(&["--servers", "1.0,2.0", "--dot"]),
+        )
+        .unwrap();
+        assert!(out.starts_with("digraph"));
+        assert!(out.contains("subgraph cluster_s0"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn explain_shows_critical_path_and_loads() {
+        let path = temp_workflow(DEMO);
+        let out = cmd_explain(
+            path.to_str().unwrap(),
+            &strs(&["--servers", "1.0,2.0", "--bus", "1"]),
+        )
+        .unwrap();
+        assert!(out.contains("critical path"));
+        assert!(out.contains("per-server load"));
+        assert!(out.contains("time penalty"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn unknown_algorithm_is_reported() {
+        let path = temp_workflow(DEMO);
+        let err = cmd_deploy(
+            path.to_str().unwrap(),
+            &strs(&["--servers", "1.0,1.0", "--algo", "magic"]),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown algorithm"));
+        std::fs::remove_file(path).ok();
+    }
+}

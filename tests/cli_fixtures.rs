@@ -1,0 +1,83 @@
+//! The CLI commands exercised against the shipped fixture workflows in
+//! `examples/workflows/`.
+
+use wsflow::cli::{cmd_deploy, cmd_dot, cmd_explain, cmd_simulate, cmd_stats, cmd_validate};
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/workflows")
+        .join(name);
+    path.to_str().expect("utf-8 path").to_string()
+}
+
+fn strs(v: &[&str]) -> Vec<String> {
+    v.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn rendezvous_fixture_validates_as_the_papers_scenario() {
+    let out = cmd_validate(&fixture("rendezvous.wsf")).expect("valid");
+    assert!(out.contains("OK"));
+    assert!(out.contains("15 ops"), "the paper's 15 operations: {out}");
+    let stats = cmd_stats(&fixture("rendezvous.wsf")).expect("valid");
+    assert!(stats.contains("decision nodes  4")); // XOR + AND pairs
+}
+
+#[test]
+fn all_fixtures_validate_and_render() {
+    for name in ["rendezvous.wsf", "hybrid19.wsf", "line19.wsf"] {
+        let out = cmd_validate(&fixture(name)).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(out.contains("OK"), "{name}");
+        let dot = cmd_dot(&fixture(name)).expect("renders");
+        assert!(dot.starts_with("digraph"), "{name}");
+    }
+}
+
+#[test]
+fn rendezvous_deploys_on_the_ministry_pool() {
+    // The paper's 5-server ministry (§2.1).
+    let out = cmd_deploy(
+        &fixture("rendezvous.wsf"),
+        &strs(&["--servers", "3.0,2.0,2.0,1.0,1.0", "--bus", "100", "--algo", "all"]),
+    )
+    .expect("deploys");
+    for algo in [
+        "FairLoad",
+        "FL-TieResolver",
+        "FL-TieResolver2",
+        "FL-MergeMsgEnds",
+        "HeavyOps-LargeMsgs",
+    ] {
+        assert!(out.contains(algo), "missing {algo} in:\n{out}");
+    }
+    assert!(out.contains("conduct_meeting"));
+}
+
+#[test]
+fn rendezvous_simulates_and_explains() {
+    let sim = cmd_simulate(
+        &fixture("rendezvous.wsf"),
+        &strs(&["--servers", "3.0,2.0,2.0,1.0,1.0", "--trials", "200"]),
+    )
+    .expect("simulates");
+    assert!(sim.contains("simulated mean"));
+    let explain = cmd_explain(
+        &fixture("rendezvous.wsf"),
+        &strs(&["--servers", "3.0,2.0,2.0,1.0,1.0"]),
+    )
+    .expect("explains");
+    assert!(explain.contains("critical path"));
+    // The 500 Mcycle consultation dominates any critical path.
+    assert!(explain.contains("conduct_meeting"));
+}
+
+#[test]
+fn hybrid_fixture_deploys_with_probability_weighting() {
+    let out = cmd_deploy(
+        &fixture("hybrid19.wsf"),
+        &strs(&["--servers", "1.0,2.0,3.0", "--bus", "10"]),
+    )
+    .expect("deploys");
+    assert!(out.contains("HeavyOps-LargeMsgs"));
+    assert!(out.contains("exec"));
+}

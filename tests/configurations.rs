@@ -1,0 +1,105 @@
+//! Fig. 2 of the paper: the valid (workflow × network) configurations —
+//! Line–Line, Line–Bus, Random-Graph–Bus — each exercised end-to-end
+//! with its full algorithm family.
+
+use wsflow::core::registry::{line_line_variants, paper_bus_algorithms};
+use wsflow::core::DeployError;
+use wsflow::prelude::*;
+use wsflow::workload::{generate, Configuration, ExperimentClass, GraphClass};
+
+fn problem_for(config: Configuration, m: usize, n: usize, seed: u64) -> Problem {
+    let class = ExperimentClass::class_c();
+    let s = generate(config, m, n, &class, seed);
+    Problem::new(s.workflow, s.network).expect("generated scenarios are valid")
+}
+
+#[test]
+fn line_line_configuration() {
+    let problem = problem_for(Configuration::LineLine, 15, 4, 1);
+    for algo in line_line_variants() {
+        let mapping = algo.deploy(&problem).expect("line-line accepts line-line");
+        assert_eq!(mapping.len(), 15);
+        assert!(mapping.is_valid_for(4));
+        // Every server hosts at least one operation (M ≥ N guarantees
+        // this for the contiguous fill).
+        assert_eq!(mapping.servers_used(), 4, "{}", algo.name());
+    }
+}
+
+#[test]
+fn line_bus_configuration() {
+    let problem = problem_for(Configuration::LineBus(MbitsPerSec(100.0)), 19, 5, 2);
+    let mut ev = Evaluator::new(&problem);
+    for algo in paper_bus_algorithms(2) {
+        let mapping = algo.deploy(&problem).expect("bus family accepts line-bus");
+        assert_eq!(mapping.len(), 19);
+        let cost = ev.evaluate(&mapping);
+        assert!(cost.execution.value() > 0.0, "{}", algo.name());
+        assert!(cost.penalty.value() >= 0.0);
+        assert!(cost.combined.is_finite());
+    }
+}
+
+#[test]
+fn graph_bus_configuration_all_shapes() {
+    for gc in GraphClass::ALL {
+        let problem = problem_for(
+            Configuration::GraphBus(gc, MbitsPerSec(10.0)),
+            19,
+            5,
+            3,
+        );
+        let mut ev = Evaluator::new(&problem);
+        for algo in paper_bus_algorithms(3) {
+            let mapping = algo
+                .deploy(&problem)
+                .expect("bus family accepts graph-bus");
+            assert_eq!(mapping.len(), 19, "{gc}/{}", algo.name());
+            assert!(ev.combined(&mapping).is_finite());
+        }
+    }
+}
+
+#[test]
+fn invalid_combinations_are_rejected() {
+    // Line–Line algorithms refuse graph workflows and bus networks.
+    let graph_problem = problem_for(
+        Configuration::GraphBus(GraphClass::Hybrid, MbitsPerSec(100.0)),
+        12,
+        3,
+        4,
+    );
+    for algo in line_line_variants() {
+        assert_eq!(
+            algo.deploy(&graph_problem).unwrap_err(),
+            DeployError::RequiresLineWorkflow,
+            "{}",
+            algo.name()
+        );
+    }
+    let line_bus_problem = problem_for(Configuration::LineBus(MbitsPerSec(100.0)), 12, 3, 4);
+    for algo in line_line_variants() {
+        assert_eq!(
+            algo.deploy(&line_bus_problem).unwrap_err(),
+            DeployError::RequiresLineNetwork,
+            "{}",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn exhaustive_works_on_every_small_configuration() {
+    for (config, m) in [
+        (Configuration::LineLine, 6),
+        (Configuration::LineBus(MbitsPerSec(100.0)), 6),
+        (
+            Configuration::GraphBus(GraphClass::Bushy, MbitsPerSec(100.0)),
+            7,
+        ),
+    ] {
+        let problem = problem_for(config, m, 3, 5);
+        let mapping = Exhaustive::new().deploy(&problem).expect("small space");
+        assert_eq!(mapping.len(), m);
+    }
+}

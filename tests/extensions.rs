@@ -1,0 +1,178 @@
+//! Integration tests for the extensions beyond the paper: branch &
+//! bound, constrained deployment, multi-workflow deployment, open-loop
+//! simulation, Pareto analysis, and the probability-monitoring loop.
+
+use wsflow::core::{
+    deploy_joint_fair, deploy_sequential, BranchAndBound, ConstrainedDeploy, ConstrainedError,
+    MultiProblem,
+};
+use wsflow::cost::{pareto_front, ParetoPoint};
+use wsflow::prelude::*;
+use wsflow::sim::{open_loop, BranchEstimates, OpenLoopConfig};
+use wsflow::workload::{generate, linear_workflow, Configuration, ExperimentClass};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn class_c_problem(m: usize, n: usize, bus: f64, seed: u64) -> Problem {
+    let class = ExperimentClass::class_c();
+    let s = generate(Configuration::LineBus(MbitsPerSec(bus)), m, n, &class, seed);
+    Problem::new(s.workflow, s.network).expect("valid")
+}
+
+#[test]
+fn branch_and_bound_matches_exhaustive_on_generated_instances() {
+    for seed in 0..4 {
+        let p = class_c_problem(7, 3, 10.0, seed); // 3^7 = 2187
+        let (_, opt) = wsflow::core::optimum(&p, 100_000).expect("enumerable");
+        let out = BranchAndBound::new().deploy_with_proof(&p);
+        assert!(out.proven_optimal, "seed {seed} did not finish");
+        assert!(
+            (out.cost - opt).abs() < 1e-9,
+            "seed {seed}: bnb {} vs exhaustive {opt}",
+            out.cost
+        );
+    }
+}
+
+#[test]
+fn branch_and_bound_prunes_on_larger_instances() {
+    let p = class_c_problem(10, 3, 10.0, 1); // 3^10 = 59 049 leaves
+    let out = BranchAndBound::new().deploy_with_proof(&p);
+    assert!(out.proven_optimal);
+    let full_tree_nodes = (3u64.pow(11) - 1) / 2; // ~88 573
+    assert!(
+        out.nodes_expanded < full_tree_nodes / 2,
+        "expected substantial pruning, got {} nodes",
+        out.nodes_expanded
+    );
+}
+
+#[test]
+fn constrained_deployment_respects_bounds_end_to_end() {
+    let p = class_c_problem(12, 4, 1.0, 3);
+    // HOLM on a 1 Mbps bus trades fairness away; bound the penalty at
+    // a level FairLoad can reach.
+    let fair_penalty = time_penalty(&p, &FairLoad.deploy(&p).expect("ok"));
+    let bound = Seconds(fair_penalty.value() * 2.0 + 1e-6);
+    let p = p.with_constraints(UserConstraints::none().with_max_time_penalty(bound));
+    let mapping = ConstrainedDeploy::new(HeavyOpsLargeMsgs)
+        .deploy_constrained(&p)
+        .expect("feasible by construction");
+    assert!(time_penalty(&p, &mapping) <= bound);
+}
+
+#[test]
+fn infeasible_constraints_are_detected_not_silently_violated() {
+    let p = class_c_problem(12, 4, 1.0, 3)
+        .with_constraints(UserConstraints::none().with_max_execution_time(Seconds(1e-6)));
+    match ConstrainedDeploy::new(HeavyOpsLargeMsgs).deploy_constrained(&p) {
+        Err(ConstrainedError::Infeasible { violation, .. }) => {
+            assert!(violation.value() > 0.0);
+        }
+        other => panic!("expected infeasible, got {other:?}"),
+    }
+}
+
+#[test]
+fn multi_workflow_joint_budgeting_beats_sequential_at_scale() {
+    let class = ExperimentClass::class_c();
+    let workflows: Vec<Workflow> = (0..4)
+        .map(|i| linear_workflow(format!("w{i}"), 13, &class, 40 + i))
+        .collect();
+    let network = wsflow::workload::bus_network(4, MbitsPerSec(1000.0), &class, 9);
+    let multi = MultiProblem::new(workflows, network).expect("valid");
+    let sequential = deploy_sequential(&multi, &FairLoad).expect("ok");
+    let joint = deploy_joint_fair(&multi);
+    let seq = multi.evaluate(&sequential);
+    let jnt = multi.evaluate(&joint);
+    assert!(jnt.joint_penalty <= seq.joint_penalty + Seconds(1e-12));
+    assert_eq!(jnt.executions.len(), 4);
+}
+
+#[test]
+fn open_loop_saturation_behaviour() {
+    let p = class_c_problem(10, 3, 1000.0, 5);
+    let fair = FairLoad.deploy(&p).expect("ok");
+    let stacked = Mapping::all_on(p.num_ops(), ServerId::new(0));
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let heavy = OpenLoopConfig::new(120, 200.0);
+    let fair_r = open_loop(&p, &fair, heavy, &mut rng);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let stacked_r = open_loop(&p, &stacked, heavy, &mut rng);
+    assert!(
+        fair_r.throughput_hz >= stacked_r.throughput_hz * 0.95,
+        "fair {} Hz vs stacked {} Hz",
+        fair_r.throughput_hz,
+        stacked_r.throughput_hz
+    );
+    assert!(fair_r.sojourn.mean <= stacked_r.sojourn.mean * 1.05);
+}
+
+#[test]
+fn pareto_front_of_algorithm_suite_is_consistent() {
+    let p = class_c_problem(14, 4, 1.0, 11);
+    let mut ev = Evaluator::new(&p);
+    let points: Vec<ParetoPoint<String>> =
+        wsflow::core::registry::paper_bus_algorithms(11)
+            .iter()
+            .map(|algo| {
+                let m = algo.deploy(&p).expect("ok");
+                ParetoPoint::from_cost(&ev.evaluate(&m), algo.name().to_string())
+            })
+            .collect();
+    let total = points.len();
+    let front = pareto_front(points.clone());
+    assert!(!front.is_empty());
+    assert!(front.len() <= total);
+    // Nothing on the front is dominated by anything in the full set.
+    for f in &front {
+        assert!(!points.iter().any(|p| p.dominates(f)));
+    }
+}
+
+#[test]
+fn monitoring_loop_improves_probability_estimates() {
+    use wsflow::model::BlockSpec;
+    // True split 0.2 / 0.8, assumed uniform.
+    let build = |p_left: f64| -> Workflow {
+        BlockSpec::Decision {
+            kind: DecisionKind::Xor,
+            name: "x".into(),
+            branches: vec![
+                (
+                    Probability::new(p_left),
+                    BlockSpec::op("cheap", MCycles(10.0)),
+                ),
+                (
+                    Probability::new(1.0 - p_left),
+                    BlockSpec::op("dear", MCycles(200.0)),
+                ),
+            ],
+        }
+        .lower("w", &mut || Mbits(0.05))
+        .expect("well-formed")
+    };
+    let net = wsflow::net::topology::bus(
+        "n",
+        wsflow::net::topology::homogeneous_servers(2, 1.0),
+        MbitsPerSec(100.0),
+    )
+    .expect("valid");
+    let truth = Problem::new(build(0.2), net.clone()).expect("valid");
+    let assumed = Problem::new(build(0.5), net.clone()).expect("valid");
+    let mapping = FairLoad.deploy(&assumed).expect("ok");
+    let est = BranchEstimates::from_simulation(&truth, &mapping, 2000, 3);
+    let estimated = est.apply(truth.workflow());
+    let informed = Problem::new(estimated, net).expect("valid");
+    let err_assumed = (texecute(&assumed, &mapping).value()
+        - texecute(&truth, &mapping).value())
+    .abs();
+    let err_informed = (texecute(&informed, &mapping).value()
+        - texecute(&truth, &mapping).value())
+    .abs();
+    assert!(
+        err_informed < err_assumed / 5.0,
+        "monitoring should shrink the prediction error: {err_assumed} -> {err_informed}"
+    );
+}

@@ -1,0 +1,302 @@
+//! Property-based tests over randomly composed workflows, networks,
+//! and mappings.
+
+use proptest::prelude::*;
+use wsflow::core::registry::paper_bus_algorithms;
+use wsflow::model::{dsl, recover_structure, BlockSpec, ExecutionProbabilities};
+use wsflow::prelude::*;
+use wsflow::workload::{generate, Configuration, ExperimentClass, GraphClass};
+
+/// Strategy: arbitrary nested block specs (depth ≤ 3, ≤ ~20 nodes).
+fn block_spec() -> impl Strategy<Value = BlockSpec> {
+    let leaf = (1u32..=40).prop_map(|c| BlockSpec::Op {
+        name: String::new(), // filled in by `number_names`
+        cost: MCycles(c as f64 * 2.5),
+    });
+    leaf.prop_recursive(3, 20, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(BlockSpec::Seq),
+            (
+                prop_oneof![
+                    Just(DecisionKind::And),
+                    Just(DecisionKind::Or),
+                    Just(DecisionKind::Xor)
+                ],
+                prop::collection::vec(inner, 2..4)
+            )
+                .prop_map(|(kind, children)| {
+                    let p = Probability::new(1.0 / children.len() as f64);
+                    // Give the last branch the residual so XOR sums to 1.
+                    let n = children.len();
+                    let branches = children
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, c)| {
+                            let prob = if i == n - 1 {
+                                Probability::clamped(1.0 - p.value() * (n - 1) as f64)
+                            } else {
+                                p
+                            };
+                            (prob, c)
+                        })
+                        .collect();
+                    BlockSpec::Decision {
+                        kind,
+                        name: String::new(),
+                        branches,
+                    }
+                })
+        ]
+    })
+}
+
+/// Assign unique names throughout a spec.
+fn number_names(spec: &mut BlockSpec, next_op: &mut usize, next_block: &mut usize) {
+    match spec {
+        BlockSpec::Op { name, .. } => {
+            *name = format!("o{next_op}");
+            *next_op += 1;
+        }
+        BlockSpec::Seq(items) => {
+            for item in items {
+                number_names(item, next_op, next_block);
+            }
+        }
+        BlockSpec::Decision { name, branches, .. } => {
+            *name = format!("d{next_block}");
+            *next_block += 1;
+            for (_, b) in branches {
+                number_names(b, next_op, next_block);
+            }
+        }
+    }
+}
+
+fn lower(mut spec: BlockSpec, msg_seed: u64) -> Workflow {
+    let (mut a, mut b) = (0, 0);
+    number_names(&mut spec, &mut a, &mut b);
+    let mut counter = msg_seed;
+    spec.lower("prop", &mut || {
+        counter = counter.wrapping_mul(6364136223846793005).wrapping_add(1);
+        Mbits(0.001 + (counter % 1000) as f64 / 5000.0)
+    })
+    .expect("generated specs lower cleanly")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lowered_specs_are_always_well_formed(spec in block_spec(), seed in any::<u64>()) {
+        let w = lower(spec, seed);
+        prop_assert!(wsflow::model::is_well_formed(&w));
+    }
+
+    #[test]
+    fn structure_recovery_is_total_and_exact(spec in block_spec(), seed in any::<u64>()) {
+        let w = lower(spec, seed);
+        let tree = recover_structure(&w).expect("well-formed by construction");
+        prop_assert_eq!(tree.node_count(), w.num_ops());
+    }
+
+    #[test]
+    fn execution_probabilities_in_unit_interval(spec in block_spec(), seed in any::<u64>()) {
+        let w = lower(spec, seed);
+        let probs = ExecutionProbabilities::derive(&w).expect("well-formed");
+        for p in &probs.op_prob {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&p.value()));
+        }
+        // The source and sink always execute.
+        let source = w.sources()[0];
+        let sink = w.sinks()[0];
+        prop_assert!((probs.of_op(source).value() - 1.0).abs() < 1e-9);
+        prop_assert!((probs.of_op(sink).value() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dag_and_block_evaluators_agree(spec in block_spec(), seed in any::<u64>(), k in 1u32..4) {
+        let w = lower(spec, seed);
+        let tree = recover_structure(&w).expect("well-formed");
+        let net = wsflow::net::topology::bus(
+            "b",
+            wsflow::net::topology::homogeneous_servers(3, 1.0),
+            MbitsPerSec(50.0),
+        ).expect("valid");
+        let problem = Problem::new(w, net).expect("valid");
+        let mapping = Mapping::from_fn(problem.num_ops(), |o| ServerId::new(o.0 % k.min(3)));
+        let dag = texecute(&problem, &mapping);
+        let block = wsflow::cost::texecute_block(&problem, &mapping, &tree);
+        prop_assert!(
+            (dag.value() - block.value()).abs() < 1e-9,
+            "dag {} vs block {}", dag, block
+        );
+    }
+
+    #[test]
+    fn critical_path_total_equals_texecute(
+        spec in block_spec(),
+        seed in any::<u64>(),
+        k in 1u32..4,
+    ) {
+        let w = lower(spec, seed);
+        let net = wsflow::net::topology::bus(
+            "b",
+            wsflow::net::topology::homogeneous_servers(3, 1.0),
+            MbitsPerSec(20.0),
+        ).expect("valid");
+        let problem = Problem::new(w, net).expect("valid");
+        let mapping = Mapping::from_fn(problem.num_ops(), |o| ServerId::new(o.0 % k.min(3)));
+        let cp = wsflow::cost::critical_path(&problem, &mapping);
+        let t = texecute(&problem, &mapping);
+        prop_assert!(
+            (cp.total.value() - t.value()).abs() < 1e-9,
+            "critical path total {} vs texecute {}", cp.total, t
+        );
+        // The path starts at the source and ends at the sink.
+        prop_assert_eq!(cp.steps.first().map(|s| s.op), Some(problem.workflow().sources()[0]));
+        prop_assert_eq!(cp.steps.last().map(|s| s.op), Some(problem.workflow().sinks()[0]));
+    }
+
+    #[test]
+    fn dsl_round_trips(spec in block_spec(), seed in any::<u64>()) {
+        let w = lower(spec, seed);
+        let text = dsl::serialize(&w);
+        let back = dsl::parse(&text).expect("serialised output parses");
+        prop_assert_eq!(back, w);
+    }
+
+    #[test]
+    fn every_algorithm_outputs_total_valid_mappings(
+        config_idx in 0usize..3,
+        m in 5usize..14,
+        n in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        let class = ExperimentClass::class_c();
+        let config = [
+            Configuration::LineBus(MbitsPerSec(10.0)),
+            Configuration::GraphBus(GraphClass::Bushy, MbitsPerSec(100.0)),
+            Configuration::GraphBus(GraphClass::Lengthy, MbitsPerSec(1.0)),
+        ][config_idx];
+        let s = generate(config, m, n, &class, seed);
+        let problem = Problem::new(s.workflow, s.network).expect("valid");
+        let mut ev = Evaluator::new(&problem);
+        for algo in paper_bus_algorithms(seed) {
+            let mapping = algo.deploy(&problem).expect("bus family is total");
+            prop_assert_eq!(mapping.len(), m);
+            prop_assert!(mapping.is_valid_for(n));
+            let cost = ev.evaluate(&mapping);
+            prop_assert!(cost.execution.value() >= 0.0);
+            prop_assert!(cost.penalty.value() >= -1e-12);
+            prop_assert!(cost.combined.is_finite());
+        }
+    }
+
+    #[test]
+    fn penalty_zero_iff_proportional(loads in prop::collection::vec(0.0f64..10.0, 1..6)) {
+        let secs: Vec<Seconds> = loads.iter().map(|&l| Seconds(l)).collect();
+        let penalty = wsflow::cost::load::time_penalty_of_loads(&secs);
+        let avg = loads.iter().sum::<f64>() / loads.len() as f64;
+        let all_equal = loads.iter().all(|&l| (l - avg).abs() < 1e-12);
+        if all_equal {
+            prop_assert!(penalty.value() < 1e-9);
+        } else {
+            prop_assert!(penalty.value() > 0.0);
+        }
+    }
+
+    #[test]
+    fn simulator_matches_analytic_on_deterministic_workflows(
+        m in 2usize..10,
+        n in 2usize..4,
+        seed in 0u64..500,
+    ) {
+        // Linear workflows have no XOR/OR, so one ideal simulation run
+        // must equal the analytic Texecute exactly.
+        let class = ExperimentClass::class_c();
+        let s = generate(Configuration::LineBus(MbitsPerSec(100.0)), m, n, &class, seed);
+        let problem = Problem::new(s.workflow, s.network).expect("valid");
+        let mapping = FairLoad.deploy(&problem).expect("ok");
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let out = simulate(&problem, &mapping, SimConfig::ideal(), &mut rng);
+        let analytic = texecute(&problem, &mapping);
+        prop_assert!((out.completion.value() - analytic.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branch_and_bound_matches_exhaustive(
+        m in 4usize..7,
+        seed in 0u64..300,
+    ) {
+        let class = ExperimentClass::class_c();
+        let s = generate(Configuration::LineBus(MbitsPerSec(10.0)), m, 2, &class, seed);
+        let problem = Problem::new(s.workflow, s.network).expect("valid");
+        let (_, opt) = wsflow::core::optimum(&problem, 100_000).expect("2^m enumerable");
+        let out = wsflow::core::BranchAndBound::new().deploy_with_proof(&problem);
+        prop_assert!(out.proven_optimal);
+        prop_assert!(
+            (out.cost - opt).abs() < 1e-9,
+            "bnb {} vs exhaustive {}", out.cost, opt
+        );
+    }
+
+    #[test]
+    fn open_loop_light_load_equals_single_run(
+        m in 3usize..8,
+        seed in 0u64..200,
+    ) {
+        use wsflow::sim::{open_loop, OpenLoopConfig};
+        let class = ExperimentClass::class_c();
+        let s = generate(Configuration::LineBus(MbitsPerSec(100.0)), m, 2, &class, seed);
+        let problem = Problem::new(s.workflow, s.network).expect("valid");
+        let mapping = FairLoad.deploy(&problem).expect("ok");
+        // Single instance under FIFO servers.
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let single = simulate(
+            &problem,
+            &mapping,
+            SimConfig { server_fifo: true, bus_serial: false },
+            &mut rng,
+        );
+        // Arrivals 1000 s apart: no interference.
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let r = open_loop(&problem, &mapping, OpenLoopConfig::new(5, 0.001), &mut rng);
+        prop_assert!((r.sojourn.mean.value() - single.completion.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn holm_traffic_never_exceeds_fair_load_on_slow_bus(
+        m in 5usize..12,
+        seed in 0u64..300,
+    ) {
+        // On a 1 Mbps bus every class-C message is "large" relative to
+        // 10–30 Mcycle groups, so HOLM merges aggressively; its expected
+        // traffic must not exceed traffic-blind FairLoad's.
+        let class = ExperimentClass::class_c();
+        let s = generate(Configuration::LineBus(MbitsPerSec(1.0)), m, 3, &class, seed);
+        let problem = Problem::new(s.workflow, s.network).expect("valid");
+        let holm = HeavyOpsLargeMsgs.deploy(&problem).expect("ok");
+        let fair = FairLoad.deploy(&problem).expect("ok");
+        let t_holm = wsflow::cost::network_traffic(&problem, &holm).value();
+        let t_fair = wsflow::cost::network_traffic(&problem, &fair).value();
+        prop_assert!(
+            t_holm <= t_fair + 1e-12,
+            "HOLM traffic {} > FairLoad {}", t_holm, t_fair
+        );
+    }
+
+    #[test]
+    fn mapping_hamming_distance_is_a_metric(
+        a in prop::collection::vec(0u32..4, 1..10),
+        swap_at in any::<prop::sample::Index>(),
+    ) {
+        let m1 = Mapping::new(a.iter().map(|&s| ServerId::new(s)).collect());
+        prop_assert_eq!(m1.hamming_distance(&m1), 0);
+        let mut b = a.clone();
+        let i = swap_at.index(b.len());
+        b[i] = (b[i] + 1) % 4;
+        let m2 = Mapping::new(b.iter().map(|&s| ServerId::new(s)).collect());
+        prop_assert_eq!(m1.hamming_distance(&m2), 1);
+        prop_assert_eq!(m2.hamming_distance(&m1), 1);
+    }
+}
