@@ -15,7 +15,12 @@ fn evaluator_vs_oneshot(c: &mut Criterion) {
     let mut ev = Evaluator::new(&problem);
     c.bench_function("evaluator_prepared", |b| b.iter(|| ev.evaluate(&mapping)));
     c.bench_function("oneshot_texecute_plus_penalty", |b| {
-        b.iter(|| (texecute(&problem, &mapping), time_penalty(&problem, &mapping)))
+        b.iter(|| {
+            (
+                texecute(&problem, &mapping),
+                time_penalty(&problem, &mapping),
+            )
+        })
     });
 }
 

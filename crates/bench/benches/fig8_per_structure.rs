@@ -12,11 +12,9 @@ fn per_structure_deploy(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_deploy_holm");
     for gc in GraphClass::ALL {
         let problem = graph_bus_problem(gc, 5, 10.0, 2007);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(gc.name()),
-            &problem,
-            |b, p| b.iter(|| HeavyOpsLargeMsgs.deploy(p).expect("deployable")),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(gc.name()), &problem, |b, p| {
+            b.iter(|| HeavyOpsLargeMsgs.deploy(p).expect("deployable"))
+        });
     }
     group.finish();
 }
@@ -27,11 +25,9 @@ fn per_structure_evaluate(c: &mut Criterion) {
         let problem = graph_bus_problem(gc, 5, 10.0, 2007);
         let mapping = HeavyOpsLargeMsgs.deploy(&problem).expect("deployable");
         let mut ev = Evaluator::new(&problem);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(gc.name()),
-            &mapping,
-            |b, m| b.iter(|| ev.evaluate(m)),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(gc.name()), &mapping, |b, m| {
+            b.iter(|| ev.evaluate(m))
+        });
     }
     group.finish();
 }

@@ -20,12 +20,7 @@ fn bench_open_loop(c: &mut Criterion) {
             |b, &k| {
                 b.iter(|| {
                     let mut rng = ChaCha8Rng::seed_from_u64(1);
-                    open_loop(
-                        &problem,
-                        &mapping,
-                        OpenLoopConfig::new(k, 50.0),
-                        &mut rng,
-                    )
+                    open_loop(&problem, &mapping, OpenLoopConfig::new(k, 50.0), &mut rng)
                 })
             },
         );

@@ -1,0 +1,101 @@
+//! Speedup of the parallel / incremental engine.
+//!
+//! Two claims are measured:
+//!
+//! 1. **Parallel enumeration scales.** `exhaustive/workers=k` runs the
+//!    same `N^M` scan split over `k` workers; on a 4-core host the
+//!    `workers=4` series should finish the `workers=1` scan at least 2×
+//!    faster (the scan is embarrassingly parallel and merge cost is
+//!    O(workers)). On fewer cores the extra series simply tie.
+//! 2. **Delta evaluation beats re-evaluation.** `refine/delta` is the
+//!    shipping hill climber (per-move cost via `DeltaEvaluator`, which
+//!    re-relaxes only affected operations); `refine/full` is the same
+//!    trajectory with a full `Evaluator` pass per probe. Both reach the
+//!    identical local optimum — the delta costs are bit-identical — so
+//!    the ratio is pure evaluation savings.
+//!
+//! Run with `cargo bench -p wsflow-bench --bench parallel_speedup`;
+//! pin worker counts for the rest of the suite via `WSFLOW_THREADS`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsflow_bench::{sized_graph_bus_problem, sized_line_bus_problem};
+use wsflow_core::{hill_climb_from, DeploymentAlgorithm, Exhaustive};
+use wsflow_cost::{Evaluator, Mapping, Problem};
+use wsflow_model::OpId;
+use wsflow_net::ServerId;
+use wsflow_workload::GraphClass;
+
+fn parallel_exhaustive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_exhaustive");
+    group.sample_size(10);
+    let problem = sized_line_bus_problem(10, 3, 11); // 3^10 = 59 049 mappings
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("workers", workers), &problem, |b, p| {
+            b.iter(|| {
+                Exhaustive::new()
+                    .with_workers(workers)
+                    .deploy(p)
+                    .expect("enumerable")
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The pre-delta hill climber: identical first-improvement trajectory,
+/// but every probe pays a full-mapping evaluation. Kept here (not in
+/// `wsflow-core`) purely as the baseline for the speedup measurement.
+fn hill_climb_full_eval(problem: &Problem, start: Mapping, max_sweeps: usize) -> (Mapping, f64) {
+    let mut ev = Evaluator::new(problem);
+    let mut mapping = start;
+    let mut cost = ev.combined(&mapping).value();
+    let n = problem.num_servers() as u32;
+    for _ in 0..max_sweeps {
+        let mut improved = false;
+        for op_idx in 0..problem.num_ops() {
+            let op = OpId::from(op_idx);
+            let original = mapping.server_of(op);
+            for s in 0..n {
+                let server = ServerId::new(s);
+                if server == original {
+                    continue;
+                }
+                mapping.assign(op, server);
+                let c = ev.combined(&mapping).value();
+                if c < cost {
+                    cost = c;
+                    improved = true;
+                    break;
+                }
+                mapping.assign(op, original);
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    (mapping, cost)
+}
+
+fn delta_refine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refine");
+    group.sample_size(10);
+    let problem = sized_graph_bus_problem(GraphClass::Hybrid, 60, 4, 7);
+    let start = wsflow_core::RoundRobin.deploy(&problem).expect("valid");
+    // Same trajectory, same optimum — assert it once so the bench can't
+    // silently start comparing different amounts of work.
+    let (m_delta, c_delta) = hill_climb_from(&problem, start.clone(), 50);
+    let (m_full, c_full) = hill_climb_full_eval(&problem, start.clone(), 50);
+    assert_eq!(m_delta, m_full);
+    assert_eq!(c_delta.to_bits(), c_full.to_bits());
+    group.bench_with_input(BenchmarkId::new("delta", "hybrid"), &problem, |b, p| {
+        b.iter(|| hill_climb_from(p, start.clone(), 50))
+    });
+    group.bench_with_input(BenchmarkId::new("full", "hybrid"), &problem, |b, p| {
+        b.iter(|| hill_climb_full_eval(p, start.clone(), 50))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, parallel_exhaustive, delta_refine);
+criterion_main!(benches);

@@ -29,11 +29,9 @@ fn simulation(c: &mut Criterion) {
             ("contended", SimConfig::contended()),
         ] {
             let mut rng = ChaCha8Rng::seed_from_u64(9);
-            group.bench_with_input(
-                BenchmarkId::new(*name, mode),
-                problem,
-                |b, p| b.iter(|| simulate(p, &mapping, config, &mut rng)),
-            );
+            group.bench_with_input(BenchmarkId::new(*name, mode), problem, |b, p| {
+                b.iter(|| simulate(p, &mapping, config, &mut rng))
+            });
         }
     }
     group.finish();

@@ -48,6 +48,20 @@ pub fn sized_line_bus_problem(m: usize, n: usize, seed: u64) -> Problem {
     Problem::new(s.workflow, s.network).expect("generated scenarios are valid")
 }
 
+/// A Graph–Bus instance with a custom operation count, for scaling
+/// sweeps over non-linear workflows.
+pub fn sized_graph_bus_problem(gc: GraphClass, m: usize, n: usize, seed: u64) -> Problem {
+    let class = ExperimentClass::class_c();
+    let s = generate(
+        Configuration::GraphBus(gc, MbitsPerSec(10.0)),
+        m,
+        n,
+        &class,
+        seed,
+    );
+    Problem::new(s.workflow, s.network).expect("generated scenarios are valid")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -55,7 +69,10 @@ mod tests {
     #[test]
     fn fixtures_build() {
         assert_eq!(line_bus_problem(5, 100.0, 1).num_ops(), 19);
-        assert_eq!(graph_bus_problem(GraphClass::Bushy, 5, 10.0, 1).num_ops(), 19);
+        assert_eq!(
+            graph_bus_problem(GraphClass::Bushy, 5, 10.0, 1).num_ops(),
+            19
+        );
         assert_eq!(sized_line_bus_problem(7, 3, 1).num_ops(), 7);
     }
 }

@@ -18,6 +18,8 @@
 //! budget runs out, so it degrades gracefully into "greedy + partial
 //! proof of optimality" on big instances.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use wsflow_cost::{Evaluator, Mapping, Problem};
 use wsflow_model::traversal::topo_sort;
 use wsflow_model::{DecisionKind, OpId, OpKind};
@@ -50,21 +52,42 @@ use crate::holm::HeavyOpsLargeMsgs;
 #[derive(Debug, Clone)]
 pub struct BranchAndBound {
     /// Maximum number of search-tree nodes to expand before returning
-    /// the incumbent.
+    /// the incumbent. With `workers > 1` the budget applies *per root
+    /// branch* (each subtree worker gets the full budget).
     pub node_budget: u64,
+    /// Worker threads exploring root-level subtrees in parallel; `1` =
+    /// sequential (the default), `0` = auto.
+    ///
+    /// Workers share the incumbent *bound* through an atomic, but each
+    /// accepts improvements only against its branch-local incumbent and
+    /// the per-branch winners are merged in branch order, so a
+    /// **completed** search returns the same mapping as the sequential
+    /// search for any worker count (only `nodes_expanded` varies, since
+    /// how early the shared bound tightens depends on timing).
+    pub workers: usize,
 }
 
 impl BranchAndBound {
-    /// Search with a default budget of one million nodes.
+    /// Search with a default budget of one million nodes, sequentially.
     pub fn new() -> Self {
         Self {
             node_budget: 1_000_000,
+            workers: 1,
         }
     }
 
     /// Search with a custom node budget.
     pub fn with_budget(node_budget: u64) -> Self {
-        Self { node_budget }
+        Self {
+            node_budget,
+            workers: 1,
+        }
+    }
+
+    /// Set the number of subtree workers (builder style; `0` = auto).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
     }
 
     /// Deploy and also report whether optimality was proven (the search
@@ -86,9 +109,26 @@ impl BranchAndBound {
                 }
             }
         }
-        let (mut best_mapping, mut best_cost) =
-            best.expect("greedy seeds always produce mappings");
+        let (seed_mapping, seed_cost) = best.expect("greedy seeds always produce mappings");
 
+        let workers = match self.workers {
+            0 => wsflow_par::num_threads(),
+            w => w,
+        };
+        if workers <= 1 {
+            return self.run_sequential(ctx, seed_mapping, seed_cost);
+        }
+        self.run_parallel(problem, seed_mapping, seed_cost, workers)
+    }
+
+    fn run_sequential(
+        &self,
+        mut ctx: Search<'_>,
+        mut best_mapping: Mapping,
+        mut best_cost: f64,
+    ) -> BnbOutcome {
+        let problem = ctx.problem;
+        let shared = AtomicU64::new(best_cost.to_bits());
         let mut partial = vec![ServerId::new(0); problem.num_ops()];
         let mut assigned = vec![false; problem.num_ops()];
         let mut nodes = 0u64;
@@ -100,7 +140,72 @@ impl BranchAndBound {
             &mut best_cost,
             &mut nodes,
             self.node_budget,
+            &shared,
         );
+        BnbOutcome {
+            mapping: best_mapping,
+            cost: best_cost,
+            proven_optimal: complete,
+            nodes_expanded: nodes,
+        }
+    }
+
+    /// One worker per root-branch (first assigned op × each server),
+    /// sharing the incumbent bound through `shared`.
+    fn run_parallel(
+        &self,
+        problem: &Problem,
+        seed_mapping: Mapping,
+        seed_cost: f64,
+        workers: usize,
+    ) -> BnbOutcome {
+        let n = problem.num_servers();
+        let shared = AtomicU64::new(seed_cost.to_bits());
+        let shared = &shared;
+        let seed_ref = &seed_mapping;
+        let branches = wsflow_par::parallel_map_with(n, workers, |s| {
+            let mut ctx = Search::new(problem);
+            let op = ctx.order[0];
+            let mut partial = vec![ServerId::new(0); problem.num_ops()];
+            let mut assigned = vec![false; problem.num_ops()];
+            partial[op.index()] = ServerId::new(s as u32);
+            assigned[op.index()] = true;
+            let mut local_mapping = seed_ref.clone();
+            let mut local_cost = seed_cost;
+            let mut nodes = 0u64;
+            let lb = ctx.lower_bound(&partial, &assigned);
+            let complete =
+                if lb < local_cost && lb <= f64::from_bits(shared.load(Ordering::Relaxed)) {
+                    ctx.recurse(
+                        1,
+                        &mut partial,
+                        &mut assigned,
+                        &mut local_mapping,
+                        &mut local_cost,
+                        &mut nodes,
+                        self.node_budget,
+                        shared,
+                    )
+                } else {
+                    true
+                };
+            (local_mapping, local_cost, complete, nodes)
+        });
+        // Merge branch winners in branch order with a strict `<`: the
+        // earliest branch holding the optimum wins, exactly like the
+        // sequential depth-first scan.
+        let mut best_mapping = seed_mapping;
+        let mut best_cost = seed_cost;
+        let mut complete = true;
+        let mut nodes = 1u64; // the root node
+        for (mapping, cost, branch_complete, branch_nodes) in branches {
+            if cost < best_cost {
+                best_cost = cost;
+                best_mapping = mapping;
+            }
+            complete &= branch_complete;
+            nodes += branch_nodes;
+        }
         BnbOutcome {
             mapping: best_mapping,
             cost: best_cost,
@@ -204,14 +309,23 @@ impl<'p> Search<'p> {
             prob_op: probs.op_prob.iter().map(|p| p.value()).collect(),
             pair_secs,
             n,
-            weights: (
-                problem.weights().execution,
-                problem.weights().penalty,
-            ),
+            weights: (problem.weights().execution, problem.weights().penalty),
         }
     }
 
     /// Returns `true` if the subtree was fully explored.
+    ///
+    /// `best_cost` is the *local* incumbent: improvements are accepted
+    /// only against it, which keeps the accepted-leaf sequence (and
+    /// hence the returned mapping) independent of how other subtree
+    /// workers progress. `shared` carries the tightest bound published
+    /// by any worker and is used purely for extra pruning: a subtree is
+    /// cut when `lb >= best_cost` (exact, admissible — no leaf in it can
+    /// strictly improve the local incumbent) or when `lb > shared` (the
+    /// subtree provably contains no global optimum). The `lb == shared`
+    /// case is deliberately *not* pruned so that the first optimal leaf
+    /// in depth-first order is always visited, keeping parallel results
+    /// identical to sequential ones on completed searches.
     #[allow(clippy::too_many_arguments)]
     fn recurse(
         &mut self,
@@ -222,6 +336,7 @@ impl<'p> Search<'p> {
         best_cost: &mut f64,
         nodes: &mut u64,
         budget: u64,
+        shared: &AtomicU64,
     ) -> bool {
         if *nodes >= budget {
             return false;
@@ -233,6 +348,7 @@ impl<'p> Search<'p> {
             if cost < *best_cost {
                 *best_cost = cost;
                 *best_mapping = candidate;
+                shared.fetch_min(cost.to_bits(), Ordering::Relaxed);
             }
             return true;
         }
@@ -243,7 +359,7 @@ impl<'p> Search<'p> {
             partial[op.index()] = server;
             assigned[op.index()] = true;
             let lb = self.lower_bound(partial, assigned);
-            if lb < *best_cost - 1e-12 {
+            if lb < *best_cost && lb <= f64::from_bits(shared.load(Ordering::Relaxed)) {
                 complete &= self.recurse(
                     depth + 1,
                     partial,
@@ -252,6 +368,7 @@ impl<'p> Search<'p> {
                     best_cost,
                     nodes,
                     budget,
+                    shared,
                 );
             }
             assigned[op.index()] = false;
@@ -351,7 +468,11 @@ impl<'p> Search<'p> {
                 active_power += powers[idx[k]];
                 k += 1;
             }
-            let next_level = if k < self.n { loads[idx[k]] } else { f64::INFINITY };
+            let next_level = if k < self.n {
+                loads[idx[k]]
+            } else {
+                f64::INFINITY
+            };
             let capacity = (next_level - level) * active_power;
             if capacity >= cycles_left || next_level.is_infinite() {
                 level += cycles_left / active_power;
@@ -410,8 +531,7 @@ mod tests {
             }
             let lb = search.lower_bound(&partial, &assigned);
             // Brute-force the best completion of the free slots.
-            let free: Vec<usize> =
-                (0..m).filter(|&i| !assigned[i]).collect();
+            let free: Vec<usize> = (0..m).filter(|&i| !assigned[i]).collect();
             let mut best = f64::INFINITY;
             for bits in 0u32..(1 << free.len()) {
                 let mut full = partial.clone();

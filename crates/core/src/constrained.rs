@@ -33,7 +33,10 @@ impl std::fmt::Display for ConstrainedError {
         match self {
             ConstrainedError::Deploy(e) => write!(f, "inner algorithm failed: {e}"),
             ConstrainedError::Infeasible { violation, .. } => {
-                write!(f, "no feasible mapping found; best misses bounds by {violation}")
+                write!(
+                    f,
+                    "no feasible mapping found; best misses bounds by {violation}"
+                )
             }
         }
     }
@@ -42,11 +45,7 @@ impl std::fmt::Display for ConstrainedError {
 impl std::error::Error for ConstrainedError {}
 
 /// Total violation of the constraints in seconds (0 = feasible).
-pub fn violation(
-    constraints: &UserConstraints,
-    cost: &CostBreakdown,
-    load: Seconds,
-) -> Seconds {
+pub fn violation(constraints: &UserConstraints, cost: &CostBreakdown, load: Seconds) -> Seconds {
     let mut v = Seconds::ZERO;
     if let Some(bound) = constraints.max_execution_time {
         v += (cost.execution - bound).max(Seconds::ZERO);
@@ -268,7 +267,9 @@ mod tests {
     fn trait_entry_point_degrades_gracefully() {
         let p = problem(UserConstraints::none().with_max_execution_time(Seconds(0.001)));
         // Via the trait, the best effort is returned instead of an error.
-        let m = ConstrainedDeploy::new(HeavyOpsLargeMsgs).deploy(&p).unwrap();
+        let m = ConstrainedDeploy::new(HeavyOpsLargeMsgs)
+            .deploy(&p)
+            .unwrap();
         assert_eq!(m.len(), p.num_ops());
     }
 

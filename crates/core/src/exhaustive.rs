@@ -4,8 +4,19 @@
 //! combined cost. Usable only on small instances (the appendix version
 //! materialises all mappings; this implementation enumerates them
 //! incrementally in O(M) space, mixed-radix counter style).
+//!
+//! Enumeration is **parallel**: the index space `[0, N^M)` is split into
+//! one contiguous range per worker, each worker scans its range with a
+//! private [`Evaluator`], and the per-range winners are merged in range
+//! order with a strict `<`. Mapping `k`'s digits (`digit i = (k / Nⁱ) mod
+//! N`) are independent of the worker layout and every cost is produced
+//! by the same `Evaluator` code, so the result is bit-for-bit identical
+//! to a sequential scan for any worker count — including which of
+//! several equal-cost optima is returned (the smallest enumeration
+//! index).
 
 use wsflow_cost::{Evaluator, Mapping, Problem};
+use wsflow_model::OpId;
 use wsflow_net::ServerId;
 
 use crate::algorithm::{DeployError, DeploymentAlgorithm};
@@ -37,19 +48,38 @@ pub const DEFAULT_LIMIT: u64 = 10_000_000;
 pub struct Exhaustive {
     /// Refuse instances whose `N^M` exceeds this.
     pub limit: u64,
+    /// Worker threads for the enumeration; `0` = auto
+    /// ([`wsflow_par::num_threads`]).
+    pub workers: usize,
 }
 
 impl Exhaustive {
-    /// Exhaustive search with the default enumeration limit.
+    /// Exhaustive search with the default enumeration limit and
+    /// automatic parallelism.
     pub fn new() -> Self {
         Self {
             limit: DEFAULT_LIMIT,
+            workers: 0,
         }
     }
 
     /// Exhaustive search with a custom limit.
     pub fn with_limit(limit: u64) -> Self {
-        Self { limit }
+        Self { limit, workers: 0 }
+    }
+
+    /// Pin the number of enumeration workers (builder style).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            wsflow_par::num_threads()
+        } else {
+            self.workers
+        }
     }
 }
 
@@ -65,48 +95,89 @@ impl DeploymentAlgorithm for Exhaustive {
     }
 
     fn deploy(&self, problem: &Problem) -> Result<Mapping, DeployError> {
-        let space = problem.search_space();
-        // NaN-safe: anything not provably within the limit is refused.
-        if space.partial_cmp(&(self.limit as f64)) != Some(std::cmp::Ordering::Less)
-            && space != self.limit as f64
-        {
-            return Err(DeployError::SearchSpaceTooLarge {
-                space,
-                limit: self.limit,
-            });
+        let total = checked_space(problem, self.limit)?;
+        let workers = self.effective_workers();
+        let ranges = wsflow_par::split_ranges(total as usize, workers);
+        let locals = wsflow_par::parallel_map_with(ranges.len(), workers, |w| {
+            let r = &ranges[w];
+            scan_range(problem, r.start as u64, r.end as u64)
+        });
+        // Merge in range order with a strict `<`: ties resolve to the
+        // smallest enumeration index, exactly like a sequential scan.
+        let mut best: Option<(Mapping, f64)> = None;
+        for (mapping, cost) in locals.into_iter().flatten() {
+            if best.as_ref().map(|(_, bc)| cost < *bc).unwrap_or(true) {
+                best = Some((mapping, cost));
+            }
         }
-        let n = problem.num_servers() as u32;
-        let m = problem.num_ops();
-        let mut ev = Evaluator::new(problem);
-        let mut digits = vec![0u32; m];
-        let mut current = Mapping::all_on(m, ServerId::new(0));
-        let mut best = current.clone();
-        let mut best_cost = ev.combined(&current);
-        // Mixed-radix increment; each step changes exactly one digit set
-        // plus the carried ones.
-        loop {
-            // Increment.
-            let mut i = 0;
-            loop {
-                if i == m {
-                    return Ok(best);
-                }
-                digits[i] += 1;
-                if digits[i] < n {
-                    current.assign(wsflow_model::OpId::from(i), ServerId::new(digits[i]));
-                    break;
-                }
-                digits[i] = 0;
-                current.assign(wsflow_model::OpId::from(i), ServerId::new(0));
-                i += 1;
-            }
-            let cost = ev.combined(&current);
-            if cost < best_cost {
-                best_cost = cost;
-                best = current.clone();
-            }
+        Ok(best.expect("non-empty search space").0)
+    }
+}
+
+/// `N^M` as an exact `u64`, or the standard refusal error.
+fn checked_space(problem: &Problem, limit: u64) -> Result<u64, DeployError> {
+    let space = problem.search_space();
+    // NaN-safe: anything not provably within the limit is refused.
+    if space.partial_cmp(&(limit as f64)) != Some(std::cmp::Ordering::Less) && space != limit as f64
+    {
+        return Err(DeployError::SearchSpaceTooLarge { space, limit });
+    }
+    let n = problem.num_servers() as u64;
+    (0..problem.num_ops())
+        .try_fold(1u64, |acc, _| acc.checked_mul(n))
+        .ok_or(DeployError::SearchSpaceTooLarge { space, limit })
+}
+
+/// Decode enumeration index `idx` into mixed-radix digits (digit 0 least
+/// significant) and the corresponding mapping.
+fn decode_index(idx: u64, m: usize, n: u64) -> (Vec<u32>, Mapping) {
+    let mut digits = vec![0u32; m];
+    let mut mapping = Mapping::all_on(m, ServerId::new(0));
+    let mut rest = idx;
+    for (i, d) in digits.iter_mut().enumerate() {
+        *d = (rest % n) as u32;
+        mapping.assign(OpId::from(i), ServerId::new(*d));
+        rest /= n;
+    }
+    (digits, mapping)
+}
+
+/// Advance the mixed-radix counter by one; `true` until it wraps.
+fn increment(digits: &mut [u32], mapping: &mut Mapping, n: u32) -> bool {
+    for (i, d) in digits.iter_mut().enumerate() {
+        *d += 1;
+        if *d < n {
+            mapping.assign(OpId::from(i), ServerId::new(*d));
+            return true;
+        }
+        *d = 0;
+        mapping.assign(OpId::from(i), ServerId::new(0));
+    }
+    false
+}
+
+/// Scan enumeration indices `[start, end)`, returning the best mapping
+/// and cost (ties to the smallest index), or `None` for an empty range.
+fn scan_range(problem: &Problem, start: u64, end: u64) -> Option<(Mapping, f64)> {
+    if start >= end {
+        return None;
+    }
+    let n = problem.num_servers() as u32;
+    let m = problem.num_ops();
+    let mut ev = Evaluator::new(problem);
+    let (mut digits, mut current) = decode_index(start, m, n as u64);
+    let mut best = current.clone();
+    let mut best_cost = ev.combined(&current).value();
+    for _ in start + 1..end {
+        let more = increment(&mut digits, &mut current, n);
+        debug_assert!(more, "range end exceeds the search space");
+        let cost = ev.combined(&current).value();
+        if cost < best_cost {
+            best_cost = cost;
+            best = current.clone();
         }
     }
+    Some((best, best_cost))
 }
 
 /// Exhaustively enumerate and also report the optimum cost (convenience
@@ -130,37 +201,35 @@ pub fn pareto_front_exhaustive(
     problem: &Problem,
     limit: u64,
 ) -> Result<Vec<wsflow_cost::ParetoPoint<Mapping>>, DeployError> {
-    let space = problem.search_space();
-    if space.partial_cmp(&(limit as f64)) != Some(std::cmp::Ordering::Less)
-        && space != limit as f64
-    {
-        return Err(DeployError::SearchSpaceTooLarge { space, limit });
-    }
+    let total = checked_space(problem, limit)?;
     let n = problem.num_servers() as u32;
     let m = problem.num_ops();
-    let mut ev = Evaluator::new(problem);
-    let mut digits = vec![0u32; m];
-    let mut current = Mapping::all_on(m, ServerId::new(0));
-    let mut points = Vec::new();
-    loop {
+    let workers = wsflow_par::num_threads();
+    let ranges = wsflow_par::split_ranges(total as usize, workers);
+    // Each worker evaluates its contiguous index range; concatenating
+    // the per-range point lists in range order reproduces the sequential
+    // enumeration order exactly, so the final front is identical for any
+    // worker count.
+    let chunks = wsflow_par::parallel_map_with(ranges.len(), workers, |wk| {
+        let r = &ranges[wk];
+        if r.start >= r.end {
+            return Vec::new();
+        }
+        let mut ev = Evaluator::new(problem);
+        let (mut digits, mut current) = decode_index(r.start as u64, m, n as u64);
+        let mut points = Vec::with_capacity(r.end - r.start);
         let cost = ev.evaluate(&current);
         points.push(wsflow_cost::ParetoPoint::from_cost(&cost, current.clone()));
-        // Mixed-radix increment (same scheme as Exhaustive).
-        let mut i = 0;
-        loop {
-            if i == m {
-                return Ok(wsflow_cost::pareto_front(points));
-            }
-            digits[i] += 1;
-            if digits[i] < n {
-                current.assign(wsflow_model::OpId::from(i), ServerId::new(digits[i]));
-                break;
-            }
-            digits[i] = 0;
-            current.assign(wsflow_model::OpId::from(i), ServerId::new(0));
-            i += 1;
+        for _ in r.start + 1..r.end {
+            increment(&mut digits, &mut current, n);
+            let cost = ev.evaluate(&current);
+            points.push(wsflow_cost::ParetoPoint::from_cost(&cost, current.clone()));
         }
-    }
+        points
+    });
+    Ok(wsflow_cost::pareto_front(
+        chunks.into_iter().flatten().collect(),
+    ))
 }
 
 #[cfg(test)]
@@ -198,7 +267,9 @@ mod tests {
         let (_, best_cost) = optimum(&p, 1_000).unwrap();
         let mut ev = Evaluator::new(&p);
         for seed in 0..10 {
-            let m = crate::baselines::RandomMapping::new(seed).deploy(&p).unwrap();
+            let m = crate::baselines::RandomMapping::new(seed)
+                .deploy(&p)
+                .unwrap();
             assert!(ev.combined(&m).value() >= best_cost - 1e-12);
         }
     }

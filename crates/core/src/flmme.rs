@@ -79,11 +79,7 @@ pub(crate) fn large_message_threshold(view: &InstanceView, fraction: f64) -> Opt
 /// anywhere leave a large adjacent message? Returns the neighbour the
 /// operation should be merged with instead — the other end of the
 /// largest offending message.
-fn constraining_neighbor(
-    view: &InstanceView,
-    op: OpId,
-    threshold: Mbits,
-) -> Option<OpId> {
+fn constraining_neighbor(view: &InstanceView, op: OpId, threshold: Mbits) -> Option<OpId> {
     view.adjacent[op.index()]
         .iter()
         .map(|&mi| &view.msgs[mi])
@@ -153,10 +149,7 @@ mod tests {
             10.0,
         );
         let v = InstanceView::new(&p);
-        assert_eq!(
-            large_message_threshold(&v, 0.1),
-            Some(Mbits(10.0))
-        );
+        assert_eq!(large_message_threshold(&v, 0.1), Some(Mbits(10.0)));
         // Fraction 0 → only the single largest counts.
         assert_eq!(large_message_threshold(&v, 0.0), Some(Mbits(11.0)));
     }
@@ -234,21 +227,14 @@ mod tests {
         );
         // And execution time benefits on a slow bus for at least one seed.
         let best_flmme = (0..10)
-            .map(|s| {
-                texecute(&p, &FairLoadMergeMessages::new(s).deploy(&p).unwrap()).value()
-            })
+            .map(|s| texecute(&p, &FairLoadMergeMessages::new(s).deploy(&p).unwrap()).value())
             .fold(f64::INFINITY, f64::min);
         assert!(best_flmme.is_finite());
     }
 
     #[test]
     fn traffic_reduced_versus_fair_choice() {
-        let p = line_problem(
-            &[10.0; 6],
-            &[0.01, 7.0, 0.01, 7.0, 0.01],
-            2,
-            1.0,
-        );
+        let p = line_problem(&[10.0; 6], &[0.01, 7.0, 0.01, 7.0, 0.01], 2, 1.0);
         let flmme = FairLoadMergeMessages::new(1).deploy(&p).unwrap();
         // Both large messages (tied at the threshold) have co-located
         // endpoints.

@@ -58,8 +58,7 @@ impl DeploymentAlgorithm for FairLoadTieResolver {
             // paper's "swap only on improvement" behaviour).
             let head_cycles = view.cycles[pending[0].index()];
             let mut best_idx = 0usize;
-            let mut best_gain =
-                gain_of_op_at_server(&view, pending[0], s1, current.as_slice());
+            let mut best_gain = gain_of_op_at_server(&view, pending[0], s1, current.as_slice());
             for (i, &op) in pending.iter().enumerate().skip(1) {
                 if view.cycles[op.index()] != head_cycles {
                     break;

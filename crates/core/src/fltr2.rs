@@ -165,11 +165,7 @@ mod tests {
                 .sum::<f64>()
                 / 10.0
         };
-        let fltr = mean(&|s| {
-            crate::fltr::FairLoadTieResolver::new(s)
-                .deploy(&p)
-                .unwrap()
-        });
+        let fltr = mean(&|s| crate::fltr::FairLoadTieResolver::new(s).deploy(&p).unwrap());
         let fltr2 = mean(&|s| FairLoadTieResolver2::new(s).deploy(&p).unwrap());
         assert!(
             fltr2 <= fltr + 0.15,

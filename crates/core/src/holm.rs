@@ -89,10 +89,10 @@ impl DeploymentAlgorithm for HeavyOpsLargeMsgs {
         let mut unassigned = m;
 
         let place = |op: OpId,
-                         server: ServerId,
-                         assigned: &mut Vec<Option<ServerId>>,
-                         remaining: &mut Vec<MCycles>,
-                         unassigned: &mut usize| {
+                     server: ServerId,
+                     assigned: &mut Vec<Option<ServerId>>,
+                     remaining: &mut Vec<MCycles>,
+                     unassigned: &mut usize| {
             debug_assert!(assigned[op.index()].is_none());
             assigned[op.index()] = Some(server);
             remaining[server.index()] -= view.cycles[op.index()];
@@ -105,9 +105,8 @@ impl DeploymentAlgorithm for HeavyOpsLargeMsgs {
                 let msg = &view.msgs[mi];
                 let (f, t) = (msg.from.index(), msg.to.index());
                 let both_assigned = assigned[f].is_some() && assigned[t].is_some();
-                let both_grouped = assigned[f].is_none()
-                    && assigned[t].is_none()
-                    && group_of[f] == group_of[t];
+                let both_grouped =
+                    assigned[f].is_none() && assigned[t].is_none() && group_of[f] == group_of[t];
                 !(both_assigned || both_grouped)
             });
 
@@ -127,8 +126,7 @@ impl DeploymentAlgorithm for HeavyOpsLargeMsgs {
             let s1 = neediest_server(&remaining);
 
             let message_is_large = live_msgs.first().map(|&mi| {
-                view.bus_time(view.msgs[mi].size)
-                    > view.proc_time(groups[g1].cycles, s1)
+                view.bus_time(view.msgs[mi].size) > view.proc_time(groups[g1].cycles, s1)
             });
 
             match message_is_large {
@@ -235,7 +233,12 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let p = line_problem(&[10.0, 20.0, 30.0, 40.0, 50.0], &[0.5, 0.1, 0.9, 0.3], 3, 10.0);
+        let p = line_problem(
+            &[10.0, 20.0, 30.0, 40.0, 50.0],
+            &[0.5, 0.1, 0.9, 0.3],
+            3,
+            10.0,
+        );
         assert_eq!(
             HeavyOpsLargeMsgs.deploy(&p).unwrap(),
             HeavyOpsLargeMsgs.deploy(&p).unwrap()
@@ -279,12 +282,7 @@ mod tests {
         // One heavy group gets placed first (option a); then the large
         // message touching it fires option (b1): the unplaced end joins
         // the heavy op's server.
-        let p = line_problem(
-            &[500.0, 10.0, 10.0, 10.0],
-            &[5.0, 0.001, 0.001],
-            2,
-            1.0,
-        );
+        let p = line_problem(&[500.0, 10.0, 10.0, 10.0], &[5.0, 0.001, 0.001], 2, 1.0);
         // proc(o0)=0.5 s on 1 GHz > bus(5 Mbit @ 1 Mbps)=5 s? No: 5 > 0.5,
         // so the 5 Mbit message IS large → option b first: o0,o1 merge.
         // Then group {o0,o1} (510 Mc → 0.51 s) vs next message 0.001

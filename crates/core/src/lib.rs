@@ -25,8 +25,8 @@
 
 pub mod algorithm;
 pub mod baselines;
-pub mod constrained;
 pub mod branch_bound;
+pub mod constrained;
 pub mod exhaustive;
 pub mod fair_load;
 pub mod flmme;
@@ -55,5 +55,7 @@ pub use holm::HeavyOpsLargeMsgs;
 pub use line_line::{Direction, LineLine};
 pub use multi::{deploy_joint_fair, deploy_sequential, MultiCost, MultiProblem};
 pub use portfolio::Portfolio;
-pub use refine::{hill_climb_from, refine_moves_and_swaps, swap_refine_from, HillClimb, SimulatedAnnealing};
+pub use refine::{
+    hill_climb_from, refine_moves_and_swaps, swap_refine_from, HillClimb, SimulatedAnnealing,
+};
 pub use view::{InstanceView, MsgView};

@@ -103,10 +103,7 @@ impl DeploymentAlgorithm for LineLine {
         }
         let (m, n) = (problem.num_ops(), problem.num_servers());
         if m < n {
-            return Err(DeployError::TooFewOperations {
-                ops: m,
-                servers: n,
-            });
+            return Err(DeployError::TooFewOperations { ops: m, servers: n });
         }
         let forward = self.sweep(problem, &order, false);
         let mapping = match self.direction {
@@ -143,9 +140,7 @@ impl LineLine {
         }
         let sum_cycles = w.total_cycles();
         let sum_capacity = net.total_capacity();
-        let ideal = |s: ServerId| -> MCycles {
-            sum_cycles * (net.server(s).power / sum_capacity)
-        };
+        let ideal = |s: ServerId| -> MCycles { sum_cycles * (net.server(s).power / sum_capacity) };
 
         let mut mapping = Mapping::all_on(w.num_ops(), servers[0]);
         let mut si = 0usize;
@@ -364,8 +359,7 @@ mod tests {
             ],
         );
         let w = spec.lower("w", &mut || Mbits(0.1)).unwrap();
-        let net =
-            line_uniform("n", homogeneous_servers(2, 1.0), MbitsPerSec(10.0)).unwrap();
+        let net = line_uniform("n", homogeneous_servers(2, 1.0), MbitsPerSec(10.0)).unwrap();
         let p = Problem::new(w, net).unwrap();
         assert_eq!(
             LineLine::new().deploy(&p).unwrap_err(),
@@ -377,12 +371,8 @@ mod tests {
     fn rejects_non_line_network() {
         let mut b = WorkflowBuilder::new("w");
         b.line("o", &[MCycles(1.0); 4], Mbits(0.1));
-        let net = wsflow_net::topology::bus(
-            "n",
-            homogeneous_servers(2, 1.0),
-            MbitsPerSec(10.0),
-        )
-        .unwrap();
+        let net =
+            wsflow_net::topology::bus("n", homogeneous_servers(2, 1.0), MbitsPerSec(10.0)).unwrap();
         let p = Problem::new(b.build().unwrap(), net).unwrap();
         assert_eq!(
             LineLine::new().deploy(&p).unwrap_err(),
@@ -394,8 +384,7 @@ mod tests {
     fn rejects_fewer_ops_than_servers() {
         let mut b = WorkflowBuilder::new("w");
         b.line("o", &[MCycles(1.0); 2], Mbits(0.1));
-        let net =
-            line_uniform("n", homogeneous_servers(3, 1.0), MbitsPerSec(10.0)).unwrap();
+        let net = line_uniform("n", homogeneous_servers(3, 1.0), MbitsPerSec(10.0)).unwrap();
         let p = Problem::new(b.build().unwrap(), net).unwrap();
         assert!(matches!(
             LineLine::new().deploy(&p).unwrap_err(),
@@ -421,7 +410,10 @@ mod tests {
         let servers: Vec<u32> = order.iter().map(|&o| m.server_of(o).0).collect();
         let mut sorted = servers.clone();
         sorted.sort_unstable();
-        assert_eq!(servers, sorted, "assignment must be contiguous: {servers:?}");
+        assert_eq!(
+            servers, sorted,
+            "assignment must be contiguous: {servers:?}"
+        );
         assert_eq!(m.servers_used(), 3, "every server hosts something");
         // Exactly N−1 crossings.
         let crossings = order
@@ -476,10 +468,7 @@ mod tests {
             "bridge fix should cut traffic: {t_fixed} vs {t_unfixed}"
         );
         // The 9 Mbit message no longer crosses.
-        assert_eq!(
-            fixed.server_of(OpId::new(2)),
-            fixed.server_of(OpId::new(3))
-        );
+        assert_eq!(fixed.server_of(OpId::new(2)), fixed.server_of(OpId::new(3)));
     }
 
     #[test]

@@ -132,11 +132,7 @@ pub fn deploy_sequential(
     multi: &MultiProblem,
     algo: &dyn DeploymentAlgorithm,
 ) -> Result<Vec<Mapping>, DeployError> {
-    multi
-        .problems()
-        .iter()
-        .map(|p| algo.deploy(p))
-        .collect()
+    multi.problems().iter().map(|p| algo.deploy(p)).collect()
 }
 
 /// Jointly fair deployment: worst-fit over the union of all workflows'
@@ -214,10 +210,7 @@ mod tests {
 
     #[test]
     fn evaluation_sums_loads_across_workflows() {
-        let m = multi(
-            &[&[10.0, 10.0], &[20.0, 20.0]],
-            homogeneous_servers(2, 1.0),
-        );
+        let m = multi(&[&[10.0, 10.0], &[20.0, 20.0]], homogeneous_servers(2, 1.0));
         // Both workflows entirely on server 0.
         let mappings = vec![
             Mapping::all_on(2, ServerId::new(0)),

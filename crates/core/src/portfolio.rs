@@ -25,10 +25,7 @@ impl Portfolio {
     }
 
     /// Deploy and also report which member won.
-    pub fn deploy_labelled(
-        &self,
-        problem: &Problem,
-    ) -> Result<(Mapping, String), DeployError> {
+    pub fn deploy_labelled(&self, problem: &Problem) -> Result<(Mapping, String), DeployError> {
         let mut ev = Evaluator::new(problem);
         let mut best: Option<(Mapping, String, f64)> = None;
         for algo in paper_bus_algorithms(self.seed) {
@@ -62,12 +59,18 @@ impl DeploymentAlgorithm for Portfolio {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wsflow_model::{MbitsPerSec};
+    use wsflow_model::MbitsPerSec;
     use wsflow_workload::{generate, Configuration, ExperimentClass, GraphClass};
 
     fn problem(bus: f64, seed: u64) -> Problem {
         let class = ExperimentClass::class_c();
-        let s = generate(Configuration::LineBus(MbitsPerSec(bus)), 12, 3, &class, seed);
+        let s = generate(
+            Configuration::LineBus(MbitsPerSec(bus)),
+            12,
+            3,
+            &class,
+            seed,
+        );
         Problem::new(s.workflow, s.network).expect("valid")
     }
 

@@ -9,7 +9,7 @@
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use wsflow_cost::{Evaluator, Mapping, Problem};
+use wsflow_cost::{DeltaEvaluator, Mapping, Problem};
 use wsflow_model::OpId;
 use wsflow_net::ServerId;
 
@@ -37,40 +37,38 @@ impl<A> HillClimb<A> {
 
 /// Run hill climbing from an explicit starting mapping; returns the
 /// refined mapping and its combined cost.
-pub fn hill_climb_from(
-    problem: &Problem,
-    start: Mapping,
-    max_sweeps: usize,
-) -> (Mapping, f64) {
-    let mut ev = Evaluator::new(problem);
-    let mut current = start;
-    let mut cost = ev.combined(&current).value();
+pub fn hill_climb_from(problem: &Problem, start: Mapping, max_sweeps: usize) -> (Mapping, f64) {
+    // The delta evaluator re-relaxes only the ops a move can affect and
+    // re-folds only the two touched servers; its costs are bit-identical
+    // to a full `Evaluator` pass, so the refinement trajectory (and the
+    // local optimum reached) is unchanged — just cheaper per probe.
+    let mut delta = DeltaEvaluator::new(problem, start);
+    let mut cost = delta.cost().combined.value();
     let n = problem.num_servers() as u32;
     for _ in 0..max_sweeps {
         let mut improved = false;
         for op_idx in 0..problem.num_ops() {
             let op = OpId::from(op_idx);
-            let original = current.server_of(op);
+            let original = delta.mapping().server_of(op);
             for s in 0..n {
                 let server = ServerId::new(s);
                 if server == original {
                     continue;
                 }
-                current.assign(op, server);
-                let c = ev.combined(&current).value();
+                let c = delta.probe(op, server).combined.value();
                 if c < cost {
+                    delta.apply(op, server);
                     cost = c;
                     improved = true;
                     break; // first improvement: keep the move
                 }
-                current.assign(op, original);
             }
         }
         if !improved {
             break;
         }
     }
-    (current, cost)
+    (delta.mapping().clone(), cost)
 }
 
 impl<A: DeploymentAlgorithm> DeploymentAlgorithm for HillClimb<A> {
@@ -89,33 +87,29 @@ impl<A: DeploymentAlgorithm> DeploymentAlgorithm for HillClimb<A> {
 /// operation count, so they explore fairness-preserving rearrangements
 /// that single moves cannot reach without passing through imbalanced
 /// states. Returns the refined mapping and its combined cost.
-pub fn swap_refine_from(
-    problem: &Problem,
-    start: Mapping,
-    max_sweeps: usize,
-) -> (Mapping, f64) {
-    let mut ev = Evaluator::new(problem);
-    let mut current = start;
-    let mut cost = ev.combined(&current).value();
+pub fn swap_refine_from(problem: &Problem, start: Mapping, max_sweeps: usize) -> (Mapping, f64) {
+    let mut delta = DeltaEvaluator::new(problem, start);
+    let mut cost = delta.cost().combined.value();
     let m = problem.num_ops();
     for _ in 0..max_sweeps {
         let mut improved = false;
         for a in 0..m {
             for b in (a + 1)..m {
                 let (oa, ob) = (OpId::from(a), OpId::from(b));
-                let (sa, sb) = (current.server_of(oa), current.server_of(ob));
+                let (sa, sb) = (delta.mapping().server_of(oa), delta.mapping().server_of(ob));
                 if sa == sb {
                     continue;
                 }
-                current.assign(oa, sb);
-                current.assign(ob, sa);
-                let c = ev.combined(&current).value();
+                // A swap is two delta moves; both are exact, so probing
+                // and reverting leaves the state bit-identical.
+                delta.apply(oa, sb);
+                let c = delta.apply(ob, sa).combined.value();
                 if c < cost {
                     cost = c;
                     improved = true;
                 } else {
-                    current.assign(oa, sa);
-                    current.assign(ob, sb);
+                    delta.apply(oa, sa);
+                    delta.apply(ob, sb);
                 }
             }
         }
@@ -123,7 +117,7 @@ pub fn swap_refine_from(
             break;
         }
     }
-    (current, cost)
+    (delta.mapping().clone(), cost)
 }
 
 /// Moves + swaps: alternate the two neighbourhoods to a combined local
@@ -182,36 +176,37 @@ impl DeploymentAlgorithm for SimulatedAnnealing {
 
     fn deploy(&self, problem: &Problem) -> Result<Mapping, DeployError> {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
-        let mut ev = Evaluator::new(problem);
         let n = problem.num_servers() as u32;
         let m = problem.num_ops();
-        let mut current = crate::baselines::RandomMapping::draw(problem, &mut rng);
-        let mut cost = ev.combined(&current).value();
-        let mut best = current.clone();
+        let start = crate::baselines::RandomMapping::draw(problem, &mut rng);
+        // Delta costs are bit-identical to full evaluation, so the
+        // accept/reject trajectory (and the RNG stream) is exactly the
+        // one the full-evaluation implementation produced.
+        let mut delta = DeltaEvaluator::new(problem, start);
+        let mut cost = delta.cost().combined.value();
+        let mut best = delta.mapping().clone();
         let mut best_cost = cost;
         let mut temperature = (cost * self.initial_temperature).max(1e-12);
         for _ in 0..self.steps {
             let op = OpId::from(rng.gen_range(0..m));
-            let old = current.server_of(op);
+            let old = delta.mapping().server_of(op);
             let new = ServerId::new(rng.gen_range(0..n));
             if new == old {
                 temperature *= self.cooling;
                 continue;
             }
-            current.assign(op, new);
-            let c = ev.combined(&current).value();
+            let c = delta.probe(op, new).combined.value();
             let accept = c <= cost || {
                 let p = ((cost - c) / temperature).exp();
                 rng.gen::<f64>() < p
             };
             if accept {
+                delta.apply(op, new);
                 cost = c;
                 if c < best_cost {
                     best_cost = c;
-                    best = current.clone();
+                    best = delta.mapping().clone();
                 }
-            } else {
-                current.assign(op, old);
             }
             temperature *= self.cooling;
         }
@@ -225,6 +220,7 @@ mod tests {
     use crate::baselines::RandomMapping;
     use crate::exhaustive::optimum;
     use crate::fair_load::FairLoad;
+    use wsflow_cost::Evaluator;
     use wsflow_model::{MCycles, Mbits, MbitsPerSec, WorkflowBuilder};
     use wsflow_net::topology::{bus, homogeneous_servers};
 

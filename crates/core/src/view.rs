@@ -58,10 +58,7 @@ impl InstanceView {
     pub fn new(problem: &Problem) -> Self {
         let w = problem.workflow();
         let probs = problem.probabilities();
-        let cycles: Vec<MCycles> = w
-            .op_ids()
-            .map(|o| probs.of_op(o) * w.op(o).cost)
-            .collect();
+        let cycles: Vec<MCycles> = w.op_ids().map(|o| probs.of_op(o) * w.op(o).cost).collect();
         let msgs: Vec<MsgView> = w
             .msg_ids()
             .map(|m| {
@@ -101,12 +98,9 @@ impl InstanceView {
                     for a in net.server_ids() {
                         for b in net.server_ids() {
                             if a != b {
-                                if let Some(t) = problem.routing().transfer_time(
-                                    net,
-                                    a,
-                                    b,
-                                    Mbits(1.0),
-                                ) {
+                                if let Some(t) =
+                                    problem.routing().transfer_time(net, a, b, Mbits(1.0))
+                                {
                                     total += t.value();
                                     count += 1;
                                 }

@@ -102,8 +102,7 @@ pub fn critical_path(problem: &Problem, mapping: &Mapping) -> CriticalPath {
                         in_msgs
                             .iter()
                             .map(|&m| {
-                                arrival(m)
-                                    * (problem.probabilities().of_msg(m).value() / total)
+                                arrival(m) * (problem.probabilities().of_msg(m).value() / total)
                             })
                             .sum()
                     };
@@ -111,10 +110,8 @@ pub fn critical_path(problem: &Problem, mapping: &Mapping) -> CriticalPath {
                         .iter()
                         .copied()
                         .max_by(|&a, &b| {
-                            let wa = problem.probabilities().of_msg(a).value()
-                                * arrival(a).value();
-                            let wb = problem.probabilities().of_msg(b).value()
-                                * arrival(b).value();
+                            let wa = problem.probabilities().of_msg(a).value() * arrival(a).value();
+                            let wb = problem.probabilities().of_msg(b).value() * arrival(b).value();
                             wa.partial_cmp(&wb).expect("finite")
                         })
                         .expect("non-empty");
@@ -224,7 +221,11 @@ mod tests {
     #[test]
     fn line_path_is_the_whole_line() {
         let mut b = WorkflowBuilder::new("w");
-        b.line("o", &[MCycles(10.0), MCycles(20.0), MCycles(30.0)], Mbits(1.0));
+        b.line(
+            "o",
+            &[MCycles(10.0), MCycles(20.0), MCycles(30.0)],
+            Mbits(1.0),
+        );
         let p = bus_problem(b.build().unwrap(), 2, 10.0);
         let m = Mapping::from_fn(3, |o| ServerId::new(o.0 % 2));
         let cp = critical_path(&p, &m);
@@ -288,7 +289,10 @@ mod tests {
             kind: DecisionKind::Xor,
             name: "x".into(),
             branches: vec![
-                (Probability::new(0.9), BlockSpec::op("likely", MCycles(10.0))),
+                (
+                    Probability::new(0.9),
+                    BlockSpec::op("likely", MCycles(10.0)),
+                ),
                 (
                     Probability::new(0.1),
                     BlockSpec::op("unlikely", MCycles(30.0)),

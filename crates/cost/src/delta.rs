@@ -1,0 +1,519 @@
+//! Delta-incremental cost evaluation for local-search moves.
+//!
+//! Local search (hill climbing, simulated annealing, the refinement pass
+//! after FLTR) explores neighbourhoods of single-op reassignments
+//! `op → s'`. Re-running the full [`Evaluator`] for every neighbour costs
+//! `O(M·d + M + N)` per probe even though a move only perturbs a small
+//! part of the DAG. [`DeltaEvaluator`] keeps the finish times and the
+//! per-server loads of the *current* mapping and updates them
+//! incrementally:
+//!
+//! * **Loads / penalty** — only the two servers touched by the move are
+//!   re-folded, each in ascending op order, i.e. the exact accumulation
+//!   order [`Evaluator::compute_loads`] uses. The penalty is then
+//!   recomputed from the load vector. Cost: `O(M/N)` expected per move
+//!   (the ops resident on the two servers) plus `O(N)` for the penalty.
+//! * **Execution time** — only `op`, its direct successors, and any op
+//!   whose finish time actually changes are re-relaxed, in topological
+//!   order, through the *same* [`Evaluator::finish_of`] recurrence the
+//!   full forward pass uses.
+//!
+//! Because every number is produced by the same floating-point
+//! expression, in the same order, as a from-scratch [`Evaluator`] run,
+//! the incremental results are **bit-for-bit identical** to
+//! [`Evaluator::evaluate`] — not merely close. A staleness threshold
+//! additionally forces a full recompute every `staleness_threshold`
+//! moves as a defensive resync; in debug builds the resync asserts that
+//! the incremental state was indeed exact.
+
+use wsflow_model::{OpId, Seconds};
+use wsflow_net::ServerId;
+
+use crate::evaluator::Evaluator;
+use crate::load::time_penalty_of_loads;
+use crate::mapping::Mapping;
+use crate::objective::CostBreakdown;
+use crate::problem::Problem;
+
+/// Incremental evaluator maintaining the cost of a mutable mapping.
+///
+/// ```
+/// use wsflow_cost::{DeltaEvaluator, Mapping, Problem};
+/// # use wsflow_model::{BlockSpec, MCycles, Mbits, MbitsPerSec, WorkflowBuilder};
+/// # use wsflow_net::topology::{bus, homogeneous_servers};
+/// # use wsflow_net::ServerId;
+/// # let mut b = WorkflowBuilder::new("w");
+/// # b.line("o", &[MCycles(10.0), MCycles(20.0)], Mbits(0.5));
+/// # let net = bus("b", homogeneous_servers(2, 2.0), MbitsPerSec(10.0)).unwrap();
+/// # let problem = Problem::new(b.build().unwrap(), net).unwrap();
+/// let start = Mapping::all_on(problem.num_ops(), ServerId::new(0));
+/// let mut delta = DeltaEvaluator::new(&problem, start);
+/// let before = delta.cost().combined;
+/// let after = delta.apply(wsflow_model::OpId::new(1), ServerId::new(1)).combined;
+/// assert_ne!(before, after);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeltaEvaluator<'p> {
+    ev: Evaluator<'p>,
+    mapping: Mapping,
+    /// Finish time per op for `mapping` (always fully relaxed).
+    finish: Vec<f64>,
+    /// Per-server load for `mapping`, bit-identical to
+    /// [`Evaluator::compute_loads`].
+    loads: Vec<Seconds>,
+    /// Sorted op indices resident on each server.
+    ops_on: Vec<Vec<u32>>,
+    /// Direct successor ops (deduplicated) per op.
+    succs: Vec<Vec<OpId>>,
+    /// Topological position of each op in the evaluator's order.
+    pos_of: Vec<usize>,
+    /// Scratch: dirty flag per op during re-relaxation.
+    dirty: Vec<bool>,
+    /// Scratch: hypothetical load vector used by [`Self::probe`].
+    scratch_loads: Vec<Seconds>,
+    /// Scratch: `(op index, saved finish bits)` undo log for
+    /// [`Self::probe`].
+    undo: Vec<(u32, u64)>,
+    /// Moves applied since the last full recompute.
+    moves_since_sync: usize,
+    /// Full-recompute fallback period.
+    staleness_threshold: usize,
+    cost: CostBreakdown,
+}
+
+impl<'p> DeltaEvaluator<'p> {
+    /// Default number of moves between defensive full recomputes.
+    pub const DEFAULT_STALENESS_THRESHOLD: usize = 1024;
+
+    /// Build the evaluator and fully evaluate the starting `mapping`.
+    pub fn new(problem: &'p Problem, mapping: Mapping) -> Self {
+        let ev = Evaluator::new(problem);
+        let w = problem.workflow();
+        let m = w.num_ops();
+        let mut succs: Vec<Vec<OpId>> = vec![Vec::new(); m];
+        for (u, list) in succs.iter_mut().enumerate() {
+            for &mid in w.out_msgs(OpId::from(u)) {
+                let v = w.message(mid).to;
+                if !list.contains(&v) {
+                    list.push(v);
+                }
+            }
+        }
+        let mut pos_of = vec![0usize; m];
+        for (pos, &u) in ev.order.iter().enumerate() {
+            pos_of[u.index()] = pos;
+        }
+        let mut this = Self {
+            ev,
+            mapping,
+            finish: vec![0.0; m],
+            loads: vec![Seconds::ZERO; problem.num_servers()],
+            ops_on: vec![Vec::new(); problem.num_servers()],
+            succs,
+            pos_of,
+            dirty: vec![false; m],
+            scratch_loads: Vec::new(),
+            undo: Vec::new(),
+            moves_since_sync: 0,
+            staleness_threshold: Self::DEFAULT_STALENESS_THRESHOLD,
+            cost: CostBreakdown::new(Seconds::ZERO, Seconds::ZERO, problem.weights()),
+        };
+        this.recompute_all();
+        this
+    }
+
+    /// Override the defensive full-recompute period (builder style).
+    pub fn with_staleness_threshold(mut self, threshold: usize) -> Self {
+        self.staleness_threshold = threshold.max(1);
+        self
+    }
+
+    /// The current mapping.
+    pub fn mapping(&self) -> &Mapping {
+        &self.mapping
+    }
+
+    /// The cost of the current mapping (cached, no work).
+    pub fn cost(&self) -> CostBreakdown {
+        self.cost
+    }
+
+    /// Per-server loads of the current mapping.
+    pub fn loads(&self) -> &[Seconds] {
+        &self.loads
+    }
+
+    /// Replace the mapping wholesale and re-evaluate from scratch.
+    pub fn reset(&mut self, mapping: Mapping) {
+        self.mapping = mapping;
+        self.recompute_all();
+    }
+
+    /// Reassign `op` to `server` and return the updated cost.
+    ///
+    /// No-op (returns the cached cost) if `op` is already there.
+    pub fn apply(&mut self, op: OpId, server: ServerId) -> CostBreakdown {
+        let old = self.mapping.server_of(op);
+        if old == server {
+            return self.cost;
+        }
+        self.moves_since_sync += 1;
+        if self.moves_since_sync >= self.staleness_threshold {
+            // Staleness fallback: periodically rebuild everything from
+            // scratch so any state divergence (there should be none — see
+            // the debug assertion, which checks the pre-move state) cannot
+            // persist.
+            #[cfg(debug_assertions)]
+            self.assert_in_sync();
+            self.mapping.assign(op, server);
+            self.recompute_all();
+            return self.cost;
+        }
+        self.mapping.assign(op, server);
+
+        // Loads: re-fold only the two touched servers, in ascending op
+        // order, matching `Evaluator::compute_loads` bit for bit.
+        let idx = op.0;
+        let from = &mut self.ops_on[old.index()];
+        let at = from.binary_search(&idx).expect("op was on its old server");
+        from.remove(at);
+        let to = &mut self.ops_on[server.index()];
+        let at = to.binary_search(&idx).unwrap_err();
+        to.insert(at, idx);
+        self.loads[old.index()] = self.fold_server_load(old);
+        self.loads[server.index()] = self.fold_server_load(server);
+
+        // Execution time: re-relax `op`, its direct successors (their
+        // inbound communication changed even if `finish[op]` did not),
+        // and transitively every op whose finish time actually moves.
+        self.dirty[op.index()] = true;
+        for &v in &self.succs[op.index()] {
+            self.dirty[v.index()] = true;
+        }
+        for pos in self.pos_of[op.index()]..self.ev.order.len() {
+            let u = self.ev.order[pos];
+            if !self.dirty[u.index()] {
+                continue;
+            }
+            self.dirty[u.index()] = false;
+            let f = self.ev.finish_of(u, &self.mapping, &self.finish);
+            if f.to_bits() != self.finish[u.index()].to_bits() {
+                self.finish[u.index()] = f;
+                for &v in &self.succs[u.index()] {
+                    self.dirty[v.index()] = true;
+                }
+            }
+        }
+
+        self.cost = CostBreakdown::new(
+            self.ev.completion_of(&self.finish),
+            time_penalty_of_loads(&self.loads),
+            self.ev.problem.weights(),
+        );
+        self.cost
+    }
+
+    /// Cost of the neighbour `op → server` without staying there.
+    ///
+    /// Unlike `apply` + apply-back, this is a single forward
+    /// re-relaxation: changed finish times are recorded in an undo log
+    /// and restored bit-for-bit afterwards (O(changed ops), not a second
+    /// re-relaxation), and the hypothetical loads of the two touched
+    /// servers are folded without mutating the residency lists at all.
+    /// The returned cost is exactly what `apply(op, server)` would
+    /// return, and the state afterwards is bit-identical to before.
+    pub fn probe(&mut self, op: OpId, server: ServerId) -> CostBreakdown {
+        let old = self.mapping.server_of(op);
+        if old == server {
+            return self.cost;
+        }
+        // Hypothetical loads, same accumulation order as
+        // `Evaluator::compute_loads`: the old server folded with `op`
+        // skipped, the new server folded with `op` merged in at its
+        // sorted position.
+        self.scratch_loads.clear();
+        self.scratch_loads.extend_from_slice(&self.loads);
+        self.scratch_loads[old.index()] = self.fold_server_load_without(old, op.0);
+        self.scratch_loads[server.index()] = self.fold_server_load_with(server, op.0);
+        let penalty = time_penalty_of_loads(&self.scratch_loads);
+
+        // Hypothetical finish times: relax in place, logging each
+        // overwritten value. Every op is relaxed at most once (dirtiness
+        // only propagates forward in topological order), so each undo
+        // entry is recorded exactly once.
+        self.mapping.assign(op, server);
+        self.undo.clear();
+        self.dirty[op.index()] = true;
+        for &v in &self.succs[op.index()] {
+            self.dirty[v.index()] = true;
+        }
+        for pos in self.pos_of[op.index()]..self.ev.order.len() {
+            let u = self.ev.order[pos];
+            if !self.dirty[u.index()] {
+                continue;
+            }
+            self.dirty[u.index()] = false;
+            let f = self.ev.finish_of(u, &self.mapping, &self.finish);
+            if f.to_bits() != self.finish[u.index()].to_bits() {
+                self.undo.push((u.0, self.finish[u.index()].to_bits()));
+                self.finish[u.index()] = f;
+                for &v in &self.succs[u.index()] {
+                    self.dirty[v.index()] = true;
+                }
+            }
+        }
+        let probed = CostBreakdown::new(
+            self.ev.completion_of(&self.finish),
+            penalty,
+            self.ev.problem.weights(),
+        );
+        while let Some((i, bits)) = self.undo.pop() {
+            self.finish[i as usize] = f64::from_bits(bits);
+        }
+        self.mapping.assign(op, old);
+        probed
+    }
+
+    /// Full from-scratch recompute of finish times, loads, and cost.
+    fn recompute_all(&mut self) {
+        for list in &mut self.ops_on {
+            list.clear();
+        }
+        for (op, server) in self.mapping.iter() {
+            self.ops_on[server.index()].push(op.0);
+        }
+        for pos in 0..self.ev.order.len() {
+            let u = self.ev.order[pos];
+            let f = self.ev.finish_of(u, &self.mapping, &self.finish);
+            self.finish[u.index()] = f;
+        }
+        for s in 0..self.loads.len() {
+            self.loads[s] = self.fold_server_load(ServerId::new(s as u32));
+        }
+        self.cost = CostBreakdown::new(
+            self.ev.completion_of(&self.finish),
+            time_penalty_of_loads(&self.loads),
+            self.ev.problem.weights(),
+        );
+        self.moves_since_sync = 0;
+    }
+
+    /// The load of one server, folded over its resident ops in ascending
+    /// op order — exactly the accumulation order (and expression) of
+    /// [`Evaluator::compute_loads`].
+    fn fold_server_load(&self, server: ServerId) -> Seconds {
+        let mut acc = Seconds::ZERO;
+        for &i in &self.ops_on[server.index()] {
+            let secs = self.ev.proc_secs[i as usize][server.index()];
+            acc += Seconds(secs * self.ev.prob_op[i as usize]);
+        }
+        acc
+    }
+
+    /// `fold_server_load` for a hypothetical residency with `skip`
+    /// removed from `server`.
+    fn fold_server_load_without(&self, server: ServerId, skip: u32) -> Seconds {
+        let mut acc = Seconds::ZERO;
+        for &i in &self.ops_on[server.index()] {
+            if i == skip {
+                continue;
+            }
+            let secs = self.ev.proc_secs[i as usize][server.index()];
+            acc += Seconds(secs * self.ev.prob_op[i as usize]);
+        }
+        acc
+    }
+
+    /// `fold_server_load` for a hypothetical residency with `extra`
+    /// merged into `server` at its sorted position.
+    fn fold_server_load_with(&self, server: ServerId, extra: u32) -> Seconds {
+        let term = |i: u32| {
+            let secs = self.ev.proc_secs[i as usize][server.index()];
+            Seconds(secs * self.ev.prob_op[i as usize])
+        };
+        let mut acc = Seconds::ZERO;
+        let mut inserted = false;
+        for &i in &self.ops_on[server.index()] {
+            if !inserted && extra < i {
+                acc += term(extra);
+                inserted = true;
+            }
+            acc += term(i);
+        }
+        if !inserted {
+            acc += term(extra);
+        }
+        acc
+    }
+
+    /// Debug check: the incremental state matches a from-scratch
+    /// evaluation bit for bit.
+    #[cfg(debug_assertions)]
+    fn assert_in_sync(&mut self) {
+        let fresh = self.ev.evaluate(&self.mapping);
+        debug_assert_eq!(
+            self.cost.execution.value().to_bits(),
+            fresh.execution.value().to_bits(),
+            "incremental execution time drifted from Evaluator::evaluate"
+        );
+        debug_assert_eq!(
+            self.cost.penalty.value().to_bits(),
+            fresh.penalty.value().to_bits(),
+            "incremental penalty drifted from Evaluator::evaluate"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use wsflow_model::{
+        BlockSpec, DecisionKind, MCycles, Mbits, MbitsPerSec, Probability, WorkflowBuilder,
+    };
+    use wsflow_net::topology::{bus, homogeneous_servers, line_uniform};
+    use wsflow_net::Server;
+
+    fn branchy_problem(n_servers: usize) -> Problem {
+        let spec = BlockSpec::seq(vec![
+            BlockSpec::op("a", MCycles(10.0)),
+            BlockSpec::Decision {
+                kind: DecisionKind::Xor,
+                name: "x".into(),
+                branches: vec![
+                    (
+                        Probability::new(0.25),
+                        BlockSpec::seq(vec![
+                            BlockSpec::op("b", MCycles(30.0)),
+                            BlockSpec::op("c", MCycles(5.0)),
+                        ]),
+                    ),
+                    (
+                        Probability::new(0.75),
+                        BlockSpec::and(
+                            "y",
+                            vec![
+                                BlockSpec::op("d", MCycles(20.0)),
+                                BlockSpec::op("e", MCycles(15.0)),
+                            ],
+                        ),
+                    ),
+                ],
+            },
+            BlockSpec::op("f", MCycles(8.0)),
+        ]);
+        let w = spec.lower("w", &mut || Mbits(0.4)).unwrap();
+        let servers = (0..n_servers)
+            .map(|i| Server::with_ghz(format!("s{i}"), 1.0 + (i % 3) as f64))
+            .collect();
+        let net = bus("b", servers, MbitsPerSec(10.0)).unwrap();
+        Problem::new(w, net).unwrap()
+    }
+
+    #[test]
+    fn single_move_matches_full_evaluation_bitwise() {
+        let p = branchy_problem(3);
+        let mut ev = Evaluator::new(&p);
+        let start = Mapping::all_on(p.num_ops(), ServerId::new(0));
+        let mut delta = DeltaEvaluator::new(&p, start.clone());
+        for o in 0..p.num_ops() {
+            for s in 0..3u32 {
+                let got = delta.probe(OpId::from(o), ServerId::new(s));
+                let mut m = start.clone();
+                m.assign(OpId::from(o), ServerId::new(s));
+                let want = ev.evaluate(&m);
+                assert_eq!(
+                    got.execution.value().to_bits(),
+                    want.execution.value().to_bits()
+                );
+                assert_eq!(
+                    got.penalty.value().to_bits(),
+                    want.penalty.value().to_bits()
+                );
+                assert_eq!(
+                    got.combined.value().to_bits(),
+                    want.combined.value().to_bits()
+                );
+            }
+        }
+        // After all the probes the state must still equal the start.
+        let want = ev.evaluate(&start);
+        assert_eq!(
+            delta.cost().combined.value().to_bits(),
+            want.combined.value().to_bits()
+        );
+    }
+
+    #[test]
+    fn long_random_walk_stays_bitwise_exact() {
+        let p = branchy_problem(4);
+        let mut ev = Evaluator::new(&p);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let start = Mapping::from_fn(p.num_ops(), |o| ServerId::new(o.0 % 4));
+        let mut delta = DeltaEvaluator::new(&p, start).with_staleness_threshold(17);
+        for step in 0..300 {
+            let op = OpId::from(rng.gen_range(0..p.num_ops()));
+            let server = ServerId::new(rng.gen_range(0..4u32));
+            let got = delta.apply(op, server);
+            let want = ev.evaluate(delta.mapping());
+            assert_eq!(
+                got.execution.value().to_bits(),
+                want.execution.value().to_bits(),
+                "execution diverged at step {step}"
+            );
+            assert_eq!(
+                got.penalty.value().to_bits(),
+                want.penalty.value().to_bits(),
+                "penalty diverged at step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn line_topology_with_routing_is_exact_too() {
+        // Non-trivial routed paths (multi-hop line) exercise the pair
+        // coefficients; the delta path must still agree bitwise.
+        let mut b = WorkflowBuilder::new("w");
+        b.line(
+            "o",
+            &[
+                MCycles(10.0),
+                MCycles(20.0),
+                MCycles(30.0),
+                MCycles(5.0),
+                MCycles(12.0),
+            ],
+            Mbits(0.5),
+        );
+        let net = line_uniform("l", homogeneous_servers(4, 2.0), MbitsPerSec(8.0)).unwrap();
+        let p = Problem::new(b.build().unwrap(), net).unwrap();
+        let mut ev = Evaluator::new(&p);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut delta = DeltaEvaluator::new(&p, Mapping::all_on(p.num_ops(), ServerId::new(0)));
+        for _ in 0..120 {
+            let op = OpId::from(rng.gen_range(0..p.num_ops()));
+            let server = ServerId::new(rng.gen_range(0..4u32));
+            let got = delta.apply(op, server);
+            let want = ev.evaluate(delta.mapping());
+            assert_eq!(
+                got.combined.value().to_bits(),
+                want.combined.value().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn reset_reevaluates_from_scratch() {
+        let p = branchy_problem(3);
+        let mut ev = Evaluator::new(&p);
+        let mut delta = DeltaEvaluator::new(&p, Mapping::all_on(p.num_ops(), ServerId::new(0)));
+        let m = Mapping::from_fn(p.num_ops(), |o| ServerId::new((o.0 + 1) % 3));
+        delta.reset(m.clone());
+        let want = ev.evaluate(&m);
+        assert_eq!(
+            delta.cost().combined.value().to_bits(),
+            want.combined.value().to_bits()
+        );
+    }
+}

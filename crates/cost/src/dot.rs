@@ -49,7 +49,10 @@ pub fn deployment_dot(problem: &Problem, mapping: &Mapping) -> String {
     for m in w.messages() {
         let crossing = mapping.server_of(m.from) != mapping.server_of(m.to);
         let style = if crossing {
-            format!("style=bold, color=red, label=\"{:.4} Mb\", fontsize=8", m.size.value())
+            format!(
+                "style=bold, color=red, label=\"{:.4} Mb\", fontsize=8",
+                m.size.value()
+            )
         } else {
             "style=dotted".to_string()
         };
@@ -72,11 +75,7 @@ mod tests {
         b.line("o", &[MCycles(1.0), MCycles(2.0), MCycles(3.0)], Mbits(0.5));
         let net = bus("n", homogeneous_servers(2, 1.0), MbitsPerSec(10.0)).unwrap();
         let problem = Problem::new(b.build().unwrap(), net).unwrap();
-        let mapping = Mapping::new(vec![
-            ServerId::new(0),
-            ServerId::new(0),
-            ServerId::new(1),
-        ]);
+        let mapping = Mapping::new(vec![ServerId::new(0), ServerId::new(0), ServerId::new(1)]);
         let dot = deployment_dot(&problem, &mapping);
         assert!(dot.contains("subgraph cluster_s0"));
         assert!(dot.contains("subgraph cluster_s1"));

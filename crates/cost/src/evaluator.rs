@@ -29,23 +29,27 @@ struct PairCoeff {
 
 /// Prepared evaluator; create once per [`Problem`], call
 /// [`Evaluator::evaluate`] per mapping.
+///
+/// Fields are `pub(crate)` so [`DeltaEvaluator`](crate::delta::DeltaEvaluator)
+/// can share the prepared tables and reuse the exact same floating-point
+/// expressions.
 #[derive(Debug, Clone)]
 pub struct Evaluator<'p> {
-    problem: &'p Problem,
-    order: Vec<OpId>,
+    pub(crate) problem: &'p Problem,
+    pub(crate) order: Vec<OpId>,
     /// `proc_secs[op][server]` = `Tproc(op)` on that server.
-    proc_secs: Vec<Vec<f64>>,
+    pub(crate) proc_secs: Vec<Vec<f64>>,
     /// `prob_op[op]` = execution probability.
-    prob_op: Vec<f64>,
+    pub(crate) prob_op: Vec<f64>,
     /// `prob_msg[msg]` = send probability.
-    prob_msg: Vec<f64>,
+    pub(crate) prob_msg: Vec<f64>,
     /// Row-major `[from][to]` communication coefficients.
     pair: Vec<PairCoeff>,
     n_servers: usize,
     /// Scratch: finish time per op.
     finish: Vec<f64>,
     /// Scratch: load per server.
-    loads: Vec<Seconds>,
+    pub(crate) loads: Vec<Seconds>,
 }
 
 impl<'p> Evaluator<'p> {
@@ -91,7 +95,10 @@ impl<'p> Evaluator<'p> {
                     bw_term += 1.0 / link.speed.value();
                     fixed_term += link.propagation.value();
                 }
-                pair.push(PairCoeff { bw_term, fixed_term });
+                pair.push(PairCoeff {
+                    bw_term,
+                    fixed_term,
+                });
             }
         }
         Self {
@@ -119,61 +126,85 @@ impl<'p> Evaluator<'p> {
         size_mbits * c.bw_term + c.fixed_term
     }
 
+    /// Finish time of `u` given the finish times of its predecessors.
+    ///
+    /// This is the single source of truth for the per-op recurrence: the
+    /// full forward pass below and the incremental re-relaxation in
+    /// [`DeltaEvaluator`](crate::delta::DeltaEvaluator) both call it, so
+    /// their results are bit-for-bit identical by construction.
+    #[inline]
+    pub(crate) fn finish_of(&self, u: OpId, mapping: &Mapping, finish: &[f64]) -> f64 {
+        let w = self.problem.workflow();
+        let in_msgs = w.in_msgs(u);
+        let ready = if in_msgs.is_empty() {
+            0.0
+        } else {
+            let arrival = |mid: wsflow_model::MsgId| -> f64 {
+                let msg = w.message(mid);
+                let t = self.comm_secs(
+                    mapping.server_of(msg.from),
+                    mapping.server_of(msg.to),
+                    msg.size.value(),
+                );
+                finish[msg.from.index()] + t
+            };
+            match w.op(u).kind {
+                OpKind::Close(DecisionKind::And) => {
+                    in_msgs.iter().map(|&m| arrival(m)).fold(0.0f64, f64::max)
+                }
+                OpKind::Close(DecisionKind::Or) => in_msgs
+                    .iter()
+                    .map(|&m| arrival(m))
+                    .fold(f64::INFINITY, f64::min),
+                OpKind::Close(DecisionKind::Xor) => {
+                    let total: f64 = in_msgs.iter().map(|&m| self.prob_msg[m.index()]).sum();
+                    if total <= 0.0 {
+                        // Degenerate: every inflow has probability 0
+                        // (e.g. the enclosing branch is impossible).
+                        // texecute falls back to the max arrival;
+                        // mirror it exactly.
+                        in_msgs.iter().map(|&m| arrival(m)).fold(0.0f64, f64::max)
+                    } else {
+                        // Weight as `arrival · (p / total)` — the same
+                        // floating-point association `texecute` uses —
+                        // so both paths agree bit for bit.
+                        in_msgs
+                            .iter()
+                            .map(|&m| arrival(m) * (self.prob_msg[m.index()] / total))
+                            .sum()
+                    }
+                }
+                _ => in_msgs.iter().map(|&m| arrival(m)).fold(0.0f64, f64::max),
+            }
+        };
+        ready + self.proc_secs[u.index()][mapping.server_of(u).index()]
+    }
+
+    /// Workflow completion time given a fully relaxed `finish` array.
+    #[inline]
+    pub(crate) fn completion_of(&self, finish: &[f64]) -> Seconds {
+        Seconds(
+            self.problem
+                .workflow()
+                .sinks()
+                .into_iter()
+                .map(|s| finish[s.index()])
+                .fold(0.0f64, f64::max),
+        )
+    }
+
     /// Expected execution time of `mapping` (same value as
     /// [`texecute`](crate::texecute::texecute)).
     pub fn execution_time(&mut self, mapping: &Mapping) -> Seconds {
-        let w = self.problem.workflow();
         // Split borrows: read-only tables vs the finish scratch buffer.
-        let finish = std::mem::take(&mut self.finish);
-        let mut finish = finish;
+        let mut finish = std::mem::take(&mut self.finish);
         for &u in &self.order {
-            let in_msgs = w.in_msgs(u);
-            let ready = if in_msgs.is_empty() {
-                0.0
-            } else {
-                let arrival = |mid: wsflow_model::MsgId| -> f64 {
-                    let msg = w.message(mid);
-                    let t = self.comm_secs(
-                        mapping.server_of(msg.from),
-                        mapping.server_of(msg.to),
-                        msg.size.value(),
-                    );
-                    finish[msg.from.index()] + t
-                };
-                match w.op(u).kind {
-                    OpKind::Close(DecisionKind::And) => in_msgs
-                        .iter()
-                        .map(|&m| arrival(m))
-                        .fold(0.0f64, f64::max),
-                    OpKind::Close(DecisionKind::Or) => in_msgs
-                        .iter()
-                        .map(|&m| arrival(m))
-                        .fold(f64::INFINITY, f64::min),
-                    OpKind::Close(DecisionKind::Xor) => {
-                        let total: f64 =
-                            in_msgs.iter().map(|&m| self.prob_msg[m.index()]).sum();
-                        if total <= 0.0 {
-                            in_msgs.iter().map(|&m| arrival(m)).fold(0.0f64, f64::max)
-                        } else {
-                            in_msgs
-                                .iter()
-                                .map(|&m| arrival(m) * self.prob_msg[m.index()] / total)
-                                .sum()
-                        }
-                    }
-                    _ => in_msgs.iter().map(|&m| arrival(m)).fold(0.0f64, f64::max),
-                }
-            };
-            finish[u.index()] =
-                ready + self.proc_secs[u.index()][mapping.server_of(u).index()];
+            let f = self.finish_of(u, mapping, &finish);
+            finish[u.index()] = f;
         }
-        let result = w
-            .sinks()
-            .into_iter()
-            .map(|s| finish[s.index()])
-            .fold(0.0f64, f64::max);
+        let result = self.completion_of(&finish);
         self.finish = finish;
-        Seconds(result)
+        result
     }
 
     /// Per-server loads (probability-weighted processing seconds).
@@ -238,9 +269,7 @@ mod tests {
             let cb = ev.evaluate(&m);
             assert!((cb.execution.value() - direct_exec.value()).abs() < 1e-12);
             assert!((cb.penalty.value() - direct_pen.value()).abs() < 1e-12);
-            assert!(
-                (cb.combined.value() - (direct_exec + direct_pen).value()).abs() < 1e-12
-            );
+            assert!((cb.combined.value() - (direct_exec + direct_pen).value()).abs() < 1e-12);
         }
     }
 
@@ -278,6 +307,76 @@ mod tests {
         let fast = ev.compute_loads(&m).to_vec();
         for (a, b) in direct.iter().zip(&fast) {
             assert!((a.value() - b.value()).abs() < 1e-12);
+        }
+    }
+
+    /// Pinning test for the XOR-close rule: with every op co-located the
+    /// communication terms vanish, so the evaluator's `arrival · (p /
+    /// total)` weighting and the `total ≤ 0` max-arrival fallback must
+    /// reproduce `texecute` *bit for bit*, including when an enclosing
+    /// branch makes every inflow of an inner XOR-close impossible.
+    #[test]
+    fn xor_close_pins_texecute_on_zero_probability_inflows() {
+        use wsflow_model::Probability;
+        let spec = BlockSpec::Decision {
+            kind: wsflow_model::DecisionKind::Xor,
+            name: "outer".into(),
+            branches: vec![
+                (
+                    // Impossible branch: the inner closer sees only
+                    // zero-probability inflows (total ≤ 0 fallback).
+                    Probability::new(0.0),
+                    BlockSpec::xor_uniform(
+                        "inner",
+                        vec![
+                            BlockSpec::op("a", MCycles(10.0)),
+                            BlockSpec::op("b", MCycles(20.0)),
+                        ],
+                    ),
+                ),
+                (
+                    // Uneven inner split exercises the p/total weighting
+                    // (total = 1 · 0.7 after scaling by the outer branch).
+                    Probability::new(0.7),
+                    BlockSpec::xor_uniform(
+                        "taken",
+                        vec![
+                            BlockSpec::op("c", MCycles(30.0)),
+                            BlockSpec::op("d", MCycles(7.0)),
+                            BlockSpec::op("e", MCycles(11.0)),
+                        ],
+                    ),
+                ),
+                (Probability::new(0.3), BlockSpec::op("f", MCycles(13.0))),
+            ],
+        };
+        let w = spec.lower("w", &mut || Mbits(0.25)).unwrap();
+        let net = bus("b", homogeneous_servers(3, 2.0), MbitsPerSec(10.0)).unwrap();
+        let p = Problem::new(w, net).unwrap();
+        let mut ev = Evaluator::new(&p);
+
+        // Co-located: agreement must be exact to the last bit.
+        let colocated = Mapping::all_on(p.num_ops(), ServerId::new(1));
+        assert_eq!(
+            ev.execution_time(&colocated).value().to_bits(),
+            texecute(&p, &colocated).value().to_bits(),
+            "co-located XOR workflow must pin texecute bitwise"
+        );
+
+        // Spread out: communication times are computed through different
+        // (mathematically equal) expressions, so allow the usual 1e-12.
+        for k in 2..=3u32 {
+            let m = spread(&p, k);
+            let fast = ev.execution_time(&m).value();
+            let direct = texecute(&p, &m).value();
+            assert!(
+                (fast - direct).abs() < 1e-12,
+                "k={k}: evaluator {fast} vs texecute {direct}"
+            );
+            assert!(
+                fast.is_finite(),
+                "zero-probability inflows must not yield NaN"
+            );
         }
     }
 

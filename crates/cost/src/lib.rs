@@ -19,6 +19,7 @@
 
 pub mod constraints;
 pub mod critical_path;
+pub mod delta;
 pub mod dot;
 pub mod evaluator;
 pub mod load;
@@ -30,6 +31,7 @@ pub mod texecute;
 
 pub use constraints::{ConstraintViolation, UserConstraints};
 pub use critical_path::{critical_path, CriticalPath, CriticalStep};
+pub use delta::DeltaEvaluator;
 pub use dot::deployment_dot;
 pub use evaluator::Evaluator;
 pub use load::{effective_cycles, ideal_cycles, loads, max_load, time_penalty, tproc};

@@ -44,11 +44,7 @@ pub fn time_penalty_of_loads(loads: &[Seconds]) -> Seconds {
         return Seconds::ZERO;
     }
     let avg = loads.iter().copied().sum::<Seconds>() / loads.len() as f64;
-    loads
-        .iter()
-        .map(|&l| (l - avg).abs())
-        .sum::<Seconds>()
-        / 2.0
+    loads.iter().map(|&l| (l - avg).abs()).sum::<Seconds>() / 2.0
 }
 
 /// The fairness time penalty of a mapping.
@@ -120,11 +116,7 @@ mod tests {
     #[test]
     fn loads_accumulate_per_server() {
         let p = problem(&[10.0, 20.0, 30.0], &[1.0, 1.0]);
-        let m = Mapping::new(vec![
-            ServerId::new(0),
-            ServerId::new(0),
-            ServerId::new(1),
-        ]);
+        let m = Mapping::new(vec![ServerId::new(0), ServerId::new(0), ServerId::new(1)]);
         let l = loads(&p, &m);
         assert!((l[0].value() - 0.030).abs() < 1e-12);
         assert!((l[1].value() - 0.030).abs() < 1e-12);

@@ -92,9 +92,7 @@ impl CostBreakdown {
     /// solutions on (execution, penalty) axes and calls solutions closer
     /// to the origin better.
     pub fn distance_to_origin(&self) -> f64 {
-        self.execution
-            .value()
-            .hypot(self.penalty.value())
+        self.execution.value().hypot(self.penalty.value())
     }
 }
 

@@ -62,8 +62,7 @@ pub fn pareto_front<T>(points: Vec<ParetoPoint<T>>) -> Vec<ParetoPoint<T>> {
     let mut best_penalty = f64::INFINITY;
     let mut best_exec = f64::NEG_INFINITY;
     for p in sorted {
-        if p.penalty < best_penalty || (p.penalty == best_penalty && p.execution == best_exec)
-        {
+        if p.penalty < best_penalty || (p.penalty == best_penalty && p.execution == best_exec) {
             best_penalty = best_penalty.min(p.penalty);
             best_exec = p.execution;
             front.push(p);

@@ -175,12 +175,7 @@ mod tests {
     #[test]
     fn assembles() {
         let w = line_workflow(5);
-        let net = bus(
-            "b",
-            homogeneous_servers(3, 1.0),
-            MbitsPerSec(100.0),
-        )
-        .unwrap();
+        let net = bus("b", homogeneous_servers(3, 1.0), MbitsPerSec(100.0)).unwrap();
         let p = Problem::new(w, net).unwrap();
         assert_eq!(p.num_ops(), 5);
         assert_eq!(p.num_servers(), 3);
@@ -212,12 +207,7 @@ mod tests {
         b.msg(a, c, Mbits(0.1));
         b.msg(c, a, Mbits(0.1)); // cycle
         let w = b.build().unwrap();
-        let net = bus(
-            "b",
-            homogeneous_servers(2, 1.0),
-            MbitsPerSec(100.0),
-        )
-        .unwrap();
+        let net = bus("b", homogeneous_servers(2, 1.0), MbitsPerSec(100.0)).unwrap();
         assert!(matches!(
             Problem::new(w, net).unwrap_err(),
             ProblemError::Workflow(_)

@@ -8,8 +8,9 @@
 //!   depends on that seed (a stable algorithm should show a small
 //!   spread).
 
-use wsflow_core::{DeploymentAlgorithm, FairLoadMergeMessages, FairLoadTieResolver,
-    FairLoadTieResolver2};
+use wsflow_core::{
+    DeploymentAlgorithm, FairLoadMergeMessages, FairLoadTieResolver, FairLoadTieResolver2,
+};
 use wsflow_cost::{Evaluator, Problem};
 use wsflow_workload::{generate_batch, Configuration, ExperimentClass};
 
@@ -67,10 +68,7 @@ impl DeploymentAlgorithm for FLMMEVariant {
     fn name(&self) -> &str {
         &self.label
     }
-    fn deploy(
-        &self,
-        problem: &Problem,
-    ) -> Result<wsflow_cost::Mapping, wsflow_core::DeployError> {
+    fn deploy(&self, problem: &Problem) -> Result<wsflow_cost::Mapping, wsflow_core::DeployError> {
         self.inner.deploy(problem)
     }
 }
@@ -158,7 +156,12 @@ pub fn run(params: &Params) -> ExperimentOutput {
             params.bus_speeds[0].value(),
             params.seeds
         ),
-        &["algorithm", "mean_combined_ms", "mean_spread_ms", "worst_spread_ms"],
+        &[
+            "algorithm",
+            "mean_combined_ms",
+            "mean_spread_ms",
+            "worst_spread_ms",
+        ],
     );
     for r in &rows {
         t.push_row(vec![

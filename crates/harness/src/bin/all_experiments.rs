@@ -30,6 +30,13 @@ fn main() {
     eprintln!("== Topology sweep ==");
     wsflow_harness::cli::emit(&wsflow_harness::topologies::run(params), &opts);
     eprintln!("== True-front coverage ==");
-    let (ops, n, instances) = if params.seeds >= 50 { (8, 3, 25) } else { (6, 2, 4) };
-    wsflow_harness::cli::emit(&wsflow_harness::front::run(params, ops, n, instances), &opts);
+    let (ops, n, instances) = if params.seeds >= 50 {
+        (8, 3, 25)
+    } else {
+        (6, 2, 4)
+    };
+    wsflow_harness::cli::emit(
+        &wsflow_harness::front::run(params, ops, n, instances),
+        &opts,
+    );
 }

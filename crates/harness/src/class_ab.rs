@@ -78,12 +78,7 @@ mod tests {
         let out = run(&params);
         assert_eq!(out.tables.len(), 2 * params.bus_speeds.len());
         assert!(out.tables[0].title().contains("Class A"));
-        assert!(out
-            .tables
-            .last()
-            .unwrap()
-            .title()
-            .contains("Class B"));
+        assert!(out.tables.last().unwrap().title().contains("Class B"));
     }
 
     #[test]

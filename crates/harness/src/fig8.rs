@@ -58,10 +58,7 @@ mod tests {
         let out = run(&params);
         assert_eq!(out.tables.len(), 3 * params.bus_speeds.len());
         assert!(out.tables[0].title().contains("bushy"));
-        assert!(out
-            .tables
-            .iter()
-            .any(|t| t.title().contains("lengthy")));
+        assert!(out.tables.iter().any(|t| t.title().contains("lengthy")));
         assert!(out.tables.iter().any(|t| t.title().contains("hybrid")));
     }
 }

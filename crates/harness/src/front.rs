@@ -6,8 +6,8 @@
 //! normalised per axis by the front's span (so 0 % = on the front, and
 //! 100 % = a full front-width away in the worst axis).
 
-use wsflow_core::registry::paper_bus_algorithms;
 use wsflow_core::pareto_front_exhaustive;
+use wsflow_core::registry::paper_bus_algorithms;
 use wsflow_cost::{Evaluator, Mapping, ParetoPoint, Problem};
 use wsflow_workload::{generate_batch, Configuration, ExperimentClass};
 
@@ -30,10 +30,7 @@ pub struct FrontRow {
 }
 
 /// Normalised distance of `point` to the front (0 = on it).
-fn distance_to_front(
-    point: &ParetoPoint<String>,
-    front: &[ParetoPoint<Mapping>],
-) -> f64 {
+fn distance_to_front(point: &ParetoPoint<String>, front: &[ParetoPoint<Mapping>]) -> f64 {
     let exec_span = front
         .iter()
         .map(|p| p.execution)
@@ -46,7 +43,10 @@ fn distance_to_front(
         .iter()
         .map(|p| p.penalty)
         .fold(f64::NEG_INFINITY, f64::max)
-        - front.iter().map(|p| p.penalty).fold(f64::INFINITY, f64::min);
+        - front
+            .iter()
+            .map(|p| p.penalty)
+            .fold(f64::INFINITY, f64::min);
     let exec_span = exec_span.max(1e-12);
     let pen_span = pen_span.max(1e-12);
     front
@@ -61,12 +61,7 @@ fn distance_to_front(
 
 /// Run the coverage study on `instances` small instances of `ops`
 /// operations over `servers` servers (keep `servers^ops` enumerable).
-pub fn rows(
-    params: &Params,
-    ops: usize,
-    n_servers: usize,
-    instances: usize,
-) -> Vec<FrontRow> {
+pub fn rows(params: &Params, ops: usize, n_servers: usize, instances: usize) -> Vec<FrontRow> {
     let class = ExperimentClass::class_c();
     let scenarios = generate_batch(
         Configuration::LineBus(params.bus_speeds[0]),

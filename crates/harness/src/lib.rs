@@ -23,9 +23,9 @@ pub mod ablation;
 pub mod class_ab;
 pub mod cli;
 pub mod fig6;
-pub mod front;
 pub mod fig7;
 pub mod fig8;
+pub mod front;
 pub mod line_line_exp;
 pub mod multi_wf;
 pub mod output;
@@ -38,8 +38,8 @@ pub mod scale_up;
 pub mod sim_validation;
 pub mod summary;
 pub mod table;
-pub mod topologies;
 pub mod table6;
+pub mod topologies;
 
 pub use output::ExperimentOutput;
 pub use params::Params;

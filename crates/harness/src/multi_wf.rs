@@ -50,11 +50,9 @@ pub fn rows(params: &Params, max_workflows: usize) -> Vec<MultiRow> {
                         )
                     })
                     .collect();
-                let network =
-                    bus_network(n, bus_speed, &class, params.base_seed + seed);
+                let network = bus_network(n, bus_speed, &class, params.base_seed + seed);
                 let multi = MultiProblem::new(workflows, network).expect("valid");
-                let sequential =
-                    deploy_sequential(&multi, &FairLoad).expect("deployable");
+                let sequential = deploy_sequential(&multi, &FairLoad).expect("deployable");
                 let joint = deploy_joint_fair(&multi);
                 let sc = multi.evaluate(&sequential);
                 let jc = multi.evaluate(&joint);

@@ -2,8 +2,8 @@
 //!
 //! The paper's class-C sweeps run 50 seeds × several algorithms ×
 //! several bus speeds; scenarios are independent, so we fan them out
-//! over worker threads with `crossbeam::scope` and reassemble the
-//! records in deterministic (scenario-index) order.
+//! over scoped worker threads (`wsflow_par::run_workers`) and reassemble
+//! the records in deterministic (scenario-index) order.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -29,42 +29,36 @@ pub fn run_batch_parallel(
     suite: &SuiteFactory<'_>,
     workers: usize,
 ) -> Vec<Record> {
-    let workers = workers.max(1).min(scenarios.len().max(1));
+    let workers = workers.clamp(1, scenarios.len().max(1));
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Vec<Record>> = vec![Vec::new(); scenarios.len()];
-    {
-        let slot_refs: Vec<std::sync::Mutex<&mut Vec<Record>>> =
-            slots.iter_mut().map(std::sync::Mutex::new).collect();
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|_| {
-                    let algorithms = suite();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= scenarios.len() {
-                            break;
-                        }
-                        let s = &scenarios[i];
-                        let problem =
-                            Problem::new(s.workflow.clone(), s.network.clone())
-                                .expect("generated scenarios are valid problems");
-                        let records =
-                            run_on_problem(&problem, &algorithms, &s.name, s.seed);
-                        **slot_refs[i].lock().expect("slot lock") = records;
-                    }
-                });
+    let per_worker = wsflow_par::run_workers(workers, |_| {
+        let algorithms = suite();
+        let mut local: Vec<(usize, Vec<Record>)> = Vec::new();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= scenarios.len() {
+                break;
             }
-        })
-        .expect("worker threads do not panic");
+            let s = &scenarios[i];
+            let problem = Problem::new(s.workflow.clone(), s.network.clone())
+                .expect("generated scenarios are valid problems");
+            local.push((i, run_on_problem(&problem, &algorithms, &s.name, s.seed)));
+        }
+        local
+    });
+
+    let mut slots: Vec<Vec<Record>> = vec![Vec::new(); scenarios.len()];
+    for local in per_worker {
+        for (i, records) in local {
+            slots[i] = records;
+        }
     }
     slots.into_iter().flatten().collect()
 }
 
-/// A sensible default worker count.
+/// A sensible default worker count (honours `WSFLOW_THREADS`).
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
+    wsflow_par::num_threads()
 }
 
 #[cfg(test)]

@@ -75,11 +75,7 @@ fn relative_deviation(value: f64, best: f64) -> f64 {
 }
 
 /// Run the quality study over one configuration.
-pub fn study(
-    config: Configuration,
-    params: &Params,
-    experiments: usize,
-) -> Vec<QualityRow> {
+pub fn study(config: Configuration, params: &Params, experiments: usize) -> Vec<QualityRow> {
     let class = ExperimentClass::class_c();
     let n = *params.server_counts.last().expect("at least one N");
     let scenarios = generate_batch(config, params.ops, n, &class, params.base_seed, experiments);

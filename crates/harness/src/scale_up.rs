@@ -71,11 +71,7 @@ pub fn points(params: &Params, instances: usize) -> Vec<ScalePoint> {
                 rate_hz: rate,
                 mean_sojourn: r.sojourn.mean.value(),
                 throughput_hz: r.throughput_hz,
-                max_utilization: r
-                    .utilization
-                    .iter()
-                    .copied()
-                    .fold(0.0, f64::max),
+                max_utilization: r.utilization.iter().copied().fold(0.0, f64::max),
             });
         }
     }

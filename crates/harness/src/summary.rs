@@ -136,11 +136,7 @@ mod tests {
 
     #[test]
     fn aggregates_group_and_average() {
-        let records = vec![
-            rec("A", 1.0, 0.5),
-            rec("B", 2.0, 0.2),
-            rec("A", 3.0, 1.5),
-        ];
+        let records = vec![rec("A", 1.0, 0.5), rec("B", 2.0, 0.2), rec("A", 3.0, 1.5)];
         let aggs = aggregate(&records);
         assert_eq!(aggs.len(), 2);
         let a = aggs.iter().find(|a| a.algorithm == "A").unwrap();

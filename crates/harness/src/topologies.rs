@@ -28,13 +28,9 @@ fn build(shape: &str, n: usize, speed: MbitsPerSec, class: &ExperimentClass, see
         "bus" => topology::bus("bus", servers, speed).expect("valid"),
         "star" => topology::star("star", servers, speed).expect("valid"),
         "ring" => topology::ring("ring", servers, speed).expect("valid"),
-        "mesh" => topology::full_mesh(
-            "mesh",
-            servers,
-            speed,
-            wsflow_model::Seconds(0.0),
-        )
-        .expect("valid"),
+        "mesh" => {
+            topology::full_mesh("mesh", servers, speed, wsflow_model::Seconds(0.0)).expect("valid")
+        }
         other => unreachable!("unknown shape {other}"),
     }
 }

@@ -64,18 +64,14 @@ impl WorkflowBuilder {
 
     /// Add an XOR-branch message with probability `p`.
     pub fn msg_p(&mut self, from: OpId, to: OpId, size: Mbits, p: Probability) -> &mut Self {
-        self.msgs.push(Message::new(from, to, size).with_probability(p));
+        self.msgs
+            .push(Message::new(from, to, size).with_probability(p));
         self
     }
 
     /// Chain a whole line of operations with uniform message size,
     /// returning the created ids. Convenient for linear workflows.
-    pub fn line(
-        &mut self,
-        prefix: &str,
-        costs: &[MCycles],
-        msg_size: Mbits,
-    ) -> Vec<OpId> {
+    pub fn line(&mut self, prefix: &str, costs: &[MCycles], msg_size: Mbits) -> Vec<OpId> {
         let ids: Vec<OpId> = costs
             .iter()
             .enumerate()

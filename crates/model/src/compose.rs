@@ -39,7 +39,11 @@ pub fn concat(first: &Workflow, second: &Workflow, bridge: Mbits) -> Result<Work
     let sinks = first.sinks();
     let sources = second.sources();
     assert_eq!(sinks.len(), 1, "first workflow must have a unique sink");
-    assert_eq!(sources.len(), 1, "second workflow must have a unique source");
+    assert_eq!(
+        sources.len(),
+        1,
+        "second workflow must have a unique source"
+    );
     let offset = first.num_ops() as u32;
     let mut ops = first.ops().to_vec();
     ops.extend(second.ops().iter().cloned());
@@ -55,11 +59,7 @@ pub fn concat(first: &Workflow, second: &Workflow, bridge: Mbits) -> Result<Work
         OpId::new(sources[0].0 + offset),
         bridge,
     ));
-    Workflow::new(
-        format!("{};{}", first.name(), second.name()),
-        ops,
-        msgs,
-    )
+    Workflow::new(format!("{};{}", first.name(), second.name()), ops, msgs)
 }
 
 /// Sequentially compose many workflows with a uniform bridge size,

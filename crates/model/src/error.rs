@@ -27,7 +27,10 @@ impl fmt::Display for ModelError {
             ModelError::UnknownOp(id) => write!(f, "message references unknown operation {id}"),
             ModelError::SelfLoop(id) => write!(f, "operation {id} sends a message to itself"),
             ModelError::DuplicateMessage(a, b) => {
-                write!(f, "duplicate message {a} -> {b}; at most one allowed per pair")
+                write!(
+                    f,
+                    "duplicate message {a} -> {b}; at most one allowed per pair"
+                )
             }
             ModelError::DuplicateName(n) => write!(f, "duplicate operation name {n:?}"),
             ModelError::Empty => f.write_str("workflow has no operations"),
@@ -105,10 +108,16 @@ impl fmt::Display for ValidationError {
                 write!(f, "operation {id} is unreachable from the source")
             }
             ValidationError::IllegalFork(id) => {
-                write!(f, "operational node {id} forks; only decision openers may fork")
+                write!(
+                    f,
+                    "operational node {id} forks; only decision openers may fork"
+                )
             }
             ValidationError::IllegalJoin(id) => {
-                write!(f, "operational node {id} joins; only decision closers may join")
+                write!(
+                    f,
+                    "operational node {id} joins; only decision closers may join"
+                )
             }
             ValidationError::UnmatchedOpen(id) => {
                 write!(f, "decision opener {id} has no matching complement")

@@ -8,9 +8,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Operation ids are dense (`0..workflow.num_ops()`), which lets cost
 /// evaluators and algorithms use plain vectors instead of hash maps.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct OpId(pub u32);
 
@@ -49,9 +47,7 @@ impl From<usize> for OpId {
 /// Index of a message (edge) within its [`Workflow`](crate::Workflow).
 ///
 /// Like [`OpId`], message ids are dense (`0..workflow.num_messages()`).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct MsgId(pub u32);
 

@@ -12,12 +12,12 @@
 //! * `XOR` branches multiply the block's probability by the branch
 //!   probability.
 
+use crate::error::ValidationError;
+use crate::op::DecisionKind;
 use crate::structure::BlockTree;
 use crate::units::Probability;
 use crate::validate::validate_structure;
 use crate::workflow::Workflow;
-use crate::error::ValidationError;
-use crate::op::DecisionKind;
 
 /// Per-operation and per-message execution probabilities.
 #[derive(Debug, Clone, PartialEq)]

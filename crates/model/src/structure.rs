@@ -103,7 +103,11 @@ impl<'a> Parser<'a> {
     /// Parse the chain starting at `start` and stopping when `stop` is
     /// reached (`stop` itself is not consumed). `stop == None` means
     /// "walk to the sink inclusive".
-    fn parse_seq(&mut self, start: OpId, stop: Option<OpId>) -> Result<Vec<BlockTree>, ValidationError> {
+    fn parse_seq(
+        &mut self,
+        start: OpId,
+        stop: Option<OpId>,
+    ) -> Result<Vec<BlockTree>, ValidationError> {
         let mut items = Vec::new();
         let mut cur = start;
         loop {
@@ -215,8 +219,8 @@ pub fn recover_structure(w: &Workflow) -> Result<BlockTree, ValidationError> {
     if let Some(unreached) = w.op_ids().find(|o| !reach[o.index()]) {
         return Err(ValidationError::Unreachable(unreached));
     }
-    let ipostdom = immediate_post_dominators(w)
-        .expect("acyclic single-sink graph has post-dominators");
+    let ipostdom =
+        immediate_post_dominators(w).expect("acyclic single-sink graph has post-dominators");
     let mut parser = Parser {
         w,
         ipostdom,
@@ -272,10 +276,7 @@ mod tests {
                     BlockSpec::op("p", MCycles(1.0)),
                     BlockSpec::xor_uniform(
                         "x",
-                        vec![
-                            BlockSpec::op("q", MCycles(1.0)),
-                            BlockSpec::Seq(vec![]),
-                        ],
+                        vec![BlockSpec::op("q", MCycles(1.0)), BlockSpec::Seq(vec![])],
                     ),
                 ],
             ),

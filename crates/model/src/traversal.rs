@@ -8,10 +8,7 @@ use crate::workflow::Workflow;
 pub fn topo_sort(w: &Workflow) -> Option<Vec<OpId>> {
     let n = w.num_ops();
     let mut in_deg: Vec<usize> = w.op_ids().map(|o| w.in_degree(o)).collect();
-    let mut queue: Vec<OpId> = w
-        .op_ids()
-        .filter(|&o| in_deg[o.index()] == 0)
-        .collect();
+    let mut queue: Vec<OpId> = w.op_ids().filter(|&o| in_deg[o.index()] == 0).collect();
     let mut order = Vec::with_capacity(n);
     let mut head = 0;
     while head < queue.len() {
@@ -198,8 +195,12 @@ mod tests {
 
     #[test]
     fn topo_sort_line() {
-        let w = Workflow::new("w", vec![op("a"), op("b"), op("c")], vec![msg(0, 1), msg(1, 2)])
-            .unwrap();
+        let w = Workflow::new(
+            "w",
+            vec![op("a"), op("b"), op("c")],
+            vec![msg(0, 1), msg(1, 2)],
+        )
+        .unwrap();
         assert_eq!(
             topo_sort(&w).unwrap(),
             vec![OpId::new(0), OpId::new(1), OpId::new(2)]

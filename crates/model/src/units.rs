@@ -282,10 +282,7 @@ impl Probability {
     /// Construct a probability, panicking if `p` is outside `[0, 1]` or NaN.
     #[inline]
     pub fn new(p: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&p),
-            "probability out of range: {p}"
-        );
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
         Self(p)
     }
 

@@ -162,12 +162,16 @@ impl Workflow {
 
     /// Successor operations of `op`.
     pub fn successors(&self, op: OpId) -> impl Iterator<Item = OpId> + '_ {
-        self.out[op.index()].iter().map(|&m| self.msgs[m.index()].to)
+        self.out[op.index()]
+            .iter()
+            .map(|&m| self.msgs[m.index()].to)
     }
 
     /// Predecessor operations of `op`.
     pub fn predecessors(&self, op: OpId) -> impl Iterator<Item = OpId> + '_ {
-        self.inc[op.index()].iter().map(|&m| self.msgs[m.index()].from)
+        self.inc[op.index()]
+            .iter()
+            .map(|&m| self.msgs[m.index()].from)
     }
 
     /// Out-degree of `op`.
@@ -272,10 +276,7 @@ impl Workflow {
 
     /// Look up an operation id by name.
     pub fn op_by_name(&self, name: &str) -> Option<OpId> {
-        self.ops
-            .iter()
-            .position(|o| o.name == name)
-            .map(OpId::from)
+        self.ops.iter().position(|o| o.name == name).map(OpId::from)
     }
 }
 
@@ -327,7 +328,10 @@ mod tests {
             w.predecessors(OpId::new(2)).collect::<Vec<_>>(),
             vec![OpId::new(1)]
         );
-        assert_eq!(w.find_message(OpId::new(0), OpId::new(1)), Some(MsgId::new(0)));
+        assert_eq!(
+            w.find_message(OpId::new(0), OpId::new(1)),
+            Some(MsgId::new(0))
+        );
         assert_eq!(w.find_message(OpId::new(0), OpId::new(2)), None);
         assert_eq!(w.sources(), vec![OpId::new(0)]);
         assert_eq!(w.sinks(), vec![OpId::new(2)]);
@@ -408,7 +412,10 @@ mod tests {
             ],
         )
         .unwrap_err();
-        assert_eq!(err, ModelError::DuplicateMessage(OpId::new(0), OpId::new(1)));
+        assert_eq!(
+            err,
+            ModelError::DuplicateMessage(OpId::new(0), OpId::new(1))
+        );
     }
 
     #[test]

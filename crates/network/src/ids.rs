@@ -8,9 +8,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Server ids are dense (`0..network.num_servers()`), so mappings and
 /// load accounting can use flat vectors.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct ServerId(pub u32);
 
@@ -47,9 +45,7 @@ impl From<usize> for ServerId {
 }
 
 /// Index of a link within its [`Network`](crate::Network).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct LinkId(pub u32);
 

@@ -27,6 +27,6 @@ pub use error::NetError;
 pub use ids::{LinkId, ServerId};
 pub use link::Link;
 pub use network::{Network, TopologyKind};
-pub use topology::classify;
 pub use routing::{Path, RoutingTable};
 pub use server::Server;
+pub use topology::classify;

@@ -279,7 +279,11 @@ mod tests {
         let net = Network::new(
             "n",
             two_servers(),
-            vec![Link::new(ServerId::new(0), ServerId::new(1), MbitsPerSec(100.0))],
+            vec![Link::new(
+                ServerId::new(0),
+                ServerId::new(1),
+                MbitsPerSec(100.0),
+            )],
             TopologyKind::Line,
         )
         .unwrap();
@@ -295,9 +299,7 @@ mod tests {
             net.neighbors(ServerId::new(0)).collect::<Vec<_>>(),
             vec![ServerId::new(1)]
         );
-        assert!(net
-            .find_link(ServerId::new(1), ServerId::new(0))
-            .is_some());
+        assert!(net.find_link(ServerId::new(1), ServerId::new(0)).is_some());
         assert!(net.is_connected());
     }
 
@@ -326,7 +328,11 @@ mod tests {
         let err = Network::new(
             "n",
             two_servers(),
-            vec![Link::new(ServerId::new(0), ServerId::new(1), MbitsPerSec(0.0))],
+            vec![Link::new(
+                ServerId::new(0),
+                ServerId::new(1),
+                MbitsPerSec(0.0),
+            )],
             TopologyKind::Line,
         )
         .unwrap_err();
@@ -345,7 +351,10 @@ mod tests {
             TopologyKind::Custom,
         )
         .unwrap_err();
-        assert_eq!(err, NetError::DuplicateLink(ServerId::new(0), ServerId::new(1)));
+        assert_eq!(
+            err,
+            NetError::DuplicateLink(ServerId::new(0), ServerId::new(1))
+        );
     }
 
     #[test]
@@ -353,7 +362,11 @@ mod tests {
         let err = Network::new(
             "n",
             two_servers(),
-            vec![Link::new(ServerId::new(0), ServerId::new(0), MbitsPerSec(10.0))],
+            vec![Link::new(
+                ServerId::new(0),
+                ServerId::new(0),
+                MbitsPerSec(10.0),
+            )],
             TopologyKind::Custom,
         )
         .unwrap_err();
@@ -361,7 +374,11 @@ mod tests {
         let err = Network::new(
             "n",
             two_servers(),
-            vec![Link::new(ServerId::new(0), ServerId::new(9), MbitsPerSec(10.0))],
+            vec![Link::new(
+                ServerId::new(0),
+                ServerId::new(9),
+                MbitsPerSec(10.0),
+            )],
             TopologyKind::Custom,
         )
         .unwrap_err();
@@ -389,7 +406,11 @@ mod tests {
                 Server::with_ghz("b", 1.0),
                 Server::with_ghz("c", 1.0),
             ],
-            vec![Link::new(ServerId::new(0), ServerId::new(1), MbitsPerSec(10.0))],
+            vec![Link::new(
+                ServerId::new(0),
+                ServerId::new(1),
+                MbitsPerSec(10.0),
+            )],
             TopologyKind::Custom,
         )
         .unwrap();
@@ -401,8 +422,10 @@ mod tests {
         let net = Network::new(
             "n",
             two_servers(),
-            vec![Link::new(ServerId::new(0), ServerId::new(1), MbitsPerSec(100.0))
-                .with_propagation(Seconds(0.001))],
+            vec![
+                Link::new(ServerId::new(0), ServerId::new(1), MbitsPerSec(100.0))
+                    .with_propagation(Seconds(0.001)),
+            ],
             TopologyKind::Line,
         )
         .unwrap();

@@ -8,8 +8,20 @@
 //!
 //! Routes are chosen by Dijkstra with link weight
 //! `propagation + 1 Mbit / speed` (a reference message), with ties broken
-//! by hop count and then by smallest next-server id so routing is fully
-//! deterministic.
+//! by hop count and then by smallest predecessor (server id, link id), so
+//! routing is fully deterministic *and canonical*: the chosen tree is a
+//! pure function of the `(distance, hops)` labels, independent of the
+//! order links are declared or relaxations happen to run.
+//!
+//! The computation is two-phase. Phase 1 is textbook Dijkstra producing
+//! only the `(dist, hops)` labels. Phase 2 reconstructs predecessors
+//! from the labels: each node picks the smallest `(server, link)` among
+//! the neighbours that *exactly* achieve its label. An earlier version
+//! folded the tie-break into the relaxation itself (rewiring `via` when
+//! an equal-cost smaller predecessor appeared); that left settled
+//! downstream nodes attached through whichever candidate happened to
+//! relax first, so equal-cost routes could differ between runs of the
+//! same network expressed with a different link order.
 
 use std::collections::BinaryHeap;
 
@@ -55,15 +67,12 @@ impl Path {
 
     /// The slowest (minimum-speed) link on the path, if any.
     pub fn bottleneck(&self, net: &Network) -> Option<LinkId> {
-        self.links
-            .iter()
-            .copied()
-            .min_by(|&a, &b| {
-                net.link(a)
-                    .speed
-                    .partial_cmp(&net.link(b).speed)
-                    .expect("link speeds are finite")
-            })
+        self.links.iter().copied().min_by(|&a, &b| {
+            net.link(a)
+                .speed
+                .partial_cmp(&net.link(b).speed)
+                .expect("link speeds are finite")
+        })
     }
 }
 
@@ -178,7 +187,6 @@ fn dijkstra(net: &Network, src: ServerId) -> SpTree {
     let n = net.num_servers();
     let mut dist = vec![f64::INFINITY; n];
     let mut hops = vec![usize::MAX; n];
-    let mut via: Vec<Option<(ServerId, LinkId)>> = vec![None; n];
     let mut heap = BinaryHeap::new();
     dist[src.index()] = 0.0;
     hops[src.index()] = 0;
@@ -187,6 +195,9 @@ fn dijkstra(net: &Network, src: ServerId) -> SpTree {
         hops: 0,
         server: src,
     });
+    // Phase 1: `(dist, hops)` labels only. Predecessors are deliberately
+    // not tracked here — picking them during relaxation makes the tree
+    // depend on relaxation order whenever costs tie.
     while let Some(HeapEntry {
         dist: d,
         hops: h,
@@ -202,15 +213,9 @@ fn dijkstra(net: &Network, src: ServerId) -> SpTree {
             let w = (REFERENCE_SIZE / link.speed + link.propagation).value();
             let nd = d + w;
             let nh = h + 1;
-            let better = nd < dist[v.index()]
-                || (nd == dist[v.index()] && nh < hops[v.index()])
-                || (nd == dist[v.index()]
-                    && nh == hops[v.index()]
-                    && via[v.index()].map(|(p, _)| u < p).unwrap_or(false));
-            if better {
+            if nd < dist[v.index()] || (nd == dist[v.index()] && nh < hops[v.index()]) {
                 dist[v.index()] = nd;
                 hops[v.index()] = nh;
-                via[v.index()] = Some((u, lid));
                 heap.push(HeapEntry {
                     dist: nd,
                     hops: nh,
@@ -218,6 +223,37 @@ fn dijkstra(net: &Network, src: ServerId) -> SpTree {
                 });
             }
         }
+    }
+    // Phase 2: canonical predecessors from the labels. A neighbour
+    // qualifies iff it achieves the node's label exactly (same
+    // floating-point arithmetic as phase 1, so the comparison is exact);
+    // the smallest `(server, link)` among qualifiers wins. Qualifying
+    // predecessors always have a strictly smaller `(dist, hops)` label,
+    // so the reconstruction is a proper tree.
+    let mut via: Vec<Option<(ServerId, LinkId)>> = vec![None; n];
+    for v in net.server_ids() {
+        if v == src || dist[v.index()].is_infinite() {
+            continue;
+        }
+        let mut best: Option<(ServerId, LinkId)> = None;
+        for &lid in net.incident(v) {
+            let link = net.link(lid);
+            let u = link.opposite(v).expect("incident link touches v");
+            if dist[u.index()].is_infinite() {
+                continue;
+            }
+            let w = (REFERENCE_SIZE / link.speed + link.propagation).value();
+            let qualifies =
+                dist[u.index()] + w == dist[v.index()] && hops[u.index()] + 1 == hops[v.index()];
+            if qualifies && best.map(|b| (u, lid) < b).unwrap_or(true) {
+                best = Some((u, lid));
+            }
+        }
+        debug_assert!(
+            best.is_some(),
+            "reachable node has a qualifying predecessor"
+        );
+        via[v.index()] = best;
     }
     SpTree { via, dist }
 }
@@ -263,7 +299,10 @@ mod tests {
             .transfer_time(&net, ServerId::new(1), ServerId::new(1), Mbits(5.0))
             .unwrap();
         assert_eq!(t, Seconds::ZERO);
-        assert_eq!(rt.path(ServerId::new(2), ServerId::new(2)).unwrap().hops(), 0);
+        assert_eq!(
+            rt.path(ServerId::new(2), ServerId::new(2)).unwrap().hops(),
+            0
+        );
     }
 
     #[test]
@@ -323,12 +362,185 @@ mod tests {
             crate::link::Link::new(ServerId::new(1), ServerId::new(2), MbitsPerSec(1000.0)),
             crate::link::Link::new(ServerId::new(0), ServerId::new(2), MbitsPerSec(1.0)),
         ];
-        let net =
-            Network::new("n", servers, links, crate::network::TopologyKind::Custom).unwrap();
+        let net = Network::new("n", servers, links, crate::network::TopologyKind::Custom).unwrap();
         let rt = RoutingTable::new(&net);
         let p = rt.path(ServerId::new(0), ServerId::new(2)).unwrap();
         assert_eq!(p.hops(), 2);
         assert_eq!(p.bottleneck(&net), Some(LinkId::new(0)));
+    }
+
+    /// Resolve a path to the sequence of servers it visits, starting at
+    /// `src`. Link ids are not comparable across differently-declared
+    /// copies of the same network; node sequences are.
+    fn node_seq(net: &Network, src: ServerId, path: &Path) -> Vec<ServerId> {
+        let mut seq = vec![src];
+        let mut cur = src;
+        for &lid in &path.links {
+            cur = net.link(lid).opposite(cur).expect("path is connected");
+            seq.push(cur);
+        }
+        seq
+    }
+
+    /// A 6-server uniform-speed mesh where many equal-cost, equal-hop
+    /// routes tie. From 0 to 5 there are four shortest 3-hop paths:
+    /// 0-1-2-5, 0-3-2-5, 0-1-4-5, 0-3-4-5.
+    fn tie_heavy_net(order: &[usize]) -> Network {
+        let servers = homogeneous_servers(6, 1.0);
+        let pairs = [
+            (0, 1),
+            (0, 3),
+            (1, 2),
+            (1, 4),
+            (3, 2),
+            (3, 4),
+            (2, 5),
+            (4, 5),
+        ];
+        let links: Vec<_> = order
+            .iter()
+            .map(|&i| {
+                let (a, b) = pairs[i];
+                crate::link::Link::new(ServerId::new(a), ServerId::new(b), MbitsPerSec(10.0))
+            })
+            .collect();
+        Network::new("tie", servers, links, crate::network::TopologyKind::Custom).unwrap()
+    }
+
+    /// Brute-force canonical shortest path: among all simple paths that
+    /// achieve the minimum `(dist, hops)`, the one whose *reversed* node
+    /// sequence is lexicographically smallest — exactly what picking the
+    /// smallest qualifying predecessor per node, destination-first,
+    /// produces.
+    fn brute_force_canonical(net: &Network, src: ServerId, dst: ServerId) -> Vec<ServerId> {
+        fn dfs(
+            net: &Network,
+            cur: ServerId,
+            dst: ServerId,
+            seq: &mut Vec<ServerId>,
+            dist: f64,
+            out: &mut Vec<(f64, usize, Vec<ServerId>)>,
+        ) {
+            if cur == dst {
+                out.push((dist, seq.len() - 1, seq.clone()));
+                return;
+            }
+            for &lid in net.incident(cur) {
+                let link = net.link(lid);
+                let next = link.opposite(cur).expect("incident");
+                if seq.contains(&next) {
+                    continue;
+                }
+                let w = (REFERENCE_SIZE / link.speed + link.propagation).value();
+                seq.push(next);
+                dfs(net, next, dst, seq, dist + w, out);
+                seq.pop();
+            }
+        }
+        let mut all = Vec::new();
+        dfs(net, src, dst, &mut vec![src], 0.0, &mut all);
+        let best_dist = all.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+        let best_hops = all
+            .iter()
+            .filter(|p| p.0 == best_dist)
+            .map(|p| p.1)
+            .min()
+            .expect("dst reachable");
+        all.iter()
+            .filter(|p| p.0 == best_dist && p.1 == best_hops)
+            .map(|p| {
+                let mut rev = p.2.clone();
+                rev.reverse();
+                rev
+            })
+            .min()
+            .map(|mut rev| {
+                rev.reverse();
+                rev
+            })
+            .expect("dst reachable")
+    }
+
+    /// Regression for the tie-break bug: the seed folded the smallest-
+    /// predecessor tie-break into Dijkstra's relaxation, rewiring `via`
+    /// of already-settled nodes without re-deriving their downstream
+    /// routes, so on tie-heavy meshes the reported route depended on
+    /// relaxation order rather than being the canonical smallest chain.
+    /// Every route must now match the brute-force canonical path.
+    #[test]
+    fn tie_heavy_mesh_routes_are_canonical() {
+        let net = tie_heavy_net(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let rt = RoutingTable::new(&net);
+        for src in net.server_ids() {
+            for dst in net.server_ids() {
+                if src == dst {
+                    continue;
+                }
+                let got = node_seq(&net, src, rt.path(src, dst).unwrap());
+                let want = brute_force_canonical(&net, src, dst);
+                assert_eq!(got, want, "route {src:?} → {dst:?} is not canonical");
+            }
+        }
+        // Spot-check the headline tie: four 3-hop routes 0 → 5 tie on
+        // cost and hops; the canonical winner is 0-1-2-5 (smallest
+        // predecessor chain built destination-first).
+        let p = rt.path(ServerId::new(0), ServerId::new(5)).unwrap();
+        let seq: Vec<usize> = node_seq(&net, ServerId::new(0), p)
+            .into_iter()
+            .map(|s| s.index())
+            .collect();
+        assert_eq!(seq, vec![0, 1, 2, 5]);
+    }
+
+    /// The chosen routes must be a pure function of the topology, not of
+    /// the order links happen to be declared in.
+    #[test]
+    fn tie_breaks_are_invariant_under_link_declaration_order() {
+        let reference = tie_heavy_net(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let rt_ref = RoutingTable::new(&reference);
+        for order in [
+            [7, 6, 5, 4, 3, 2, 1, 0],
+            [3, 0, 7, 2, 5, 1, 6, 4],
+            [5, 7, 1, 6, 0, 4, 2, 3],
+        ] {
+            let net = tie_heavy_net(&order);
+            let rt = RoutingTable::new(&net);
+            for src in net.server_ids() {
+                for dst in net.server_ids() {
+                    assert_eq!(
+                        node_seq(&reference, src, rt_ref.path(src, dst).unwrap()),
+                        node_seq(&net, src, rt.path(src, dst).unwrap()),
+                        "route {src:?} → {dst:?} changed with link order {order:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Shortest-path trees must be prefix-consistent: dropping the last
+    /// link of the route to `dst` yields exactly the route to `dst`'s
+    /// predecessor. The seed's settled-node rewiring could violate this
+    /// coupling between a node's route and its predecessor's.
+    #[test]
+    fn routes_are_prefix_consistent() {
+        let net = tie_heavy_net(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let rt = RoutingTable::new(&net);
+        for src in net.server_ids() {
+            for dst in net.server_ids() {
+                let path = rt.path(src, dst).unwrap();
+                if path.hops() == 0 {
+                    continue;
+                }
+                let seq = node_seq(&net, src, path);
+                let pen = seq[seq.len() - 2];
+                let prefix = &path.links[..path.links.len() - 1];
+                assert_eq!(
+                    rt.path(src, pen).unwrap().links,
+                    prefix,
+                    "route {src:?} → {dst:?} disagrees with route to predecessor {pen:?}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -339,8 +551,7 @@ mod tests {
             ServerId::new(1),
             MbitsPerSec(10.0),
         )];
-        let net =
-            Network::new("n", servers, links, crate::network::TopologyKind::Custom).unwrap();
+        let net = Network::new("n", servers, links, crate::network::TopologyKind::Custom).unwrap();
         let rt = RoutingTable::new(&net);
         assert!(rt.path(ServerId::new(0), ServerId::new(2)).is_none());
         assert!(!rt.fully_connected());

@@ -150,7 +150,11 @@ pub fn classify(net: &Network) -> TopologyKind {
     let n = net.num_servers();
     let m = net.num_links();
     if n == 1 {
-        return if m == 0 { TopologyKind::Line } else { TopologyKind::Custom };
+        return if m == 0 {
+            TopologyKind::Line
+        } else {
+            TopologyKind::Custom
+        };
     }
     let degrees: Vec<usize> = net.server_ids().map(|s| net.degree(s)).collect();
     let ones = degrees.iter().filter(|&&d| d == 1).count();
@@ -185,7 +189,9 @@ pub fn classify(net: &Network) -> TopologyKind {
 /// Convenience: `n` homogeneous servers named `s0..s{n-1}`, each with the
 /// given power in GHz.
 pub fn homogeneous_servers(n: usize, ghz: f64) -> Vec<Server> {
-    (0..n).map(|i| Server::with_ghz(format!("s{i}"), ghz)).collect()
+    (0..n)
+        .map(|i| Server::with_ghz(format!("s{i}"), ghz))
+        .collect()
 }
 
 #[cfg(test)]
@@ -325,7 +331,11 @@ mod tests {
         let net = Network::new(
             "split",
             homogeneous_servers(3, 1.0),
-            vec![Link::new(ServerId::new(0), ServerId::new(1), MbitsPerSec(10.0))],
+            vec![Link::new(
+                ServerId::new(0),
+                ServerId::new(1),
+                MbitsPerSec(10.0),
+            )],
             TopologyKind::Custom,
         )
         .unwrap();

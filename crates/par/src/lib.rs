@@ -1,0 +1,188 @@
+//! Deterministic scoped-thread parallelism for the wsflow workspace.
+//!
+//! Every parallel algorithm in the workspace promises *bit-identical*
+//! results to its sequential counterpart, so this crate deliberately
+//! exposes only fan-out/fan-in shapes whose merge step is order-
+//! independent: tasks are identified by index, workers pull indices from
+//! a shared atomic counter (work stealing for load balance), and results
+//! are returned **in index order** regardless of which thread computed
+//! them or when.
+//!
+//! The worker count is chosen by [`num_threads`]: the `WSFLOW_THREADS`
+//! environment variable if set (a value of `1` forces fully sequential
+//! in-place execution — useful for debugging and for establishing
+//! baseline timings), otherwise [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker count: `WSFLOW_THREADS` if set and valid, else the machine's
+/// available parallelism, else 1.
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("WSFLOW_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `0..n` using up to [`num_threads`] scoped threads and
+/// return the results in index order.
+///
+/// `f` runs exactly once per index. With one worker (or `n <= 1`) this
+/// degenerates to a plain sequential loop on the calling thread — no
+/// threads are spawned, so the sequential path has zero overhead.
+pub fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    parallel_map_with(n, num_threads(), f)
+}
+
+/// [`parallel_map`] with an explicit worker count (mainly for tests that
+/// must compare specific thread counts).
+pub fn parallel_map_with<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.clamp(1, n.max(1));
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel_map worker panicked"))
+            .collect()
+    });
+
+    // Fan-in: place every result at its index. Each index was claimed by
+    // exactly one worker, so every slot is filled exactly once.
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for local in collected.drain(..) {
+        for (i, value) in local {
+            debug_assert!(slots[i].is_none());
+            slots[i] = Some(value);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index computed"))
+        .collect()
+}
+
+/// Run one closure per worker (`0..workers`) on scoped threads and
+/// return their results in worker order. The closures share state via
+/// the environment (e.g. an atomic incumbent bound); this is the
+/// building block for parallel branch-and-bound.
+///
+/// With `workers == 1` the single closure runs on the calling thread.
+pub fn run_workers<T, F>(workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.max(1);
+    if workers == 1 {
+        return vec![f(0)];
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers).map(|w| scope.spawn(move || f(w))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+}
+
+/// Split `0..n` into `parts` contiguous ranges whose lengths differ by
+/// at most one (earlier ranges get the extra items). Used to partition
+/// enumeration index spaces deterministically.
+pub fn split_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.clamp(1, n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        for workers in [1, 2, 3, 8] {
+            let out = parallel_map_with(100, workers, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single() {
+        assert_eq!(parallel_map_with(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map_with(1, 4, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn run_workers_returns_in_worker_order() {
+        let out = run_workers(4, |w| w * 10);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn split_ranges_covers_exactly() {
+        for n in [0usize, 1, 7, 100] {
+            for parts in [1usize, 2, 3, 7, 16] {
+                let ranges = split_ranges(n, parts);
+                let mut expect = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect);
+                    expect = r.end;
+                }
+                assert_eq!(expect, n);
+                if n > 0 {
+                    let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                    let min = lens.iter().min().unwrap();
+                    let max = lens.iter().max().unwrap();
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn num_threads_is_at_least_one() {
+        assert!(num_threads() >= 1);
+    }
+}

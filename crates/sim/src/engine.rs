@@ -192,9 +192,8 @@ fn run(
     let mut xor_choices = Vec::new();
     let mut ops_executed = 0usize;
 
-    let tproc = |op: OpId| -> f64 {
-        (w.op(op).cost / net.server(mapping.server_of(op)).power).value()
-    };
+    let tproc =
+        |op: OpId| -> f64 { (w.op(op).cost / net.server(mapping.server_of(op)).power).value() };
 
     let sources = w.sources();
     assert_eq!(sources.len(), 1, "problems guarantee a single source");
@@ -217,9 +216,20 @@ fn run(
                         let next = state.queue.pop_front().expect("just pushed");
                         state.busy = true;
                         if let Some(t) = trace.as_deref_mut() {
-                            t.record(time, TraceKind::OpStarted { op: next, server: s });
+                            t.record(
+                                time,
+                                TraceKind::OpStarted {
+                                    op: next,
+                                    server: s,
+                                },
+                            );
                         }
-                        push(&mut heap, &mut seq, time + tproc(next), Action::Finish(next));
+                        push(
+                            &mut heap,
+                            &mut seq,
+                            time + tproc(next),
+                            Action::Finish(next),
+                        );
                     }
                 } else {
                     if let Some(t) = trace.as_deref_mut() {
@@ -249,7 +259,12 @@ fn run(
                                 },
                             );
                         }
-                        push(&mut heap, &mut seq, time + tproc(next), Action::Finish(next));
+                        push(
+                            &mut heap,
+                            &mut seq,
+                            time + tproc(next),
+                            Action::Finish(next),
+                        );
                     } else {
                         state.busy = false;
                     }
@@ -259,8 +274,7 @@ fn run(
                 if out.is_empty() {
                     continue;
                 }
-                let chosen: Vec<MsgId> = if w.op(op).kind == OpKind::Open(DecisionKind::Xor)
-                {
+                let chosen: Vec<MsgId> = if w.op(op).kind == OpKind::Open(DecisionKind::Xor) {
                     let mid = sample_branch(w, op, rng);
                     xor_choices.push((op, mid));
                     vec![mid]

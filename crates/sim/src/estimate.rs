@@ -59,16 +59,10 @@ impl BranchEstimates {
 
     /// Collect estimates by simulating `trials` executions of the
     /// deployed workflow.
-    pub fn from_simulation(
-        problem: &Problem,
-        mapping: &Mapping,
-        trials: usize,
-        seed: u64,
-    ) -> Self {
+    pub fn from_simulation(problem: &Problem, mapping: &Mapping, trials: usize, seed: u64) -> Self {
         let mut est = Self::default();
         for t in 0..trials {
-            let mut rng =
-                ChaCha8Rng::seed_from_u64(seed.wrapping_add(t as u64 * 0x51_7C_C1_B7));
+            let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(t as u64 * 0x51_7C_C1_B7));
             let out = simulate(problem, mapping, SimConfig::ideal(), &mut rng);
             for (opener, chosen) in out.xor_choices {
                 est.record(opener, chosen);
@@ -98,8 +92,7 @@ impl BranchEstimates {
                 msg
             })
             .collect();
-        Workflow::new(w.name().to_string(), ops, msgs)
-            .expect("re-annotation preserves structure")
+        Workflow::new(w.name().to_string(), ops, msgs).expect("re-annotation preserves structure")
     }
 }
 
@@ -116,10 +109,7 @@ mod tests {
             kind: wsflow_model::DecisionKind::Xor,
             name: "x".into(),
             branches: vec![
-                (
-                    Probability::new(p_left),
-                    BlockSpec::op("l", MCycles(10.0)),
-                ),
+                (Probability::new(p_left), BlockSpec::op("l", MCycles(10.0))),
                 (
                     Probability::new(1.0 - p_left),
                     BlockSpec::op("r", MCycles(20.0)),

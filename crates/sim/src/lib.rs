@@ -26,7 +26,7 @@ pub mod open_loop;
 pub mod trace;
 
 pub use engine::{simulate, simulate_traced, SimConfig, SimOutcome};
-pub use trace::{ExecutionTrace, TraceEvent, TraceKind};
 pub use estimate::BranchEstimates;
 pub use monte_carlo::{run as monte_carlo, MonteCarloResult, SampleStats};
 pub use open_loop::{open_loop, OpenLoopConfig, OpenLoopResult};
+pub use trace::{ExecutionTrace, TraceEvent, TraceKind};

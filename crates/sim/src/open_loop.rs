@@ -146,11 +146,7 @@ pub fn open_loop(
     let mut heap: BinaryHeap<Event> = BinaryHeap::new();
     let mut seq = 0u64;
     let mut push = |heap: &mut BinaryHeap<Event>, time: f64, action: Action| {
-        heap.push(Event {
-            time,
-            seq,
-            action,
-        });
+        heap.push(Event { time, seq, action });
         seq += 1;
     };
 
@@ -180,9 +176,8 @@ pub fn open_loop(
     let mut bus_free = 0.0f64;
     let mut last_completion = 0.0f64;
 
-    let tproc = |op: OpId| -> f64 {
-        (w.op(op).cost / net.server(mapping.server_of(op)).power).value()
-    };
+    let tproc =
+        |op: OpId| -> f64 { (w.op(op).cost / net.server(mapping.server_of(op)).power).value() };
 
     while let Some(Event { time, action, .. }) = heap.pop() {
         match action {
@@ -214,12 +209,11 @@ pub fn open_loop(
                 }
                 // Dispatch messages.
                 let out = w.out_msgs(op);
-                let chosen: Vec<MsgId> =
-                    if w.op(op).kind == OpKind::Open(DecisionKind::Xor) {
-                        vec![sample_branch(w, op, rng)]
-                    } else {
-                        out.to_vec()
-                    };
+                let chosen: Vec<MsgId> = if w.op(op).kind == OpKind::Open(DecisionKind::Xor) {
+                    vec![sample_branch(w, op, rng)]
+                } else {
+                    out.to_vec()
+                };
                 for mid in chosen {
                     let msg = w.message(mid);
                     let from = mapping.server_of(msg.from);

@@ -7,12 +7,10 @@
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use wsflow_model::{
-    BlockSpec, DecisionKind, MCycles, Probability, Workflow, WorkflowBuilder,
-};
+use wsflow_model::MbitsPerSec;
+use wsflow_model::{BlockSpec, DecisionKind, MCycles, Probability, Workflow, WorkflowBuilder};
 use wsflow_net::topology;
 use wsflow_net::{Network, Server};
-use wsflow_model::MbitsPerSec;
 
 use crate::classes::ExperimentClass;
 
@@ -47,6 +45,22 @@ impl GraphClass {
             GraphClass::Bushy => "bushy",
             GraphClass::Lengthy => "lengthy",
             GraphClass::Hybrid => "hybrid",
+        }
+    }
+
+    /// Probability that an operational node is appended to the root
+    /// sequence (the "spine") instead of a uniformly random slot.
+    ///
+    /// Decision ratio alone does not control path length: scattering
+    /// operations uniformly over branch slots yields nearly identical
+    /// depth for every class. Lengthy graphs get their long sequential
+    /// runs from this bias; bushy graphs spread everything across
+    /// branches.
+    pub fn spine_bias(self) -> f64 {
+        match self {
+            GraphClass::Bushy => 0.0,
+            GraphClass::Lengthy => 0.7,
+            GraphClass::Hybrid => 0.35,
         }
     }
 }
@@ -139,7 +153,11 @@ pub fn random_graph_workflow(
         });
     }
     for _ in 0..op_nodes {
-        let slot = rng.gen_range(0..slots.len());
+        let slot = if rng.gen::<f64>() < graph_class.spine_bias() {
+            0
+        } else {
+            rng.gen_range(0..slots.len())
+        };
         slots[slot].push(Item::Op(class.op_cycles.sample(&mut rng)));
     }
 
@@ -222,8 +240,7 @@ pub fn bus_network(
     class: &ExperimentClass,
     seed: u64,
 ) -> Network {
-    topology::bus("bus", servers(n, class, seed), bus_speed)
-        .expect("generated networks are valid")
+    topology::bus("bus", servers(n, class, seed), bus_speed).expect("generated networks are valid")
 }
 
 /// A line network of `n` servers with per-link speeds drawn from
@@ -233,8 +250,7 @@ pub fn line_network(n: usize, class: &ExperimentClass, seed: u64) -> Network {
     let speeds: Vec<MbitsPerSec> = (0..n.saturating_sub(1))
         .map(|_| class.line_speed.sample(&mut rng))
         .collect();
-    topology::line("line", servers(n, class, seed), &speeds)
-        .expect("generated networks are valid")
+    topology::line("line", servers(n, class, seed), &speeds).expect("generated networks are valid")
 }
 
 #[cfg(test)]

@@ -82,8 +82,8 @@ pub fn load(path: impl AsRef<Path>) -> std::io::Result<Scenario> {
 mod tests {
     use super::*;
     use crate::classes::ExperimentClass;
-    use crate::scenario::{generate, Configuration};
     use crate::generator::GraphClass;
+    use crate::scenario::{generate, Configuration};
     use wsflow_model::MbitsPerSec;
 
     #[test]

@@ -6,20 +6,16 @@
 //! Run with: `cargo run --example algorithm_comparison`
 
 use wsflow::core::registry;
-use wsflow::core::{optimum, DeploymentAlgorithm, FairLoad, HillClimb, Portfolio, SimulatedAnnealing};
+use wsflow::core::{
+    optimum, DeploymentAlgorithm, FairLoad, HillClimb, Portfolio, SimulatedAnnealing,
+};
 use wsflow::prelude::*;
 use wsflow::workload::{generate, Configuration, ExperimentClass};
 
 fn main() {
     let class = ExperimentClass::class_c();
     // Small enough for exhaustive search: 3^10 = 59 049 mappings.
-    let scenario = generate(
-        Configuration::LineBus(MbitsPerSec(10.0)),
-        10,
-        3,
-        &class,
-        42,
-    );
+    let scenario = generate(Configuration::LineBus(MbitsPerSec(10.0)), 10, 3, &class, 42);
     println!("scenario: {}", scenario.name);
     let problem = Problem::new(scenario.workflow, scenario.network).expect("valid");
     let (_, opt) = optimum(&problem, 100_000).expect("enumerable");

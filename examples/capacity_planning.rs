@@ -64,8 +64,8 @@ fn main() {
         &FairLoad.deploy(&unconstrained).expect("ok"),
     );
     let bound = Seconds(fair_max.value() * 1.1);
-    let problem = unconstrained
-        .with_constraints(UserConstraints::none().with_max_server_load(bound));
+    let problem =
+        unconstrained.with_constraints(UserConstraints::none().with_max_server_load(bound));
     match ConstrainedDeploy::new(HeavyOpsLargeMsgs).deploy_constrained(&problem) {
         Ok(mapping) => {
             let max_load = wsflow::cost::max_load(&problem, &mapping);

@@ -26,7 +26,11 @@ fn main() {
     let wf_dot = workflow_dot(problem.workflow());
     let wf_path = std::env::temp_dir().join("wsflow_workflow.dot");
     std::fs::write(&wf_path, &wf_dot).expect("writable temp dir");
-    println!("workflow DOT ({} bytes) -> {}", wf_dot.len(), wf_path.display());
+    println!(
+        "workflow DOT ({} bytes) -> {}",
+        wf_dot.len(),
+        wf_path.display()
+    );
 
     // 2. Deployment (clustered by server) as DOT.
     let dep_dot = deployment_dot(&problem, &mapping);

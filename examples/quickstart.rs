@@ -64,7 +64,10 @@ fn main() {
 
     // 6. Compare against the global optimum (3^6 = 729 mappings, cheap).
     let (opt_mapping, opt_cost) = wsflow::core::optimum(&problem, 10_000).expect("small space");
-    println!("exhaustive optimum: {opt_mapping} at {:.3} ms", opt_cost * 1e3);
+    println!(
+        "exhaustive optimum: {opt_mapping} at {:.3} ms",
+        opt_cost * 1e3
+    );
     println!(
         "HeavyOps-LargeMsgs is within {:.1}% of optimal",
         (cost.combined.value() / opt_cost - 1.0) * 100.0

@@ -89,9 +89,7 @@ impl PoolSpec {
 
 /// Parse `--servers 1.0,2.0 --bus 100 --algo holm --trials K --contended`
 /// style flags from `args`; returns (pool, algo name, trials, contended).
-fn parse_flags(
-    args: &[String],
-) -> Result<(PoolSpec, String, usize, bool, bool), CliError> {
+fn parse_flags(args: &[String]) -> Result<(PoolSpec, String, usize, bool, bool), CliError> {
     let mut ghz: Option<Vec<f64>> = None;
     let mut bus = 100.0;
     let mut algo = "holm".to_string();
@@ -151,9 +149,17 @@ fn parse_flags(
     }
     let ghz = ghz.ok_or_else(|| CliError::Usage("--servers is required".into()))?;
     if ghz.is_empty() || ghz.iter().any(|&g| g <= 0.0 || g.is_nan()) {
-        return Err(CliError::Usage("--servers needs positive GHz values".into()));
+        return Err(CliError::Usage(
+            "--servers needs positive GHz values".into(),
+        ));
     }
-    Ok((PoolSpec { ghz, bus_mbps: bus }, algo, trials, contended, dot))
+    Ok((
+        PoolSpec { ghz, bus_mbps: bus },
+        algo,
+        trials,
+        contended,
+        dot,
+    ))
 }
 
 fn load_workflow(path: &str) -> Result<Workflow, CliError> {
@@ -273,7 +279,11 @@ pub fn cmd_deploy(path: &str, flags: &[String]) -> Result<String, CliError> {
     let problem = Problem::new(w, pool.network()?)
         .map_err(|e| CliError::Invalid(format!("cannot assemble problem: {e}")))?;
     if dot {
-        let algo = algorithm_by_name(if algo_name == "all" { "holm" } else { &algo_name })?;
+        let algo = algorithm_by_name(if algo_name == "all" {
+            "holm"
+        } else {
+            &algo_name
+        })?;
         let mapping = algo
             .deploy(&problem)
             .map_err(|e| CliError::Invalid(format!("{}: {e}", algo.name())))?;
@@ -320,7 +330,11 @@ pub fn cmd_simulate(path: &str, flags: &[String]) -> Result<String, CliError> {
     let (pool, algo_name, trials, contended, _) = parse_flags(flags)?;
     let problem = Problem::new(w, pool.network()?)
         .map_err(|e| CliError::Invalid(format!("cannot assemble problem: {e}")))?;
-    let algo = algorithm_by_name(if algo_name == "all" { "holm" } else { &algo_name })?;
+    let algo = algorithm_by_name(if algo_name == "all" {
+        "holm"
+    } else {
+        &algo_name
+    })?;
     let mapping = algo
         .deploy(&problem)
         .map_err(|e| CliError::Invalid(format!("{}: {e}", algo.name())))?;
@@ -354,7 +368,11 @@ pub fn cmd_explain(path: &str, flags: &[String]) -> Result<String, CliError> {
     let (pool, algo_name, _, _, _) = parse_flags(flags)?;
     let problem = Problem::new(w, pool.network()?)
         .map_err(|e| CliError::Invalid(format!("cannot assemble problem: {e}")))?;
-    let algo = algorithm_by_name(if algo_name == "all" { "holm" } else { &algo_name })?;
+    let algo = algorithm_by_name(if algo_name == "all" {
+        "holm"
+    } else {
+        &algo_name
+    })?;
     let mapping = algo
         .deploy(&problem)
         .map_err(|e| CliError::Invalid(format!("{}: {e}", algo.name())))?;
@@ -363,8 +381,7 @@ pub fn cmd_explain(path: &str, flags: &[String]) -> Result<String, CliError> {
     out.push_str(&wsflow_cost::critical_path::render(&problem, &mapping, &cp));
     out.push_str("\nper-server load:\n");
     let loads = wsflow_cost::loads(&problem, &mapping);
-    let avg: f64 =
-        loads.iter().map(|l| l.value()).sum::<f64>() / loads.len().max(1) as f64;
+    let avg: f64 = loads.iter().map(|l| l.value()).sum::<f64>() / loads.len().max(1) as f64;
     for (server, load) in problem.network().server_ids().zip(&loads) {
         out.push_str(&format!(
             "  {:<8} {:>9.3} ms ({:+.3} vs avg)\n",
@@ -482,8 +499,8 @@ mod tests {
 
     #[test]
     fn generate_round_trips_through_parse() {
-        let out = cmd_generate(&strs(&["--ops", "12", "--shape", "hybrid", "--seed", "3"]))
-            .unwrap();
+        let out =
+            cmd_generate(&strs(&["--ops", "12", "--shape", "hybrid", "--seed", "3"])).unwrap();
         let w = dsl::parse(&out).unwrap();
         assert_eq!(w.num_ops(), 12);
         assert!(wsflow_model::is_well_formed(&w));

@@ -73,8 +73,8 @@ pub mod prelude {
         UserConstraints,
     };
     pub use wsflow_model::{
-        BlockSpec, DecisionKind, MCycles, Mbits, MbitsPerSec, MegaHertz, Message, OpId,
-        Operation, Probability, Seconds, Workflow, WorkflowBuilder,
+        BlockSpec, DecisionKind, MCycles, Mbits, MbitsPerSec, MegaHertz, Message, OpId, Operation,
+        Probability, Seconds, Workflow, WorkflowBuilder,
     };
     pub use wsflow_net::{Network, Server, ServerId, TopologyKind};
     pub use wsflow_sim::{monte_carlo, simulate, SimConfig};

@@ -38,7 +38,14 @@ fn rendezvous_deploys_on_the_ministry_pool() {
     // The paper's 5-server ministry (§2.1).
     let out = cmd_deploy(
         &fixture("rendezvous.wsf"),
-        &strs(&["--servers", "3.0,2.0,2.0,1.0,1.0", "--bus", "100", "--algo", "all"]),
+        &strs(&[
+            "--servers",
+            "3.0,2.0,2.0,1.0,1.0",
+            "--bus",
+            "100",
+            "--algo",
+            "all",
+        ]),
     )
     .expect("deploys");
     for algo in [

@@ -43,17 +43,10 @@ fn line_bus_configuration() {
 #[test]
 fn graph_bus_configuration_all_shapes() {
     for gc in GraphClass::ALL {
-        let problem = problem_for(
-            Configuration::GraphBus(gc, MbitsPerSec(10.0)),
-            19,
-            5,
-            3,
-        );
+        let problem = problem_for(Configuration::GraphBus(gc, MbitsPerSec(10.0)), 19, 5, 3);
         let mut ev = Evaluator::new(&problem);
         for algo in paper_bus_algorithms(3) {
-            let mapping = algo
-                .deploy(&problem)
-                .expect("bus family accepts graph-bus");
+            let mapping = algo.deploy(&problem).expect("bus family accepts graph-bus");
             assert_eq!(mapping.len(), 19, "{gc}/{}", algo.name());
             assert!(ev.combined(&mapping).is_finite());
         }

@@ -113,14 +113,13 @@ fn open_loop_saturation_behaviour() {
 fn pareto_front_of_algorithm_suite_is_consistent() {
     let p = class_c_problem(14, 4, 1.0, 11);
     let mut ev = Evaluator::new(&p);
-    let points: Vec<ParetoPoint<String>> =
-        wsflow::core::registry::paper_bus_algorithms(11)
-            .iter()
-            .map(|algo| {
-                let m = algo.deploy(&p).expect("ok");
-                ParetoPoint::from_cost(&ev.evaluate(&m), algo.name().to_string())
-            })
-            .collect();
+    let points: Vec<ParetoPoint<String>> = wsflow::core::registry::paper_bus_algorithms(11)
+        .iter()
+        .map(|algo| {
+            let m = algo.deploy(&p).expect("ok");
+            ParetoPoint::from_cost(&ev.evaluate(&m), algo.name().to_string())
+        })
+        .collect();
     let total = points.len();
     let front = pareto_front(points.clone());
     assert!(!front.is_empty());
@@ -165,12 +164,10 @@ fn monitoring_loop_improves_probability_estimates() {
     let est = BranchEstimates::from_simulation(&truth, &mapping, 2000, 3);
     let estimated = est.apply(truth.workflow());
     let informed = Problem::new(estimated, net).expect("valid");
-    let err_assumed = (texecute(&assumed, &mapping).value()
-        - texecute(&truth, &mapping).value())
-    .abs();
-    let err_informed = (texecute(&informed, &mapping).value()
-        - texecute(&truth, &mapping).value())
-    .abs();
+    let err_assumed =
+        (texecute(&assumed, &mapping).value() - texecute(&truth, &mapping).value()).abs();
+    let err_informed =
+        (texecute(&informed, &mapping).value() - texecute(&truth, &mapping).value()).abs();
     assert!(
         err_informed < err_assumed / 5.0,
         "monitoring should shrink the prediction error: {err_assumed} -> {err_informed}"

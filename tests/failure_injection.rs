@@ -72,7 +72,11 @@ fn invalid_networks_rejected_at_construction() {
     let err = Network::new(
         "bad",
         servers.clone(),
-        vec![Link::new(ServerId::new(0), ServerId::new(1), MbitsPerSec(0.0))],
+        vec![Link::new(
+            ServerId::new(0),
+            ServerId::new(1),
+            MbitsPerSec(0.0),
+        )],
         TopologyKind::Custom,
     )
     .unwrap_err();
@@ -108,7 +112,11 @@ fn disconnected_network_rejected_at_problem_assembly() {
     let net = Network::new(
         "split",
         servers,
-        vec![Link::new(ServerId::new(0), ServerId::new(1), MbitsPerSec(10.0))],
+        vec![Link::new(
+            ServerId::new(0),
+            ServerId::new(1),
+            MbitsPerSec(10.0),
+        )],
         TopologyKind::Custom,
     )
     .expect("structurally fine");

@@ -83,7 +83,12 @@ fn fair_load_penalty_beats_round_robin_on_heterogeneous_servers() {
             seed,
         );
         // Skip homogeneous draws — round-robin is already fair there.
-        let powers: Vec<f64> = s.network.servers().iter().map(|x| x.power.value()).collect();
+        let powers: Vec<f64> = s
+            .network
+            .servers()
+            .iter()
+            .map(|x| x.power.value())
+            .collect();
         if powers.windows(2).all(|w| w[0] == w[1]) {
             continue;
         }

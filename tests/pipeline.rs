@@ -38,7 +38,14 @@ fn generate_deploy_evaluate_simulate() {
 #[test]
 fn harness_records_match_direct_evaluation() {
     let class = ExperimentClass::class_c();
-    let s = &generate_batch(Configuration::LineBus(MbitsPerSec(10.0)), 10, 3, &class, 21, 1)[0];
+    let s = &generate_batch(
+        Configuration::LineBus(MbitsPerSec(10.0)),
+        10,
+        3,
+        &class,
+        21,
+        1,
+    )[0];
     let problem = Problem::new(s.workflow.clone(), s.network.clone()).expect("valid");
     let algos = paper_bus_algorithms(21);
     let records = run_on_problem(&problem, &algos, &s.name, s.seed);
@@ -83,7 +90,14 @@ fn weights_steer_the_optimum() {
     // with penalty-only weights it must spread load. Verify on a small
     // exhaustive instance with a slow bus.
     let class = ExperimentClass::class_c();
-    let s = &generate_batch(Configuration::LineBus(MbitsPerSec(1.0)), 6, 2, &class, 55, 1)[0];
+    let s = &generate_batch(
+        Configuration::LineBus(MbitsPerSec(1.0)),
+        6,
+        2,
+        &class,
+        55,
+        1,
+    )[0];
     let exec_only = Problem::with_weights(
         s.workflow.clone(),
         s.network.clone(),
@@ -111,7 +125,14 @@ fn weights_steer_the_optimum() {
 #[test]
 fn constraints_reject_and_accept() {
     let class = ExperimentClass::class_c();
-    let s = &generate_batch(Configuration::LineBus(MbitsPerSec(100.0)), 8, 3, &class, 77, 1)[0];
+    let s = &generate_batch(
+        Configuration::LineBus(MbitsPerSec(100.0)),
+        8,
+        3,
+        &class,
+        77,
+        1,
+    )[0];
     let problem = Problem::new(s.workflow.clone(), s.network.clone()).expect("valid");
     let mapping = FairLoad.deploy(&problem).expect("ok");
     let mut ev = Evaluator::new(&problem);

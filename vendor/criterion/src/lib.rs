@@ -1,0 +1,294 @@
+//! Offline micro-benchmark harness (vendored shim).
+//!
+//! Implements the slice of `criterion`'s API the workspace's benches use:
+//! [`Criterion`], [`criterion_group!`], [`criterion_main!`],
+//! benchmark groups with `sample_size` / `throughput` / `bench_with_input`,
+//! `bench_function`, [`Bencher::iter`], [`BenchmarkId`], [`Throughput`]
+//! and [`black_box`]. Measurement is deliberately simple: each benchmark
+//! is warmed up briefly, then timed over `sample_size` samples whose
+//! iteration counts are sized to a per-sample time budget; the harness
+//! reports min / median / mean per iteration.
+//!
+//! Environment knobs:
+//! * `WSFLOW_BENCH_QUICK=1` — one sample, minimal warm-up (CI smoke runs).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a value or the work producing it.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+fn quick_mode() -> bool {
+    std::env::var("WSFLOW_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+fn default_sample_size() -> usize {
+    if quick_mode() {
+        1
+    } else {
+        10
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: default_sample_size(),
+            throughput: None,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, default_sample_size(), None, |b| f(b));
+        self
+    }
+}
+
+/// A set of related benchmarks reported under a common name.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if !quick_mode() {
+            self.sample_size = n.max(1);
+        }
+        self
+    }
+
+    /// How much work one iteration represents (reported, not enforced).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Time to spend measuring (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_benchmark(&label, self.sample_size, self.throughput.as_ref(), |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Benchmark a closure with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_benchmark(&label, self.sample_size, self.throughput.as_ref(), |b| f(b));
+        self
+    }
+
+    /// Finish the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// Identifier carrying just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Conversion into a [`BenchmarkId`] (mirrors criterion's blanket impls).
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// How much work a single iteration performs.
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it `self.iters` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<&Throughput>,
+    mut f: F,
+) {
+    // Calibrate: time one iteration to size the per-sample batch.
+    let mut cal = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut cal);
+    let per_iter = cal.elapsed.max(Duration::from_nanos(1));
+    let budget = if quick_mode() {
+        Duration::from_millis(1)
+    } else {
+        Duration::from_millis(50)
+    };
+    let iters_per_sample = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+    }
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let min = samples_ns[0];
+    let median = samples_ns[samples_ns.len() / 2];
+    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+
+    let mut line = format!(
+        "{label:<60} min {:>12}  median {:>12}  mean {:>12}",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean)
+    );
+    if let Some(t) = throughput {
+        let (amount, unit) = match t {
+            Throughput::Elements(n) => (*n as f64, "elem/s"),
+            Throughput::Bytes(n) => (*n as f64, "B/s"),
+        };
+        if median > 0.0 {
+            let rate = amount / (median * 1e-9);
+            let _ = write!(line, "  {:.3e} {unit}", rate);
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Entry point running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_the_closure() {
+        let mut b = Bencher {
+            iters: 10,
+            elapsed: Duration::ZERO,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 10);
+        assert!(b.elapsed > Duration::ZERO || count == 10);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("algo", 5).0, "algo/5");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+}

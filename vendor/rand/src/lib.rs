@@ -1,0 +1,473 @@
+//! Offline, API-compatible subset of the `rand` crate (v0.8 line).
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the thin slice of `rand` it actually uses. The
+//! algorithms mirror upstream `rand 0.8` bit-for-bit where the
+//! workspace depends on reproducible streams:
+//!
+//! * `SeedableRng::seed_from_u64` — PCG32 expansion filled 4 bytes at a
+//!   time (as in `rand_core 0.6`);
+//! * `Standard` `f64` — 53 high bits of `next_u64` scaled by 2⁻⁵³;
+//! * `Standard` `bool` — sign test on `next_u32`;
+//! * integer `gen_range` — widening-multiply rejection sampling with the
+//!   `(range << leading_zeros) - 1` zone (Lemire, as in `UniformInt`);
+//! * float `gen_range` — mantissa-bits value in `[1, 2)` scaled to the
+//!   requested range.
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: raw 32/64-bit output.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut i = 0;
+        while i < dest.len() {
+            let chunk = self.next_u32().to_le_bytes();
+            let n = (dest.len() - i).min(4);
+            dest[i..i + n].copy_from_slice(&chunk[..n]);
+            i += n;
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator seedable from a fixed-size byte seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (e.g. `[u8; 32]`).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it with SplitMix64 exactly as
+    /// `rand_core 0.6` does (4 bytes of seed per SplitMix64 output).
+    fn seed_from_u64(mut state: u64) -> Self {
+        // rand_core 0.6 expands the u64 with a PCG32 stream: advance an
+        // LCG state, apply the PCG output permutation, copy one u32 per
+        // 4-byte chunk of the seed.
+        const MUL: u64 = 6_364_136_223_846_793_005;
+        const INC: u64 = 11_634_580_027_462_260_723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            let bytes = x.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types samplable from the uniform "standard" distribution.
+pub trait StandardSample: Sized {
+    /// Draw a value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 bits of mantissa precision, uniform in [0, 1).
+        let scale = 1.0 / ((1u64 << 53) as f64);
+        (rng.next_u64() >> 11) as f64 * scale
+    }
+}
+
+impl StandardSample for f32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let scale = 1.0 / ((1u32 << 24) as f32);
+        (rng.next_u32() >> 8) as f32 * scale
+    }
+}
+
+impl StandardSample for bool {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Sign test on the most significant bit, as in rand 0.8.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl StandardSample for u8 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+
+impl StandardSample for u32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for usize {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+/// Ranges from which a single uniform value can be drawn.
+pub trait SampleRange<T> {
+    /// Draw a uniform value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! uniform_int_range {
+    ($ty:ty, $large:ty, $gen:ident) => {
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let range = (self.end.wrapping_sub(self.start)) as $large;
+                sample_int::<$large, R>(range, rng, |r| r.$gen() as $large)
+                    .map(|hi| self.start.wrapping_add(hi as $ty))
+                    .unwrap_or_else(|| rng.$gen() as $ty)
+            }
+        }
+
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty inclusive range in gen_range");
+                let range = (end.wrapping_sub(start) as $large).wrapping_add(1);
+                if range == 0 {
+                    // Full domain.
+                    return rng.$gen() as $ty;
+                }
+                sample_int::<$large, R>(range, rng, |r| r.$gen() as $large)
+                    .map(|hi| start.wrapping_add(hi as $ty))
+                    .unwrap_or_else(|| rng.$gen() as $ty)
+            }
+        }
+    };
+}
+
+uniform_int_range!(u32, u32, next_u32);
+uniform_int_range!(i32, u32, next_u32);
+uniform_int_range!(u64, u64, next_u64);
+uniform_int_range!(i64, u64, next_u64);
+uniform_int_range!(usize, u64, next_u64);
+
+/// Widening-multiply rejection sampling; `None` means "range covers the
+/// whole domain, draw directly".
+#[inline]
+fn sample_int<T, R>(range: T, rng: &mut R, mut draw: impl FnMut(&mut R) -> T) -> Option<T>
+where
+    T: WideningMul,
+    R: RngCore + ?Sized,
+{
+    if range.is_zero() {
+        return None;
+    }
+    let zone = range.shl_leading_zeros().wrapping_sub_one();
+    loop {
+        let v = draw(rng);
+        let (hi, lo) = v.wmul(range);
+        if lo.le(&zone) {
+            return Some(hi);
+        }
+    }
+}
+
+/// Minimal unsigned-integer operations needed by [`sample_int`].
+pub trait WideningMul: Copy {
+    /// `(high, low)` words of the widening product.
+    fn wmul(self, other: Self) -> (Self, Self);
+    /// `self << self.leading_zeros()`.
+    fn shl_leading_zeros(self) -> Self;
+    /// Wrapping decrement.
+    fn wrapping_sub_one(self) -> Self;
+    /// Zero test.
+    fn is_zero(self) -> bool;
+    /// `<=` without requiring `Ord` in the macro above.
+    fn le(&self, other: &Self) -> bool;
+}
+
+impl WideningMul for u32 {
+    #[inline]
+    fn wmul(self, other: Self) -> (Self, Self) {
+        let wide = self as u64 * other as u64;
+        ((wide >> 32) as u32, wide as u32)
+    }
+    #[inline]
+    fn shl_leading_zeros(self) -> Self {
+        self << self.leading_zeros()
+    }
+    #[inline]
+    fn wrapping_sub_one(self) -> Self {
+        self.wrapping_sub(1)
+    }
+    #[inline]
+    fn is_zero(self) -> bool {
+        self == 0
+    }
+    #[inline]
+    fn le(&self, other: &Self) -> bool {
+        self <= other
+    }
+}
+
+impl WideningMul for u64 {
+    #[inline]
+    fn wmul(self, other: Self) -> (Self, Self) {
+        let wide = self as u128 * other as u128;
+        ((wide >> 64) as u64, wide as u64)
+    }
+    #[inline]
+    fn shl_leading_zeros(self) -> Self {
+        self << self.leading_zeros()
+    }
+    #[inline]
+    fn wrapping_sub_one(self) -> Self {
+        self.wrapping_sub(1)
+    }
+    #[inline]
+    fn is_zero(self) -> bool {
+        self == 0
+    }
+    #[inline]
+    fn le(&self, other: &Self) -> bool {
+        self <= other
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let mut scale = self.end - self.start;
+        loop {
+            // Mantissa bits give a uniform value in [1, 2).
+            let mantissa = rng.next_u64() >> 12;
+            let value1_2 = f64::from_bits((1023u64 << 52) | mantissa);
+            let value0_1 = value1_2 - 1.0;
+            let res = value0_1 * scale + self.start;
+            if res < self.end {
+                return res;
+            }
+            // Extremely rare: shave one ulp off the scale and retry.
+            scale = f64::from_bits(scale.to_bits() - 1);
+        }
+    }
+}
+
+/// Convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// A value from the standard distribution (uniform for floats).
+    #[inline]
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// A uniform value from `range`.
+    #[inline]
+    fn gen_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+        Rg: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        if p >= 1.0 {
+            return true;
+        }
+        let p_int = (p * (u64::MAX as f64 + 1.0)) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Sequence helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random selection from slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Shuffle in place (Fisher–Yates, as in rand 0.8).
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// Deterministic mock generators for tests.
+    pub mod mock {
+        use crate::RngCore;
+
+        /// A generator returning an arithmetic sequence, as in
+        /// `rand::rngs::mock::StepRng`.
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct StepRng {
+            v: u64,
+            a: u64,
+        }
+
+        impl StepRng {
+            /// Counting from `initial` in steps of `increment`.
+            pub fn new(initial: u64, increment: u64) -> Self {
+                Self {
+                    v: initial,
+                    a: increment,
+                }
+            }
+        }
+
+        impl RngCore for StepRng {
+            #[inline]
+            fn next_u32(&mut self) -> u32 {
+                self.next_u64() as u32
+            }
+            #[inline]
+            fn next_u64(&mut self) -> u64 {
+                let r = self.v;
+                self.v = self.v.wrapping_add(self.a);
+                r
+            }
+        }
+    }
+}
+
+/// `rand::prelude`-style re-exports.
+pub mod prelude {
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Counter(42);
+        for _ in 0..10_000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: u32 = rng.gen_range(0..5);
+            assert!(w < 5);
+            let x: usize = rng.gen_range(2..=3);
+            assert!((2..=3).contains(&x));
+            let f: f64 = rng.gen_range(0.1..1.0);
+            assert!((0.1..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn standard_f64_is_unit_interval() {
+        let mut rng = Counter(7);
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = Counter(1);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn step_rng_is_arithmetic() {
+        let mut r = rngs::mock::StepRng::new(10, 5);
+        assert_eq!(r.next_u64(), 10);
+        assert_eq!(r.next_u64(), 15);
+    }
+
+    #[test]
+    fn choose_is_none_on_empty() {
+        use seq::SliceRandom;
+        let mut rng = Counter(3);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let one = [42u8];
+        assert_eq!(one.choose(&mut rng), Some(&42));
+    }
+}

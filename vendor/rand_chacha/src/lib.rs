@@ -1,0 +1,216 @@
+//! Offline ChaCha generators compatible with `rand_chacha 0.3`.
+//!
+//! Implements the ChaCha block function (D. J. Bernstein) with the
+//! `rand_chacha` stream layout: 256-bit key from the seed, 64-bit block
+//! counter in words 12–13, 64-bit stream id (zero here) in words 14–15,
+//! and the 16 output words of each block emitted in order as a flat
+//! little-endian `u32` stream. `next_u64` pairs consecutive words
+//! low-then-high, exactly like `rand_core::block::BlockRng`.
+
+use rand::{RngCore, SeedableRng};
+
+const WORDS_PER_BLOCK: usize = 16;
+
+macro_rules! chacha_rng {
+    ($(#[$doc:meta])* $name:ident, $rounds:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            stream: u64,
+            buf: [u32; WORDS_PER_BLOCK],
+            /// Next unread index into `buf`; `WORDS_PER_BLOCK` = empty.
+            index: usize,
+        }
+
+        impl $name {
+            /// Select the 64-bit stream id (words 14–15), restarting the
+            /// generator at block 0 of that stream.
+            pub fn set_stream(&mut self, stream: u64) {
+                self.stream = stream;
+                self.counter = 0;
+                self.index = WORDS_PER_BLOCK;
+            }
+
+            #[inline]
+            fn refill(&mut self) {
+                self.buf = chacha_block(&self.key, self.counter, self.stream, $rounds);
+                self.counter = self.counter.wrapping_add(1);
+                self.index = 0;
+            }
+
+            #[inline]
+            fn next_word(&mut self) -> u32 {
+                if self.index >= WORDS_PER_BLOCK {
+                    self.refill();
+                }
+                let w = self.buf[self.index];
+                self.index += 1;
+                w
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut key = [0u32; 8];
+                for (i, k) in key.iter_mut().enumerate() {
+                    *k = u32::from_le_bytes([
+                        seed[4 * i],
+                        seed[4 * i + 1],
+                        seed[4 * i + 2],
+                        seed[4 * i + 3],
+                    ]);
+                }
+                Self {
+                    key,
+                    counter: 0,
+                    stream: 0,
+                    buf: [0; WORDS_PER_BLOCK],
+                    index: WORDS_PER_BLOCK,
+                }
+            }
+        }
+
+        impl RngCore for $name {
+            #[inline]
+            fn next_u32(&mut self) -> u32 {
+                self.next_word()
+            }
+
+            #[inline]
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_word() as u64;
+                let hi = self.next_word() as u64;
+                (hi << 32) | lo
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    /// ChaCha with 8 rounds — the workspace's reproducible workhorse.
+    ChaCha8Rng,
+    8
+);
+chacha_rng!(
+    /// ChaCha with 12 rounds.
+    ChaCha12Rng,
+    12
+);
+chacha_rng!(
+    /// ChaCha with 20 rounds (the IETF standard count).
+    ChaCha20Rng,
+    20
+);
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn chacha_block(key: &[u32; 8], counter: u64, stream: u64, rounds: usize) -> [u32; 16] {
+    // "expand 32-byte k"
+    let mut state: [u32; 16] = [
+        0x6170_7865,
+        0x3320_646e,
+        0x7962_2d32,
+        0x6b20_6574,
+        key[0],
+        key[1],
+        key[2],
+        key[3],
+        key[4],
+        key[5],
+        key[6],
+        key[7],
+        counter as u32,
+        (counter >> 32) as u32,
+        stream as u32,
+        (stream >> 32) as u32,
+    ];
+    let input = state;
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (s, i) in state.iter_mut().zip(&input) {
+        *s = s.wrapping_add(*i);
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.3.2 test vector, adapted: 20 rounds, the RFC key, and
+    /// counter/nonce words folded into our 64+64-bit layout. We can check
+    /// the key-schedule and round function against the RFC's first
+    /// column/diagonal round intermediate by running a zeroed variant.
+    #[test]
+    fn chacha20_zero_key_block_matches_reference() {
+        // Known ChaCha20 keystream for the all-zero key and nonce
+        // (block 0), little-endian words of the first 16 output words.
+        // Source: widely published ChaCha20 test vector
+        // 76b8e0ada0f13d90405d6ae55386bd28...
+        let expected_bytes: [u8; 64] = [
+            0x76, 0xb8, 0xe0, 0xad, 0xa0, 0xf1, 0x3d, 0x90, 0x40, 0x5d, 0x6a, 0xe5, 0x53, 0x86,
+            0xbd, 0x28, 0xbd, 0xd2, 0x19, 0xb8, 0xa0, 0x8d, 0xed, 0x1a, 0xa8, 0x36, 0xef, 0xcc,
+            0x8b, 0x77, 0x0d, 0xc7, 0xda, 0x41, 0x59, 0x7c, 0x51, 0x57, 0x48, 0x8d, 0x77, 0x24,
+            0xe0, 0x3f, 0xb8, 0xd8, 0x4a, 0x37, 0x6a, 0x43, 0xb8, 0xf4, 0x15, 0x18, 0xa1, 0x1c,
+            0xc3, 0x87, 0xb6, 0x69, 0xb2, 0xee, 0x65, 0x86,
+        ];
+        let block = chacha_block(&[0; 8], 0, 0, 20);
+        let mut bytes = Vec::new();
+        for w in block {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        assert_eq!(&bytes[..], &expected_bytes[..]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn u64_pairs_words_low_then_high() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        let w0 = a.next_u32() as u64;
+        let w1 = a.next_u32() as u64;
+        assert_eq!(b.next_u64(), (w1 << 32) | w0);
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(1);
+        b.set_stream(99);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,580 @@
+//! Offline `#[derive(Serialize, Deserialize)]` macros for the vendored
+//! serde shim.
+//!
+//! The build environment cannot fetch crates.io, so this proc-macro crate
+//! is written against `proc_macro` alone (no `syn`/`quote`). It parses the
+//! derive input token stream by hand and emits string-built impls of the
+//! shim's `serde::Serialize` / `serde::Deserialize` traits.
+//!
+//! Supported input shapes — exactly the shapes this workspace declares:
+//!
+//! * named structs, with `#[serde(skip)]` fields (omitted on serialize,
+//!   `Default::default()` on deserialize);
+//! * tuple structs of arity 1 (newtype semantics, also matching
+//!   `#[serde(transparent)]`) and arity ≥ 2 (serialized as an array);
+//! * enums with unit, tuple, and struct variants using serde's external
+//!   tagging (`"Variant"`, `{"Variant": payload}`, `{"Variant": {..}}`).
+//!
+//! Generic types are rejected with a panic (a compile error at the use
+//! site) — the workspace derives only on concrete types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum ItemShape {
+    NamedStruct {
+        fields: Vec<Field>,
+        transparent: bool,
+    },
+    TupleStruct {
+        arity: usize,
+    },
+    Enum {
+        variants: Vec<Variant>,
+    },
+}
+
+struct Item {
+    name: String,
+    shape: ItemShape,
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consume leading attributes; returns the `serde(..)` flags seen.
+    fn skip_attrs(&mut self) -> Vec<String> {
+        let mut flags = Vec::new();
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.next();
+                    match self.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                            collect_serde_flags(g.stream(), &mut flags);
+                        }
+                        other => panic!("expected [...] after `#`, got {other:?}"),
+                    }
+                }
+                _ => return flags,
+            }
+        }
+    }
+
+    /// Consume `pub`, `pub(crate)`, `pub(in ..)` if present.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected identifier, got {other:?}"),
+        }
+    }
+}
+
+/// Extract `skip` / `transparent` flags from the inside of a `#[...]`
+/// attribute if it is a `serde(...)` attribute.
+fn collect_serde_flags(stream: TokenStream, flags: &mut Vec<String>) {
+    let mut it = stream.into_iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            for t in args.stream() {
+                if let TokenTree::Ident(flag) = t {
+                    flags.push(flag.to_string());
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    let outer_flags = c.skip_attrs();
+    c.skip_visibility();
+    let kind = c.expect_ident();
+    let name = c.expect_ident();
+
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("derive(Serialize/Deserialize) shim does not support generic type `{name}`");
+        }
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemShape::NamedStruct {
+                    fields: parse_named_fields(g.stream()),
+                    transparent: outer_flags.iter().any(|f| f == "transparent"),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemShape::TupleStruct {
+                    arity: tuple_arity(g.stream()),
+                }
+            }
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => ItemShape::Enum {
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("expected enum body for `{name}`, got {other:?}"),
+        },
+        other => panic!("derive shim supports struct/enum, got `{other}`"),
+    };
+
+    Item { name, shape }
+}
+
+/// Parse `name: Type, ...` pairs, honouring `#[serde(skip)]` and skipping
+/// type tokens up to a comma at angle-bracket depth 0.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let flags = c.skip_attrs();
+        c.skip_visibility();
+        let name = c.expect_ident();
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type_until_comma(&mut c);
+        fields.push(Field {
+            name,
+            skip: flags.iter().any(|f| f == "skip"),
+        });
+    }
+    fields
+}
+
+fn skip_type_until_comma(c: &mut Cursor) {
+    let mut angle_depth = 0usize;
+    while let Some(t) = c.peek() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    c.next();
+                    return;
+                }
+                _ => {}
+            }
+        }
+        c.next();
+    }
+}
+
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    if c.at_end() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut angle_depth = 0usize;
+    let mut saw_token_since_comma = false;
+    while let Some(t) = c.next() {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    saw_token_since_comma = false;
+                    arity += 1;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_token_since_comma = true;
+    }
+    if !saw_token_since_comma {
+        // Trailing comma.
+        arity -= 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.skip_attrs();
+        let name = c.expect_ident();
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                c.next();
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.next();
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present, then the
+        // separating comma.
+        while let Some(t) = c.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    c.next();
+                    break;
+                }
+                _ => {
+                    c.next();
+                }
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        ItemShape::NamedStruct {
+            fields,
+            transparent,
+        } => {
+            if *transparent {
+                let inner = single_active_field(name, fields);
+                format!("::serde::Serialize::to_value(&self.{inner})")
+            } else {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .filter(|f| !f.skip)
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{0}\"), \
+                             ::serde::Serialize::to_value(&self.{0}))",
+                            f.name
+                        )
+                    })
+                    .collect();
+                format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+            }
+        }
+        ItemShape::TupleStruct { arity } => match arity {
+            0 => "::serde::Value::Null".to_string(),
+            1 => "::serde::Serialize::to_value(&self.0)".to_string(),
+            n => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+            }
+        },
+        ItemShape::Enum { variants } => {
+            let arms: Vec<String> = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn ser_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.shape {
+        VariantShape::Unit => format!(
+            "{enum_name}::{vn} => \
+             ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+        ),
+        VariantShape::Tuple(arity) => {
+            let binders: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+            let payload = if *arity == 1 {
+                "::serde::Serialize::to_value(__f0)".to_string()
+            } else {
+                let items: Vec<String> = binders
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+            };
+            format!(
+                "{enum_name}::{vn}({binders}) => ::serde::Value::Map(::std::vec![\
+                 (::std::string::String::from(\"{vn}\"), {payload})]),",
+                binders = binders.join(", ")
+            )
+        }
+        VariantShape::Struct(fields) => {
+            let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+            let entries: Vec<String> = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), \
+                         ::serde::Serialize::to_value({0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{vn} {{ {binders} }} => ::serde::Value::Map(::std::vec![\
+                 (::std::string::String::from(\"{vn}\"), \
+                 ::serde::Value::Map(::std::vec![{entries}]))]),",
+                binders = binders.join(", "),
+                entries = entries.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        ItemShape::NamedStruct {
+            fields,
+            transparent,
+        } => {
+            if *transparent {
+                let inner = single_active_field(name, fields);
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        if f.name == inner {
+                            format!("{inner}: ::serde::Deserialize::from_value(__v)?")
+                        } else {
+                            format!("{}: ::std::default::Default::default()", f.name)
+                        }
+                    })
+                    .collect();
+                format!(
+                    "::std::result::Result::Ok({name} {{ {} }})",
+                    inits.join(", ")
+                )
+            } else {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        if f.skip {
+                            format!("{}: ::std::default::Default::default()", f.name)
+                        } else {
+                            format!("{0}: ::serde::from_field(__v, \"{0}\")?", f.name)
+                        }
+                    })
+                    .collect();
+                format!(
+                    "if __v.as_map().is_none() {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::new(\
+                     \"expected map for {name}\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name} {{ {} }})",
+                    inits.join(", ")
+                )
+            }
+        }
+        ItemShape::TupleStruct { arity } => match arity {
+            0 => format!("::std::result::Result::Ok({name})"),
+            1 => {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            }
+            n => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "let __items = __v.as_seq().ok_or_else(|| \
+                     ::serde::DeError::new(\"expected array for {name}\"))?;\n\
+                     if __items.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::new(\
+                     \"wrong tuple arity for {name}\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                )
+            }
+        },
+        ItemShape::Enum { variants } => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, VariantShape::Unit))
+        .map(|v| {
+            format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                vn = v.name
+            )
+        })
+        .collect();
+    let payload_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| !matches!(v.shape, VariantShape::Unit))
+        .map(|v| de_variant_arm(name, v))
+        .collect();
+    format!(
+        "match __v {{\n\
+         ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+         {units}\n\
+         _ => ::std::result::Result::Err(::serde::DeError::new(\
+         ::std::format!(\"unknown variant `{{__s}}` for {name}\"))),\n\
+         }},\n\
+         __other => {{\n\
+         let (__tag, __inner) = __other.as_single_entry().ok_or_else(|| \
+         ::serde::DeError::new(\"expected variant for {name}\"))?;\n\
+         match __tag {{\n\
+         {payloads}\n\
+         _ => ::std::result::Result::Err(::serde::DeError::new(\
+         ::std::format!(\"unknown variant `{{__tag}}` for {name}\"))),\n\
+         }}\n\
+         }}\n\
+         }}",
+        units = unit_arms.join("\n"),
+        payloads = payload_arms.join("\n"),
+    )
+}
+
+fn de_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.shape {
+        VariantShape::Unit => unreachable!("unit variants handled in the Str arm"),
+        VariantShape::Tuple(arity) => {
+            if *arity == 1 {
+                format!(
+                    "\"{vn}\" => ::std::result::Result::Ok(\
+                     {enum_name}::{vn}(::serde::Deserialize::from_value(__inner)?)),"
+                )
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "\"{vn}\" => {{\n\
+                     let __items = __inner.as_seq().ok_or_else(|| \
+                     ::serde::DeError::new(\"expected array for {enum_name}::{vn}\"))?;\n\
+                     if __items.len() != {arity} {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::new(\
+                     \"wrong tuple arity for {enum_name}::{vn}\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({enum_name}::{vn}({items}))\n\
+                     }}",
+                    items = items.join(", ")
+                )
+            }
+        }
+        VariantShape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::std::default::Default::default()", f.name)
+                    } else {
+                        format!("{0}: ::serde::from_field(__inner, \"{0}\")?", f.name)
+                    }
+                })
+                .collect();
+            format!(
+                "\"{vn}\" => ::std::result::Result::Ok({enum_name}::{vn} {{ {} }}),",
+                inits.join(", ")
+            )
+        }
+    }
+}
+
+/// The single non-skipped field of a `#[serde(transparent)]` struct.
+fn single_active_field<'f>(name: &str, fields: &'f [Field]) -> &'f str {
+    let active: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+    match active.as_slice() {
+        [only] => &only.name,
+        _ => panic!("#[serde(transparent)] on `{name}` requires exactly one non-skipped field"),
+    }
+}
