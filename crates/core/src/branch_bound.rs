@@ -93,6 +93,18 @@ impl BranchAndBound {
     /// Deploy and also report whether optimality was proven (the search
     /// finished within budget) and how many nodes were expanded.
     pub fn deploy_with_proof(&self, problem: &Problem) -> BnbOutcome {
+        wsflow_obs::span_scope!("bnb.search");
+        let outcome = self.deploy_with_proof_inner(problem);
+        if wsflow_obs::enabled() {
+            wsflow_obs::counter_add("bnb.runs", 1);
+            wsflow_obs::counter_add("bnb.nodes_expanded", outcome.nodes_expanded);
+            wsflow_obs::counter_add("bnb.prunes", outcome.prunes);
+            wsflow_obs::counter_add("bnb.incumbent_updates", outcome.incumbent_updates);
+        }
+        outcome
+    }
+
+    fn deploy_with_proof_inner(&self, problem: &Problem) -> BnbOutcome {
         let mut ctx = Search::new(problem);
         // Incumbent: best greedy mapping.
         let seeds: [&dyn DeploymentAlgorithm; 3] = [
@@ -131,14 +143,14 @@ impl BranchAndBound {
         let shared = AtomicU64::new(best_cost.to_bits());
         let mut partial = vec![ServerId::new(0); problem.num_ops()];
         let mut assigned = vec![false; problem.num_ops()];
-        let mut nodes = 0u64;
+        let mut stats = BnbStats::default();
         let complete = ctx.recurse(
             0,
             &mut partial,
             &mut assigned,
             &mut best_mapping,
             &mut best_cost,
-            &mut nodes,
+            &mut stats,
             self.node_budget,
             &shared,
         );
@@ -146,7 +158,9 @@ impl BranchAndBound {
             mapping: best_mapping,
             cost: best_cost,
             proven_optimal: complete,
-            nodes_expanded: nodes,
+            nodes_expanded: stats.nodes,
+            prunes: stats.prunes,
+            incumbent_updates: stats.incumbent_updates,
         }
     }
 
@@ -172,7 +186,7 @@ impl BranchAndBound {
             assigned[op.index()] = true;
             let mut local_mapping = seed_ref.clone();
             let mut local_cost = seed_cost;
-            let mut nodes = 0u64;
+            let mut stats = BnbStats::default();
             let lb = ctx.lower_bound(&partial, &assigned);
             let complete =
                 if lb < local_cost && lb <= f64::from_bits(shared.load(Ordering::Relaxed)) {
@@ -182,14 +196,15 @@ impl BranchAndBound {
                         &mut assigned,
                         &mut local_mapping,
                         &mut local_cost,
-                        &mut nodes,
+                        &mut stats,
                         self.node_budget,
                         shared,
                     )
                 } else {
+                    stats.prunes += 1;
                     true
                 };
-            (local_mapping, local_cost, complete, nodes)
+            (local_mapping, local_cost, complete, stats)
         });
         // Merge branch winners in branch order with a strict `<`: the
         // earliest branch holding the optimum wins, exactly like the
@@ -197,20 +212,25 @@ impl BranchAndBound {
         let mut best_mapping = seed_mapping;
         let mut best_cost = seed_cost;
         let mut complete = true;
-        let mut nodes = 1u64; // the root node
-        for (mapping, cost, branch_complete, branch_nodes) in branches {
+        let mut stats = BnbStats {
+            nodes: 1, // the root node
+            ..BnbStats::default()
+        };
+        for (mapping, cost, branch_complete, branch_stats) in branches {
             if cost < best_cost {
                 best_cost = cost;
                 best_mapping = mapping;
             }
             complete &= branch_complete;
-            nodes += branch_nodes;
+            stats.absorb(branch_stats);
         }
         BnbOutcome {
             mapping: best_mapping,
             cost: best_cost,
             proven_optimal: complete,
-            nodes_expanded: nodes,
+            nodes_expanded: stats.nodes,
+            prunes: stats.prunes,
+            incumbent_updates: stats.incumbent_updates,
         }
     }
 }
@@ -218,6 +238,27 @@ impl BranchAndBound {
 impl Default for BranchAndBound {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Search-tree counters for one (sub)search: plain integer adds on the
+/// hot path, merged per branch and flushed to `wsflow-obs` once per
+/// deploy (when enabled).
+#[derive(Debug, Clone, Copy, Default)]
+struct BnbStats {
+    /// Tree nodes expanded.
+    nodes: u64,
+    /// Subtrees cut by the admissible bound.
+    prunes: u64,
+    /// Times a leaf improved the (local) incumbent.
+    incumbent_updates: u64,
+}
+
+impl BnbStats {
+    fn absorb(&mut self, other: BnbStats) {
+        self.nodes += other.nodes;
+        self.prunes += other.prunes;
+        self.incumbent_updates += other.incumbent_updates;
     }
 }
 
@@ -232,6 +273,11 @@ pub struct BnbOutcome {
     pub proven_optimal: bool,
     /// Number of tree nodes expanded.
     pub nodes_expanded: u64,
+    /// Number of subtrees cut by the admissible lower bound. Like
+    /// `nodes_expanded`, timing-dependent under parallel search.
+    pub prunes: u64,
+    /// Number of incumbent improvements accepted across all branches.
+    pub incumbent_updates: u64,
 }
 
 impl DeploymentAlgorithm for BranchAndBound {
@@ -334,20 +380,21 @@ impl<'p> Search<'p> {
         assigned: &mut Vec<bool>,
         best_mapping: &mut Mapping,
         best_cost: &mut f64,
-        nodes: &mut u64,
+        stats: &mut BnbStats,
         budget: u64,
         shared: &AtomicU64,
     ) -> bool {
-        if *nodes >= budget {
+        if stats.nodes >= budget {
             return false;
         }
-        *nodes += 1;
+        stats.nodes += 1;
         if depth == self.order.len() {
             let candidate = Mapping::new(partial.clone());
             let cost = self.ev.combined(&candidate).value();
             if cost < *best_cost {
                 *best_cost = cost;
                 *best_mapping = candidate;
+                stats.incumbent_updates += 1;
                 shared.fetch_min(cost.to_bits(), Ordering::Relaxed);
             }
             return true;
@@ -366,10 +413,12 @@ impl<'p> Search<'p> {
                     assigned,
                     best_mapping,
                     best_cost,
-                    nodes,
+                    stats,
                     budget,
                     shared,
                 );
+            } else {
+                stats.prunes += 1;
             }
             assigned[op.index()] = false;
         }
@@ -618,6 +667,7 @@ mod tests {
             "no pruning happened: {} nodes",
             out.nodes_expanded
         );
+        assert!(out.prunes > 0, "pruned subtrees must be counted");
         let (_, opt) = optimum(&p, 1_000_000).unwrap();
         assert!((out.cost - opt).abs() < 1e-9);
     }

@@ -96,12 +96,19 @@ impl DeploymentAlgorithm for Exhaustive {
 
     fn deploy(&self, problem: &Problem) -> Result<Mapping, DeployError> {
         let total = checked_space(problem, self.limit)?;
+        wsflow_obs::span_scope!("exhaustive.scan");
         let workers = self.effective_workers();
         let ranges = wsflow_par::split_ranges(total as usize, workers);
         let locals = wsflow_par::parallel_map_with(ranges.len(), workers, |w| {
             let r = &ranges[w];
             scan_range(problem, r.start as u64, r.end as u64)
         });
+        if wsflow_obs::enabled() {
+            // Every index in the space is evaluated exactly once, so the
+            // node count is the space size — flushed once, not per node.
+            wsflow_obs::counter_add("exhaustive.runs", 1);
+            wsflow_obs::counter_add("exhaustive.nodes_expanded", total);
+        }
         // Merge in range order with a strict `<`: ties resolve to the
         // smallest enumeration index, exactly like a sequential scan.
         let mut best: Option<(Mapping, f64)> = None;
@@ -202,6 +209,10 @@ pub fn pareto_front_exhaustive(
     limit: u64,
 ) -> Result<Vec<wsflow_cost::ParetoPoint<Mapping>>, DeployError> {
     let total = checked_space(problem, limit)?;
+    wsflow_obs::span_scope!("exhaustive.pareto");
+    if wsflow_obs::enabled() {
+        wsflow_obs::counter_add("exhaustive.nodes_expanded", total);
+    }
     let n = problem.num_servers() as u32;
     let m = problem.num_ops();
     let workers = wsflow_par::num_threads();
@@ -272,6 +283,23 @@ mod tests {
                 .unwrap();
             assert!(ev.combined(&m).value() >= best_cost - 1e-12);
         }
+    }
+
+    #[test]
+    fn obs_counters_and_span_flush_when_enabled() {
+        let p = small_problem(4, 2); // 16 mappings
+        let _guard = wsflow_obs::registry::test_lock();
+        wsflow_obs::set_enabled(true);
+        wsflow_obs::reset();
+        Exhaustive::new().deploy(&p).unwrap();
+        let snap = wsflow_obs::snapshot();
+        let spans = wsflow_obs::registry::spans();
+        wsflow_obs::set_enabled(false);
+        wsflow_obs::reset();
+
+        assert_eq!(snap.counter("exhaustive.runs"), Some(1));
+        assert_eq!(snap.counter("exhaustive.nodes_expanded"), Some(16));
+        assert!(spans.iter().any(|s| s.name == "exhaustive.scan"));
     }
 
     #[test]

@@ -35,6 +35,24 @@ use crate::mapping::Mapping;
 use crate::objective::CostBreakdown;
 use crate::problem::Problem;
 
+/// Run statistics for one [`DeltaEvaluator`]: plain integer adds on the
+/// hot path (cheap enough to keep unconditionally), flushed to the
+/// `wsflow-obs` registry in one batch when the evaluator is dropped —
+/// and only if observability is enabled, so the disabled path never
+/// touches the registry.
+#[derive(Debug, Clone, Default)]
+struct DeltaStats {
+    /// Neighbour costs computed via [`DeltaEvaluator::probe`].
+    probes: u64,
+    /// Moves committed via [`DeltaEvaluator::apply`].
+    applies: u64,
+    /// Defensive staleness resyncs (full recomputes mid-walk).
+    resyncs: u64,
+    /// Probe affected-set sizes (undo-log depth); recorded only while
+    /// observability is enabled.
+    undo_depth: wsflow_obs::LocalHistogram,
+}
+
 /// Incremental evaluator maintaining the cost of a mutable mapping.
 ///
 /// ```
@@ -79,6 +97,20 @@ pub struct DeltaEvaluator<'p> {
     /// Full-recompute fallback period.
     staleness_threshold: usize,
     cost: CostBreakdown,
+    /// Run statistics, flushed to `wsflow-obs` on drop.
+    stats: DeltaStats,
+}
+
+impl Drop for DeltaEvaluator<'_> {
+    fn drop(&mut self) {
+        if !wsflow_obs::enabled() {
+            return;
+        }
+        wsflow_obs::counter_add("delta.probes", self.stats.probes);
+        wsflow_obs::counter_add("delta.applies", self.stats.applies);
+        wsflow_obs::counter_add("delta.resyncs", self.stats.resyncs);
+        wsflow_obs::merge_histogram("delta.undo_depth", &self.stats.undo_depth);
+    }
 }
 
 impl<'p> DeltaEvaluator<'p> {
@@ -117,6 +149,7 @@ impl<'p> DeltaEvaluator<'p> {
             moves_since_sync: 0,
             staleness_threshold: Self::DEFAULT_STALENESS_THRESHOLD,
             cost: CostBreakdown::new(Seconds::ZERO, Seconds::ZERO, problem.weights()),
+            stats: DeltaStats::default(),
         };
         this.recompute_all();
         this
@@ -157,8 +190,10 @@ impl<'p> DeltaEvaluator<'p> {
         if old == server {
             return self.cost;
         }
+        self.stats.applies += 1;
         self.moves_since_sync += 1;
         if self.moves_since_sync >= self.staleness_threshold {
+            self.stats.resyncs += 1;
             // Staleness fallback: periodically rebuild everything from
             // scratch so any state divergence (there should be none — see
             // the debug assertion, which checks the pre-move state) cannot
@@ -227,6 +262,7 @@ impl<'p> DeltaEvaluator<'p> {
         if old == server {
             return self.cost;
         }
+        self.stats.probes += 1;
         // Hypothetical loads, same accumulation order as
         // `Evaluator::compute_loads`: the old server folded with `op`
         // skipped, the new server folded with `op` merged in at its
@@ -267,6 +303,11 @@ impl<'p> DeltaEvaluator<'p> {
             penalty,
             self.ev.problem.weights(),
         );
+        if wsflow_obs::enabled() {
+            // Undo-log depth == number of ops whose finish time the move
+            // actually perturbed (the probe's affected set).
+            self.stats.undo_depth.record(self.undo.len() as f64);
+        }
         while let Some((i, bits)) = self.undo.pop() {
             self.finish[i as usize] = f64::from_bits(bits);
         }
@@ -501,6 +542,30 @@ mod tests {
                 want.combined.value().to_bits()
             );
         }
+    }
+
+    #[test]
+    fn drop_flushes_delta_metrics_when_obs_enabled() {
+        let p = branchy_problem(3);
+        let _guard = wsflow_obs::registry::test_lock();
+        wsflow_obs::set_enabled(true);
+        wsflow_obs::reset();
+        {
+            let mut delta = DeltaEvaluator::new(&p, Mapping::all_on(p.num_ops(), ServerId::new(0)))
+                .with_staleness_threshold(2);
+            delta.probe(OpId::new(1), ServerId::new(1));
+            delta.probe(OpId::new(2), ServerId::new(2));
+            delta.apply(OpId::new(1), ServerId::new(1));
+            delta.apply(OpId::new(2), ServerId::new(2)); // hits the staleness resync
+        }
+        let snap = wsflow_obs::snapshot();
+        wsflow_obs::set_enabled(false);
+        wsflow_obs::reset();
+
+        assert_eq!(snap.counter("delta.probes"), Some(2));
+        assert_eq!(snap.counter("delta.applies"), Some(2));
+        assert_eq!(snap.counter("delta.resyncs"), Some(1));
+        assert_eq!(snap.histogram("delta.undo_depth").unwrap().count, 2);
     }
 
     #[test]

@@ -2,6 +2,5 @@
 
 fn main() {
     let opts = wsflow_harness::cli::parse_or_exit();
-    let out = wsflow_harness::ablation::run(&opts.params);
-    wsflow_harness::cli::emit(&out, &opts);
+    wsflow_harness::cli::run_one(&opts, wsflow_harness::ablation::run);
 }

@@ -1,42 +1,43 @@
 //! Runs the full experiment suite in sequence (every table and figure).
+//!
+//! Each section goes through [`wsflow_harness::cli::run_one`] so every
+//! experiment gets its own `<experiment>_manifest.json` (the shared
+//! `manifest.json` holds the last section's run).
 
 fn main() {
     let opts = wsflow_harness::cli::parse_or_exit();
     let params = &opts.params;
     eprintln!("== Table 6 ==");
-    wsflow_harness::cli::emit(&wsflow_harness::table6::run(), &opts);
+    wsflow_harness::cli::run_one(&opts, |_| wsflow_harness::table6::run());
     eprintln!("== Line–Line ==");
-    wsflow_harness::cli::emit(&wsflow_harness::line_line_exp::run(params), &opts);
+    wsflow_harness::cli::run_one(&opts, wsflow_harness::line_line_exp::run);
     eprintln!("== Figure 6 ==");
-    wsflow_harness::cli::emit(&wsflow_harness::fig6::run(params), &opts);
+    wsflow_harness::cli::run_one(&opts, wsflow_harness::fig6::run);
     eprintln!("== Figure 7 ==");
-    wsflow_harness::cli::emit(&wsflow_harness::fig7::run(params), &opts);
+    wsflow_harness::cli::run_one(&opts, wsflow_harness::fig7::run);
     eprintln!("== Figure 8 ==");
-    wsflow_harness::cli::emit(&wsflow_harness::fig8::run(params), &opts);
+    wsflow_harness::cli::run_one(&opts, wsflow_harness::fig8::run);
     eprintln!("== Quality study ==");
-    wsflow_harness::cli::emit(&wsflow_harness::quality::run(params), &opts);
+    wsflow_harness::cli::run_one(&opts, wsflow_harness::quality::run);
     eprintln!("== Classes A/B ==");
-    wsflow_harness::cli::emit(&wsflow_harness::class_ab::run(params), &opts);
+    wsflow_harness::cli::run_one(&opts, wsflow_harness::class_ab::run);
     eprintln!("== Simulator validation ==");
     let trials = if params.seeds >= 50 { 2000 } else { 400 };
-    wsflow_harness::cli::emit(&wsflow_harness::sim_validation::run(params, trials), &opts);
+    wsflow_harness::cli::run_one(&opts, |p| wsflow_harness::sim_validation::run(p, trials));
     eprintln!("== Ablations ==");
-    wsflow_harness::cli::emit(&wsflow_harness::ablation::run(params), &opts);
+    wsflow_harness::cli::run_one(&opts, wsflow_harness::ablation::run);
     eprintln!("== Load scale-up ==");
     let instances = if params.seeds >= 50 { 400 } else { 60 };
-    wsflow_harness::cli::emit(&wsflow_harness::scale_up::run(params, instances), &opts);
+    wsflow_harness::cli::run_one(&opts, |p| wsflow_harness::scale_up::run(p, instances));
     eprintln!("== Multi-workflow ==");
-    wsflow_harness::cli::emit(&wsflow_harness::multi_wf::run(params, 4), &opts);
+    wsflow_harness::cli::run_one(&opts, |p| wsflow_harness::multi_wf::run(p, 4));
     eprintln!("== Topology sweep ==");
-    wsflow_harness::cli::emit(&wsflow_harness::topologies::run(params), &opts);
+    wsflow_harness::cli::run_one(&opts, wsflow_harness::topologies::run);
     eprintln!("== True-front coverage ==");
     let (ops, n, instances) = if params.seeds >= 50 {
         (8, 3, 25)
     } else {
         (6, 2, 4)
     };
-    wsflow_harness::cli::emit(
-        &wsflow_harness::front::run(params, ops, n, instances),
-        &opts,
-    );
+    wsflow_harness::cli::run_one(&opts, |p| wsflow_harness::front::run(p, ops, n, instances));
 }

@@ -7,6 +7,5 @@ fn main() {
     } else {
         (6, 2, 4)
     };
-    let out = wsflow_harness::front::run(&opts.params, ops, n, instances);
-    wsflow_harness::cli::emit(&out, &opts);
+    wsflow_harness::cli::run_one(&opts, |p| wsflow_harness::front::run(p, ops, n, instances));
 }

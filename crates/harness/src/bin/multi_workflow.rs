@@ -2,6 +2,5 @@
 
 fn main() {
     let opts = wsflow_harness::cli::parse_or_exit();
-    let out = wsflow_harness::multi_wf::run(&opts.params, 4);
-    wsflow_harness::cli::emit(&out, &opts);
+    wsflow_harness::cli::run_one(&opts, |p| wsflow_harness::multi_wf::run(p, 4));
 }

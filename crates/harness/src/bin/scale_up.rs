@@ -3,6 +3,5 @@
 fn main() {
     let opts = wsflow_harness::cli::parse_or_exit();
     let instances = if opts.params.seeds >= 50 { 400 } else { 60 };
-    let out = wsflow_harness::scale_up::run(&opts.params, instances);
-    wsflow_harness::cli::emit(&out, &opts);
+    wsflow_harness::cli::run_one(&opts, |p| wsflow_harness::scale_up::run(p, instances));
 }

@@ -3,6 +3,5 @@
 fn main() {
     let opts = wsflow_harness::cli::parse_or_exit();
     let trials = if opts.params.seeds >= 50 { 2000 } else { 400 };
-    let out = wsflow_harness::sim_validation::run(&opts.params, trials);
-    wsflow_harness::cli::emit(&out, &opts);
+    wsflow_harness::cli::run_one(&opts, |p| wsflow_harness::sim_validation::run(p, trials));
 }

@@ -6,7 +6,16 @@
 //!   paper's full sizes;
 //! * `--seeds N` — override the number of scenarios per configuration;
 //! * `--ops M` — override the workflow size;
-//! * `--out DIR` — CSV output directory (default `results/`).
+//! * `--out DIR` — CSV output directory (default `results/`);
+//! * `--obs` — enable observability (equivalent to `WSFLOW_OBS=1`):
+//!   collect metrics and spans, and populate the run manifest.
+//!
+//! Every binary also writes a `manifest.json` (and an
+//! `<experiment>_manifest.json` copy) next to its CSVs recording git
+//! rev, seed, thread count, wall time, per-phase timings, and — when
+//! observability is on — the full metric snapshot.
+
+use std::path::Path;
 
 use crate::params::Params;
 
@@ -17,6 +26,9 @@ pub struct CliOptions {
     pub params: Params,
     /// CSV output directory.
     pub out_dir: String,
+    /// Observability requested via `--obs` (the `WSFLOW_OBS` env var is
+    /// honoured independently by `wsflow_obs::enabled`).
+    pub obs: bool,
 }
 
 /// Parse options from an argument iterator (excluding `argv[0]`).
@@ -24,10 +36,12 @@ pub struct CliOptions {
 pub fn parse(args: impl Iterator<Item = String>) -> Result<CliOptions, String> {
     let mut params = Params::paper();
     let mut out_dir = "results".to_string();
+    let mut obs = false;
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => params = Params::quick(),
+            "--obs" => obs = true,
             "--seeds" => {
                 let v = args.next().ok_or("--seeds needs a value")?;
                 params.seeds = v.parse().map_err(|_| format!("bad --seeds value {v:?}"))?;
@@ -47,13 +61,18 @@ pub fn parse(args: impl Iterator<Item = String>) -> Result<CliOptions, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: [--quick] [--seeds N] [--ops M] [--workers W] [--out DIR]".into(),
+                    "usage: [--quick] [--seeds N] [--ops M] [--workers W] [--out DIR] [--obs]"
+                        .into(),
                 )
             }
             other => return Err(format!("unknown flag {other:?}; try --help")),
         }
     }
-    Ok(CliOptions { params, out_dir })
+    Ok(CliOptions {
+        params,
+        out_dir,
+        obs,
+    })
 }
 
 /// Parse from the process arguments, exiting with a message on error.
@@ -77,6 +96,65 @@ pub fn emit(output: &crate::output::ExperimentOutput, opts: &CliOptions) {
             }
         }
         Err(e) => eprintln!("warning: could not write CSVs: {e}"),
+    }
+}
+
+/// Run one experiment end to end: honour `--obs`, run the obs
+/// spot-check, time the run with `phase.*` spans, emit tables/CSVs, and
+/// write the run manifest next to them.
+///
+/// This is the standard body of every experiment binary's `main`.
+pub fn run_one(
+    opts: &CliOptions,
+    f: impl FnOnce(&Params) -> crate::output::ExperimentOutput,
+) -> crate::output::ExperimentOutput {
+    let started = std::time::Instant::now();
+    if opts.obs {
+        wsflow_obs::set_enabled(true);
+    }
+    if wsflow_obs::enabled() {
+        wsflow_obs::reset();
+        crate::obs_diag::spot_check(&opts.params);
+    }
+    let output = {
+        wsflow_obs::span_scope!("phase.experiment");
+        f(&opts.params)
+    };
+    {
+        wsflow_obs::span_scope!("phase.emit");
+        emit(&output, opts);
+    }
+    write_manifest(&output.id, opts, started.elapsed().as_secs_f64());
+    output
+}
+
+/// Write `manifest.json` (plus an `<experiment>_manifest.json` copy, so
+/// suite runs keep every experiment's manifest) into the output
+/// directory. Always written — provenance is worth having even without
+/// metrics; never fatal.
+pub fn write_manifest(experiment: &str, opts: &CliOptions, wall_secs: f64) {
+    let manifest = wsflow_obs::Manifest::collect(
+        experiment,
+        opts.params.base_seed,
+        opts.params.effective_workers(),
+        wall_secs,
+    );
+    if let Err(e) = manifest.validate() {
+        eprintln!("warning: manifest failed validation, writing anyway: {e}");
+    }
+    let dir = Path::new(&opts.out_dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: could not create {}: {e}", dir.display());
+        return;
+    }
+    for path in [
+        dir.join("manifest.json"),
+        dir.join(format!("{experiment}_manifest.json")),
+    ] {
+        match manifest.write(&path) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
     }
 }
 
@@ -107,6 +185,12 @@ mod tests {
     fn workers_override() {
         let opts = parse_vec(&["--workers", "3"]).unwrap();
         assert_eq!(opts.params.workers, 3);
+    }
+
+    #[test]
+    fn obs_flag() {
+        assert!(!parse_vec(&[]).unwrap().obs);
+        assert!(parse_vec(&["--obs"]).unwrap().obs);
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod fig8;
 pub mod front;
 pub mod line_line_exp;
 pub mod multi_wf;
+pub mod obs_diag;
 pub mod output;
 pub mod parallel;
 pub mod params;

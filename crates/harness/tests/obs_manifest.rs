@@ -1,0 +1,108 @@
+//! End-to-end observability test: `run_one` with `--obs` must produce a
+//! valid, renderable manifest carrying the acceptance metrics, and an
+//! obs-disabled run must produce byte-identical CSVs.
+//!
+//! Lives in its own integration-test binary so flipping the global
+//! observability flag cannot race the library's unit tests.
+
+use wsflow_harness::cli::{run_one, CliOptions};
+use wsflow_harness::Params;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("wsflow-obs-e2e-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Read every CSV with wall-clock columns (`runtime…`) dropped: timings
+/// vary run to run, the deployment/cost numbers must not.
+fn read_csvs(dir: &std::path::Path) -> Vec<(String, String)> {
+    let mut files: Vec<(String, String)> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "csv"))
+        .map(|p| {
+            let text = std::fs::read_to_string(&p).unwrap();
+            let mut lines = text.lines();
+            let header: Vec<&str> = lines.next().unwrap_or("").split(',').collect();
+            let keep: Vec<usize> = (0..header.len())
+                .filter(|&i| !header[i].starts_with("runtime"))
+                .collect();
+            let project = |line: &str| -> String {
+                let cells: Vec<&str> = line.split(',').collect();
+                keep.iter()
+                    .filter_map(|&i| cells.get(i).copied())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            let mut body: Vec<String> = vec![project(&header.join(","))];
+            body.extend(lines.map(project));
+            (
+                p.file_name().unwrap().to_str().unwrap().to_string(),
+                body.join("\n"),
+            )
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn obs_run_writes_valid_manifest_and_disabled_run_is_identical() {
+    let _guard = wsflow_obs::registry::test_lock();
+
+    // Baseline: observability off.
+    let off_dir = temp_dir("off");
+    let off_opts = CliOptions {
+        params: Params::quick(),
+        out_dir: off_dir.to_str().unwrap().to_string(),
+        obs: false,
+    };
+    wsflow_obs::set_enabled(false);
+    wsflow_obs::reset();
+    run_one(&off_opts, wsflow_harness::fig6::run);
+    assert!(
+        off_dir.join("manifest.json").is_file(),
+        "manifests are written even without --obs (provenance)"
+    );
+    let off_manifest = wsflow_obs::Manifest::load(&off_dir.join("manifest.json")).unwrap();
+    assert!(off_manifest.metrics.is_empty());
+
+    // Instrumented run.
+    let on_dir = temp_dir("on");
+    let on_opts = CliOptions {
+        params: Params::quick(),
+        out_dir: on_dir.to_str().unwrap().to_string(),
+        obs: true,
+    };
+    run_one(&on_opts, wsflow_harness::fig6::run);
+    wsflow_obs::set_enabled(false);
+    wsflow_obs::reset();
+
+    // Observability must not change the experiment's results.
+    let off_csvs = read_csvs(&off_dir);
+    let on_csvs = read_csvs(&on_dir);
+    assert!(!off_csvs.is_empty());
+    assert_eq!(off_csvs, on_csvs, "obs run must be bit-identical");
+
+    // Both manifest copies exist, load, validate, and carry the
+    // acceptance metrics.
+    for name in ["manifest.json", "fig6_manifest.json"] {
+        let manifest = wsflow_obs::Manifest::load(&on_dir.join(name)).unwrap();
+        manifest.validate().unwrap();
+        assert_eq!(manifest.experiment, "fig6");
+        let snap = &manifest.metrics;
+        assert_eq!(snap.counter("exhaustive.nodes_expanded"), Some(243));
+        assert!(snap.counter("delta.probes").unwrap() > 0);
+        let depth = snap.histogram("sim.queue_depth").unwrap();
+        assert!(depth.count > 0 && !depth.buckets.is_empty());
+        assert!(manifest.phases.iter().any(|p| p.name == "experiment"));
+        let rendered = manifest.render();
+        assert!(rendered.contains("exhaustive.nodes_expanded"));
+        assert!(rendered.contains("sim.queue_depth"));
+    }
+
+    std::fs::remove_dir_all(&off_dir).ok();
+    std::fs::remove_dir_all(&on_dir).ok();
+}

@@ -1,0 +1,360 @@
+//! Run manifests: a `manifest.json` written next to every experiment's
+//! results, recording provenance (git rev, seed, thread count) and —
+//! when observability is enabled — per-phase timings and a full metric
+//! snapshot.
+//!
+//! Schema `wsflow-manifest/1`:
+//!
+//! ```json
+//! {
+//!   "schema": "wsflow-manifest/1",
+//!   "experiment": "fig6",
+//!   "git_rev": "1a06cf9d2e4b",
+//!   "seed": 2007,
+//!   "threads": 8,
+//!   "wall_secs": 1.25,
+//!   "phases": [{"name": "search", "secs": 0.81}, ...],
+//!   "metrics": {"counters": [...], "gauges": [...], "histograms": [...]}
+//! }
+//! ```
+//!
+//! Manifests are written unconditionally (provenance is always worth
+//! having); `phases` and `metrics` are simply empty when observability
+//! is disabled.
+
+use std::path::Path;
+use std::process::Command;
+
+use serde::{Deserialize, Serialize};
+
+use crate::registry::Snapshot;
+
+/// Identifier of the manifest schema this crate writes.
+pub const SCHEMA: &str = "wsflow-manifest/1";
+
+/// Wall time attributed to one named phase (aggregated over all spans
+/// named `phase.<name>`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTiming {
+    /// Phase name (the span name with its `phase.` prefix stripped).
+    pub name: String,
+    /// Total seconds spent in the phase.
+    pub secs: f64,
+}
+
+/// A run manifest — see the module docs for the JSON schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Schema identifier, always [`SCHEMA`].
+    pub schema: String,
+    /// Experiment / binary name (e.g. `fig6`).
+    pub experiment: String,
+    /// Short git revision of the working tree, or `"unknown"`.
+    pub git_rev: String,
+    /// Base RNG seed of the run.
+    pub seed: u64,
+    /// Worker thread count the run was configured with.
+    pub threads: usize,
+    /// Total wall-clock seconds of the run.
+    pub wall_secs: f64,
+    /// Per-phase wall time, in first-appearance order.
+    pub phases: Vec<PhaseTiming>,
+    /// Metric snapshot (empty when observability is disabled).
+    pub metrics: Snapshot,
+}
+
+/// Short git revision (`git rev-parse --short=12 HEAD`) of the current
+/// working directory, or `"unknown"` when git is unavailable.
+pub fn git_rev() -> String {
+    let out = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output();
+    match out {
+        Ok(o) if o.status.success() => {
+            let rev = String::from_utf8_lossy(&o.stdout).trim().to_string();
+            if rev.is_empty() {
+                "unknown".to_string()
+            } else {
+                rev
+            }
+        }
+        _ => "unknown".to_string(),
+    }
+}
+
+/// Aggregate `phase.*` spans into per-phase totals, preserving
+/// first-appearance order.
+pub fn phases_from_spans(spans: &[crate::span::SpanEvent]) -> Vec<PhaseTiming> {
+    let mut phases: Vec<PhaseTiming> = Vec::new();
+    for s in spans {
+        let Some(name) = s.name.strip_prefix("phase.") else {
+            continue;
+        };
+        match phases.iter_mut().find(|p| p.name == name) {
+            Some(p) => p.secs += s.secs(),
+            None => phases.push(PhaseTiming {
+                name: name.to_string(),
+                secs: s.secs(),
+            }),
+        }
+    }
+    phases
+}
+
+impl Manifest {
+    /// Build a manifest from the current registry state.
+    pub fn collect(experiment: &str, seed: u64, threads: usize, wall_secs: f64) -> Self {
+        Self {
+            schema: SCHEMA.to_string(),
+            experiment: experiment.to_string(),
+            git_rev: git_rev(),
+            seed,
+            threads,
+            wall_secs: if wall_secs.is_finite() {
+                wall_secs
+            } else {
+                0.0
+            },
+            phases: phases_from_spans(&crate::registry::spans()),
+            metrics: crate::registry::snapshot(),
+        }
+    }
+
+    /// Structural validation (the check CI runs on emitted manifests).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != SCHEMA {
+            return Err(format!(
+                "unknown schema {:?} (expected {SCHEMA:?})",
+                self.schema
+            ));
+        }
+        if self.experiment.is_empty() {
+            return Err("empty experiment name".to_string());
+        }
+        if self.git_rev.is_empty() {
+            return Err("empty git_rev (use \"unknown\")".to_string());
+        }
+        if self.threads == 0 {
+            return Err("threads must be >= 1".to_string());
+        }
+        if !self.wall_secs.is_finite() || self.wall_secs < 0.0 {
+            return Err(format!(
+                "wall_secs {} is not a finite, non-negative number",
+                self.wall_secs
+            ));
+        }
+        for p in &self.phases {
+            if p.name.is_empty() {
+                return Err("phase with empty name".to_string());
+            }
+            if !p.secs.is_finite() || p.secs < 0.0 {
+                return Err(format!("phase {:?} has invalid secs {}", p.name, p.secs));
+            }
+        }
+        for h in &self.metrics.histograms {
+            let bucket_total: u64 = h.buckets.iter().map(|b| b.count).sum();
+            if bucket_total != h.count {
+                return Err(format!(
+                    "histogram {:?}: bucket counts sum to {bucket_total} but count is {}",
+                    h.name, h.count
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Pretty-printed JSON.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Write the manifest as pretty-printed JSON to `path`.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        let json = self
+            .to_json()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(path, json + "\n")
+    }
+
+    /// Load and parse a manifest from `path`.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Human-readable run summary (the body of `wsflow report`):
+    /// header, per-phase timings, top counters, gauges, and histogram
+    /// quantiles.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "run {experiment}  (rev {rev}, seed {seed}, {threads} thread{s}, {wall:.3}s wall)",
+            experiment = self.experiment,
+            rev = self.git_rev,
+            seed = self.seed,
+            threads = self.threads,
+            s = if self.threads == 1 { "" } else { "s" },
+            wall = self.wall_secs,
+        );
+        if !self.phases.is_empty() {
+            let _ = writeln!(out, "\nphases:");
+            for p in &self.phases {
+                let share = if self.wall_secs > 0.0 {
+                    100.0 * p.secs / self.wall_secs
+                } else {
+                    0.0
+                };
+                let _ = writeln!(out, "  {:<24} {:>10.4}s  {:>5.1}%", p.name, p.secs, share);
+            }
+        }
+        let mut counters: Vec<_> = self
+            .metrics
+            .counters
+            .iter()
+            .filter(|c| c.value > 0)
+            .collect();
+        counters.sort_by(|a, b| b.value.cmp(&a.value).then_with(|| a.name.cmp(&b.name)));
+        if !counters.is_empty() {
+            let _ = writeln!(out, "\ntop counters:");
+            for c in counters.iter().take(12) {
+                let _ = writeln!(out, "  {:<36} {:>14}", c.name, c.value);
+            }
+            if counters.len() > 12 {
+                let _ = writeln!(out, "  ... and {} more", counters.len() - 12);
+            }
+        }
+        if !self.metrics.gauges.is_empty() {
+            let _ = writeln!(out, "\ngauges:");
+            for g in &self.metrics.gauges {
+                let _ = writeln!(out, "  {:<36} {:>14.4}", g.name, g.value);
+            }
+        }
+        if !self.metrics.histograms.is_empty() {
+            let _ = writeln!(out, "\nhistograms (count / p50 / p90 / p99 / max):");
+            for h in &self.metrics.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {:<36} {:>8}  {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+                    h.name, h.count, h.p50, h.p90, h.p99, h.max
+                );
+            }
+        }
+        if self.phases.is_empty() && self.metrics.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n(no metrics recorded — run with --obs or WSFLOW_OBS=1 to populate)"
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanEvent;
+
+    fn sample() -> Manifest {
+        Manifest {
+            schema: SCHEMA.to_string(),
+            experiment: "fig6".to_string(),
+            git_rev: "abcdef123456".to_string(),
+            seed: 2007,
+            threads: 4,
+            wall_secs: 1.5,
+            phases: vec![PhaseTiming {
+                name: "search".to_string(),
+                secs: 1.0,
+            }],
+            metrics: Snapshot::default(),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_manifest() {
+        let m = sample();
+        let json = m.to_json().unwrap();
+        assert!(json.contains("\"schema\": \"wsflow-manifest/1\""));
+        // Integral floats keep a trailing .0 in the manifest too.
+        assert!(json.contains("\"secs\": 1.0"), "{json}");
+        let back: Manifest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn validate_catches_structural_errors() {
+        assert!(sample().validate().is_ok());
+        let mut bad = sample();
+        bad.schema = "wsflow-manifest/999".to_string();
+        assert!(bad.validate().unwrap_err().contains("unknown schema"));
+        let mut bad = sample();
+        bad.threads = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = sample();
+        bad.wall_secs = -1.0;
+        assert!(bad.validate().is_err());
+        let mut bad = sample();
+        bad.metrics.histograms.push(crate::registry::HistSnap {
+            name: "h".to_string(),
+            count: 3,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            p50: 0.0,
+            p90: 0.0,
+            p99: 0.0,
+            buckets: vec![crate::registry::BucketSnap { le: 1.0, count: 1 }],
+        });
+        assert!(bad.validate().unwrap_err().contains("bucket counts"));
+    }
+
+    #[test]
+    fn phases_aggregate_in_first_appearance_order() {
+        let spans = vec![
+            SpanEvent {
+                name: "phase.search".to_string(),
+                thread: 0,
+                start_us: 0,
+                dur_us: 1_000_000,
+            },
+            SpanEvent {
+                name: "phase.sim".to_string(),
+                thread: 0,
+                start_us: 0,
+                dur_us: 500_000,
+            },
+            SpanEvent {
+                name: "not-a-phase".to_string(),
+                thread: 0,
+                start_us: 0,
+                dur_us: 9,
+            },
+            SpanEvent {
+                name: "phase.search".to_string(),
+                thread: 1,
+                start_us: 0,
+                dur_us: 250_000,
+            },
+        ];
+        let phases = phases_from_spans(&spans);
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].name, "search");
+        assert!((phases[0].secs - 1.25).abs() < 1e-9);
+        assert_eq!(phases[1].name, "sim");
+    }
+
+    #[test]
+    fn render_mentions_key_sections() {
+        let mut m = sample();
+        m.metrics.counters.push(crate::registry::CounterSnap {
+            name: "exhaustive.nodes_expanded".to_string(),
+            value: 1234,
+        });
+        let text = m.render();
+        assert!(text.contains("fig6"));
+        assert!(text.contains("phases:"));
+        assert!(text.contains("exhaustive.nodes_expanded"));
+    }
+}

@@ -1,0 +1,151 @@
+//! NDJSON (newline-delimited JSON) export of metric snapshots and span
+//! buffers.
+//!
+//! One JSON object per line, each tagged with a `kind` field
+//! (`counter`, `gauge`, `histogram`, `span`), so files from different
+//! runs can be concatenated and filtered with standard line tools.
+//! Key order within each record is the declaration order of the
+//! snapshot structs (the vendored `serde_json` shim preserves insertion
+//! order), and records are emitted name-sorted — output for a given
+//! registry state is byte-stable.
+
+use serde::{Serialize, Value};
+use serde_json::Error;
+
+use crate::registry::Snapshot;
+use crate::span::SpanEvent;
+
+/// Wrap a serialised record in `{"kind": <kind>, ...fields}`.
+fn tagged(kind: &str, record: &impl Serialize) -> Result<String, Error> {
+    let Value::Map(fields) = record.to_value() else {
+        return Err(serde::DeError::new("NDJSON records must serialise to objects").into());
+    };
+    let mut map = Vec::with_capacity(fields.len() + 1);
+    map.push(("kind".to_string(), Value::Str(kind.to_string())));
+    map.extend(fields);
+    serde_json::to_string(&Value::Map(map))
+}
+
+/// Render a metric [`Snapshot`] as NDJSON: one line per counter, gauge,
+/// and histogram, in that section order, name-sorted within each.
+pub fn snapshot_ndjson(snap: &Snapshot) -> Result<String, Error> {
+    let mut out = String::new();
+    for c in &snap.counters {
+        out.push_str(&tagged("counter", c)?);
+        out.push('\n');
+    }
+    for g in &snap.gauges {
+        out.push_str(&tagged("gauge", g)?);
+        out.push('\n');
+    }
+    for h in &snap.histograms {
+        out.push_str(&tagged("histogram", h)?);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Render a span buffer as NDJSON, one line per completed span in
+/// completion order.
+pub fn spans_ndjson(spans: &[SpanEvent]) -> Result<String, Error> {
+    let mut out = String::new();
+    for s in spans {
+        out.push_str(&tagged("span", s)?);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{BucketSnap, CounterSnap, GaugeSnap, HistSnap};
+
+    fn sample_snapshot() -> Snapshot {
+        Snapshot {
+            counters: vec![
+                CounterSnap {
+                    name: "a.first".into(),
+                    value: 7,
+                },
+                CounterSnap {
+                    name: "b.second".into(),
+                    value: 0,
+                },
+            ],
+            gauges: vec![GaugeSnap {
+                name: "util".into(),
+                value: 0.5,
+            }],
+            histograms: vec![HistSnap {
+                name: "h".into(),
+                count: 2,
+                sum: 3.0,
+                min: 1.0,
+                max: 2.0,
+                p50: 1.0,
+                p90: 2.0,
+                p99: 2.0,
+                buckets: vec![
+                    BucketSnap { le: 1.0, count: 1 },
+                    BucketSnap { le: 2.0, count: 1 },
+                ],
+            }],
+        }
+    }
+
+    /// Satellite: round-trip through the vendored serde_json shim with
+    /// stable key ordering and integral-float formatting (the PR 1
+    /// ".0" fix).
+    #[test]
+    fn snapshot_ndjson_is_stable_and_round_trips() {
+        let snap = sample_snapshot();
+        let text = snapshot_ndjson(&snap).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+
+        // Stable key ordering: kind first, then struct declaration order.
+        assert_eq!(lines[0], r#"{"kind":"counter","name":"a.first","value":7}"#);
+        assert_eq!(
+            lines[1],
+            r#"{"kind":"counter","name":"b.second","value":0}"#
+        );
+        // Integral floats keep their ".0" so a reader can't silently
+        // reparse them as integers.
+        assert_eq!(lines[2], r#"{"kind":"gauge","name":"util","value":0.5}"#);
+        assert!(
+            lines[3].contains(r#""sum":3.0"#) && lines[3].contains(r#""min":1.0"#),
+            "integral floats must render with .0: {}",
+            lines[3]
+        );
+        assert!(lines[3].starts_with(r#"{"kind":"histogram","name":"h","count":2,"#));
+
+        // Byte-stable across repeated renders.
+        assert_eq!(text, snapshot_ndjson(&snap).unwrap());
+
+        // Round-trip each record back through the shim.
+        let c: CounterSnap = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(c, snap.counters[0]);
+        let g: GaugeSnap = serde_json::from_str(lines[2]).unwrap();
+        assert_eq!(g, snap.gauges[0]);
+        let h: HistSnap = serde_json::from_str(lines[3]).unwrap();
+        assert_eq!(h, snap.histograms[0]);
+    }
+
+    #[test]
+    fn spans_ndjson_round_trips() {
+        let spans = vec![SpanEvent {
+            name: "phase.search".into(),
+            thread: 0,
+            start_us: 10,
+            dur_us: 250,
+        }];
+        let text = spans_ndjson(&spans).unwrap();
+        assert_eq!(
+            text,
+            "{\"kind\":\"span\",\"name\":\"phase.search\",\"thread\":0,\"start_us\":10,\"dur_us\":250}\n"
+        );
+        let back: SpanEvent = serde_json::from_str(text.trim_end()).unwrap();
+        assert_eq!(back, spans[0]);
+    }
+}

@@ -1,0 +1,487 @@
+//! The global metric registry: counters, gauges, and fixed-bucket
+//! histograms, plus the completed-span buffer the NDJSON exporter
+//! drains.
+//!
+//! Every mutating entry point checks [`crate::enabled`] first and
+//! returns immediately when observability is off — the registry mutex
+//! is never even touched. Hot paths that would otherwise contend on the
+//! mutex accumulate into a [`LocalHistogram`] (a plain array of
+//! integers) and merge once per run via [`merge_histogram`].
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use serde::{Deserialize, Serialize};
+
+use crate::span::SpanEvent;
+
+/// Number of fixed histogram buckets.
+pub const NUM_BUCKETS: usize = 64;
+/// Exponent offset: bucket `i` spans `[2^(i-OFFSET), 2^(i-OFFSET+1))`.
+const OFFSET: i32 = 32;
+/// Upper bound on buffered span events (drops are counted in
+/// `obs.spans_dropped`).
+const MAX_SPANS: usize = 65_536;
+
+/// Bucket index for a value: base-2 exponential buckets covering
+/// `[2^-32, 2^32)`; zero, negatives, and underflows land in bucket 0,
+/// overflows in the last bucket. Derived from the IEEE-754 exponent, so
+/// it is exact and branch-cheap.
+#[inline]
+pub fn bucket_index(v: f64) -> usize {
+    if v.is_nan() || v <= 0.0 || !v.is_finite() {
+        return 0;
+    }
+    let e = ((v.to_bits() >> 52) & 0x7ff) as i32 - 1023; // 2^e <= v < 2^(e+1)
+    (e + OFFSET).clamp(0, NUM_BUCKETS as i32 - 1) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (the histogram's `le` edge).
+#[inline]
+pub fn bucket_upper(i: usize) -> f64 {
+    f64::powi(2.0, i as i32 - OFFSET + 1)
+}
+
+/// A fixed-bucket histogram (base-2 exponential buckets).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Per-bucket observation counts.
+    pub buckets: [u64; NUM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observed value (0.0 when empty).
+    pub min: f64,
+    /// Largest observed value (0.0 when empty).
+    pub max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation. Non-finite values are ignored.
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.buckets[bucket_index(v)] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`): the upper edge of the
+    /// bucket holding the `ceil(q·count)`-th observation, clamped to the
+    /// observed `[min, max]`. Exact for point masses, never off by more
+    /// than one bucket width otherwise.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return bucket_upper(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Arithmetic mean of the observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A thread/run-local histogram for hot paths: recording is an array
+/// increment with no locking; [`merge_histogram`] publishes it in one
+/// registry operation at the end of the run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LocalHistogram(Histogram);
+
+impl LocalHistogram {
+    /// An empty local histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation (no locking, never blocks).
+    #[inline]
+    pub fn record(&mut self, v: f64) {
+        self.0.record(v);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.0.count
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    spans: Vec<SpanEvent>,
+    spans_dropped: u64,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+fn lock() -> MutexGuard<'static, Registry> {
+    registry().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Add `delta` to the named counter. No-op when disabled.
+pub fn counter_add(name: &str, delta: u64) {
+    if !crate::enabled() || delta == 0 {
+        return;
+    }
+    let mut r = lock();
+    *r.counters.entry(name.to_string()).or_insert(0) += delta;
+}
+
+/// Set the named gauge. Non-finite values are ignored. No-op when
+/// disabled.
+pub fn gauge_set(name: &str, v: f64) {
+    if !crate::enabled() || !v.is_finite() {
+        return;
+    }
+    lock().gauges.insert(name.to_string(), v);
+}
+
+/// Record one observation into the named histogram. No-op when
+/// disabled.
+pub fn observe(name: &str, v: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    lock()
+        .histograms
+        .entry(name.to_string())
+        .or_default()
+        .record(v);
+}
+
+/// Merge a [`LocalHistogram`] into the named global histogram. No-op
+/// when disabled or when the local histogram is empty.
+pub fn merge_histogram(name: &str, local: &LocalHistogram) {
+    if !crate::enabled() || local.0.count == 0 {
+        return;
+    }
+    lock()
+        .histograms
+        .entry(name.to_string())
+        .or_default()
+        .merge(&local.0);
+}
+
+/// Buffer a completed span event (called by [`crate::span::SpanGuard`]).
+pub(crate) fn push_span(event: SpanEvent) {
+    let mut r = lock();
+    if r.spans.len() >= MAX_SPANS {
+        r.spans_dropped += 1;
+        return;
+    }
+    r.spans.push(event);
+}
+
+/// Completed spans recorded so far, in completion order.
+pub fn spans() -> Vec<SpanEvent> {
+    lock().spans.clone()
+}
+
+/// Clear every metric and span (start of a run; tests).
+pub fn reset() {
+    let mut r = lock();
+    r.counters.clear();
+    r.gauges.clear();
+    r.histograms.clear();
+    r.spans.clear();
+    r.spans_dropped = 0;
+}
+
+// ---------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------
+
+/// One counter in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnap {
+    /// Metric name.
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// One gauge in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSnap {
+    /// Metric name.
+    pub name: String,
+    /// Last set value.
+    pub value: f64,
+}
+
+/// One non-empty histogram bucket: `count` observations `<= le`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketSnap {
+    /// Inclusive upper edge of the bucket.
+    pub le: f64,
+    /// Observations in this bucket.
+    pub count: u64,
+}
+
+/// One histogram in a [`Snapshot`], with pre-computed quantiles and
+/// only its non-empty buckets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistSnap {
+    /// Metric name.
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (0.0 when empty).
+    pub min: f64,
+    /// Largest observation (0.0 when empty).
+    pub max: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 90th percentile.
+    pub p90: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+    /// Non-empty buckets, in ascending edge order.
+    pub buckets: Vec<BucketSnap>,
+}
+
+/// A point-in-time copy of the registry, name-sorted throughout, ready
+/// for the manifest / NDJSON exporter.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// All counters, sorted by name.
+    pub counters: Vec<CounterSnap>,
+    /// All gauges, sorted by name.
+    pub gauges: Vec<GaugeSnap>,
+    /// All histograms, sorted by name.
+    pub histograms: Vec<HistSnap>,
+}
+
+impl Snapshot {
+    /// Look up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Look up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistSnap> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Look up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// Snapshot the registry (works whether or not observability is
+/// enabled; disabled runs simply snapshot an empty registry).
+pub fn snapshot() -> Snapshot {
+    let r = lock();
+    let counters = r
+        .counters
+        .iter()
+        .map(|(name, &value)| CounterSnap {
+            name: name.clone(),
+            value,
+        })
+        .collect();
+    let gauges = r
+        .gauges
+        .iter()
+        .map(|(name, &value)| GaugeSnap {
+            name: name.clone(),
+            value,
+        })
+        .collect();
+    let histograms = r
+        .histograms
+        .iter()
+        .map(|(name, h)| HistSnap {
+            name: name.clone(),
+            count: h.count,
+            sum: h.sum,
+            min: h.min,
+            max: h.max,
+            p50: h.quantile(0.50),
+            p90: h.quantile(0.90),
+            p99: h.quantile(0.99),
+            buckets: h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &count)| BucketSnap {
+                    le: bucket_upper(i),
+                    count,
+                })
+                .collect(),
+        })
+        .collect();
+    Snapshot {
+        counters,
+        gauges,
+        histograms,
+    }
+}
+
+/// Serialise the global registry's obs-on tests: a process-wide lock so
+/// tests that flip [`crate::set_enabled`] and inspect the registry do
+/// not interleave. Test-only; not part of the public API contract.
+#[doc(hidden)]
+pub fn test_lock() -> MutexGuard<'static, ()> {
+    static TEST_MUTEX: Mutex<()> = Mutex::new(());
+    TEST_MUTEX.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing_is_exact_powers_of_two() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-3.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(1.0), OFFSET as usize);
+        assert_eq!(bucket_index(1.5), OFFSET as usize);
+        assert_eq!(bucket_index(2.0), OFFSET as usize + 1);
+        assert_eq!(bucket_index(0.5), OFFSET as usize - 1);
+        assert_eq!(bucket_index(f64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_index(1e-300), 0);
+        // Every value falls strictly below its bucket's upper edge.
+        for v in [1e-9, 0.003, 0.7, 1.0, 42.0, 1e6] {
+            assert!(v <= bucket_upper(bucket_index(v)), "{v}");
+        }
+    }
+
+    #[test]
+    fn histogram_stats_and_quantiles() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0.0);
+        for v in [1.0, 2.0, 3.0, 4.0, 100.0] {
+            h.record(v);
+        }
+        h.record(f64::INFINITY); // ignored
+        assert_eq!(h.count, 5);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 100.0);
+        assert!((h.mean() - 22.0).abs() < 1e-12);
+        // p50 falls in the bucket of 2.0/3.0 ([2,4)): edge 4.0.
+        assert!(h.quantile(0.5) <= 4.0);
+        assert!(h.quantile(0.99) >= 64.0);
+        assert!(h.quantile(1.0) <= h.max);
+
+        let mut other = Histogram::default();
+        other.record(0.25);
+        h.merge(&other);
+        assert_eq!(h.count, 6);
+        assert_eq!(h.min, 0.25);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let _guard = test_lock();
+        crate::set_enabled(false);
+        reset();
+        counter_add("x.count", 3);
+        gauge_set("x.gauge", 1.0);
+        observe("x.hist", 2.0);
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn enabled_registry_snapshots_sorted() {
+        let _guard = test_lock();
+        crate::set_enabled(true);
+        reset();
+        counter_add("b.two", 2);
+        counter_add("a.one", 1);
+        counter_add("a.one", 4);
+        gauge_set("g", 2.5);
+        gauge_set("bad", f64::NAN); // ignored
+        observe("h", 3.0);
+        observe("h", 3.0);
+        let mut local = LocalHistogram::new();
+        local.record(7.0);
+        merge_histogram("h", &local);
+        let snap = snapshot();
+        crate::set_enabled(false);
+
+        let names: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["a.one", "b.two"]);
+        assert_eq!(snap.counter("a.one"), Some(5));
+        assert_eq!(snap.gauge("g"), Some(2.5));
+        assert_eq!(snap.gauge("bad"), None);
+        let h = snap.histogram("h").unwrap();
+        assert_eq!(h.count, 3);
+        assert!((h.sum - 13.0).abs() < 1e-12);
+        assert_eq!(h.buckets.iter().map(|b| b.count).sum::<u64>(), 3);
+        reset();
+        assert!(snapshot().is_empty());
+    }
+}

@@ -1,0 +1,152 @@
+//! Lightweight timed spans.
+//!
+//! A span measures one named scope with monotonic time:
+//!
+//! ```
+//! {
+//!     let _s = wsflow_obs::span("exhaustive.scan");
+//!     // ... work ...
+//! } // span completes here
+//! ```
+//!
+//! or, via the convenience macro, `wsflow_obs::span_scope!("name");`.
+//!
+//! When observability is disabled the guard holds no timestamp and the
+//! drop is a no-op — opening a span costs one relaxed atomic load. When
+//! enabled, completion buffers a [`SpanEvent`] in the registry (for the
+//! NDJSON exporter and the manifest's per-phase table) and records the
+//! duration into the `span.<name>.secs` histogram.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// Monotonic process epoch; all span timestamps are relative to the
+/// first span opened in the process.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Small dense thread identifier (stable within the process; assigned
+/// in first-use order). `std::thread::ThreadId` has no stable integer
+/// accessor, so we mint our own.
+fn thread_ordinal() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static ORDINAL: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ORDINAL.with(|o| *o)
+}
+
+/// A completed span, as buffered in the registry and exported to
+/// NDJSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanEvent {
+    /// Span name (dotted path, e.g. `phase.search`).
+    pub name: String,
+    /// Ordinal of the thread that ran the span.
+    pub thread: u64,
+    /// Start time in microseconds since the process span epoch.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+impl SpanEvent {
+    /// Duration in seconds.
+    pub fn secs(&self) -> f64 {
+        self.dur_us as f64 / 1e6
+    }
+}
+
+/// RAII guard returned by [`span`]; completing (dropping) it records
+/// the span. Inert when observability is disabled.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: Option<String>,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// The span's name, or `None` for an inert (disabled) guard.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+}
+
+/// Open a timed span. Returns an inert guard when observability is
+/// disabled.
+pub fn span(name: &str) -> SpanGuard {
+    if !crate::enabled() {
+        // `start` is unused on the inert path; `Instant::now()` would
+        // also be fine but a lazily-shared epoch avoids the syscall.
+        return SpanGuard {
+            name: None,
+            start: epoch(),
+        };
+    }
+    SpanGuard {
+        name: Some(name.to_string()),
+        start: Instant::now(),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(name) = self.name.take() else { return };
+        let start_us = self.start.duration_since(epoch()).as_micros() as u64;
+        let dur_us = self.start.elapsed().as_micros() as u64;
+        let event = SpanEvent {
+            name,
+            thread: thread_ordinal(),
+            start_us,
+            dur_us,
+        };
+        crate::registry::observe(&format!("span.{}.secs", event.name), event.secs());
+        crate::registry::push_span(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let _guard = crate::registry::test_lock();
+        crate::set_enabled(false);
+        crate::registry::reset();
+        {
+            let s = span("noop.scope");
+            assert_eq!(s.name(), None);
+        }
+        assert!(crate::registry::spans().is_empty());
+        assert!(crate::registry::snapshot().is_empty());
+    }
+
+    #[test]
+    fn enabled_span_records_event_and_histogram() {
+        let _guard = crate::registry::test_lock();
+        crate::set_enabled(true);
+        crate::registry::reset();
+        {
+            let s = span("unit.work");
+            assert_eq!(s.name(), Some("unit.work"));
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let spans = crate::registry::spans();
+        let snap = crate::registry::snapshot();
+        crate::set_enabled(false);
+        crate::registry::reset();
+
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "unit.work");
+        assert!(spans[0].dur_us >= 1_000, "dur_us = {}", spans[0].dur_us);
+        let h = snap.histogram("span.unit.work.secs").expect("histogram");
+        assert_eq!(h.count, 1);
+        assert!(h.max > 0.0);
+    }
+}

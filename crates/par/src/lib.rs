@@ -14,15 +14,34 @@
 //! baseline timings), otherwise [`std::thread::available_parallelism`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Once;
+
+/// Interpret a `WSFLOW_THREADS` value. `None` means "unset"; `Err`
+/// carries the unparseable value so the caller can warn instead of
+/// silently falling back (zero and non-numeric values are errors).
+pub fn parse_threads(raw: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = raw else { return Ok(None) };
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(Some(n)),
+        _ => Err(raw.to_string()),
+    }
+}
 
 /// Worker count: `WSFLOW_THREADS` if set and valid, else the machine's
-/// available parallelism, else 1.
+/// available parallelism, else 1. An unparseable `WSFLOW_THREADS`
+/// triggers a one-time stderr warning rather than a silent fallback.
 pub fn num_threads() -> usize {
-    if let Ok(v) = std::env::var("WSFLOW_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
+    match parse_threads(std::env::var("WSFLOW_THREADS").ok().as_deref()) {
+        Ok(Some(n)) => return n,
+        Ok(None) => {}
+        Err(bad) => {
+            static WARNED: Once = Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "warning: ignoring unparseable WSFLOW_THREADS={bad:?} \
+                     (expected a positive integer); using available parallelism"
+                );
+            });
         }
     }
     std::thread::available_parallelism()
@@ -53,6 +72,11 @@ where
 {
     let workers = workers.clamp(1, n.max(1));
     if workers <= 1 || n <= 1 {
+        if wsflow_obs::enabled() {
+            wsflow_obs::counter_add("par.jobs", 1);
+            wsflow_obs::counter_add("par.sequential_jobs", 1);
+            wsflow_obs::counter_add("par.tasks", n as u64);
+        }
         return (0..n).map(f).collect();
     }
 
@@ -78,6 +102,25 @@ where
             .map(|h| h.join().expect("parallel_map worker panicked"))
             .collect()
     });
+
+    if wsflow_obs::enabled() {
+        wsflow_obs::counter_add("par.jobs", 1);
+        wsflow_obs::counter_add("par.tasks", n as u64);
+        wsflow_obs::counter_add("par.worker_spawns", workers as u64);
+        // Per-worker task counts come free from the fan-in buffers; the
+        // max-min spread is the steal balance achieved by the shared
+        // counter (0 = perfectly even).
+        let mut per_worker = wsflow_obs::LocalHistogram::new();
+        let (mut min_tasks, mut max_tasks) = (u64::MAX, 0u64);
+        for local in &collected {
+            let t = local.len() as u64;
+            per_worker.record(t as f64);
+            min_tasks = min_tasks.min(t);
+            max_tasks = max_tasks.max(t);
+        }
+        wsflow_obs::merge_histogram("par.tasks_per_worker", &per_worker);
+        wsflow_obs::counter_add("par.steal_imbalance", max_tasks - min_tasks);
+    }
 
     // Fan-in: place every result at its index. Each index was claimed by
     // exactly one worker, so every slot is filled exactly once.
@@ -184,5 +227,37 @@ mod tests {
     #[test]
     fn num_threads_is_at_least_one() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_and_rejects_garbage() {
+        assert_eq!(parse_threads(None), Ok(None));
+        assert_eq!(parse_threads(Some("1")), Ok(Some(1)));
+        assert_eq!(parse_threads(Some(" 8 ")), Ok(Some(8)));
+        // Silent-fallback bug fix: these must surface as errors so
+        // num_threads can warn instead of quietly ignoring the knob.
+        assert_eq!(parse_threads(Some("0")), Err("0".to_string()));
+        assert_eq!(parse_threads(Some("-2")), Err("-2".to_string()));
+        assert_eq!(parse_threads(Some("four")), Err("four".to_string()));
+        assert_eq!(parse_threads(Some("")), Err("".to_string()));
+    }
+
+    #[test]
+    fn parallel_map_flushes_worker_metrics_when_enabled() {
+        let _guard = wsflow_obs::registry::test_lock();
+        wsflow_obs::set_enabled(true);
+        wsflow_obs::reset();
+        let out = parallel_map_with(64, 4, |i| i);
+        let snap = wsflow_obs::snapshot();
+        wsflow_obs::set_enabled(false);
+        wsflow_obs::reset();
+
+        assert_eq!(out.len(), 64);
+        assert_eq!(snap.counter("par.jobs"), Some(1));
+        assert_eq!(snap.counter("par.tasks"), Some(64));
+        assert_eq!(snap.counter("par.worker_spawns"), Some(4));
+        let h = snap.histogram("par.tasks_per_worker").unwrap();
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 64.0);
     }
 }

@@ -191,6 +191,15 @@ fn run(
     let mut bytes_sent = 0.0f64;
     let mut xor_choices = Vec::new();
     let mut ops_executed = 0usize;
+    // When an op became ready, for FIFO queue-wait accounting.
+    let mut ready_time = vec![0.0f64; n_ops];
+
+    // Observability: batch into run-locals, flush once after the loop.
+    let obs = wsflow_obs::enabled();
+    let mut events_processed = 0u64;
+    let mut queue_depth_hist = wsflow_obs::LocalHistogram::new();
+    let mut queue_wait_hist = wsflow_obs::LocalHistogram::new();
+    let mut link_busy_hist = wsflow_obs::LocalHistogram::new();
 
     let tproc =
         |op: OpId| -> f64 { (w.op(op).cost / net.server(mapping.server_of(op)).power).value() };
@@ -206,12 +215,17 @@ fn run(
     push(&mut heap, &mut seq, 0.0, Action::Ready(source));
 
     while let Some(Event { time, action, .. }) = heap.pop() {
+        events_processed += 1;
         match action {
             Action::Ready(op) => {
                 let s = mapping.server_of(op);
                 if config.server_fifo {
                     let state = &mut servers[s.index()];
+                    ready_time[op.index()] = time;
                     state.queue.push_back(op);
+                    if obs {
+                        queue_depth_hist.record(state.queue.len() as f64);
+                    }
                     if !state.busy {
                         let next = state.queue.pop_front().expect("just pushed");
                         state.busy = true;
@@ -250,6 +264,24 @@ fn run(
                 if config.server_fifo {
                     let state = &mut servers[s.index()];
                     if let Some(next) = state.queue.pop_front() {
+                        // Popped at a finish event, so `next` sat queued
+                        // the whole time since it became ready.
+                        let waited = time - ready_time[next.index()];
+                        if waited > 0.0 {
+                            if obs {
+                                queue_wait_hist.record(waited);
+                            }
+                            if let Some(t) = trace.as_deref_mut() {
+                                t.record(
+                                    time,
+                                    TraceKind::QueueWait {
+                                        op: next,
+                                        server: s,
+                                        waited: Seconds(waited),
+                                    },
+                                );
+                            }
+                        }
                         if let Some(t) = trace.as_deref_mut() {
                             t.record(
                                 time,
@@ -296,6 +328,24 @@ fn run(
                         match (config.bus_serial, net.bus_speed()) {
                             (true, Some(speed)) => {
                                 let start = time.max(bus_free);
+                                if start > time {
+                                    let waited = start - time;
+                                    if obs {
+                                        link_busy_hist.record(waited);
+                                    }
+                                    if let Some(t) = trace.as_deref_mut() {
+                                        if let Some(link) = net.find_link(from, to) {
+                                            t.record(
+                                                time,
+                                                TraceKind::LinkBusy {
+                                                    msg: mid,
+                                                    link,
+                                                    waited: Seconds(waited),
+                                                },
+                                            );
+                                        }
+                                    }
+                                }
                                 bus_free = start + (msg.size / speed).value();
                                 bus_free
                             }
@@ -340,6 +390,22 @@ fn run(
         finished[sink.index()],
         "sink never completed — ill-formed workflow slipped through validation"
     );
+    if obs {
+        wsflow_obs::counter_add("sim.runs", 1);
+        wsflow_obs::counter_add("sim.events", events_processed);
+        wsflow_obs::counter_add("sim.messages_sent", messages_sent as u64);
+        wsflow_obs::merge_histogram("sim.queue_depth", &queue_depth_hist);
+        wsflow_obs::merge_histogram("sim.queue_wait_secs", &queue_wait_hist);
+        wsflow_obs::merge_histogram("sim.link_busy_secs", &link_busy_hist);
+        let completion = finish_time[sink.index()];
+        if completion > 0.0 {
+            let mut util = wsflow_obs::LocalHistogram::new();
+            for &busy in &server_busy {
+                util.record(busy / completion);
+            }
+            wsflow_obs::merge_histogram("sim.server_utilization", &util);
+        }
+    }
     SimOutcome {
         completion: Seconds(finish_time[sink.index()]),
         server_busy: server_busy.into_iter().map(Seconds).collect(),
@@ -587,6 +653,78 @@ mod tests {
         assert!(rendered.contains("start  o0"));
         assert!(rendered.contains("finish o2"));
         assert!(rendered.contains("send"));
+    }
+
+    /// Both contention effects on one workload: an AND fork on s0 whose
+    /// two heavy branches land on s1. The fork's two messages contend on
+    /// the bus (LinkBusy) and the second branch op queues behind the
+    /// first on s1 (QueueWait).
+    fn contended_problem_and_mapping() -> (Problem, Mapping) {
+        let spec = BlockSpec::and(
+            "a",
+            vec![
+                BlockSpec::op("p", MCycles(10_000.0)),
+                BlockSpec::op("q", MCycles(10_000.0)),
+            ],
+        );
+        let w = spec.lower("w", &mut || Mbits(1.0)).unwrap();
+        let p = bus_problem(w, 2, 100.0);
+        let mut m = Mapping::all_on(4, ServerId::new(0));
+        m.assign(p.workflow().op_by_name("p").unwrap(), ServerId::new(1));
+        m.assign(p.workflow().op_by_name("q").unwrap(), ServerId::new(1));
+        (p, m)
+    }
+
+    #[test]
+    fn contended_trace_records_waits_and_is_seed_deterministic() {
+        let (p, m) = contended_problem_and_mapping();
+        let (out_a, tr_a) = simulate_traced(&p, &m, SimConfig::contended(), &mut rng(3));
+        let (out_b, tr_b) = simulate_traced(&p, &m, SimConfig::contended(), &mut rng(3));
+        // Same seed ⇒ identical outcome AND identical trace, wait events
+        // included.
+        assert_eq!(out_a, out_b);
+        assert_eq!(tr_a, tr_b);
+
+        let queue_waits = tr_a.filter(|k| matches!(k, TraceKind::QueueWait { .. }));
+        assert_eq!(queue_waits.len(), 1, "q should queue behind p once");
+        let link_busy = tr_a.filter(|k| matches!(k, TraceKind::LinkBusy { .. }));
+        assert!(
+            !link_busy.is_empty(),
+            "the fork's second message should wait for the bus"
+        );
+        if let TraceKind::QueueWait { waited, .. } = queue_waits[0].kind {
+            assert!(waited.value() > 0.0);
+        }
+
+        // The ideal configuration records neither wait kind.
+        let (_, ideal) = simulate_traced(&p, &m, SimConfig::ideal(), &mut rng(3));
+        assert!(ideal
+            .filter(|k| matches!(k, TraceKind::QueueWait { .. } | TraceKind::LinkBusy { .. }))
+            .is_empty());
+
+        // Render resolves the new kinds.
+        let rendered = tr_a.render(p.workflow(), p.network());
+        assert!(rendered.contains("queued"), "{rendered}");
+        assert!(rendered.contains("busy"), "{rendered}");
+    }
+
+    #[test]
+    fn sim_flushes_metrics_when_obs_enabled() {
+        let (p, m) = contended_problem_and_mapping();
+        let _guard = wsflow_obs::registry::test_lock();
+        wsflow_obs::set_enabled(true);
+        wsflow_obs::reset();
+        simulate(&p, &m, SimConfig::contended(), &mut rng(0));
+        let snap = wsflow_obs::snapshot();
+        wsflow_obs::set_enabled(false);
+        wsflow_obs::reset();
+
+        assert_eq!(snap.counter("sim.runs"), Some(1));
+        assert!(snap.counter("sim.events").unwrap() > 0);
+        assert!(snap.histogram("sim.queue_depth").unwrap().count > 0);
+        assert!(snap.histogram("sim.queue_wait_secs").unwrap().count > 0);
+        assert!(snap.histogram("sim.link_busy_secs").unwrap().count > 0);
+        assert!(snap.histogram("sim.server_utilization").unwrap().count > 0);
     }
 
     #[test]

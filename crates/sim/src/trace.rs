@@ -4,7 +4,7 @@
 use std::fmt;
 
 use wsflow_model::{MsgId, OpId, Seconds};
-use wsflow_net::ServerId;
+use wsflow_net::{LinkId, ServerId};
 
 /// One traced event.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +46,30 @@ pub enum TraceKind {
     MsgArrived {
         /// The message.
         msg: MsgId,
+    },
+    /// An operation was ready but its FIFO server was busy; it entered
+    /// service `waited` after becoming ready. Emitted at service start,
+    /// only under [`SimConfig::server_fifo`](crate::SimConfig) and only
+    /// when the wait was nonzero.
+    QueueWait {
+        /// The operation that waited.
+        op: OpId,
+        /// The server whose queue it sat in.
+        server: ServerId,
+        /// How long it queued.
+        waited: Seconds,
+    },
+    /// An inter-server message found its link (the shared bus) occupied
+    /// and started its transfer `waited` late. Emitted at send time,
+    /// only under [`SimConfig::bus_serial`](crate::SimConfig) and only
+    /// when the wait was nonzero.
+    LinkBusy {
+        /// The delayed message.
+        msg: MsgId,
+        /// The occupied link.
+        link: LinkId,
+        /// How long the message waited for the medium.
+        waited: Seconds,
     },
 }
 
@@ -136,6 +160,28 @@ impl ExecutionTrace {
                         "recv   {} -> {}",
                         workflow.op(m.from).name,
                         workflow.op(m.to).name
+                    );
+                }
+                TraceKind::QueueWait { op, server, waited } => {
+                    let _ = writeln!(
+                        out,
+                        "queued {} on {} (waited {:.3} ms)",
+                        workflow.op(op).name,
+                        network.server(server).name,
+                        waited.value() * 1e3
+                    );
+                }
+                TraceKind::LinkBusy { msg, link, waited } => {
+                    let m = workflow.message(msg);
+                    let l = network.link(link);
+                    let _ = writeln!(
+                        out,
+                        "busy   {} -> {} waited {:.3} ms for link {} <-> {}",
+                        workflow.op(m.from).name,
+                        workflow.op(m.to).name,
+                        waited.value() * 1e3,
+                        network.server(l.a).name,
+                        network.server(l.b).name
                     );
                 }
             }

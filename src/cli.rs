@@ -58,12 +58,15 @@ USAGE:
   wsflow simulate <workflow.wsf> --servers GHZ[,GHZ…] [--bus MBPS] [--algo NAME]
                   [--trials K] [--contended]
   wsflow explain  <workflow.wsf> --servers GHZ[,GHZ…] [--bus MBPS] [--algo NAME]
+  wsflow report   <manifest.json | results-dir>
 
 Workflow files use the line-oriented text format (see `wsflow::model::dsl`).
 Algorithms: fairload, fltr, fltr2, flmme, holm (default), portfolio,
 exhaustive, all.
 --servers 1.0,2.0,3.0 declares three servers with those GHz ratings;
---bus sets the shared bus speed in Mbps (default 100).";
+--bus sets the shared bus speed in Mbps (default 100).
+--obs (global, or WSFLOW_OBS=1) collects metrics during the command and
+appends them as NDJSON to the output.";
 
 /// A parsed server pool + bus speed.
 #[derive(Debug, Clone, PartialEq)]
@@ -398,8 +401,77 @@ pub fn cmd_explain(path: &str, flags: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `wsflow report <manifest.json | results-dir>`: pretty-print run
+/// manifests written by the experiment harness.
+///
+/// Given a directory, renders every `*_manifest.json` in name order, or
+/// the plain `manifest.json` if no per-experiment copies exist.
+pub fn cmd_report(path: &str) -> Result<String, CliError> {
+    let p = std::path::Path::new(path);
+    let manifests: Vec<std::path::PathBuf> = if p.is_dir() {
+        let mut per_experiment: Vec<std::path::PathBuf> = std::fs::read_dir(p)
+            .map_err(CliError::Io)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|f| {
+                f.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.ends_with("_manifest.json"))
+            })
+            .collect();
+        per_experiment.sort();
+        if per_experiment.is_empty() {
+            let plain = p.join("manifest.json");
+            if !plain.is_file() {
+                return Err(CliError::Invalid(format!(
+                    "no manifest.json or *_manifest.json in {path}; run an \
+                     experiment binary (e.g. `fig6 --obs`) first"
+                )));
+            }
+            vec![plain]
+        } else {
+            per_experiment
+        }
+    } else {
+        vec![p.to_path_buf()]
+    };
+    let mut out = String::new();
+    for path in &manifests {
+        let manifest = wsflow_obs::Manifest::load(path).map_err(CliError::Invalid)?;
+        if let Err(e) = manifest.validate() {
+            out.push_str(&format!("warning: {}: {e}\n", path.display()));
+        }
+        out.push_str(&manifest.render());
+    }
+    Ok(out)
+}
+
 /// Dispatch a full argument vector (without `argv[0]`).
+///
+/// A `--obs` flag anywhere in the arguments enables observability for
+/// the command (equivalent to `WSFLOW_OBS=1`) and appends the collected
+/// metric snapshot to the output as NDJSON.
 pub fn dispatch(args: &[String]) -> Result<String, CliError> {
+    let obs_requested = args.iter().any(|a| a == "--obs");
+    if obs_requested {
+        wsflow_obs::set_enabled(true);
+        wsflow_obs::reset();
+    }
+    let args: Vec<String> = args.iter().filter(|a| *a != "--obs").cloned().collect();
+    let mut result = dispatch_command(&args);
+    if obs_requested {
+        if let Ok(out) = &mut result {
+            let snap = wsflow_obs::snapshot();
+            if !snap.is_empty() {
+                out.push_str("# metrics\n");
+                out.push_str(&wsflow_obs::snapshot_ndjson(&snap).unwrap_or_default());
+            }
+        }
+    }
+    result
+}
+
+fn dispatch_command(args: &[String]) -> Result<String, CliError> {
     let (cmd, rest) = args
         .split_first()
         .ok_or_else(|| CliError::Usage("no command given".into()))?;
@@ -440,6 +512,12 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
                 .first()
                 .ok_or_else(|| CliError::Usage("explain needs a workflow file".into()))?;
             cmd_explain(path, &rest[1..])
+        }
+        "report" => {
+            let path = rest.first().ok_or_else(|| {
+                CliError::Usage("report needs a manifest.json or results directory".into())
+            })?;
+            cmd_report(path)
         }
         "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
@@ -623,6 +701,60 @@ mod tests {
         assert!(out.contains("critical path"));
         assert!(out.contains("per-server load"));
         assert!(out.contains("time penalty"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn report_renders_manifest_file_and_directory() {
+        let dir = std::env::temp_dir().join(format!("wsflow-report-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = wsflow_obs::Manifest::collect("fig6", 42, 2, 1.5);
+        manifest.write(&dir.join("manifest.json")).unwrap();
+        // Plain manifest.json is picked up when no per-experiment copies
+        // exist.
+        let out = cmd_report(dir.to_str().unwrap()).unwrap();
+        assert!(out.contains("fig6"));
+        assert!(out.contains("seed 42"));
+        // Per-experiment copies take precedence and render in name order.
+        manifest.write(&dir.join("fig6_manifest.json")).unwrap();
+        let out = cmd_report(dir.join("fig6_manifest.json").to_str().unwrap()).unwrap();
+        assert!(out.contains("fig6"));
+        let out = cmd_report(dir.to_str().unwrap()).unwrap();
+        assert!(out.contains("fig6"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_errors_on_empty_directory_and_bad_file() {
+        let dir = std::env::temp_dir().join(format!("wsflow-report-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(cmd_report(dir.to_str().unwrap()).is_err());
+        let bad = dir.join("manifest.json");
+        std::fs::write(&bad, "not json").unwrap();
+        assert!(cmd_report(bad.to_str().unwrap()).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn obs_flag_appends_metrics_to_deploy_output() {
+        let _guard = wsflow_obs::registry::test_lock();
+        wsflow_obs::set_enabled(false);
+        wsflow_obs::reset();
+        let path = temp_workflow(DEMO);
+        let out = dispatch(&strs(&[
+            "deploy",
+            path.to_str().unwrap(),
+            "--servers",
+            "1.0,2.0",
+            "--algo",
+            "exhaustive",
+            "--obs",
+        ]))
+        .unwrap();
+        wsflow_obs::set_enabled(false);
+        wsflow_obs::reset();
+        assert!(out.contains("# metrics"));
+        assert!(out.contains("\"name\":\"exhaustive.nodes_expanded\""));
         std::fs::remove_file(path).ok();
     }
 
