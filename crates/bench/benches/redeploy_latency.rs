@@ -1,0 +1,52 @@
+//! Re-deployment latency: how quickly each online policy answers a
+//! fault timeline. FullResolve re-runs the whole portfolio at every
+//! environment change; IncrementalRepair moves only the affected
+//! operations with `DeltaEvaluator` probes. This bench tracks the
+//! controller-latency side of the trade-off studied in DESIGN.md §10
+//! (the other side — migration volume — is measured by the
+//! `dyn_policies` experiment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsflow_dyn::{run_policy, DynConfig, FaultInjector, Policy};
+use wsflow_model::units::Seconds;
+use wsflow_model::MbitsPerSec;
+use wsflow_workload::{generate, Configuration, ExperimentClass};
+
+fn policy_latency(c: &mut Criterion) {
+    let class = ExperimentClass::class_c();
+    let cfg = DynConfig::default();
+    let mut group = c.benchmark_group("redeploy_latency");
+    for ops in [9usize, 19] {
+        let sc = generate(
+            Configuration::LineBus(MbitsPerSec(10.0)),
+            ops,
+            3,
+            &class,
+            2007,
+        );
+        let timeline =
+            FaultInjector::new(2007, 6, Seconds(1.0)).timeline(&sc.network, Seconds(10.0));
+        for policy in [Policy::FullResolve, Policy::IncrementalRepair] {
+            group.bench_with_input(
+                BenchmarkId::new(policy.name().to_string(), ops),
+                &(&sc, &timeline),
+                |b, (sc, timeline)| {
+                    b.iter(|| {
+                        run_policy(
+                            &sc.workflow,
+                            &sc.network,
+                            timeline,
+                            Seconds(10.0),
+                            policy,
+                            &cfg,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, policy_latency);
+criterion_main!(benches);

@@ -1,0 +1,196 @@
+//! Migration cost: what re-deploying an operation actually costs.
+//!
+//! The paper's deployment is computed once, so moving an operation is
+//! free. An *online* re-deployer pays for every move: the operation's
+//! state (its service image, session data, buffered inputs) must travel
+//! from the old server to the new one over the current routes. This
+//! module prices that — [`MigrationModel`] maps an operation to a state
+//! size, and [`plan_migration`] diffs two mappings into a
+//! [`MigrationPlan`] with per-move and total transfer times.
+//!
+//! The plan charges moves serially (one state stream at a time), which
+//! upper-bounds the disruption window and keeps the figure independent
+//! of how transfers would interleave.
+
+use wsflow_model::units::{MCycles, Mbits, Seconds};
+use wsflow_model::{OpId, Workflow};
+use wsflow_net::{Network, RoutingTable, ServerId};
+
+use crate::mapping::Mapping;
+
+/// Prices an operation's migratable state.
+///
+/// State is modelled affinely in the operation's computational cost:
+/// `fixed + per_mcycle × cost`. The fixed part covers the service image
+/// and session bookkeeping every operation carries; the proportional
+/// part captures that heavier operations tend to hold more working
+/// state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationModel {
+    /// State every operation carries regardless of size.
+    pub fixed: Mbits,
+    /// Additional state per MCycle of the operation's cost.
+    pub per_mcycle: f64,
+}
+
+impl Default for MigrationModel {
+    /// 1 Mbit of fixed state plus 0.1 Mbit per MCycle — on the paper's
+    /// workloads, moving an operation costs the same order as a few of
+    /// its messages, so re-deployment is palpably not free.
+    fn default() -> Self {
+        Self {
+            fixed: Mbits(1.0),
+            per_mcycle: 0.1,
+        }
+    }
+}
+
+impl MigrationModel {
+    /// The migratable state of `op`.
+    pub fn state_size(&self, cost: MCycles) -> Mbits {
+        Mbits(self.fixed.value() + self.per_mcycle * cost.value())
+    }
+}
+
+/// One operation's move in a re-deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationMove {
+    /// The operation being moved.
+    pub op: OpId,
+    /// Where it was.
+    pub from: ServerId,
+    /// Where it goes.
+    pub to: ServerId,
+    /// State transferred.
+    pub state: Mbits,
+    /// Time to push that state over the current route `from → to`.
+    pub transfer: Seconds,
+}
+
+/// The diff between two mappings, priced.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MigrationPlan {
+    /// Every operation that changes server, in operation-id order.
+    pub moves: Vec<MigrationMove>,
+    /// Total state shipped.
+    pub total_state: Mbits,
+    /// Total transfer time, charging moves serially.
+    pub total_transfer: Seconds,
+}
+
+impl MigrationPlan {
+    /// Number of operations that move.
+    #[inline]
+    pub fn num_moves(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// `true` when the two mappings were identical.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+}
+
+/// Diff `old → new` and price every move over `routes` (which must have
+/// been computed for `net`'s current state).
+///
+/// Returns `None` if some move's endpoints are unroutable — a network
+/// partition; the caller decides whether that re-deployment is allowed
+/// to happen at all.
+pub fn plan_migration(
+    workflow: &Workflow,
+    net: &Network,
+    routes: &RoutingTable,
+    old: &Mapping,
+    new: &Mapping,
+    model: &MigrationModel,
+) -> Option<MigrationPlan> {
+    let mut plan = MigrationPlan::default();
+    for op in workflow.op_ids() {
+        let from = old.server_of(op);
+        let to = new.server_of(op);
+        if from == to {
+            continue;
+        }
+        let state = model.state_size(workflow.op(op).cost);
+        let transfer = routes.transfer_time(net, from, to, state)?;
+        plan.total_state = Mbits(plan.total_state.value() + state.value());
+        plan.total_transfer += transfer;
+        plan.moves.push(MigrationMove {
+            op,
+            from,
+            to,
+            state,
+            transfer,
+        });
+    }
+    Some(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsflow_model::{MCycles, MbitsPerSec, WorkflowBuilder};
+    use wsflow_net::topology::{bus, homogeneous_servers};
+
+    fn fixture() -> (Workflow, Network, RoutingTable) {
+        let mut b = WorkflowBuilder::new("w");
+        b.line("o", &[MCycles(10.0), MCycles(30.0)], Mbits(0.5));
+        let w = b.build().unwrap();
+        let net = bus("n", homogeneous_servers(3, 1.0), MbitsPerSec(10.0)).unwrap();
+        let routes = RoutingTable::new(&net);
+        (w, net, routes)
+    }
+
+    #[test]
+    fn identical_mappings_cost_nothing() {
+        let (w, net, routes) = fixture();
+        let m = Mapping::all_on(2, ServerId::new(0));
+        let plan = plan_migration(&w, &net, &routes, &m, &m, &MigrationModel::default()).unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(plan.total_state, Mbits::ZERO);
+        assert_eq!(plan.total_transfer, Seconds::ZERO);
+    }
+
+    #[test]
+    fn moves_are_priced_over_current_routes() {
+        let (w, net, routes) = fixture();
+        let old = Mapping::all_on(2, ServerId::new(0));
+        let mut new = Mapping::all_on(2, ServerId::new(0));
+        new.assign(OpId::new(1), ServerId::new(2));
+        let model = MigrationModel::default();
+        let plan = plan_migration(&w, &net, &routes, &old, &new, &model).unwrap();
+        assert_eq!(plan.num_moves(), 1);
+        let mv = plan.moves[0];
+        assert_eq!(mv.op, OpId::new(1));
+        assert_eq!((mv.from, mv.to), (ServerId::new(0), ServerId::new(2)));
+        // op1 costs 30 MCycles → 1 + 0.1·30 = 4 Mbit over a 10 Mbps bus
+        // hop = 0.4 s.
+        assert!((mv.state.value() - 4.0).abs() < 1e-12);
+        assert!((mv.transfer.value() - 0.4).abs() < 1e-12);
+        assert_eq!(plan.total_state, mv.state);
+        assert_eq!(plan.total_transfer, mv.transfer);
+    }
+
+    #[test]
+    fn totals_sum_serially_in_op_order() {
+        let (w, net, routes) = fixture();
+        let old = Mapping::all_on(2, ServerId::new(0));
+        let new = Mapping::all_on(2, ServerId::new(1));
+        let model = MigrationModel {
+            fixed: Mbits(2.0),
+            per_mcycle: 0.0,
+        };
+        let plan = plan_migration(&w, &net, &routes, &old, &new, &model).unwrap();
+        assert_eq!(plan.num_moves(), 2);
+        assert_eq!(plan.moves[0].op, OpId::new(0), "moves are in op-id order");
+        assert!((plan.total_state.value() - 4.0).abs() < 1e-12);
+        assert!(
+            (plan.total_transfer.value()
+                - plan.moves.iter().map(|m| m.transfer.value()).sum::<f64>())
+            .abs()
+                < 1e-15
+        );
+    }
+}

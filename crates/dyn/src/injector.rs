@@ -1,0 +1,170 @@
+//! Seeded fault injection: deterministic environment timelines.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use wsflow_model::units::Seconds;
+use wsflow_net::dynamics::{EnvEvent, TimedEvent, Timeline};
+use wsflow_net::{LinkId, Network, ServerId};
+
+/// Generates reproducible fault timelines for a network.
+///
+/// Each episode picks an onset in the first 80% of the horizon (so its
+/// restore usually lands inside the run), an outage length around
+/// [`FaultInjector::mean_outage`], a fault kind, and a target; every
+/// fault is paired with its restoring event. Crashes are kept
+/// non-overlapping — at most one server is down at any instant, so the
+/// network never partitions into uselessness — and an episode that
+/// would overlap an existing outage is demoted to a slowdown of the
+/// same server.
+///
+/// The whole schedule is a pure function of `(seed, network, horizon,
+/// episodes)`: same inputs, byte-identical timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultInjector {
+    /// Seed of the episode stream.
+    pub seed: u64,
+    /// Number of fault episodes to inject.
+    pub episodes: usize,
+    /// Mean outage duration; actual outages draw uniformly from
+    /// `[0.5, 1.5] × mean`.
+    pub mean_outage: Seconds,
+}
+
+impl FaultInjector {
+    /// An injector with the given seed, episode count, and mean outage.
+    pub fn new(seed: u64, episodes: usize, mean_outage: Seconds) -> Self {
+        Self {
+            seed,
+            episodes,
+            mean_outage,
+        }
+    }
+
+    /// Generate the timeline for `net` over `[0, horizon]`.
+    pub fn timeline(&self, net: &Network, horizon: Seconds) -> Timeline {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut events: Vec<TimedEvent> = Vec::with_capacity(self.episodes * 2);
+        let n = net.num_servers();
+        let l = net.num_links();
+        let mut crash_windows: Vec<(f64, f64)> = Vec::new();
+        for _ in 0..self.episodes {
+            let onset = rng.gen::<f64>() * horizon.value() * 0.8;
+            let outage = self.mean_outage.value() * (0.5 + rng.gen::<f64>());
+            let end = onset + outage;
+            let kind = rng.gen::<f64>();
+            let pick = rng.gen::<f64>();
+            let server = ServerId::new(((pick * n as f64) as usize).min(n - 1) as u32);
+            let link = LinkId::new(((pick * l as f64) as usize).min(l.saturating_sub(1)) as u32);
+            let severity = rng.gen::<f64>();
+            if kind < 0.35 {
+                let clear = crash_windows.iter().all(|&(a, b)| end <= a || onset >= b);
+                if clear {
+                    crash_windows.push((onset, end));
+                    events.push(TimedEvent {
+                        at: Seconds(onset),
+                        event: EnvEvent::ServerCrash { server },
+                    });
+                    events.push(TimedEvent {
+                        at: Seconds(end),
+                        event: EnvEvent::ServerRecover { server },
+                    });
+                    continue;
+                }
+                // Overlapping outage: degrade gracefully to a slowdown.
+            }
+            if kind < 0.60 {
+                let factor = 2.0 + 6.0 * severity;
+                events.push(TimedEvent {
+                    at: Seconds(onset),
+                    event: EnvEvent::ServerSlowdown { server, factor },
+                });
+                events.push(TimedEvent {
+                    at: Seconds(end),
+                    event: EnvEvent::ServerSlowdown {
+                        server,
+                        factor: 1.0,
+                    },
+                });
+            } else if kind < 0.85 && l > 0 {
+                let factor = 2.0 + 14.0 * severity;
+                events.push(TimedEvent {
+                    at: Seconds(onset),
+                    event: EnvEvent::LinkDegrade { link, factor },
+                });
+                events.push(TimedEvent {
+                    at: Seconds(end),
+                    event: EnvEvent::LinkRestore { link },
+                });
+            } else {
+                let factor = 1.5 + 2.5 * severity;
+                events.push(TimedEvent {
+                    at: Seconds(onset),
+                    event: EnvEvent::LoadSurge { factor },
+                });
+                events.push(TimedEvent {
+                    at: Seconds(end),
+                    event: EnvEvent::LoadSurge { factor: 1.0 },
+                });
+            }
+        }
+        Timeline::new(events).expect("generated events are finite and valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsflow_model::MbitsPerSec;
+    use wsflow_net::topology::{bus, homogeneous_servers};
+
+    fn net() -> Network {
+        bus("b", homogeneous_servers(3, 1.0), MbitsPerSec(10.0)).unwrap()
+    }
+
+    #[test]
+    fn same_seed_same_timeline() {
+        let net = net();
+        let inj = FaultInjector::new(7, 10, Seconds(1.0));
+        let a = inj.timeline(&net, Seconds(60.0));
+        let b = inj.timeline(&net, Seconds(60.0));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 20, "every episode pairs fault + restore");
+        let c = FaultInjector::new(8, 10, Seconds(1.0)).timeline(&net, Seconds(60.0));
+        assert_ne!(a, c, "different seeds give different schedules");
+    }
+
+    #[test]
+    fn crashes_never_overlap() {
+        let net = net();
+        for seed in 0..20 {
+            let t = FaultInjector::new(seed, 30, Seconds(2.0)).timeline(&net, Seconds(60.0));
+            let mut down = 0i32;
+            for te in t.events() {
+                match te.event {
+                    EnvEvent::ServerCrash { .. } => {
+                        down += 1;
+                        assert!(down <= 1, "seed {seed}: two servers down at once");
+                    }
+                    EnvEvent::ServerRecover { .. } => down -= 1,
+                    _ => {}
+                }
+            }
+            assert_eq!(down, 0, "seed {seed}: every crash recovers");
+        }
+    }
+
+    #[test]
+    fn every_fault_is_paired_with_a_restore() {
+        let net = net();
+        let t = FaultInjector::new(3, 25, Seconds(1.5)).timeline(&net, Seconds(60.0));
+        use wsflow_net::EnvState;
+        let mut env = EnvState::new(net);
+        for te in t.events() {
+            env.apply(&te.event);
+        }
+        assert!(
+            env.is_nominal(),
+            "applying the full timeline returns to nominal"
+        );
+    }
+}

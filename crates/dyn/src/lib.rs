@@ -1,0 +1,27 @@
+//! # wsflow-dyn — dynamic environments and online re-deployment
+//!
+//! The paper deploys once against a static network. This crate closes
+//! the loop over a *mutating* environment: a seeded [`FaultInjector`]
+//! produces a deterministic [`Timeline`](wsflow_net::Timeline) of
+//! crashes, slowdowns, link degradations and load surges; an online
+//! controller ([`run_policy`]) watches the environment drift, and a
+//! pluggable [`Policy`] decides how to respond — do nothing, re-run the
+//! full portfolio, or incrementally repair only the affected
+//! operations with `DeltaEvaluator` moves. Every re-deployment pays
+//! the migration cost model of `wsflow_cost::migration`, so policies
+//! trade steady-state quality against migration churn.
+//!
+//! Everything here is deterministic: the same workflow, network,
+//! timeline and seed yield identical [`DynReport`]s, independent of
+//! `WSFLOW_THREADS` and of whether observability is enabled.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod controller;
+pub mod injector;
+pub mod policy;
+
+pub use controller::{run_policy, DynConfig, DynReport};
+pub use injector::FaultInjector;
+pub use policy::Policy;

@@ -1,0 +1,70 @@
+//! Re-deployment policies: how the controller answers environment drift.
+
+use std::fmt;
+
+/// What the online controller does when the environment changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Never re-deploy: the paper's static answer, kept as the baseline
+    /// every other policy is measured against.
+    Static,
+    /// Re-run the full algorithm portfolio against the effective network
+    /// at every environment change and adopt its answer wholesale —
+    /// best-effort quality, maximal migration churn.
+    FullResolve,
+    /// Greedy `DeltaEvaluator` first-improvement moves restricted to the
+    /// operations the change actually affects (ops on a crashed or
+    /// slowed server, ops whose messages cross a degraded link; a
+    /// restore re-opens every operation).
+    IncrementalRepair,
+    /// [`Policy::IncrementalRepair`], but only once observed degradation
+    /// exceeds a configured bound — tolerate small drift, repair big
+    /// drift.
+    ThresholdTriggered,
+}
+
+impl Policy {
+    /// Every policy, in the order experiments sweep them.
+    pub const ALL: [Policy; 4] = [
+        Policy::Static,
+        Policy::FullResolve,
+        Policy::IncrementalRepair,
+        Policy::ThresholdTriggered,
+    ];
+
+    /// Stable identifier used in CSVs and metric labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::Static => "static",
+            Policy::FullResolve => "full_resolve",
+            Policy::IncrementalRepair => "incremental_repair",
+            Policy::ThresholdTriggered => "threshold_triggered",
+        }
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable_and_unique() {
+        let names: Vec<&str> = Policy::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "static",
+                "full_resolve",
+                "incremental_repair",
+                "threshold_triggered"
+            ]
+        );
+        assert_eq!(Policy::FullResolve.to_string(), "full_resolve");
+    }
+}

@@ -108,6 +108,26 @@ pub fn run_one(
     opts: &CliOptions,
     f: impl FnOnce(&Params) -> crate::output::ExperimentOutput,
 ) -> crate::output::ExperimentOutput {
+    run_one_inner(opts, f, true)
+}
+
+/// Like [`run_one`], but returns the rendered tables instead of
+/// printing them — CSVs and the manifest are still written. For callers
+/// that own stdout, such as the `wsflow dynamic` subcommand.
+pub fn run_one_captured(
+    opts: &CliOptions,
+    f: impl FnOnce(&Params) -> crate::output::ExperimentOutput,
+) -> (crate::output::ExperimentOutput, String) {
+    let output = run_one_inner(opts, f, false);
+    let rendered = output.render();
+    (output, rendered)
+}
+
+fn run_one_inner(
+    opts: &CliOptions,
+    f: impl FnOnce(&Params) -> crate::output::ExperimentOutput,
+    print_tables: bool,
+) -> crate::output::ExperimentOutput {
     let started = std::time::Instant::now();
     if opts.obs {
         wsflow_obs::set_enabled(true);
@@ -122,7 +142,18 @@ pub fn run_one(
     };
     {
         wsflow_obs::span_scope!("phase.emit");
-        emit(&output, opts);
+        if print_tables {
+            emit(&output, opts);
+        } else {
+            match output.write_csv(&opts.out_dir) {
+                Ok(paths) => {
+                    for p in paths {
+                        eprintln!("wrote {}", p.display());
+                    }
+                }
+                Err(e) => eprintln!("warning: could not write CSVs: {e}"),
+            }
+        }
     }
     write_manifest(&output.id, opts, started.elapsed().as_secs_f64());
     output

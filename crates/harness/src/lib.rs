@@ -12,6 +12,7 @@
 //! | Class A/B sweeps (mentioned, unreported) | [`class_ab`] | `class_ab` |
 //! | Line–Line experiments (§3.2) | [`line_line_exp`] | `line_line` |
 //! | Analytic-vs-simulator validation (extension) | [`sim_validation`] | `sim_validation` |
+//! | Dynamic environments & re-deployment (extension) | [`dyn_policies`] | `dyn_policies` |
 //!
 //! Every binary takes `--quick` for a seconds-scale run and writes raw
 //! records + summary tables as CSV under `results/`.
@@ -22,6 +23,7 @@
 pub mod ablation;
 pub mod class_ab;
 pub mod cli;
+pub mod dyn_policies;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;

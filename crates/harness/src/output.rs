@@ -17,6 +17,10 @@ pub struct ExperimentOutput {
     pub tables: Vec<Table>,
     /// Raw per-run records (the "scatter points" behind the figures).
     pub records: Vec<Record>,
+    /// Extra fully-formed CSV files: `(file name, contents)`.
+    /// Experiments whose rows don't fit the [`Record`] schema (e.g.
+    /// `dyn_policies`) emit their own files here.
+    pub extra_csvs: Vec<(String, String)>,
 }
 
 impl ExperimentOutput {
@@ -26,6 +30,7 @@ impl ExperimentOutput {
             id: id.into(),
             tables: Vec::new(),
             records: Vec::new(),
+            extra_csvs: Vec::new(),
         }
     }
 
@@ -71,6 +76,11 @@ impl ExperimentOutput {
                     r.runtime_micros
                 )?;
             }
+            written.push(path);
+        }
+        for (name, contents) in &self.extra_csvs {
+            let path = dir.join(name);
+            fs::write(&path, contents)?;
             written.push(path);
         }
         Ok(written)

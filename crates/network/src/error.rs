@@ -2,13 +2,15 @@
 
 use std::fmt;
 
-use crate::ids::ServerId;
+use crate::ids::{LinkId, ServerId};
 
 /// Errors raised while constructing a [`Network`](crate::Network).
 #[derive(Debug, Clone, PartialEq)]
 pub enum NetError {
     /// A link references a server id outside `0..num_servers`.
     UnknownServer(ServerId),
+    /// A mutation addressed a link id outside `0..num_links`.
+    UnknownLink(LinkId),
     /// A link connects a server to itself.
     SelfLink(ServerId),
     /// Two links share the same endpoint pair.
@@ -48,6 +50,7 @@ impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetError::UnknownServer(id) => write!(f, "link references unknown server {id}"),
+            NetError::UnknownLink(id) => write!(f, "mutation references unknown link {id}"),
             NetError::SelfLink(id) => write!(f, "server {id} linked to itself"),
             NetError::DuplicateLink(a, b) => write!(f, "duplicate link {a} -- {b}"),
             NetError::DuplicateName(n) => write!(f, "duplicate server name {n:?}"),

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod dynamics;
 pub mod error;
 pub mod ids;
 pub mod link;
@@ -23,10 +24,11 @@ pub mod routing;
 pub mod server;
 pub mod topology;
 
+pub use dynamics::{EnvEvent, EnvState, TimedEvent, Timeline, CRASHED_POWER};
 pub use error::NetError;
 pub use ids::{LinkId, ServerId};
 pub use link::Link;
 pub use network::{Network, TopologyKind};
-pub use routing::{Path, RoutingTable};
+pub use routing::{Path, RoutingCache, RoutingTable};
 pub use server::Server;
 pub use topology::classify;

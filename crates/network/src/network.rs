@@ -47,7 +47,7 @@ impl std::fmt::Display for TopologyKind {
 
 /// A network of servers: nodes with computational power, undirected links
 /// with throughput and propagation delay.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Network {
     name: String,
     servers: Vec<Server>,
@@ -60,6 +60,24 @@ pub struct Network {
     /// Adjacency: per server, the incident links.
     #[serde(skip)]
     adj: Vec<Vec<LinkId>>,
+    /// Mutation counter: bumped by every server/link mutation, so caches
+    /// derived from the network (notably routing tables) can detect
+    /// staleness. Not part of the network's identity.
+    #[serde(skip)]
+    generation: u64,
+}
+
+/// Identity excludes the derived adjacency index and the mutation
+/// counter: two networks describing the same servers and links are
+/// equal regardless of their mutation history.
+impl PartialEq for Network {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.servers == other.servers
+            && self.links == other.links
+            && self.kind == other.kind
+            && self.bus_speed == other.bus_speed
+    }
 }
 
 impl Network {
@@ -118,9 +136,52 @@ impl Network {
             kind,
             bus_speed: None,
             adj: Vec::new(),
+            generation: 0,
         };
         net.reindex();
         Ok(net)
+    }
+
+    /// The mutation counter: bumped by every server/link mutation.
+    /// Caches derived from the network (e.g. a routing table) record
+    /// the generation they were computed at and recompute when it no
+    /// longer matches.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Change a server's computational power. Bumps the generation.
+    pub fn set_server_power(&mut self, s: ServerId, power: MegaHertz) -> Result<(), NetError> {
+        if power.value() <= 0.0 || power.value().is_nan() {
+            return Err(NetError::BadPower {
+                server: s,
+                power: power.value(),
+            });
+        }
+        if s.index() >= self.servers.len() {
+            return Err(NetError::UnknownServer(s));
+        }
+        self.servers[s.index()].power = power;
+        self.generation += 1;
+        Ok(())
+    }
+
+    /// Change a link's throughput. Bumps the generation.
+    pub fn set_link_speed(&mut self, l: LinkId, speed: MbitsPerSec) -> Result<(), NetError> {
+        let Some(link) = self.links.get_mut(l.index()) else {
+            return Err(NetError::UnknownLink(l));
+        };
+        if speed.value() <= 0.0 || speed.value().is_nan() {
+            return Err(NetError::BadSpeed {
+                a: link.a,
+                b: link.b,
+                speed: speed.value(),
+            });
+        }
+        link.speed = speed;
+        self.generation += 1;
+        Ok(())
     }
 
     /// Rebuild the adjacency index (needed after deserialisation).
@@ -415,6 +476,65 @@ mod tests {
         )
         .unwrap();
         assert!(!net.is_connected());
+    }
+
+    #[test]
+    fn mutations_bump_the_generation() {
+        let mut net = Network::new(
+            "n",
+            two_servers(),
+            vec![Link::new(
+                ServerId::new(0),
+                ServerId::new(1),
+                MbitsPerSec(100.0),
+            )],
+            TopologyKind::Line,
+        )
+        .unwrap();
+        assert_eq!(net.generation(), 0);
+        net.set_server_power(ServerId::new(0), MegaHertz(500.0))
+            .unwrap();
+        assert_eq!(net.generation(), 1);
+        net.set_link_speed(LinkId::new(0), MbitsPerSec(10.0))
+            .unwrap();
+        assert_eq!(net.generation(), 2);
+        assert_eq!(net.server(ServerId::new(0)).power, MegaHertz(500.0));
+        assert_eq!(net.link(LinkId::new(0)).speed, MbitsPerSec(10.0));
+
+        // Rejected mutations leave the generation alone.
+        assert!(net
+            .set_server_power(ServerId::new(0), MegaHertz(0.0))
+            .is_err());
+        assert!(net
+            .set_link_speed(LinkId::new(0), MbitsPerSec(-1.0))
+            .is_err());
+        assert_eq!(
+            net.set_link_speed(LinkId::new(9), MbitsPerSec(1.0)),
+            Err(NetError::UnknownLink(LinkId::new(9)))
+        );
+        assert_eq!(
+            net.set_server_power(ServerId::new(9), MegaHertz(1.0)),
+            Err(NetError::UnknownServer(ServerId::new(9)))
+        );
+        assert_eq!(net.generation(), 2);
+
+        // Equality ignores mutation history: a freshly built copy of the
+        // mutated network compares equal despite generation 0.
+        let rebuilt = Network::new(
+            "n",
+            vec![
+                Server::new("s0", MegaHertz(500.0)),
+                Server::with_ghz("s1", 2.0),
+            ],
+            vec![Link::new(
+                ServerId::new(0),
+                ServerId::new(1),
+                MbitsPerSec(10.0),
+            )],
+            TopologyKind::Line,
+        )
+        .unwrap();
+        assert_eq!(rebuilt, net);
     }
 
     #[test]

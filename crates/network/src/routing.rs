@@ -102,6 +102,8 @@ pub struct RoutingTable {
     n: usize,
     /// Row-major `[from][to]`.
     paths: Vec<Option<Path>>,
+    /// Generation of the network these routes were computed from.
+    generation: u64,
 }
 
 impl RoutingTable {
@@ -120,7 +122,18 @@ impl RoutingTable {
                 }
             }
         }
-        Self { n, paths }
+        Self {
+            n,
+            paths,
+            generation: net.generation(),
+        }
+    }
+
+    /// `true` if these routes were computed from `net` at its current
+    /// generation — i.e. no server/link mutation has happened since.
+    #[inline]
+    pub fn is_current(&self, net: &Network) -> bool {
+        self.generation == net.generation() && self.n == net.num_servers()
     }
 
     /// The route from `from` to `to`; `None` if unreachable.
@@ -144,6 +157,57 @@ impl RoutingTable {
         size: Mbits,
     ) -> Option<Seconds> {
         self.path(from, to).map(|p| p.transfer_time(net, size))
+    }
+}
+
+/// A [`RoutingTable`] that re-derives itself whenever the underlying
+/// network mutates.
+///
+/// Every server/link mutation bumps [`Network::generation`]; the cache
+/// compares generations on each access and recomputes the table when
+/// they diverge, so cached shortest paths can never go stale. Dynamic
+/// consumers (the re-deployment controller) route through this instead
+/// of holding a raw `RoutingTable`.
+///
+/// # Examples
+///
+/// ```
+/// use wsflow_net::topology::{homogeneous_servers, line_uniform};
+/// use wsflow_net::{LinkId, RoutingCache};
+/// use wsflow_model::MbitsPerSec;
+///
+/// let mut net = line_uniform("l", homogeneous_servers(3, 1.0), MbitsPerSec(10.0)).unwrap();
+/// let mut cache = RoutingCache::new(&net);
+/// net.set_link_speed(LinkId::new(0), MbitsPerSec(5.0)).unwrap();
+/// assert!(!cache.is_current(&net));
+/// let _fresh = cache.table(&net); // recomputed on access
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoutingCache {
+    table: RoutingTable,
+}
+
+impl RoutingCache {
+    /// Build the cache, computing routes for the network's current state.
+    pub fn new(net: &Network) -> Self {
+        Self {
+            table: RoutingTable::new(net),
+        }
+    }
+
+    /// The routes for `net`'s *current* state, recomputing first if any
+    /// mutation happened since the cached table was built.
+    pub fn table(&mut self, net: &Network) -> &RoutingTable {
+        if !self.table.is_current(net) {
+            self.table = RoutingTable::new(net);
+        }
+        &self.table
+    }
+
+    /// `true` if the cached table matches `net`'s current generation.
+    #[inline]
+    pub fn is_current(&self, net: &Network) -> bool {
+        self.table.is_current(net)
     }
 }
 
@@ -541,6 +605,55 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Regression for the stale-route hazard the generation counter
+    /// closes: mutating a link must invalidate cached routes, and the
+    /// recomputed table must actually re-route. Here speeding up the
+    /// slow direct link flips the best 0 → 2 route from the two-hop
+    /// detour to the direct hop.
+    #[test]
+    fn mutating_a_link_invalidates_cached_routes() {
+        let servers = homogeneous_servers(3, 1.0);
+        let links = vec![
+            crate::link::Link::new(ServerId::new(0), ServerId::new(1), MbitsPerSec(1000.0)),
+            crate::link::Link::new(ServerId::new(1), ServerId::new(2), MbitsPerSec(1000.0)),
+            crate::link::Link::new(ServerId::new(0), ServerId::new(2), MbitsPerSec(1.0)),
+        ];
+        let mut net =
+            Network::new("n", servers, links, crate::network::TopologyKind::Custom).unwrap();
+        let mut cache = RoutingCache::new(&net);
+        assert!(cache.is_current(&net));
+        assert_eq!(
+            cache
+                .table(&net)
+                .path(ServerId::new(0), ServerId::new(2))
+                .unwrap()
+                .hops(),
+            2,
+            "with a 1 Mbps direct link the two-hop fast route wins"
+        );
+
+        net.set_link_speed(LinkId::new(2), MbitsPerSec(10_000.0))
+            .unwrap();
+        assert!(!cache.is_current(&net), "mutation must mark routes stale");
+        let p = cache.table(&net).path(ServerId::new(0), ServerId::new(2));
+        assert_eq!(
+            p.unwrap().hops(),
+            1,
+            "after the mutation the direct link is fastest and routes must recompute"
+        );
+        assert!(cache.is_current(&net));
+
+        // A raw table also reports itself stale after any later mutation.
+        let old = RoutingTable::new(&net);
+        assert!(old.is_current(&net));
+        net.set_server_power(ServerId::new(0), wsflow_model::units::MegaHertz(123.0))
+            .unwrap();
+        assert!(
+            !old.is_current(&net),
+            "server mutations invalidate routes too (conservatively)"
+        );
     }
 
     #[test]

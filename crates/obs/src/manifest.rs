@@ -241,6 +241,41 @@ impl Manifest {
                 );
             }
         }
+        // Dedicated summary for dynamic-environment runs: migrations and
+        // recovery behaviour are the headline numbers of `dyn_policies`,
+        // so surface them even though the raw metrics also appear above.
+        let dyn_counters: Vec<_> = self
+            .metrics
+            .counters
+            .iter()
+            .filter(|c| c.name.starts_with("dyn."))
+            .collect();
+        let ttr = self
+            .metrics
+            .histograms
+            .iter()
+            .find(|h| h.name == "dyn.time_to_recover_secs");
+        let avail = self
+            .metrics
+            .gauges
+            .iter()
+            .find(|g| g.name == "dyn.availability");
+        if !dyn_counters.is_empty() || ttr.is_some() || avail.is_some() {
+            let _ = writeln!(out, "\ndynamic:");
+            for c in &dyn_counters {
+                let _ = writeln!(out, "  {:<36} {:>14}", c.name, c.value);
+            }
+            if let Some(g) = avail {
+                let _ = writeln!(out, "  {:<36} {:>14.4}", g.name, g.value);
+            }
+            if let Some(h) = ttr {
+                let _ = writeln!(
+                    out,
+                    "  time-to-recover (s): {} samples, p50 {:.4}, p90 {:.4}, p99 {:.4}, max {:.4}",
+                    h.count, h.p50, h.p90, h.p99, h.max
+                );
+            }
+        }
         if self.phases.is_empty() && self.metrics.is_empty() {
             let _ = writeln!(
                 out,
@@ -356,5 +391,39 @@ mod tests {
         assert!(text.contains("fig6"));
         assert!(text.contains("phases:"));
         assert!(text.contains("exhaustive.nodes_expanded"));
+        assert!(!text.contains("dynamic:"), "no dyn metrics, no section");
+    }
+
+    #[test]
+    fn render_surfaces_dynamic_metrics() {
+        let mut m = sample();
+        m.metrics.counters.push(crate::registry::CounterSnap {
+            name: "dyn.migrations".to_string(),
+            value: 17,
+        });
+        m.metrics.gauges.push(crate::registry::GaugeSnap {
+            name: "dyn.availability".to_string(),
+            value: 0.93,
+        });
+        m.metrics.histograms.push(crate::registry::HistSnap {
+            name: "dyn.time_to_recover_secs".to_string(),
+            count: 5,
+            sum: 10.0,
+            min: 0.5,
+            max: 4.0,
+            p50: 1.5,
+            p90: 3.5,
+            p99: 4.0,
+            buckets: vec![crate::registry::BucketSnap {
+                le: f64::INFINITY,
+                count: 5,
+            }],
+        });
+        let text = m.render();
+        assert!(text.contains("dynamic:"));
+        assert!(text.contains("dyn.migrations"));
+        assert!(text.contains("dyn.availability"));
+        assert!(text.contains("time-to-recover (s): 5 samples"));
+        assert!(text.contains("p90 3.5000"));
     }
 }

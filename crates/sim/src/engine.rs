@@ -6,6 +6,31 @@
 //! branches genuinely race, and (optionally) operations queue FIFO on
 //! their server and inter-server messages serialise on the shared bus —
 //! two contention effects the paper's cost model abstracts away.
+//!
+//! # Dynamic runs
+//!
+//! [`simulate_dynamic`] replays an environment [`Timeline`] *during*
+//! the run. Event semantics:
+//!
+//! * `ServerCrash` — in-service operations on the server are aborted
+//!   (their partial work is lost) and stall, along with anything that
+//!   becomes ready while the server is down.
+//! * `ServerRecover` — stalled operations restart from scratch.
+//! * `ServerSlowdown` / `LoadSurge` — stretch the processing time of
+//!   operations that *start* after the event; in-service operations
+//!   keep their committed service time (quasi-static rates).
+//! * `LinkDegrade` / `LinkRestore` — stretch the transmission time of
+//!   messages *sent* after the event; in-flight transfers are
+//!   unaffected. Routes themselves stay fixed within a run.
+//!
+//! A run whose sink is stalled forever (a crash with no recovery)
+//! reports an infinite completion time.
+//!
+//! The static entry points are the empty-timeline special case: every
+//! environment factor is exactly `1.0` and every multiplication by it
+//! is an IEEE-754 identity, so a dynamic run over [`Timeline::EMPTY`]
+//! is bit-identical to [`simulate`] — same floats, same event order,
+//! same trace.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
@@ -13,6 +38,8 @@ use std::collections::{BinaryHeap, VecDeque};
 use rand::Rng;
 use wsflow_cost::{Mapping, Problem};
 use wsflow_model::{DecisionKind, Mbits, MsgId, OpId, OpKind, Seconds};
+use wsflow_net::dynamics::{EnvEvent, Timeline};
+use wsflow_net::ServerId;
 
 use crate::trace::{ExecutionTrace, TraceKind};
 
@@ -65,10 +92,14 @@ pub struct SimOutcome {
 enum Action {
     /// The operation's join condition is satisfied; it may enter service.
     Ready(OpId),
-    /// The operation finishes processing.
-    Finish(OpId),
+    /// The operation finishes processing. `epoch` pins the service
+    /// attempt: a crash aborts the attempt by bumping the operation's
+    /// epoch, turning the in-flight finish into a stale no-op.
+    Finish { op: OpId, epoch: u32 },
     /// The message reaches its destination server.
     Arrive(MsgId),
+    /// Environment event `timeline.events()[i]` fires.
+    Env(u32),
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -139,7 +170,7 @@ pub fn simulate(
     config: SimConfig,
     rng: &mut impl Rng,
 ) -> SimOutcome {
-    run(problem, mapping, config, rng, None)
+    run(problem, mapping, config, &Timeline::EMPTY, rng, None)
 }
 
 /// Like [`simulate`], additionally recording a full event trace.
@@ -150,20 +181,87 @@ pub fn simulate_traced(
     rng: &mut impl Rng,
 ) -> (SimOutcome, ExecutionTrace) {
     let mut trace = ExecutionTrace::new();
-    let outcome = run(problem, mapping, config, rng, Some(&mut trace));
+    let outcome = run(
+        problem,
+        mapping,
+        config,
+        &Timeline::EMPTY,
+        rng,
+        Some(&mut trace),
+    );
     (outcome, trace)
+}
+
+/// Simulate one execution while replaying `timeline`'s environment
+/// events mid-run (see the module docs for event semantics).
+///
+/// With an empty timeline this is bit-identical to [`simulate`]. A run
+/// whose sink is stalled forever reports `completion = +∞`.
+pub fn simulate_dynamic(
+    problem: &Problem,
+    mapping: &Mapping,
+    config: SimConfig,
+    timeline: &Timeline,
+    rng: &mut impl Rng,
+) -> SimOutcome {
+    run(problem, mapping, config, timeline, rng, None)
+}
+
+/// Like [`simulate_dynamic`], additionally recording a full event trace
+/// (applied environment events appear as [`TraceKind::Fault`]).
+pub fn simulate_dynamic_traced(
+    problem: &Problem,
+    mapping: &Mapping,
+    config: SimConfig,
+    timeline: &Timeline,
+    rng: &mut impl Rng,
+) -> (SimOutcome, ExecutionTrace) {
+    let mut trace = ExecutionTrace::new();
+    let outcome = run(problem, mapping, config, timeline, rng, Some(&mut trace));
+    (outcome, trace)
+}
+
+/// Enter `op` into service on `s`: commit its service duration, trace
+/// the start, and schedule the finish under the op's current epoch.
+#[allow(clippy::too_many_arguments)]
+fn begin_service(
+    heap: &mut BinaryHeap<Event>,
+    seq: &mut u64,
+    trace: &mut Option<&mut ExecutionTrace>,
+    service_dur: &mut [f64],
+    finish_epoch: &[u32],
+    op: OpId,
+    s: ServerId,
+    time: f64,
+    dur: f64,
+) {
+    service_dur[op.index()] = dur;
+    if let Some(t) = trace.as_deref_mut() {
+        t.record(time, TraceKind::OpStarted { op, server: s });
+    }
+    heap.push(Event {
+        time: time + dur,
+        seq: *seq,
+        action: Action::Finish {
+            op,
+            epoch: finish_epoch[op.index()],
+        },
+    });
+    *seq += 1;
 }
 
 fn run(
     problem: &Problem,
     mapping: &Mapping,
     config: SimConfig,
+    timeline: &Timeline,
     rng: &mut impl Rng,
     mut trace: Option<&mut ExecutionTrace>,
 ) -> SimOutcome {
     let w = problem.workflow();
     let net = problem.network();
     let n_ops = w.num_ops();
+    let n_servers = net.num_servers();
     let mut heap: BinaryHeap<Event> = BinaryHeap::new();
     let mut seq = 0u64;
     fn push(heap: &mut BinaryHeap<Event>, seq: &mut u64, time: f64, action: Action) {
@@ -179,13 +277,13 @@ fn run(
     let mut fired = vec![false; n_ops];
     let mut finished = vec![false; n_ops];
     let mut finish_time = vec![0.0f64; n_ops];
-    let mut servers: Vec<ServerState> = (0..net.num_servers())
+    let mut servers: Vec<ServerState> = (0..n_servers)
         .map(|_| ServerState {
             queue: VecDeque::new(),
             busy: false,
         })
         .collect();
-    let mut server_busy = vec![0.0f64; net.num_servers()];
+    let mut server_busy = vec![0.0f64; n_servers];
     let mut bus_free = 0.0f64;
     let mut messages_sent = 0usize;
     let mut bytes_sent = 0.0f64;
@@ -193,6 +291,27 @@ fn run(
     let mut ops_executed = 0usize;
     // When an op became ready, for FIFO queue-wait accounting.
     let mut ready_time = vec![0.0f64; n_ops];
+
+    // Dynamic-environment state. For a static run (empty timeline) every
+    // factor stays exactly 1.0 and every server stays up, so each use
+    // below is an IEEE identity and the run is bit-identical to the
+    // pre-dynamic engine.
+    let mut up = vec![true; n_servers];
+    let mut slow = vec![1.0f64; n_servers];
+    let mut link_f = vec![1.0f64; net.num_links()];
+    let mut surge = 1.0f64;
+    // The service attempt each scheduled finish belongs to; crashes bump
+    // the epoch to cancel in-flight finishes.
+    let mut finish_epoch = vec![0u32; n_ops];
+    // Committed service duration of the current attempt, charged to the
+    // server when (and only when) the attempt completes.
+    let mut service_dur = vec![0.0f64; n_ops];
+    // FIFO: the op in service per server. Non-FIFO: all in-service ops
+    // per server, in start order; plus ops stalled on a downed server.
+    let mut running_fifo: Vec<Option<OpId>> = vec![None; n_servers];
+    let mut running: Vec<Vec<OpId>> = vec![Vec::new(); n_servers];
+    let mut stalled: Vec<Vec<OpId>> = vec![Vec::new(); n_servers];
+    let mut faults_applied = 0u64;
 
     // Observability: batch into run-locals, flush once after the loop.
     let obs = wsflow_obs::enabled();
@@ -211,6 +330,13 @@ fn run(
     assert_eq!(sinks.len(), 1, "problems guarantee a single sink");
     let sink = sinks[0];
 
+    // Schedule the whole timeline up front. At equal times environment
+    // events fire before workflow events (lower seq); an empty timeline
+    // pushes nothing, leaving every seq identical to a static run.
+    for (i, te) in timeline.events().iter().enumerate() {
+        push(&mut heap, &mut seq, te.at.value(), Action::Env(i as u32));
+    }
+
     fired[source.index()] = true;
     push(&mut heap, &mut seq, 0.0, Action::Ready(source));
 
@@ -226,42 +352,55 @@ fn run(
                     if obs {
                         queue_depth_hist.record(state.queue.len() as f64);
                     }
-                    if !state.busy {
+                    if !state.busy && up[s.index()] {
                         let next = state.queue.pop_front().expect("just pushed");
                         state.busy = true;
-                        if let Some(t) = trace.as_deref_mut() {
-                            t.record(
-                                time,
-                                TraceKind::OpStarted {
-                                    op: next,
-                                    server: s,
-                                },
-                            );
-                        }
-                        push(
+                        running_fifo[s.index()] = Some(next);
+                        let dur = tproc(next) * (slow[s.index()] * surge);
+                        begin_service(
                             &mut heap,
                             &mut seq,
-                            time + tproc(next),
-                            Action::Finish(next),
+                            &mut trace,
+                            &mut service_dur,
+                            &finish_epoch,
+                            next,
+                            s,
+                            time,
+                            dur,
                         );
                     }
+                } else if up[s.index()] {
+                    running[s.index()].push(op);
+                    let dur = tproc(op) * (slow[s.index()] * surge);
+                    begin_service(
+                        &mut heap,
+                        &mut seq,
+                        &mut trace,
+                        &mut service_dur,
+                        &finish_epoch,
+                        op,
+                        s,
+                        time,
+                        dur,
+                    );
                 } else {
-                    if let Some(t) = trace.as_deref_mut() {
-                        t.record(time, TraceKind::OpStarted { op, server: s });
-                    }
-                    push(&mut heap, &mut seq, time + tproc(op), Action::Finish(op));
+                    stalled[s.index()].push(op);
                 }
             }
-            Action::Finish(op) => {
+            Action::Finish { op, epoch } => {
+                if epoch != finish_epoch[op.index()] {
+                    continue; // attempt aborted by a crash
+                }
                 let s = mapping.server_of(op);
                 finished[op.index()] = true;
                 finish_time[op.index()] = time;
-                server_busy[s.index()] += tproc(op);
+                server_busy[s.index()] += service_dur[op.index()];
                 ops_executed += 1;
                 if let Some(t) = trace.as_deref_mut() {
                     t.record(time, TraceKind::OpFinished { op, server: s });
                 }
                 if config.server_fifo {
+                    running_fifo[s.index()] = None;
                     let state = &mut servers[s.index()];
                     if let Some(next) = state.queue.pop_front() {
                         // Popped at a finish event, so `next` sat queued
@@ -282,24 +421,24 @@ fn run(
                                 );
                             }
                         }
-                        if let Some(t) = trace.as_deref_mut() {
-                            t.record(
-                                time,
-                                TraceKind::OpStarted {
-                                    op: next,
-                                    server: s,
-                                },
-                            );
-                        }
-                        push(
+                        running_fifo[s.index()] = Some(next);
+                        let dur = tproc(next) * (slow[s.index()] * surge);
+                        begin_service(
                             &mut heap,
                             &mut seq,
-                            time + tproc(next),
-                            Action::Finish(next),
+                            &mut trace,
+                            &mut service_dur,
+                            &finish_epoch,
+                            next,
+                            s,
+                            time,
+                            dur,
                         );
                     } else {
                         state.busy = false;
                     }
+                } else if let Some(pos) = running[s.index()].iter().position(|&o| o == op) {
+                    running[s.index()].remove(pos);
                 }
                 // Dispatch outgoing messages.
                 let out = w.out_msgs(op);
@@ -346,15 +485,32 @@ fn run(
                                         }
                                     }
                                 }
-                                bus_free = start + (msg.size / speed).value();
+                                let degrade = net
+                                    .find_link(from, to)
+                                    .map(|l| link_f[l.index()])
+                                    .unwrap_or(1.0);
+                                bus_free = start + (msg.size / speed).value() * degrade;
                                 bus_free
                             }
                             _ => {
-                                time + problem
+                                // The static fold of `Path::transfer_time`
+                                // with each link's transmission term
+                                // stretched by its current degradation
+                                // factor (×1.0 when nominal — exact).
+                                let path = problem
                                     .routing()
-                                    .transfer_time(net, from, to, msg.size)
-                                    .expect("problem networks are fully routable")
-                                    .value()
+                                    .path(from, to)
+                                    .expect("problem networks are fully routable");
+                                let t: Seconds = path
+                                    .links
+                                    .iter()
+                                    .map(|&l| {
+                                        let link = net.link(l);
+                                        (msg.size / link.speed) * link_f[l.index()]
+                                            + link.propagation
+                                    })
+                                    .sum();
+                                time + t.value()
                             }
                         }
                     };
@@ -383,22 +539,128 @@ fn run(
                     push(&mut heap, &mut seq, time, Action::Ready(target));
                 }
             }
+            Action::Env(idx) => {
+                let event = timeline.events()[idx as usize].event;
+                faults_applied += 1;
+                if let Some(t) = trace.as_deref_mut() {
+                    t.record(time, TraceKind::Fault { event });
+                }
+                match event {
+                    EnvEvent::ServerCrash { server } if server.index() < n_servers => {
+                        up[server.index()] = false;
+                        if config.server_fifo {
+                            // The in-service op loses its partial work and
+                            // goes back to the head of the queue.
+                            if let Some(r) = running_fifo[server.index()].take() {
+                                finish_epoch[r.index()] += 1;
+                                ready_time[r.index()] = time;
+                                let state = &mut servers[server.index()];
+                                state.queue.push_front(r);
+                                state.busy = false;
+                            }
+                        } else {
+                            for r in std::mem::take(&mut running[server.index()]) {
+                                finish_epoch[r.index()] += 1;
+                                stalled[server.index()].push(r);
+                            }
+                        }
+                    }
+                    EnvEvent::ServerRecover { server } if server.index() < n_servers => {
+                        up[server.index()] = true;
+                        if config.server_fifo {
+                            let state = &mut servers[server.index()];
+                            if !state.busy {
+                                if let Some(next) = state.queue.pop_front() {
+                                    let waited = time - ready_time[next.index()];
+                                    if waited > 0.0 {
+                                        if obs {
+                                            queue_wait_hist.record(waited);
+                                        }
+                                        if let Some(t) = trace.as_deref_mut() {
+                                            t.record(
+                                                time,
+                                                TraceKind::QueueWait {
+                                                    op: next,
+                                                    server,
+                                                    waited: Seconds(waited),
+                                                },
+                                            );
+                                        }
+                                    }
+                                    state.busy = true;
+                                    running_fifo[server.index()] = Some(next);
+                                    let dur = tproc(next) * (slow[server.index()] * surge);
+                                    begin_service(
+                                        &mut heap,
+                                        &mut seq,
+                                        &mut trace,
+                                        &mut service_dur,
+                                        &finish_epoch,
+                                        next,
+                                        server,
+                                        time,
+                                        dur,
+                                    );
+                                }
+                            }
+                        } else {
+                            for op in std::mem::take(&mut stalled[server.index()]) {
+                                running[server.index()].push(op);
+                                let dur = tproc(op) * (slow[server.index()] * surge);
+                                begin_service(
+                                    &mut heap,
+                                    &mut seq,
+                                    &mut trace,
+                                    &mut service_dur,
+                                    &finish_epoch,
+                                    op,
+                                    server,
+                                    time,
+                                    dur,
+                                );
+                            }
+                        }
+                    }
+                    EnvEvent::ServerSlowdown { server, factor } if server.index() < n_servers => {
+                        slow[server.index()] = factor;
+                    }
+                    EnvEvent::LinkDegrade { link, factor } if link.index() < link_f.len() => {
+                        link_f[link.index()] = factor;
+                    }
+                    EnvEvent::LinkRestore { link } if link.index() < link_f.len() => {
+                        link_f[link.index()] = 1.0;
+                    }
+                    EnvEvent::LoadSurge { factor } => surge = factor,
+                    // Events addressing out-of-range servers/links are
+                    // recorded but have no effect.
+                    _ => {}
+                }
+            }
         }
     }
 
+    // Statically the sink always completes; dynamically a crash with no
+    // recovery legitimately stalls it forever, reported as +∞.
     assert!(
-        finished[sink.index()],
+        finished[sink.index()] || !timeline.is_empty(),
         "sink never completed — ill-formed workflow slipped through validation"
     );
+    let completion = if finished[sink.index()] {
+        finish_time[sink.index()]
+    } else {
+        f64::INFINITY
+    };
     if obs {
         wsflow_obs::counter_add("sim.runs", 1);
         wsflow_obs::counter_add("sim.events", events_processed);
         wsflow_obs::counter_add("sim.messages_sent", messages_sent as u64);
+        if faults_applied > 0 {
+            wsflow_obs::counter_add("sim.faults_applied", faults_applied);
+        }
         wsflow_obs::merge_histogram("sim.queue_depth", &queue_depth_hist);
         wsflow_obs::merge_histogram("sim.queue_wait_secs", &queue_wait_hist);
         wsflow_obs::merge_histogram("sim.link_busy_secs", &link_busy_hist);
-        let completion = finish_time[sink.index()];
-        if completion > 0.0 {
+        if completion > 0.0 && completion.is_finite() {
             let mut util = wsflow_obs::LocalHistogram::new();
             for &busy in &server_busy {
                 util.record(busy / completion);
@@ -407,7 +669,7 @@ fn run(
         }
     }
     SimOutcome {
-        completion: Seconds(finish_time[sink.index()]),
+        completion: Seconds(completion),
         server_busy: server_busy.into_iter().map(Seconds).collect(),
         messages_sent,
         bytes_sent: Mbits(bytes_sent),
@@ -725,6 +987,228 @@ mod tests {
         assert!(snap.histogram("sim.queue_wait_secs").unwrap().count > 0);
         assert!(snap.histogram("sim.link_busy_secs").unwrap().count > 0);
         assert!(snap.histogram("sim.server_utilization").unwrap().count > 0);
+    }
+
+    use wsflow_model::units::Seconds as Secs;
+    use wsflow_net::dynamics::TimedEvent;
+
+    fn single_op_problem() -> (Problem, Mapping) {
+        let mut b = WorkflowBuilder::new("w");
+        b.line("o", &[MCycles(10.0)], Mbits::ZERO);
+        let p = bus_problem(b.build().unwrap(), 2, 10.0);
+        let m = Mapping::all_on(1, ServerId::new(0));
+        (p, m)
+    }
+
+    /// Crash at 5 ms mid-service, recover at 20 ms: the 10 ms op loses
+    /// its partial work and reruns from scratch, finishing at 30 ms.
+    #[test]
+    fn crash_stalls_and_recovery_restarts_from_scratch() {
+        let (p, m) = single_op_problem();
+        let timeline = Timeline::new(vec![
+            TimedEvent {
+                at: Secs(0.005),
+                event: EnvEvent::ServerCrash {
+                    server: ServerId::new(0),
+                },
+            },
+            TimedEvent {
+                at: Secs(0.020),
+                event: EnvEvent::ServerRecover {
+                    server: ServerId::new(0),
+                },
+            },
+        ])
+        .unwrap();
+        for config in [SimConfig::ideal(), SimConfig::contended()] {
+            let out = simulate_dynamic(&p, &m, config, &timeline, &mut rng(0));
+            assert!(
+                (out.completion.value() - 0.030).abs() < 1e-12,
+                "{config:?}: completion {}",
+                out.completion
+            );
+            assert_eq!(out.ops_executed, 1);
+            // Only the completed attempt is charged to the server.
+            assert!((out.server_busy[0].value() - 0.010).abs() < 1e-12);
+        }
+    }
+
+    /// A crash that never recovers stalls the sink forever.
+    #[test]
+    fn unrecovered_crash_reports_infinite_completion() {
+        let (p, m) = single_op_problem();
+        let timeline = Timeline::new(vec![TimedEvent {
+            at: Secs(0.005),
+            event: EnvEvent::ServerCrash {
+                server: ServerId::new(0),
+            },
+        }])
+        .unwrap();
+        let out = simulate_dynamic(&p, &m, SimConfig::contended(), &timeline, &mut rng(0));
+        assert!(out.completion.value().is_infinite());
+        assert_eq!(out.ops_executed, 0);
+    }
+
+    /// Slowdowns and surges stretch the processing of ops started after
+    /// the event; restores (factor 1.0) return to nominal.
+    #[test]
+    fn slowdown_and_surge_stretch_processing() {
+        let mut b = WorkflowBuilder::new("w");
+        b.line("o", &[MCycles(10.0), MCycles(10.0)], Mbits::ZERO);
+        let p = bus_problem(b.build().unwrap(), 2, 10.0);
+        let m = Mapping::all_on(2, ServerId::new(0));
+        // Slowdown x2 from the start, restored at 15 ms: first op takes
+        // 20 ms, second (starting at 20 ms > 15 ms) runs nominal 10 ms.
+        let timeline = Timeline::new(vec![
+            TimedEvent {
+                at: Secs(0.0),
+                event: EnvEvent::ServerSlowdown {
+                    server: ServerId::new(0),
+                    factor: 2.0,
+                },
+            },
+            TimedEvent {
+                at: Secs(0.015),
+                event: EnvEvent::ServerSlowdown {
+                    server: ServerId::new(0),
+                    factor: 1.0,
+                },
+            },
+        ])
+        .unwrap();
+        let out = simulate_dynamic(&p, &m, SimConfig::ideal(), &timeline, &mut rng(0));
+        assert!(
+            (out.completion.value() - 0.030).abs() < 1e-12,
+            "completion {}",
+            out.completion
+        );
+        // A global surge behaves the same for a single-server mapping.
+        let surge = Timeline::new(vec![TimedEvent {
+            at: Secs(0.0),
+            event: EnvEvent::LoadSurge { factor: 3.0 },
+        }])
+        .unwrap();
+        let out = simulate_dynamic(&p, &m, SimConfig::ideal(), &surge, &mut rng(0));
+        assert!((out.completion.value() - 0.060).abs() < 1e-12);
+    }
+
+    /// Degrading the link stretches messages sent after the event, in
+    /// both the routed and the serialised-bus model.
+    #[test]
+    fn degraded_link_stretches_transfers() {
+        let mut b = WorkflowBuilder::new("w");
+        b.line("o", &[MCycles(10.0), MCycles(10.0)], Mbits(0.5));
+        let p = bus_problem(b.build().unwrap(), 2, 10.0);
+        let m = Mapping::from_fn(2, |o| ServerId::new(o.0 % 2));
+        let link = p
+            .network()
+            .find_link(ServerId::new(0), ServerId::new(1))
+            .unwrap();
+        let nominal = simulate(&p, &m, SimConfig::ideal(), &mut rng(0));
+        // 10 ms proc + 50 ms transfer + 10 ms proc.
+        assert!((nominal.completion.value() - 0.070).abs() < 1e-12);
+        let timeline = Timeline::new(vec![TimedEvent {
+            at: Secs(0.0),
+            event: EnvEvent::LinkDegrade { link, factor: 2.0 },
+        }])
+        .unwrap();
+        for config in [SimConfig::ideal(), SimConfig::contended()] {
+            let out = simulate_dynamic(&p, &m, config, &timeline, &mut rng(0));
+            assert!(
+                (out.completion.value() - 0.120).abs() < 1e-12,
+                "{config:?}: completion {}",
+                out.completion
+            );
+        }
+        // Restoring before the send returns to the nominal transfer.
+        let restored = Timeline::new(vec![
+            TimedEvent {
+                at: Secs(0.0),
+                event: EnvEvent::LinkDegrade { link, factor: 2.0 },
+            },
+            TimedEvent {
+                at: Secs(0.005),
+                event: EnvEvent::LinkRestore { link },
+            },
+        ])
+        .unwrap();
+        let out = simulate_dynamic(&p, &m, SimConfig::ideal(), &restored, &mut rng(0));
+        assert_eq!(out.completion, nominal.completion);
+    }
+
+    /// Satellite: same seed + same timeline ⇒ identical outcome and
+    /// byte-identical trace, fault events included (the dynamic mirror
+    /// of `contended_trace_records_waits_and_is_seed_deterministic`).
+    #[test]
+    fn fault_trace_is_seed_and_timeline_deterministic() {
+        let (p, m) = contended_problem_and_mapping();
+        let link = p
+            .network()
+            .find_link(ServerId::new(0), ServerId::new(1))
+            .unwrap();
+        let timeline = Timeline::new(vec![
+            TimedEvent {
+                at: Secs(0.001),
+                event: EnvEvent::LinkDegrade { link, factor: 4.0 },
+            },
+            TimedEvent {
+                at: Secs(0.010),
+                event: EnvEvent::ServerCrash {
+                    server: ServerId::new(1),
+                },
+            },
+            TimedEvent {
+                at: Secs(0.050),
+                event: EnvEvent::ServerRecover {
+                    server: ServerId::new(1),
+                },
+            },
+            TimedEvent {
+                at: Secs(0.060),
+                event: EnvEvent::LinkRestore { link },
+            },
+        ])
+        .unwrap();
+        let (out_a, tr_a) =
+            simulate_dynamic_traced(&p, &m, SimConfig::contended(), &timeline, &mut rng(3));
+        let (out_b, tr_b) =
+            simulate_dynamic_traced(&p, &m, SimConfig::contended(), &timeline, &mut rng(3));
+        assert_eq!(out_a, out_b);
+        assert_eq!(tr_a, tr_b);
+        let faults = tr_a.filter(|k| matches!(k, TraceKind::Fault { .. }));
+        assert_eq!(faults.len(), 4, "every timeline event is traced");
+        assert!(
+            out_a.completion > simulate(&p, &m, SimConfig::contended(), &mut rng(3)).completion
+        );
+        let rendered = tr_a.render(p.workflow(), p.network());
+        assert!(rendered.contains("fault  degrade"), "{rendered}");
+        assert!(rendered.contains("fault  crash"), "{rendered}");
+    }
+
+    /// The empty timeline is the static simulator, bit for bit: same
+    /// outcome floats, same trace, across configs and stochastic
+    /// workflows.
+    #[test]
+    fn empty_timeline_is_bit_identical_to_static() {
+        let spec = BlockSpec::xor_uniform(
+            "x",
+            vec![
+                BlockSpec::op("l", MCycles(10.0)),
+                BlockSpec::op("r", MCycles(50.0)),
+            ],
+        );
+        let w = spec.lower("w", &mut || Mbits(0.3)).unwrap();
+        let p = bus_problem(w, 2, 10.0);
+        let m = Mapping::from_fn(4, |o| ServerId::new(o.0 % 2));
+        for seed in 0..5 {
+            for config in [SimConfig::ideal(), SimConfig::contended()] {
+                let (st, st_tr) = simulate_traced(&p, &m, config, &mut rng(seed));
+                let (dy, dy_tr) =
+                    simulate_dynamic_traced(&p, &m, config, &Timeline::EMPTY, &mut rng(seed));
+                assert_eq!(st, dy, "seed {seed} {config:?}");
+                assert_eq!(st_tr, dy_tr, "seed {seed} {config:?}");
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //! * quantify what the analytic model misses under contention
 //!   ([`SimConfig::contended`]),
 //! * estimate XOR probabilities from "monitored" executions
-//!   ([`BranchEstimates`]), the paper's §3.4 deployment input.
+//!   ([`BranchEstimates`]), the paper's §3.4 deployment input,
+//! * replay environment fault timelines mid-run ([`simulate_dynamic`]):
+//!   crashed servers stall their operations, degraded links stretch
+//!   transfers — the substrate of the `wsflow-dyn` control loop.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -25,7 +28,9 @@ pub mod monte_carlo;
 pub mod open_loop;
 pub mod trace;
 
-pub use engine::{simulate, simulate_traced, SimConfig, SimOutcome};
+pub use engine::{
+    simulate, simulate_dynamic, simulate_dynamic_traced, simulate_traced, SimConfig, SimOutcome,
+};
 pub use estimate::BranchEstimates;
 pub use monte_carlo::{run as monte_carlo, MonteCarloResult, SampleStats};
 pub use open_loop::{open_loop, OpenLoopConfig, OpenLoopResult};

@@ -4,7 +4,7 @@
 use std::fmt;
 
 use wsflow_model::{MsgId, OpId, Seconds};
-use wsflow_net::{LinkId, ServerId};
+use wsflow_net::{EnvEvent, LinkId, ServerId};
 
 /// One traced event.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +70,13 @@ pub enum TraceKind {
         link: LinkId,
         /// How long the message waited for the medium.
         waited: Seconds,
+    },
+    /// An environment event from the run's timeline was applied mid-run
+    /// (only dynamic runs — [`simulate_dynamic`](crate::simulate_dynamic)
+    /// — ever record these).
+    Fault {
+        /// The applied event.
+        event: EnvEvent,
     },
 }
 
@@ -183,6 +190,9 @@ impl ExecutionTrace {
                         network.server(l.a).name,
                         network.server(l.b).name
                     );
+                }
+                TraceKind::Fault { event } => {
+                    let _ = writeln!(out, "fault  {event}");
                 }
             }
         }

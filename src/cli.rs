@@ -58,6 +58,7 @@ USAGE:
   wsflow simulate <workflow.wsf> --servers GHZ[,GHZ…] [--bus MBPS] [--algo NAME]
                   [--trials K] [--contended]
   wsflow explain  <workflow.wsf> --servers GHZ[,GHZ…] [--bus MBPS] [--algo NAME]
+  wsflow dynamic  [--quick] [--seeds N] [--ops M] [--workers W] [--out DIR]
   wsflow report   <manifest.json | results-dir>
 
 Workflow files use the line-oriented text format (see `wsflow::model::dsl`).
@@ -401,6 +402,20 @@ pub fn cmd_explain(path: &str, flags: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `wsflow dynamic [--quick] …`: run the dynamic-environment policy
+/// experiment (seeded fault injection × re-deployment policies).
+///
+/// Accepts the experiment-harness flags; summary tables come back as
+/// the command output while `dyn_policies.csv`, per-table CSVs and the
+/// run manifest are written to the output directory (default
+/// `results/`).
+pub fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
+    let opts = wsflow_harness::cli::parse(args.iter().cloned()).map_err(CliError::Usage)?;
+    let (_, rendered) =
+        wsflow_harness::cli::run_one_captured(&opts, wsflow_harness::dyn_policies::run);
+    Ok(rendered)
+}
+
 /// `wsflow report <manifest.json | results-dir>`: pretty-print run
 /// manifests written by the experiment harness.
 ///
@@ -513,6 +528,7 @@ fn dispatch_command(args: &[String]) -> Result<String, CliError> {
                 .ok_or_else(|| CliError::Usage("explain needs a workflow file".into()))?;
             cmd_explain(path, &rest[1..])
         }
+        "dynamic" => cmd_dynamic(rest),
         "report" => {
             let path = rest.first().ok_or_else(|| {
                 CliError::Usage("report needs a manifest.json or results directory".into())
@@ -756,6 +772,36 @@ mod tests {
         assert!(out.contains("# metrics"));
         assert!(out.contains("\"name\":\"exhaustive.nodes_expanded\""));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn dynamic_runs_quick_and_writes_outputs() {
+        let _guard = wsflow_obs::registry::test_lock();
+        wsflow_obs::set_enabled(false);
+        wsflow_obs::reset();
+        let dir = std::env::temp_dir().join(format!("wsflow-dynamic-test-{}", std::process::id()));
+        let out = cmd_dynamic(&strs(&[
+            "--quick",
+            "--seeds",
+            "2",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("Dynamic policies"));
+        assert!(out.contains("incremental_repair"));
+        let csv = std::fs::read_to_string(dir.join("dyn_policies.csv")).unwrap();
+        assert!(csv.starts_with("scenario,seed,fault_rate,policy"));
+        assert!(dir.join("dyn_policies_manifest.json").is_file());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dynamic_rejects_unknown_flags() {
+        assert!(matches!(
+            cmd_dynamic(&strs(&["--bogus"])).unwrap_err(),
+            CliError::Usage(_)
+        ));
     }
 
     #[test]

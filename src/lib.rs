@@ -22,6 +22,9 @@
 //!   contention studies.
 //! * [`workload`] — the §4.1 experiment classes and random workflow
 //!   generators (bushy/lengthy/hybrid).
+//! * [`dynamic`] — dynamic environments: seeded fault injection and the
+//!   online re-deployment controller (Static / FullResolve /
+//!   IncrementalRepair / ThresholdTriggered policies).
 //! * [`harness`] — runners that regenerate every table and figure in
 //!   the paper's evaluation.
 //!
@@ -55,6 +58,7 @@ pub mod cli;
 
 pub use wsflow_core as core;
 pub use wsflow_cost as cost;
+pub use wsflow_dyn as dynamic;
 pub use wsflow_harness as harness;
 pub use wsflow_model as model;
 pub use wsflow_net as net;
