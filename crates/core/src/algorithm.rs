@@ -4,6 +4,8 @@ use std::fmt;
 
 use wsflow_cost::{Mapping, Problem};
 
+use crate::solve::{SolveCtx, SolveOutcome};
+
 /// Why an algorithm could not produce a mapping.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DeployError {
@@ -59,12 +61,29 @@ impl std::error::Error for DeployError {}
 /// Implementations must be deterministic for a fixed configuration
 /// (randomised algorithms take an explicit seed), so experiments are
 /// reproducible.
+///
+/// The primary entry point is the anytime [`solve`](Self::solve): it
+/// threads a [`SolveCtx`] (step budget, cancel token, incumbent) through
+/// the search and reports how the run ended. The classic blocking
+/// [`deploy`](Self::deploy) is a default-method shim — `solve` under an
+/// unlimited budget — kept for callers that only want the mapping.
 pub trait DeploymentAlgorithm {
     /// Short name used in experiment tables (e.g. `"FairLoad"`).
     fn name(&self) -> &str;
 
-    /// Compute a deployment for the given problem.
-    fn deploy(&self, problem: &Problem) -> Result<Mapping, DeployError>;
+    /// Anytime solve: search under `ctx`'s budget/cancellation, return
+    /// the best incumbent and the termination reason. Budgets count
+    /// *logical steps* (probes/nodes/samples), so a fixed budget stops
+    /// the search at the same point on every run regardless of thread
+    /// count or machine speed.
+    fn solve(&self, problem: &Problem, ctx: &mut SolveCtx<'_>)
+        -> Result<SolveOutcome, DeployError>;
+
+    /// Compute a deployment for the given problem, running the search
+    /// to convergence (an unlimited [`solve`](Self::solve)).
+    fn deploy(&self, problem: &Problem) -> Result<Mapping, DeployError> {
+        Ok(self.solve(problem, &mut SolveCtx::unlimited())?.mapping)
+    }
 }
 
 impl fmt::Debug for dyn DeploymentAlgorithm + '_ {
@@ -77,6 +96,13 @@ impl<T: DeploymentAlgorithm + ?Sized> DeploymentAlgorithm for &T {
     fn name(&self) -> &str {
         (**self).name()
     }
+    fn solve(
+        &self,
+        problem: &Problem,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveOutcome, DeployError> {
+        (**self).solve(problem, ctx)
+    }
     fn deploy(&self, problem: &Problem) -> Result<Mapping, DeployError> {
         (**self).deploy(problem)
     }
@@ -85,6 +111,13 @@ impl<T: DeploymentAlgorithm + ?Sized> DeploymentAlgorithm for &T {
 impl<T: DeploymentAlgorithm + ?Sized> DeploymentAlgorithm for Box<T> {
     fn name(&self) -> &str {
         (**self).name()
+    }
+    fn solve(
+        &self,
+        problem: &Problem,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveOutcome, DeployError> {
+        (**self).solve(problem, ctx)
     }
     fn deploy(&self, problem: &Problem) -> Result<Mapping, DeployError> {
         (**self).deploy(problem)

@@ -13,6 +13,7 @@ use wsflow_cost::{Evaluator, Mapping, Problem};
 use wsflow_net::ServerId;
 
 use crate::algorithm::{DeployError, DeploymentAlgorithm};
+use crate::solve::{constructive_outcome, SolveCtx, SolveOutcome};
 
 /// A uniformly random mapping (deterministic per seed).
 #[derive(Debug, Clone)]
@@ -40,9 +41,19 @@ impl DeploymentAlgorithm for RandomMapping {
         "Random"
     }
 
-    fn deploy(&self, problem: &Problem) -> Result<Mapping, DeployError> {
+    fn solve(
+        &self,
+        problem: &Problem,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveOutcome, DeployError> {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
-        Ok(Self::draw(problem, &mut rng))
+        let mapping = Self::draw(problem, &mut rng);
+        Ok(constructive_outcome(
+            problem,
+            ctx,
+            mapping,
+            problem.num_ops() as u64,
+        ))
     }
 }
 
@@ -69,20 +80,35 @@ impl DeploymentAlgorithm for BestOfRandom {
         "BestOfRandom"
     }
 
-    fn deploy(&self, problem: &Problem) -> Result<Mapping, DeployError> {
+    fn solve(
+        &self,
+        problem: &Problem,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveOutcome, DeployError> {
+        let mark = ctx.mark();
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let mut ev = Evaluator::new(problem);
+        // The first sample is unconditional: even a zero budget returns
+        // a valid mapping (the incumbent guarantee).
         let mut best = RandomMapping::draw(problem, &mut rng);
         let mut best_cost = ev.combined(&best);
-        for _ in 1..self.samples.max(1) {
+        ctx.charge(1);
+        ctx.offer(&best, best_cost.value());
+        let mut drawn = 1usize;
+        // One logical step per sample: a budget of B draws at most B
+        // samples, so the stopping point is seed-deterministic.
+        while drawn < self.samples.max(1) && ctx.try_charge(1) {
             let candidate = RandomMapping::draw(problem, &mut rng);
             let cost = ev.combined(&candidate);
+            drawn += 1;
             if cost < best_cost {
                 best_cost = cost;
                 best = candidate;
+                ctx.offer(&best, best_cost.value());
             }
         }
-        Ok(best)
+        let converged = drawn >= self.samples.max(1);
+        Ok(ctx.finish(mark, best, best_cost.value(), converged))
     }
 }
 
@@ -95,11 +121,19 @@ impl DeploymentAlgorithm for RoundRobin {
         "RoundRobin"
     }
 
-    fn deploy(&self, problem: &Problem) -> Result<Mapping, DeployError> {
+    fn solve(
+        &self,
+        problem: &Problem,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveOutcome, DeployError> {
         let n = problem.num_servers() as u32;
-        Ok(Mapping::from_fn(problem.num_ops(), |o| {
-            ServerId::new(o.0 % n)
-        }))
+        let mapping = Mapping::from_fn(problem.num_ops(), |o| ServerId::new(o.0 % n));
+        Ok(constructive_outcome(
+            problem,
+            ctx,
+            mapping,
+            problem.num_ops() as u64,
+        ))
     }
 }
 
@@ -113,7 +147,11 @@ impl DeploymentAlgorithm for AllOnFastest {
         "AllOnFastest"
     }
 
-    fn deploy(&self, problem: &Problem) -> Result<Mapping, DeployError> {
+    fn solve(
+        &self,
+        problem: &Problem,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveOutcome, DeployError> {
         let best = problem
             .network()
             .server_ids()
@@ -127,7 +165,13 @@ impl DeploymentAlgorithm for AllOnFastest {
                     .then_with(|| b.cmp(&a)) // prefer lower id on ties
             })
             .expect("networks are non-empty");
-        Ok(Mapping::all_on(problem.num_ops(), best))
+        let mapping = Mapping::all_on(problem.num_ops(), best);
+        Ok(constructive_outcome(
+            problem,
+            ctx,
+            mapping,
+            problem.num_servers() as u64,
+        ))
     }
 }
 

@@ -29,6 +29,7 @@ use crate::algorithm::{DeployError, DeploymentAlgorithm};
 use crate::fair_load::FairLoad;
 use crate::fltr2::FairLoadTieResolver2;
 use crate::holm::HeavyOpsLargeMsgs;
+use crate::solve::{CancelToken, SolveCtx, SolveOutcome};
 
 /// Branch-and-bound deployment search.
 ///
@@ -107,21 +108,7 @@ impl BranchAndBound {
     fn deploy_with_proof_inner(&self, problem: &Problem) -> BnbOutcome {
         let mut ctx = Search::new(problem);
         // Incumbent: best greedy mapping.
-        let seeds: [&dyn DeploymentAlgorithm; 3] = [
-            &FairLoad,
-            &FairLoadTieResolver2 { seed: 0 },
-            &HeavyOpsLargeMsgs,
-        ];
-        let mut best: Option<(Mapping, f64)> = None;
-        for algo in seeds {
-            if let Ok(m) = algo.deploy(problem) {
-                let c = ctx.ev.combined(&m).value();
-                if best.as_ref().map(|(_, bc)| c < *bc).unwrap_or(true) {
-                    best = Some((m, c));
-                }
-            }
-        }
-        let (seed_mapping, seed_cost) = best.expect("greedy seeds always produce mappings");
+        let (seed_mapping, seed_cost) = Self::greedy_seed(problem, &mut ctx.ev);
 
         let workers = match self.workers {
             0 => wsflow_par::num_threads(),
@@ -280,11 +267,124 @@ pub struct BnbOutcome {
     pub incumbent_updates: u64,
 }
 
+impl BranchAndBound {
+    /// The greedy-seeded incumbent shared by both search entry points:
+    /// best of the three construction heuristics.
+    fn greedy_seed(problem: &Problem, ev: &mut Evaluator<'_>) -> (Mapping, f64) {
+        let seeds: [&dyn DeploymentAlgorithm; 3] = [
+            &FairLoad,
+            &FairLoadTieResolver2 { seed: 0 },
+            &HeavyOpsLargeMsgs,
+        ];
+        let mut best: Option<(Mapping, f64)> = None;
+        for algo in seeds {
+            if let Ok(m) = algo.deploy(problem) {
+                let c = ev.combined(&m).value();
+                if best.as_ref().map(|(_, bc)| c < *bc).unwrap_or(true) {
+                    best = Some((m, c));
+                }
+            }
+        }
+        best.expect("greedy seeds always produce mappings")
+    }
+}
+
 impl DeploymentAlgorithm for BranchAndBound {
     fn name(&self) -> &str {
         "BranchAndBound"
     }
 
+    /// Anytime search under `ctx`'s step budget (one step per expanded
+    /// tree node).
+    ///
+    /// Unlike [`deploy_with_proof`](Self::deploy_with_proof), the
+    /// budgeted search does **not** share an incumbent bound across
+    /// subtree workers: how early a shared bound tightens depends on
+    /// thread timing, which would make a budget-limited traversal (and
+    /// therefore the returned incumbent) nondeterministic. Instead the
+    /// remaining budget is split across the `N` *root branches* — a
+    /// structural count, independent of the worker layout — and each
+    /// branch prunes only against its branch-local incumbent. Budgeted
+    /// results are thus bit-identical for any `WSFLOW_THREADS` setting;
+    /// the price is somewhat weaker pruning than the shared-bound search.
+    fn solve(
+        &self,
+        problem: &Problem,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveOutcome, DeployError> {
+        wsflow_obs::span_scope!("bnb.search");
+        let mark = ctx.mark();
+        let mut ev = Evaluator::new(problem);
+        let (seed_mapping, seed_cost) = Self::greedy_seed(problem, &mut ev);
+        ctx.offer(&seed_mapping, seed_cost);
+
+        let n = problem.num_servers();
+        let shares = wsflow_par::split_budget(ctx.remaining(), n);
+        let token = ctx.token();
+        let workers = match self.workers {
+            0 => wsflow_par::num_threads(),
+            w => w,
+        };
+        let seed_ref = &seed_mapping;
+        let shares_ref = &shares;
+        let token_ref = &token;
+        let branches = wsflow_par::parallel_map_with(n, workers, |s| {
+            let mut search = Search::new(problem);
+            let op = search.order[0];
+            let mut partial = vec![ServerId::new(0); problem.num_ops()];
+            let mut assigned = vec![false; problem.num_ops()];
+            partial[op.index()] = ServerId::new(s as u32);
+            assigned[op.index()] = true;
+            let mut local_mapping = seed_ref.clone();
+            let mut local_cost = seed_cost;
+            let mut stats = BnbStats::default();
+            let lb = search.lower_bound(&partial, &assigned);
+            let complete = if lb < local_cost {
+                search.recurse_local(
+                    1,
+                    &mut partial,
+                    &mut assigned,
+                    &mut local_mapping,
+                    &mut local_cost,
+                    &mut stats,
+                    shares_ref[s],
+                    token_ref,
+                )
+            } else {
+                stats.prunes += 1;
+                true
+            };
+            (local_mapping, local_cost, complete, stats)
+        });
+
+        // Merge branch winners in branch order with a strict `<`: the
+        // earliest branch holding the optimum wins, exactly like a
+        // sequential depth-first scan over the whole tree.
+        let mut best_mapping = seed_mapping;
+        let mut best_cost = seed_cost;
+        let mut complete = true;
+        let mut stats = BnbStats::default();
+        for (mapping, cost, branch_complete, branch_stats) in branches {
+            if cost < best_cost {
+                best_cost = cost;
+                best_mapping = mapping;
+            }
+            complete &= branch_complete;
+            stats.absorb(branch_stats);
+        }
+        ctx.charge(stats.nodes);
+        if wsflow_obs::enabled() {
+            wsflow_obs::counter_add("bnb.runs", 1);
+            wsflow_obs::counter_add("bnb.nodes_expanded", stats.nodes);
+            wsflow_obs::counter_add("bnb.prunes", stats.prunes);
+            wsflow_obs::counter_add("bnb.incumbent_updates", stats.incumbent_updates);
+        }
+        Ok(ctx.finish(mark, best_mapping, best_cost, complete))
+    }
+
+    /// Preserves the classic semantics: the configured
+    /// [`node_budget`](Self::node_budget) cap with shared-bound pruning,
+    /// via [`deploy_with_proof`](Self::deploy_with_proof).
     fn deploy(&self, problem: &Problem) -> Result<Mapping, DeployError> {
         Ok(self.deploy_with_proof(problem).mapping)
     }
@@ -425,6 +525,71 @@ impl<'p> Search<'p> {
         complete
     }
 
+    /// Budgeted, shared-nothing variant of [`recurse`](Self::recurse)
+    /// used by the anytime [`solve`](BranchAndBound::solve): pruning is
+    /// against the branch-local incumbent only, and the node budget is
+    /// an `Option` (per-branch share of the context's remaining steps).
+    /// Returns `true` if the subtree was fully explored.
+    ///
+    /// The cancel token is polled every [`CANCEL_POLL_PERIOD`] nodes;
+    /// an early exit reports the subtree as incomplete.
+    #[allow(clippy::too_many_arguments)]
+    fn recurse_local(
+        &mut self,
+        depth: usize,
+        partial: &mut Vec<ServerId>,
+        assigned: &mut Vec<bool>,
+        best_mapping: &mut Mapping,
+        best_cost: &mut f64,
+        stats: &mut BnbStats,
+        budget: Option<u64>,
+        token: &CancelToken,
+    ) -> bool {
+        if let Some(b) = budget {
+            if stats.nodes >= b {
+                return false;
+            }
+        }
+        if stats.nodes.is_multiple_of(CANCEL_POLL_PERIOD) && token.is_cancelled() {
+            return false;
+        }
+        stats.nodes += 1;
+        if depth == self.order.len() {
+            let candidate = Mapping::new(partial.clone());
+            let cost = self.ev.combined(&candidate).value();
+            if cost < *best_cost {
+                *best_cost = cost;
+                *best_mapping = candidate;
+                stats.incumbent_updates += 1;
+            }
+            return true;
+        }
+        let op = self.order[depth];
+        let mut complete = true;
+        for s in 0..self.n as u32 {
+            let server = ServerId::new(s);
+            partial[op.index()] = server;
+            assigned[op.index()] = true;
+            let lb = self.lower_bound(partial, assigned);
+            if lb < *best_cost {
+                complete &= self.recurse_local(
+                    depth + 1,
+                    partial,
+                    assigned,
+                    best_mapping,
+                    best_cost,
+                    stats,
+                    budget,
+                    token,
+                );
+            } else {
+                stats.prunes += 1;
+            }
+            assigned[op.index()] = false;
+        }
+        complete
+    }
+
     fn lower_bound(&self, partial: &[ServerId], assigned: &[bool]) -> f64 {
         let exec = self.execution_bound(partial, assigned);
         let pen = self.penalty_bound(partial, assigned);
@@ -539,6 +704,9 @@ impl<'p> Search<'p> {
         penalty_of(&final_loads)
     }
 }
+
+/// How many tree nodes a branch expands between cancel polls.
+const CANCEL_POLL_PERIOD: u64 = 1024;
 
 fn penalty_of(loads: &[f64]) -> f64 {
     if loads.is_empty() {

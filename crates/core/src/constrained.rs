@@ -12,6 +12,7 @@ use wsflow_model::{OpId, Seconds};
 use wsflow_net::ServerId;
 
 use crate::algorithm::{DeployError, DeploymentAlgorithm};
+use crate::solve::{construction_steps, constructive_outcome, SolveCtx, SolveOutcome};
 
 /// Why constrained deployment failed.
 #[derive(Debug, Clone, PartialEq)]
@@ -172,12 +173,23 @@ impl<A: DeploymentAlgorithm> DeploymentAlgorithm for ConstrainedDeploy<A> {
     /// Trait-compatible entry point: feasible mappings are returned;
     /// infeasibility degrades to the least-violating best effort (use
     /// [`ConstrainedDeploy::deploy_constrained`] to distinguish).
-    fn deploy(&self, problem: &Problem) -> Result<Mapping, DeployError> {
-        match self.deploy_constrained(problem) {
-            Ok(m) => Ok(m),
-            Err(ConstrainedError::Infeasible { best_effort, .. }) => Ok(best_effort),
-            Err(ConstrainedError::Deploy(e)) => Err(e),
-        }
+    ///
+    /// The repair search is atomic — a mapping that merely respects the
+    /// budget but violates user constraints would be worse than useless,
+    /// so the sweeps always run to completion and the whole repair is
+    /// charged as one constructive step block.
+    fn solve(
+        &self,
+        problem: &Problem,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveOutcome, DeployError> {
+        let mapping = match self.deploy_constrained(problem) {
+            Ok(m) => m,
+            Err(ConstrainedError::Infeasible { best_effort, .. }) => best_effort,
+            Err(ConstrainedError::Deploy(e)) => return Err(e),
+        };
+        let steps = construction_steps(problem).saturating_mul(self.max_sweeps.max(1) as u64);
+        Ok(constructive_outcome(problem, ctx, mapping, steps))
     }
 }
 

@@ -20,6 +20,7 @@ use wsflow_model::OpId;
 use wsflow_net::ServerId;
 
 use crate::algorithm::{DeployError, DeploymentAlgorithm};
+use crate::solve::{CancelToken, SolveCtx, SolveOutcome};
 
 /// Default maximum number of mappings [`Exhaustive`] will enumerate.
 pub const DEFAULT_LIMIT: u64 = 10_000_000;
@@ -94,20 +95,35 @@ impl DeploymentAlgorithm for Exhaustive {
         "Exhaustive"
     }
 
-    fn deploy(&self, problem: &Problem) -> Result<Mapping, DeployError> {
+    fn solve(
+        &self,
+        problem: &Problem,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveOutcome, DeployError> {
         let total = checked_space(problem, self.limit)?;
         wsflow_obs::span_scope!("exhaustive.scan");
+        let mark = ctx.mark();
+        // One logical step per enumeration index: a budget of B clamps
+        // the scan to the prefix `[0, min(B, total))`. The prefix is a
+        // property of the index space alone, so splitting it over any
+        // number of workers scans exactly the same set of mappings —
+        // budgeted results stay bit-identical for any `WSFLOW_THREADS`.
+        // Index 0 is always scanned so an incumbent exists at budget 0.
+        let allowed = ctx.remaining().map_or(total, |r| r.min(total)).max(1);
+        let token = ctx.token();
         let workers = self.effective_workers();
-        let ranges = wsflow_par::split_ranges(total as usize, workers);
+        let ranges = wsflow_par::split_ranges(allowed as usize, workers);
         let locals = wsflow_par::parallel_map_with(ranges.len(), workers, |w| {
             let r = &ranges[w];
-            scan_range(problem, r.start as u64, r.end as u64)
+            scan_range(problem, r.start as u64, r.end as u64, &token)
         });
+        ctx.charge(allowed);
         if wsflow_obs::enabled() {
-            // Every index in the space is evaluated exactly once, so the
-            // node count is the space size — flushed once, not per node.
+            // Every index in the scanned prefix is evaluated exactly
+            // once, so the node count is the prefix size — flushed once,
+            // not per node.
             wsflow_obs::counter_add("exhaustive.runs", 1);
-            wsflow_obs::counter_add("exhaustive.nodes_expanded", total);
+            wsflow_obs::counter_add("exhaustive.nodes_expanded", allowed);
         }
         // Merge in range order with a strict `<`: ties resolve to the
         // smallest enumeration index, exactly like a sequential scan.
@@ -117,7 +133,8 @@ impl DeploymentAlgorithm for Exhaustive {
                 best = Some((mapping, cost));
             }
         }
-        Ok(best.expect("non-empty search space").0)
+        let (mapping, cost) = best.expect("non-empty search space");
+        Ok(ctx.finish(mark, mapping, cost, allowed == total))
     }
 }
 
@@ -165,7 +182,17 @@ fn increment(digits: &mut [u32], mapping: &mut Mapping, n: u32) -> bool {
 
 /// Scan enumeration indices `[start, end)`, returning the best mapping
 /// and cost (ties to the smallest index), or `None` for an empty range.
-fn scan_range(problem: &Problem, start: u64, end: u64) -> Option<(Mapping, f64)> {
+///
+/// The cancel token is polled every [`CANCEL_POLL_PERIOD`] indices;
+/// an early exit returns the best of the prefix scanned so far. (A
+/// cancelled scan is therefore timing-dependent, unlike a budgeted one
+/// — cancellation is a best-effort bail-out, not a reproducible cut.)
+fn scan_range(
+    problem: &Problem,
+    start: u64,
+    end: u64,
+    token: &CancelToken,
+) -> Option<(Mapping, f64)> {
     if start >= end {
         return None;
     }
@@ -175,7 +202,10 @@ fn scan_range(problem: &Problem, start: u64, end: u64) -> Option<(Mapping, f64)>
     let (mut digits, mut current) = decode_index(start, m, n as u64);
     let mut best = current.clone();
     let mut best_cost = ev.combined(&current).value();
-    for _ in start + 1..end {
+    for idx in start + 1..end {
+        if (idx - start).is_multiple_of(CANCEL_POLL_PERIOD) && token.is_cancelled() {
+            break;
+        }
         let more = increment(&mut digits, &mut current, n);
         debug_assert!(more, "range end exceeds the search space");
         let cost = ev.combined(&current).value();
@@ -186,6 +216,10 @@ fn scan_range(problem: &Problem, start: u64, end: u64) -> Option<(Mapping, f64)>
     }
     Some((best, best_cost))
 }
+
+/// How many enumeration indices a scan batch processes between cancel
+/// polls.
+const CANCEL_POLL_PERIOD: u64 = 4096;
 
 /// Exhaustively enumerate and also report the optimum cost (convenience
 /// for the quality study and for tests that compare heuristics to the

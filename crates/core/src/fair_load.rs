@@ -16,6 +16,7 @@ use wsflow_model::{MCycles, OpId};
 use wsflow_net::ServerId;
 
 use crate::algorithm::{DeployError, DeploymentAlgorithm};
+use crate::solve::{construction_steps, constructive_outcome, SolveCtx, SolveOutcome};
 use crate::view::InstanceView;
 
 /// Operations sorted by descending (weighted) cycles, ties by id — the
@@ -65,12 +66,8 @@ pub(crate) fn neediest_server(remaining: &[MCycles]) -> ServerId {
 #[derive(Debug, Clone, Default)]
 pub struct FairLoad;
 
-impl DeploymentAlgorithm for FairLoad {
-    fn name(&self) -> &str {
-        "FairLoad"
-    }
-
-    fn deploy(&self, problem: &Problem) -> Result<Mapping, DeployError> {
+impl FairLoad {
+    fn construct(problem: &Problem) -> Mapping {
         let view = InstanceView::new(problem);
         let mut remaining = view.ideal_cycles.clone();
         let mut mapping = Mapping::all_on(view.num_ops(), ServerId::new(0));
@@ -79,7 +76,27 @@ impl DeploymentAlgorithm for FairLoad {
             mapping.assign(op, s);
             remaining[s.index()] -= view.cycles[op.index()];
         }
-        Ok(mapping)
+        mapping
+    }
+}
+
+impl DeploymentAlgorithm for FairLoad {
+    fn name(&self) -> &str {
+        "FairLoad"
+    }
+
+    fn solve(
+        &self,
+        problem: &Problem,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveOutcome, DeployError> {
+        let mapping = Self::construct(problem);
+        Ok(constructive_outcome(
+            problem,
+            ctx,
+            mapping,
+            construction_steps(problem),
+        ))
     }
 }
 

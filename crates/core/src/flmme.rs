@@ -22,6 +22,7 @@ use crate::algorithm::{DeployError, DeploymentAlgorithm};
 use crate::baselines::RandomMapping;
 use crate::fair_load::ops_by_cycles_desc;
 use crate::fltr2::select_best_pair;
+use crate::solve::{construction_steps, constructive_outcome, SolveCtx, SolveOutcome};
 use crate::view::InstanceView;
 
 /// Fair Load – Merge Messages' Ends.
@@ -88,12 +89,8 @@ fn constraining_neighbor(view: &InstanceView, op: OpId, threshold: Mbits) -> Opt
         .map(|m| if m.from == op { m.to } else { m.from })
 }
 
-impl DeploymentAlgorithm for FairLoadMergeMessages {
-    fn name(&self) -> &str {
-        "FL-MergeMsgEnds"
-    }
-
-    fn deploy(&self, problem: &Problem) -> Result<Mapping, DeployError> {
+impl FairLoadMergeMessages {
+    fn construct(&self, problem: &Problem) -> Mapping {
         let view = InstanceView::new(problem);
         let threshold = large_message_threshold(&view, self.large_fraction);
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
@@ -113,7 +110,27 @@ impl DeploymentAlgorithm for FairLoadMergeMessages {
             current.assign(op, server);
             remaining[server.index()] -= view.cycles[op.index()];
         }
-        Ok(current)
+        current
+    }
+}
+
+impl DeploymentAlgorithm for FairLoadMergeMessages {
+    fn name(&self) -> &str {
+        "FL-MergeMsgEnds"
+    }
+
+    fn solve(
+        &self,
+        problem: &Problem,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveOutcome, DeployError> {
+        let mapping = self.construct(problem);
+        Ok(constructive_outcome(
+            problem,
+            ctx,
+            mapping,
+            construction_steps(problem),
+        ))
     }
 }
 

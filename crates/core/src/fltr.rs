@@ -15,6 +15,7 @@ use crate::algorithm::{DeployError, DeploymentAlgorithm};
 use crate::baselines::RandomMapping;
 use crate::fair_load::{neediest_server, ops_by_cycles_desc};
 use crate::gain::gain_of_op_at_server;
+use crate::solve::{construction_steps, constructive_outcome, SolveCtx, SolveOutcome};
 use crate::view::InstanceView;
 
 /// Fair Load with gain-based tie resolution among equal-cost operations.
@@ -37,12 +38,8 @@ impl Default for FairLoadTieResolver {
     }
 }
 
-impl DeploymentAlgorithm for FairLoadTieResolver {
-    fn name(&self) -> &str {
-        "FL-TieResolver"
-    }
-
-    fn deploy(&self, problem: &Problem) -> Result<Mapping, DeployError> {
+impl FairLoadTieResolver {
+    fn construct(&self, problem: &Problem) -> Mapping {
         let view = InstanceView::new(problem);
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         // The gain function measures against the evolving mapping, which
@@ -73,7 +70,27 @@ impl DeploymentAlgorithm for FairLoadTieResolver {
             current.assign(op, s1);
             remaining[s1.index()] -= view.cycles[op.index()];
         }
-        Ok(current)
+        current
+    }
+}
+
+impl DeploymentAlgorithm for FairLoadTieResolver {
+    fn name(&self) -> &str {
+        "FL-TieResolver"
+    }
+
+    fn solve(
+        &self,
+        problem: &Problem,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveOutcome, DeployError> {
+        let mapping = self.construct(problem);
+        Ok(constructive_outcome(
+            problem,
+            ctx,
+            mapping,
+            construction_steps(problem),
+        ))
     }
 }
 

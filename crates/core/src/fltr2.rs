@@ -16,6 +16,7 @@ use crate::algorithm::{DeployError, DeploymentAlgorithm};
 use crate::baselines::RandomMapping;
 use crate::fair_load::ops_by_cycles_desc;
 use crate::gain::gain_of_op_at_server;
+use crate::solve::{construction_steps, constructive_outcome, SolveCtx, SolveOutcome};
 use crate::view::InstanceView;
 
 /// Fair Load with gain-based tie resolution among operations *and*
@@ -86,12 +87,8 @@ pub(crate) fn select_best_pair(
     (best_idx, best_server)
 }
 
-impl DeploymentAlgorithm for FairLoadTieResolver2 {
-    fn name(&self) -> &str {
-        "FL-TieResolver2"
-    }
-
-    fn deploy(&self, problem: &Problem) -> Result<Mapping, DeployError> {
+impl FairLoadTieResolver2 {
+    fn construct(&self, problem: &Problem) -> Mapping {
         let view = InstanceView::new(problem);
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let mut current = RandomMapping::draw(problem, &mut rng);
@@ -104,7 +101,27 @@ impl DeploymentAlgorithm for FairLoadTieResolver2 {
             current.assign(op, server);
             remaining[server.index()] -= view.cycles[op.index()];
         }
-        Ok(current)
+        current
+    }
+}
+
+impl DeploymentAlgorithm for FairLoadTieResolver2 {
+    fn name(&self) -> &str {
+        "FL-TieResolver2"
+    }
+
+    fn solve(
+        &self,
+        problem: &Problem,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveOutcome, DeployError> {
+        let mapping = self.construct(problem);
+        Ok(constructive_outcome(
+            problem,
+            ctx,
+            mapping,
+            construction_steps(problem),
+        ))
     }
 }
 

@@ -25,6 +25,7 @@ use wsflow_net::ServerId;
 
 use crate::algorithm::{DeployError, DeploymentAlgorithm};
 use crate::fair_load::neediest_server;
+use crate::solve::{construction_steps, constructive_outcome, SolveCtx, SolveOutcome};
 use crate::view::InstanceView;
 
 /// Heavy Operations – Large Messages.
@@ -58,12 +59,8 @@ struct Group {
     alive: bool,
 }
 
-impl DeploymentAlgorithm for HeavyOpsLargeMsgs {
-    fn name(&self) -> &str {
-        "HeavyOps-LargeMsgs"
-    }
-
-    fn deploy(&self, problem: &Problem) -> Result<Mapping, DeployError> {
+impl HeavyOpsLargeMsgs {
+    fn construct(problem: &Problem) -> Mapping {
         let view = InstanceView::new(problem);
         let m = view.num_ops();
         // Initially each operation is a group by itself.
@@ -169,9 +166,29 @@ impl DeploymentAlgorithm for HeavyOpsLargeMsgs {
             }
         }
 
-        Ok(Mapping::from_fn(m, |op| {
+        Mapping::from_fn(m, |op| {
             assigned[op.index()].expect("loop exits only when all ops are placed")
-        }))
+        })
+    }
+}
+
+impl DeploymentAlgorithm for HeavyOpsLargeMsgs {
+    fn name(&self) -> &str {
+        "HeavyOps-LargeMsgs"
+    }
+
+    fn solve(
+        &self,
+        problem: &Problem,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveOutcome, DeployError> {
+        let mapping = Self::construct(problem);
+        Ok(constructive_outcome(
+            problem,
+            ctx,
+            mapping,
+            construction_steps(problem),
+        ))
     }
 }
 

@@ -39,6 +39,7 @@ pub mod multi;
 pub mod portfolio;
 pub mod refine;
 pub mod registry;
+pub mod solve;
 pub mod view;
 
 pub use algorithm::{DeployError, DeploymentAlgorithm};
@@ -56,6 +57,8 @@ pub use line_line::{Direction, LineLine};
 pub use multi::{deploy_joint_fair, deploy_sequential, MultiCost, MultiProblem};
 pub use portfolio::Portfolio;
 pub use refine::{
-    hill_climb_from, refine_moves_and_swaps, swap_refine_from, HillClimb, SimulatedAnnealing,
+    hill_climb_ctx, hill_climb_from, refine_moves_and_swaps, swap_refine_ctx, swap_refine_from,
+    HillClimb, SimulatedAnnealing,
 };
+pub use solve::{CancelToken, SolveCtx, SolveOutcome, Termination};
 pub use view::{InstanceView, MsgView};

@@ -17,6 +17,7 @@ use wsflow_model::{MCycles, Mbits, OpId};
 use wsflow_net::{ServerId, TopologyKind};
 
 use crate::algorithm::{DeployError, DeploymentAlgorithm};
+use crate::solve::{construction_steps, constructive_outcome, SolveCtx, SolveOutcome};
 
 /// Which direction(s) phase 1 sweeps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -93,7 +94,23 @@ impl DeploymentAlgorithm for LineLine {
         self.variant_name()
     }
 
-    fn deploy(&self, problem: &Problem) -> Result<Mapping, DeployError> {
+    fn solve(
+        &self,
+        problem: &Problem,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveOutcome, DeployError> {
+        let mapping = self.construct(problem)?;
+        Ok(constructive_outcome(
+            problem,
+            ctx,
+            mapping,
+            construction_steps(problem),
+        ))
+    }
+}
+
+impl LineLine {
+    fn construct(&self, problem: &Problem) -> Result<Mapping, DeployError> {
         let order = problem
             .workflow()
             .as_line()

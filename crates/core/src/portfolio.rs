@@ -6,10 +6,11 @@
 //! winner under their weighting; this wrapper is that practice, and the
 //! harness's Pareto tables quantify how much it buys.
 
-use wsflow_cost::{Evaluator, Mapping, Problem};
+use wsflow_cost::{Mapping, Problem};
 
 use crate::algorithm::{DeployError, DeploymentAlgorithm};
 use crate::registry::paper_bus_algorithms;
+use crate::solve::{SolveCtx, SolveOutcome, Termination};
 
 /// Best-of-the-paper's-five deployment.
 #[derive(Debug, Clone)]
@@ -25,18 +26,70 @@ impl Portfolio {
     }
 
     /// Deploy and also report which member won.
+    ///
+    /// A member that errors (e.g. a topology-specific algorithm on the
+    /// wrong topology) is skipped, not fatal; the call errors only when
+    /// *every* member fails.
     pub fn deploy_labelled(&self, problem: &Problem) -> Result<(Mapping, String), DeployError> {
-        let mut ev = Evaluator::new(problem);
+        self.solve_labelled(problem, &mut SolveCtx::unlimited())
+            .map(|(out, name)| (out.mapping, name))
+    }
+
+    /// Anytime deploy reporting the winning member's name.
+    ///
+    /// Members share `ctx`'s budget: each member's own charges count
+    /// against it, and once it is exhausted (or the token fires) the
+    /// remaining members are skipped. The first runnable member always
+    /// runs — even at budget 0 — so an incumbent exists.
+    pub fn solve_labelled(
+        &self,
+        problem: &Problem,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<(SolveOutcome, String), DeployError> {
+        self.solve_labelled_over(problem, ctx, paper_bus_algorithms(self.seed))
+    }
+
+    /// [`solve_labelled`](Self::solve_labelled) over an explicit member
+    /// list (the portfolio's skip-failing-members semantics for any
+    /// algorithm suite).
+    pub fn solve_labelled_over(
+        &self,
+        problem: &Problem,
+        ctx: &mut SolveCtx<'_>,
+        members: Vec<Box<dyn DeploymentAlgorithm>>,
+    ) -> Result<(SolveOutcome, String), DeployError> {
+        assert!(!members.is_empty(), "the member suite must be non-empty");
+        let mark = ctx.mark();
         let mut best: Option<(Mapping, String, f64)> = None;
-        for algo in paper_bus_algorithms(self.seed) {
-            let mapping = algo.deploy(problem)?;
-            let cost = ev.combined(&mapping).value();
-            if best.as_ref().map(|(_, _, c)| cost < *c).unwrap_or(true) {
-                best = Some((mapping, algo.name().to_string(), cost));
+        let mut last_err: Option<DeployError> = None;
+        let mut all_ran = true;
+        let mut all_converged = true;
+        for algo in members {
+            // Budget check at the member boundary: skip the rest once
+            // the budget is gone, but never before an incumbent exists.
+            if best.is_some() && ctx.should_stop() {
+                all_ran = false;
+                break;
+            }
+            match algo.solve(problem, ctx) {
+                Ok(out) => {
+                    all_converged &= out.termination == Termination::Converged;
+                    if best.as_ref().map(|(_, _, c)| out.cost < *c).unwrap_or(true) {
+                        best = Some((out.mapping, algo.name().to_string(), out.cost));
+                    }
+                }
+                // A failing member is skipped — its error is only
+                // surfaced if no member succeeds at all.
+                Err(e) => last_err = Some(e),
             }
         }
-        let (mapping, name, _) = best.expect("the suite is non-empty");
-        Ok((mapping, name))
+        match best {
+            Some((mapping, name, cost)) => {
+                let converged = all_ran && all_converged;
+                Ok((ctx.finish(mark, mapping, cost, converged), name))
+            }
+            None => Err(last_err.expect("no winner implies at least one member error")),
+        }
     }
 }
 
@@ -51,14 +104,19 @@ impl DeploymentAlgorithm for Portfolio {
         "Portfolio"
     }
 
-    fn deploy(&self, problem: &Problem) -> Result<Mapping, DeployError> {
-        self.deploy_labelled(problem).map(|(m, _)| m)
+    fn solve(
+        &self,
+        problem: &Problem,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveOutcome, DeployError> {
+        self.solve_labelled(problem, ctx).map(|(out, _)| out)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wsflow_cost::Evaluator;
     use wsflow_model::MbitsPerSec;
     use wsflow_workload::{generate, Configuration, ExperimentClass, GraphClass};
 
@@ -119,5 +177,60 @@ mod tests {
         let p = Problem::new(s.workflow, s.network).expect("valid");
         let m = Portfolio::default().deploy(&p).expect("ok");
         assert_eq!(m.len(), 14);
+    }
+
+    #[test]
+    fn skips_failing_members_instead_of_aborting() {
+        // Regression: `deploy_labelled` used to `?` on each member, so
+        // one topology-mismatched member sank the whole portfolio even
+        // when other members could deploy fine. LineLine fails on a bus
+        // network with RequiresLineNetwork; FairLoad succeeds.
+        let p = problem(10.0, 1);
+        let members: Vec<Box<dyn DeploymentAlgorithm>> = vec![
+            Box::new(crate::line_line::LineLine::new()),
+            Box::new(crate::fair_load::FairLoad),
+        ];
+        let (out, winner) = Portfolio::new(1)
+            .solve_labelled_over(&p, &mut SolveCtx::unlimited(), members)
+            .expect("the failing member must be skipped");
+        assert_eq!(winner, "FairLoad");
+        assert_eq!(out.mapping.len(), p.num_ops());
+        assert_eq!(out.termination, Termination::Converged);
+    }
+
+    #[test]
+    fn errors_only_when_every_member_fails() {
+        let p = problem(10.0, 2);
+        let members: Vec<Box<dyn DeploymentAlgorithm>> = vec![
+            Box::new(crate::line_line::LineLine::new()),
+            Box::new(crate::line_line::LineLine {
+                direction: crate::line_line::Direction::BestOfBoth,
+                fix_bridges: false,
+            }),
+        ];
+        let err = Portfolio::new(2)
+            .solve_labelled_over(&p, &mut SolveCtx::unlimited(), members)
+            .unwrap_err();
+        assert_eq!(err, DeployError::RequiresLineNetwork);
+    }
+
+    #[test]
+    fn budget_skips_later_members_but_always_returns_a_mapping() {
+        let p = problem(10.0, 4);
+        // Budget 0: only the first member runs (atomically); the result
+        // is still a full, valid mapping.
+        let mut ctx = SolveCtx::with_budget(0);
+        let (out, _) = Portfolio::new(4)
+            .solve_labelled(&p, &mut ctx)
+            .expect("never no-mapping");
+        assert_eq!(out.mapping.len(), p.num_ops());
+        assert_eq!(out.termination, Termination::BudgetExhausted);
+
+        // Unlimited: converged, and at least as good as the budgeted run.
+        let unlimited = Portfolio::new(4)
+            .solve(&p, &mut SolveCtx::unlimited())
+            .expect("ok");
+        assert_eq!(unlimited.termination, Termination::Converged);
+        assert!(unlimited.cost <= out.cost + 1e-12);
     }
 }

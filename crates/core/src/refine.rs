@@ -14,6 +14,7 @@ use wsflow_model::OpId;
 use wsflow_net::ServerId;
 
 use crate::algorithm::{DeployError, DeploymentAlgorithm};
+use crate::solve::{SolveCtx, SolveOutcome};
 
 /// First-improvement hill climbing over single-operation moves, started
 /// from an inner algorithm's mapping.
@@ -37,13 +38,34 @@ impl<A> HillClimb<A> {
 
 /// Run hill climbing from an explicit starting mapping; returns the
 /// refined mapping and its combined cost.
+///
+/// Unbudgeted convenience wrapper over [`hill_climb_ctx`].
 pub fn hill_climb_from(problem: &Problem, start: Mapping, max_sweeps: usize) -> (Mapping, f64) {
+    let (mapping, cost, _) = hill_climb_ctx(problem, start, max_sweeps, &mut SolveCtx::unlimited());
+    (mapping, cost)
+}
+
+/// Budgeted hill climbing: charges one logical step per evaluator probe
+/// against `ctx` and stops mid-sweep the moment the budget runs out (or
+/// the token fires), returning the refined-so-far state. The third
+/// return value is `false` iff the climb was cut short.
+///
+/// Under an unlimited context the trajectory is exactly the classic
+/// [`hill_climb_from`] — the budget check never fires and charging does
+/// not touch the search state.
+pub fn hill_climb_ctx(
+    problem: &Problem,
+    start: Mapping,
+    max_sweeps: usize,
+    ctx: &mut SolveCtx<'_>,
+) -> (Mapping, f64, bool) {
     // The delta evaluator re-relaxes only the ops a move can affect and
     // re-folds only the two touched servers; its costs are bit-identical
     // to a full `Evaluator` pass, so the refinement trajectory (and the
     // local optimum reached) is unchanged — just cheaper per probe.
     let mut delta = DeltaEvaluator::new(problem, start);
     let mut cost = delta.cost().combined.value();
+    ctx.offer(delta.mapping(), cost);
     let n = problem.num_servers() as u32;
     for _ in 0..max_sweeps {
         let mut improved = false;
@@ -55,11 +77,15 @@ pub fn hill_climb_from(problem: &Problem, start: Mapping, max_sweeps: usize) -> 
                 if server == original {
                     continue;
                 }
+                if !ctx.try_charge(1) {
+                    return (delta.mapping().clone(), cost, false);
+                }
                 let c = delta.probe(op, server).combined.value();
                 if c < cost {
                     delta.apply(op, server);
                     cost = c;
                     improved = true;
+                    ctx.offer(delta.mapping(), cost);
                     break; // first improvement: keep the move
                 }
             }
@@ -68,7 +94,7 @@ pub fn hill_climb_from(problem: &Problem, start: Mapping, max_sweeps: usize) -> 
             break;
         }
     }
-    (delta.mapping().clone(), cost)
+    (delta.mapping().clone(), cost, true)
 }
 
 impl<A: DeploymentAlgorithm> DeploymentAlgorithm for HillClimb<A> {
@@ -76,9 +102,17 @@ impl<A: DeploymentAlgorithm> DeploymentAlgorithm for HillClimb<A> {
         "HillClimb"
     }
 
-    fn deploy(&self, problem: &Problem) -> Result<Mapping, DeployError> {
-        let start = self.inner.deploy(problem)?;
-        Ok(hill_climb_from(problem, start, self.max_sweeps).0)
+    fn solve(
+        &self,
+        problem: &Problem,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveOutcome, DeployError> {
+        let mark = ctx.mark();
+        // The inner construction charges its own steps against the same
+        // context; the climb then spends whatever budget remains.
+        let start = self.inner.solve(problem, ctx)?.mapping;
+        let (mapping, cost, finished) = hill_climb_ctx(problem, start, self.max_sweeps, ctx);
+        Ok(ctx.finish(mark, mapping, cost, finished))
     }
 }
 
@@ -87,9 +121,27 @@ impl<A: DeploymentAlgorithm> DeploymentAlgorithm for HillClimb<A> {
 /// operation count, so they explore fairness-preserving rearrangements
 /// that single moves cannot reach without passing through imbalanced
 /// states. Returns the refined mapping and its combined cost.
+///
+/// Unbudgeted convenience wrapper over [`swap_refine_ctx`].
 pub fn swap_refine_from(problem: &Problem, start: Mapping, max_sweeps: usize) -> (Mapping, f64) {
+    let (mapping, cost, _) =
+        swap_refine_ctx(problem, start, max_sweeps, &mut SolveCtx::unlimited());
+    (mapping, cost)
+}
+
+/// Budgeted swap refinement: one logical step per candidate pair
+/// evaluated, stopping mid-sweep on exhaustion (third return value
+/// `false`). Identical to [`swap_refine_from`] under an unlimited
+/// context.
+pub fn swap_refine_ctx(
+    problem: &Problem,
+    start: Mapping,
+    max_sweeps: usize,
+    ctx: &mut SolveCtx<'_>,
+) -> (Mapping, f64, bool) {
     let mut delta = DeltaEvaluator::new(problem, start);
     let mut cost = delta.cost().combined.value();
+    ctx.offer(delta.mapping(), cost);
     let m = problem.num_ops();
     for _ in 0..max_sweeps {
         let mut improved = false;
@@ -100,6 +152,9 @@ pub fn swap_refine_from(problem: &Problem, start: Mapping, max_sweeps: usize) ->
                 if sa == sb {
                     continue;
                 }
+                if !ctx.try_charge(1) {
+                    return (delta.mapping().clone(), cost, false);
+                }
                 // A swap is two delta moves; both are exact, so probing
                 // and reverting leaves the state bit-identical.
                 delta.apply(oa, sb);
@@ -107,6 +162,7 @@ pub fn swap_refine_from(problem: &Problem, start: Mapping, max_sweeps: usize) ->
                 if c < cost {
                     cost = c;
                     improved = true;
+                    ctx.offer(delta.mapping(), cost);
                 } else {
                     delta.apply(oa, sa);
                     delta.apply(ob, sb);
@@ -117,7 +173,7 @@ pub fn swap_refine_from(problem: &Problem, start: Mapping, max_sweeps: usize) ->
             break;
         }
     }
-    (delta.mapping().clone(), cost)
+    (delta.mapping().clone(), cost, true)
 }
 
 /// Moves + swaps: alternate the two neighbourhoods to a combined local
@@ -174,7 +230,12 @@ impl DeploymentAlgorithm for SimulatedAnnealing {
         "SimAnneal"
     }
 
-    fn deploy(&self, problem: &Problem) -> Result<Mapping, DeployError> {
+    fn solve(
+        &self,
+        problem: &Problem,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveOutcome, DeployError> {
+        let mark = ctx.mark();
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let n = problem.num_servers() as u32;
         let m = problem.num_ops();
@@ -186,8 +247,17 @@ impl DeploymentAlgorithm for SimulatedAnnealing {
         let mut cost = delta.cost().combined.value();
         let mut best = delta.mapping().clone();
         let mut best_cost = cost;
+        ctx.offer(&best, best_cost);
         let mut temperature = (cost * self.initial_temperature).max(1e-12);
+        let mut finished = true;
+        // One logical step per proposal: a budget of B cuts the schedule
+        // after exactly min(B, steps) proposals, the same prefix of the
+        // seeded RNG stream on every run.
         for _ in 0..self.steps {
+            if !ctx.try_charge(1) {
+                finished = false;
+                break;
+            }
             let op = OpId::from(rng.gen_range(0..m));
             let old = delta.mapping().server_of(op);
             let new = ServerId::new(rng.gen_range(0..n));
@@ -206,11 +276,12 @@ impl DeploymentAlgorithm for SimulatedAnnealing {
                 if c < best_cost {
                     best_cost = c;
                     best = delta.mapping().clone();
+                    ctx.offer(&best, best_cost);
                 }
             }
             temperature *= self.cooling;
         }
-        Ok(best)
+        Ok(ctx.finish(mark, best, best_cost, finished))
     }
 }
 

@@ -176,6 +176,21 @@ impl<'p> DeltaEvaluator<'p> {
         &self.loads
     }
 
+    /// Number of neighbour costs computed via [`Self::probe`] so far.
+    ///
+    /// Probes are the logical-step currency of the anytime solver layer
+    /// (`wsflow-core`'s `SolveCtx`): budgeted local searches charge one
+    /// step per probe, and this accessor lets callers reconcile their
+    /// own step accounting against the evaluator's.
+    pub fn probes(&self) -> u64 {
+        self.stats.probes
+    }
+
+    /// Number of moves committed via [`Self::apply`] so far.
+    pub fn applies(&self) -> u64 {
+        self.stats.applies
+    }
+
     /// Replace the mapping wholesale and re-evaluate from scratch.
     pub fn reset(&mut self, mapping: Mapping) {
         self.mapping = mapping;

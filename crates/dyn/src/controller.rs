@@ -17,6 +17,7 @@
 //! any reported number (repair latency is observed only through
 //! `wsflow-obs` histograms, which never enter CSVs).
 
+use wsflow_core::{SolveCtx, Termination};
 use wsflow_cost::{
     plan_migration, CostBreakdown, DeltaEvaluator, Evaluator, Mapping, MigrationModel, Problem,
 };
@@ -42,6 +43,11 @@ pub struct DynConfig {
     pub recover_band: f64,
     /// Upper bound on repair improvement sweeps per batch.
     pub max_sweeps: usize,
+    /// Per-batch logical-step budget for each re-solve / repair search
+    /// (`None` = unlimited). Bounds the re-deployment latency per fault
+    /// deterministically; exhausted searches still return their best
+    /// incumbent, so a mapping is always produced.
+    pub resolve_budget: Option<u64>,
 }
 
 impl Default for DynConfig {
@@ -52,6 +58,7 @@ impl Default for DynConfig {
             threshold: 1.25,
             recover_band: 1.05,
             max_sweeps: 10,
+            resolve_budget: None,
         }
     }
 }
@@ -81,6 +88,9 @@ pub struct DynReport {
     pub migration_time: Seconds,
     /// Repair invocations that actually ran a search.
     pub repairs: usize,
+    /// Searches cut short by [`DynConfig::resolve_budget`] — each still
+    /// adopted its best incumbent (spillover), it just stopped refining.
+    pub resolves_exhausted: usize,
     /// Time-to-recover samples: how long each degradation excursion
     /// lasted before cost re-entered the recovery band (migration
     /// transfer time included).
@@ -151,32 +161,42 @@ fn affected_ops(batch: &[TimedEvent], problem: &Problem, mapping: &Mapping) -> O
 /// re-opened the whole placement — alternate full move and swap sweeps
 /// (`wsflow_core::refine`) until neither improves: swaps escape the
 /// move-only local optima that drifted placements tend to sit in.
-/// Returns the repaired mapping and its cost.
+///
+/// Every evaluator probe charges one logical step against `ctx`; when
+/// the budget runs out the repaired-so-far mapping is returned with the
+/// third element `false` (the repair did not run to convergence).
 fn repair(
     problem: &Problem,
     start: Mapping,
     ops: Option<&[OpId]>,
     max_sweeps: usize,
-) -> (Mapping, CostBreakdown) {
+    ctx: &mut SolveCtx<'_>,
+) -> (Mapping, CostBreakdown, bool) {
     let Some(ops) = ops else {
         let mut mapping = start;
         let mut cost = f64::INFINITY;
+        let mut completed = true;
         for _ in 0..max_sweeps {
-            let (m1, c1) = wsflow_core::hill_climb_from(problem, mapping, max_sweeps);
-            let (m2, c2) = wsflow_core::swap_refine_from(problem, m1, max_sweeps);
+            let (m1, c1, f1) = wsflow_core::hill_climb_ctx(problem, mapping, max_sweeps, ctx);
+            let (m2, c2, f2) = wsflow_core::swap_refine_ctx(problem, m1, max_sweeps, ctx);
             mapping = m2;
+            if !(f1 && f2) {
+                completed = false;
+                break;
+            }
             if c2 >= cost && c1 >= cost {
                 break;
             }
             cost = c2.min(c1);
         }
         let breakdown = DeltaEvaluator::new(problem, mapping.clone()).cost();
-        return (mapping, breakdown);
+        return (mapping, breakdown, completed);
     };
     let mut delta = DeltaEvaluator::new(problem, start);
     let mut cost = delta.cost().combined.value();
     let n = problem.num_servers() as u32;
-    for _ in 0..max_sweeps {
+    let mut completed = true;
+    'sweeps: for _ in 0..max_sweeps {
         let mut improved = false;
         for &op in ops {
             let original = delta.mapping().server_of(op);
@@ -184,6 +204,10 @@ fn repair(
                 let server = ServerId::new(s);
                 if server == original {
                     continue;
+                }
+                if !ctx.try_charge(1) {
+                    completed = false;
+                    break 'sweeps;
                 }
                 let c = delta.probe(op, server).combined.value();
                 if c < cost {
@@ -198,7 +222,7 @@ fn repair(
             break;
         }
     }
-    (delta.mapping().clone(), delta.cost())
+    (delta.mapping().clone(), delta.cost(), completed)
 }
 
 /// Run one policy over one timeline and report what happened.
@@ -244,6 +268,7 @@ pub fn run_policy(
     let mut migrated_state = 0.0f64;
     let mut migration_time = 0.0f64;
     let mut repairs = 0usize;
+    let mut resolves_exhausted = 0usize;
     let mut recoveries: Vec<Seconds> = Vec::new();
     let mut excursion_onset: Option<f64> = None;
 
@@ -280,18 +305,28 @@ pub fn run_policy(
         let before = eval.evaluate(&current);
 
         let started = obs.then(std::time::Instant::now);
-        let (proposal, searched) = match policy {
-            Policy::Static => (None, false),
+        // Each search gets a fresh per-batch budget, so one expensive
+        // fault cannot starve later re-solves.
+        let mut ctx = SolveCtx::with_budget_opt(cfg.resolve_budget);
+        let (proposal, searched, exhausted) = match policy {
+            Policy::Static => (None, false, false),
             Policy::FullResolve => {
-                let (m, _) = Portfolio::new(cfg.seed)
-                    .deploy_labelled(&eff)
+                let (out, _) = Portfolio::new(cfg.seed)
+                    .solve_labelled(&eff, &mut ctx)
                     .expect("the portfolio always deploys");
-                (Some(m), true)
+                let ex = out.termination != Termination::Converged;
+                (Some(out.mapping), true, ex)
             }
             Policy::IncrementalRepair => {
                 let ops = affected_ops(batch, &eff, &current);
                 let reopened = ops.is_none();
-                let (m, c) = repair(&eff, current.clone(), ops.as_deref(), cfg.max_sweeps);
+                let (m, c, completed) = repair(
+                    &eff,
+                    current.clone(),
+                    ops.as_deref(),
+                    cfg.max_sweeps,
+                    &mut ctx,
+                );
                 let m = if reopened
                     && eval.evaluate(&nominal_best).combined.value() < c.combined.value()
                 {
@@ -299,26 +334,30 @@ pub fn run_policy(
                 } else {
                     m
                 };
-                (Some(m), true)
+                (Some(m), true, !completed)
             }
             Policy::ThresholdTriggered => {
                 if before.combined.value() > cfg.threshold * baseline {
                     // Drift may have accumulated over several tolerated
                     // batches, so the triggered repair opens every op.
-                    let (m, c) = repair(&eff, current.clone(), None, cfg.max_sweeps);
+                    let (m, c, completed) =
+                        repair(&eff, current.clone(), None, cfg.max_sweeps, &mut ctx);
                     let m = if eval.evaluate(&nominal_best).combined.value() < c.combined.value() {
                         nominal_best.clone()
                     } else {
                         m
                     };
-                    (Some(m), true)
+                    (Some(m), true, !completed)
                 } else {
-                    (None, false)
+                    (None, false, false)
                 }
             }
         };
         if searched {
             repairs += 1;
+            if exhausted {
+                resolves_exhausted += 1;
+            }
             if let Some(t0) = started {
                 latency_hist.record(t0.elapsed().as_secs_f64());
             }
@@ -383,6 +422,7 @@ pub fn run_policy(
         migrated_state: Mbits(migrated_state),
         migration_time: Seconds(migration_time),
         repairs,
+        resolves_exhausted,
         recoveries,
         availability,
     };
@@ -391,6 +431,7 @@ pub fn run_policy(
         wsflow_obs::counter_add("dyn.events_applied", report.events_applied as u64);
         wsflow_obs::counter_add("dyn.migrations", report.migrations as u64);
         wsflow_obs::counter_add("dyn.repairs", report.repairs as u64);
+        wsflow_obs::counter_add("dyn.resolves_exhausted", report.resolves_exhausted as u64);
         wsflow_obs::merge_histogram("dyn.repair_latency_secs", &latency_hist);
         wsflow_obs::merge_histogram("dyn.time_to_recover_secs", &ttr_hist);
         wsflow_obs::gauge_set("dyn.availability", report.availability);
@@ -521,6 +562,39 @@ mod tests {
                 inc.repairs
             );
         }
+    }
+
+    #[test]
+    fn budgeted_resolves_still_produce_mappings_and_stay_deterministic() {
+        let (w, net) = scenario(2007);
+        let horizon = Seconds(10.0);
+        let timeline = FaultInjector::new(2007, 6, Seconds(1.0)).timeline(&net, horizon);
+        let tight = DynConfig {
+            resolve_budget: Some(40),
+            ..DynConfig::default()
+        };
+        for policy in [Policy::FullResolve, Policy::IncrementalRepair] {
+            let unlimited = run_policy(&w, &net, &timeline, horizon, policy, &DynConfig::default());
+            assert_eq!(
+                unlimited.resolves_exhausted, 0,
+                "{policy}: unlimited budget cannot exhaust"
+            );
+            let a = run_policy(&w, &net, &timeline, horizon, policy, &tight);
+            let b = run_policy(&w, &net, &timeline, horizon, policy, &tight);
+            assert_eq!(a, b, "{policy} must stay reproducible under a budget");
+            // The budget caps search effort, never availability of a
+            // mapping: the controller processed every batch and ends on a
+            // complete deployment.
+            assert_eq!(a.steps, unlimited.steps);
+            assert_eq!(a.events_applied, unlimited.events_applied);
+            assert!(a.repairs > 0, "{policy} should have searched");
+        }
+        // The tight budget actually bites on at least one policy.
+        let full = run_policy(&w, &net, &timeline, horizon, Policy::FullResolve, &tight);
+        assert!(
+            full.resolves_exhausted > 0,
+            "a 40-step budget must cut the portfolio short"
+        );
     }
 
     #[test]

@@ -68,8 +68,12 @@ impl DeploymentAlgorithm for FLMMEVariant {
     fn name(&self) -> &str {
         &self.label
     }
-    fn deploy(&self, problem: &Problem) -> Result<wsflow_cost::Mapping, wsflow_core::DeployError> {
-        self.inner.deploy(problem)
+    fn solve(
+        &self,
+        problem: &Problem,
+        ctx: &mut wsflow_core::SolveCtx<'_>,
+    ) -> Result<wsflow_core::SolveOutcome, wsflow_core::DeployError> {
+        self.inner.solve(problem, ctx)
     }
 }
 

@@ -1,6 +1,3 @@
 //! Runs the design-choice ablation studies.
 
-fn main() {
-    let opts = wsflow_harness::cli::parse_or_exit();
-    wsflow_harness::cli::run_one(&opts, wsflow_harness::ablation::run);
-}
+wsflow_harness::harness_main!(wsflow_harness::ablation::run);

@@ -19,6 +19,8 @@ fn main() {
     wsflow_harness::cli::run_one(&opts, wsflow_harness::fig8::run);
     eprintln!("== Quality study ==");
     wsflow_harness::cli::run_one(&opts, wsflow_harness::quality::run);
+    eprintln!("== Quality vs budget ==");
+    wsflow_harness::cli::run_one(&opts, wsflow_harness::quality_vs_budget::run);
     eprintln!("== Classes A/B ==");
     wsflow_harness::cli::run_one(&opts, wsflow_harness::class_ab::run);
     eprintln!("== Simulator validation ==");

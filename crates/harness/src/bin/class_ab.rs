@@ -1,6 +1,3 @@
 //! Runs the class A and class B experiments (§4.1).
 
-fn main() {
-    let opts = wsflow_harness::cli::parse_or_exit();
-    wsflow_harness::cli::run_one(&opts, wsflow_harness::class_ab::run);
-}
+wsflow_harness::harness_main!(wsflow_harness::class_ab::run);

@@ -1,6 +1,3 @@
 //! Regenerates Figure 7 (Random Graph–Bus algorithms, overall).
 
-fn main() {
-    let opts = wsflow_harness::cli::parse_or_exit();
-    wsflow_harness::cli::run_one(&opts, wsflow_harness::fig7::run);
-}
+wsflow_harness::harness_main!(wsflow_harness::fig7::run);

@@ -1,6 +1,3 @@
 //! Regenerates Figure 8 (Graph–Bus algorithms per graph structure).
 
-fn main() {
-    let opts = wsflow_harness::cli::parse_or_exit();
-    wsflow_harness::cli::run_one(&opts, wsflow_harness::fig8::run);
-}
+wsflow_harness::harness_main!(wsflow_harness::fig8::run);

@@ -1,11 +1,12 @@
 //! Runs the true Pareto-front coverage study on enumerable instances.
 
-fn main() {
-    let opts = wsflow_harness::cli::parse_or_exit();
-    let (ops, n, instances) = if opts.params.seeds >= 50 {
-        (8, 3, 25) // 3^8 = 6 561 mappings per instance
-    } else {
-        (6, 2, 4)
-    };
-    wsflow_harness::cli::run_one(&opts, |p| wsflow_harness::front::run(p, ops, n, instances));
-}
+wsflow_harness::harness_main!(
+    setup | opts | {
+        let (ops, n, instances) = if opts.params.seeds >= 50 {
+            (8, 3, 25) // 3^8 = 6 561 mappings per instance
+        } else {
+            (6, 2, 4)
+        };
+        move |p: &wsflow_harness::Params| wsflow_harness::front::run(p, ops, n, instances)
+    }
+);

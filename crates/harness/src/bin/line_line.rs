@@ -1,6 +1,3 @@
 //! Runs the Line–Line experiments (§3.2).
 
-fn main() {
-    let opts = wsflow_harness::cli::parse_or_exit();
-    wsflow_harness::cli::run_one(&opts, wsflow_harness::line_line_exp::run);
-}
+wsflow_harness::harness_main!(wsflow_harness::line_line_exp::run);

@@ -1,6 +1,3 @@
 //! Runs the multi-workflow deployment experiment (future work).
 
-fn main() {
-    let opts = wsflow_harness::cli::parse_or_exit();
-    wsflow_harness::cli::run_one(&opts, |p| wsflow_harness::multi_wf::run(p, 4));
-}
+wsflow_harness::harness_main!(|p| wsflow_harness::multi_wf::run(p, 4));

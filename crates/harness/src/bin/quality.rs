@@ -1,6 +1,3 @@
 //! Regenerates the §4.1 solution-quality sampling study.
 
-fn main() {
-    let opts = wsflow_harness::cli::parse_or_exit();
-    wsflow_harness::cli::run_one(&opts, wsflow_harness::quality::run);
-}
+wsflow_harness::harness_main!(wsflow_harness::quality::run);

@@ -1,0 +1,3 @@
+//! Runs the anytime quality-vs-budget sweep.
+
+wsflow_harness::harness_main!(wsflow_harness::quality_vs_budget::run);

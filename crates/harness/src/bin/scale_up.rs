@@ -1,7 +1,8 @@
 //! Runs the open-loop load scale-up experiment.
 
-fn main() {
-    let opts = wsflow_harness::cli::parse_or_exit();
-    let instances = if opts.params.seeds >= 50 { 400 } else { 60 };
-    wsflow_harness::cli::run_one(&opts, |p| wsflow_harness::scale_up::run(p, instances));
-}
+wsflow_harness::harness_main!(
+    setup | opts | {
+        let instances = if opts.params.seeds >= 50 { 400 } else { 60 };
+        move |p: &wsflow_harness::Params| wsflow_harness::scale_up::run(p, instances)
+    }
+);

@@ -1,7 +1,8 @@
 //! Cross-validates the analytic cost model against the simulator.
 
-fn main() {
-    let opts = wsflow_harness::cli::parse_or_exit();
-    let trials = if opts.params.seeds >= 50 { 2000 } else { 400 };
-    wsflow_harness::cli::run_one(&opts, |p| wsflow_harness::sim_validation::run(p, trials));
-}
+wsflow_harness::harness_main!(
+    setup | opts | {
+        let trials = if opts.params.seeds >= 50 { 2000 } else { 400 };
+        move |p: &wsflow_harness::Params| wsflow_harness::sim_validation::run(p, trials)
+    }
+);

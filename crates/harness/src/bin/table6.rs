@@ -1,6 +1,3 @@
 //! Prints Table 6 (the class-C experimental configuration).
 
-fn main() {
-    let opts = wsflow_harness::cli::parse_or_exit();
-    wsflow_harness::cli::run_one(&opts, |_| wsflow_harness::table6::run());
-}
+wsflow_harness::harness_main!(|_| wsflow_harness::table6::run());

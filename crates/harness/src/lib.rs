@@ -13,6 +13,7 @@
 //! | Line–Line experiments (§3.2) | [`line_line_exp`] | `line_line` |
 //! | Analytic-vs-simulator validation (extension) | [`sim_validation`] | `sim_validation` |
 //! | Dynamic environments & re-deployment (extension) | [`dyn_policies`] | `dyn_policies` |
+//! | Anytime quality-vs-budget sweep (extension) | [`quality_vs_budget`] | `quality_vs_budget` |
 //!
 //! Every binary takes `--quick` for a seconds-scale run and writes raw
 //! records + summary tables as CSV under `results/`.
@@ -36,6 +37,7 @@ pub mod parallel;
 pub mod params;
 pub mod pareto_report;
 pub mod quality;
+pub mod quality_vs_budget;
 pub mod runner;
 pub mod scale_up;
 pub mod sim_validation;
@@ -49,3 +51,35 @@ pub use params::Params;
 pub use runner::{run_batch, run_on_problem, Record};
 pub use summary::{aggregate, aggregates_table, Aggregate};
 pub use table::Table;
+
+/// Expands to the standard experiment-binary `main`: parse the common
+/// CLI options and hand the run function to [`cli::run_one`].
+///
+/// Two forms:
+///
+/// ```ignore
+/// // The run function only needs `&Params`:
+/// wsflow_harness::harness_main!(wsflow_harness::fig6::run);
+///
+/// // The run closure is derived from the parsed options first:
+/// wsflow_harness::harness_main!(setup |opts| {
+///     let trials = if opts.params.seeds >= 50 { 2000 } else { 400 };
+///     move |p| wsflow_harness::sim_validation::run(p, trials)
+/// });
+/// ```
+#[macro_export]
+macro_rules! harness_main {
+    (setup |$opts:ident| $make:expr) => {
+        fn main() {
+            let $opts = $crate::cli::parse_or_exit();
+            let run = $make;
+            $crate::cli::run_one(&$opts, run);
+        }
+    };
+    ($run:expr) => {
+        fn main() {
+            let opts = $crate::cli::parse_or_exit();
+            $crate::cli::run_one(&opts, $run);
+        }
+    };
+}

@@ -1,0 +1,205 @@
+//! Solution quality as a function of the logical-step budget
+//! (`quality_vs_budget`).
+//!
+//! The anytime solver core (DESIGN.md §11) lets any search be cut off
+//! after a fixed number of logical steps — evaluator probes, search
+//! nodes, samples — and still return its best incumbent. This
+//! experiment sweeps that budget over four search-style solvers on
+//! class-C Line–Bus scenarios and reports the quality/effort frontier:
+//! per (algorithm, budget, seed) the incumbent's combined cost, the
+//! steps actually consumed, and how the solve terminated.
+//!
+//! Budgets are logical, so `quality_vs_budget.csv` is byte-identical
+//! for any `WSFLOW_THREADS` setting and with observability on or off —
+//! CI checks exactly that. No wall-clock value appears in any column.
+
+use wsflow_core::{
+    BranchAndBound, DeploymentAlgorithm, FairLoad, HillClimb, Portfolio, SimulatedAnnealing,
+    SolveCtx, Termination,
+};
+use wsflow_cost::Problem;
+use wsflow_workload::{generate, Configuration, ExperimentClass};
+
+use crate::dyn_policies::budget_label;
+use crate::output::ExperimentOutput;
+use crate::params::Params;
+use crate::table::{ms, Table};
+
+/// Step budgets swept, smallest first (`None` = unlimited).
+pub const BUDGETS: [Option<u64>; 4] = [Some(100), Some(1_000), Some(10_000), None];
+
+/// Header of `quality_vs_budget.csv`.
+pub const CSV_HEADER: &str = "algo,budget,seed,steps,cost,termination";
+
+/// Cap on workflow size so the unlimited BranchAndBound point stays
+/// tractable even under paper-scale parameters.
+const MAX_OPS: usize = 12;
+
+/// The solver suite under the budget sweep: the portfolio of
+/// constructive greedies, two refiners, and exact search. BnB uses
+/// auto workers so the run also exercises the deterministic budget
+/// split across subtrees.
+fn suite(seed: u64) -> Vec<Box<dyn DeploymentAlgorithm>> {
+    vec![
+        Box::new(Portfolio::new(seed)),
+        Box::new(HillClimb::new(FairLoad)),
+        Box::new(SimulatedAnnealing::new(seed)),
+        Box::new(BranchAndBound::new().with_workers(0)),
+    ]
+}
+
+/// Run the quality-vs-budget sweep.
+pub fn run(params: &Params) -> ExperimentOutput {
+    let class = ExperimentClass::class_c();
+    let bus = params.bus_speeds[0];
+    let n = params.server_counts[0];
+    let ops = params.ops.min(MAX_OPS);
+
+    let names: Vec<String> = suite(0).iter().map(|a| a.name().to_string()).collect();
+    // Per (algo, budget): cost sum, steps sum, converged count, runs.
+    let mut agg = vec![(0.0f64, 0u64, 0usize, 0usize); names.len() * BUDGETS.len()];
+    let mut csv = String::from(CSV_HEADER);
+    csv.push('\n');
+
+    for i in 0..params.seeds as u64 {
+        let seed = params.base_seed + i;
+        let sc = generate(Configuration::LineBus(bus), ops, n, &class, seed);
+        let problem = Problem::new(sc.workflow, sc.network).expect("generated scenarios are valid");
+        for (ai, algo) in suite(seed).iter().enumerate() {
+            for (bi, &budget) in BUDGETS.iter().enumerate() {
+                let mut ctx = SolveCtx::with_budget_opt(budget);
+                let out = algo
+                    .solve(&problem, &mut ctx)
+                    .expect("the suite deploys on Line–Bus");
+                csv.push_str(&format!(
+                    "{},{},{},{},{},{}\n",
+                    algo.name(),
+                    budget_label(budget),
+                    seed,
+                    out.steps,
+                    out.cost,
+                    out.termination
+                ));
+                let cell = &mut agg[ai * BUDGETS.len() + bi];
+                cell.0 += out.cost;
+                cell.1 += out.steps;
+                cell.2 += usize::from(out.termination == Termination::Converged);
+                cell.3 += 1;
+            }
+        }
+    }
+
+    let mut table = Table::new(
+        format!(
+            "Quality vs budget — Line–Bus, M={ops}, N={n}, bus {} Mbps, {} runs per cell",
+            bus.value(),
+            params.seeds
+        ),
+        &[
+            "algorithm",
+            "budget",
+            "mean_cost_ms",
+            "mean_steps",
+            "converged",
+        ],
+    );
+    for (ai, name) in names.iter().enumerate() {
+        for (bi, &budget) in BUDGETS.iter().enumerate() {
+            let (cost_sum, steps_sum, converged, runs) = agg[ai * BUDGETS.len() + bi];
+            let runs_f = runs.max(1) as f64;
+            table.push_row(vec![
+                name.clone(),
+                budget_label(budget),
+                ms(cost_sum / runs_f),
+                format!("{:.0}", steps_sum as f64 / runs_f),
+                format!("{converged}/{runs}"),
+            ]);
+        }
+    }
+
+    let mut out = ExperimentOutput::new("quality_vs_budget");
+    out.tables.push(table);
+    out.extra_csvs
+        .push(("quality_vs_budget.csv".to_string(), csv));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_grid_is_complete_and_budget_monotone() {
+        let params = Params::quick();
+        let out = run(&params);
+        assert_eq!(out.extra_csvs.len(), 1);
+        let (name, csv) = &out.extra_csvs[0];
+        assert_eq!(name, "quality_vs_budget.csv");
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], CSV_HEADER);
+        let cells = suite(0).len() * BUDGETS.len();
+        assert_eq!(lines.len(), 1 + params.seeds * cells);
+
+        // Rows come in BUDGETS-order blocks per (seed, algo): within each
+        // block more budget must never yield a worse incumbent, and the
+        // unlimited point must converge.
+        for block in lines[1..].chunks(BUDGETS.len()) {
+            let mut prev = f64::INFINITY;
+            for (bi, line) in block.iter().enumerate() {
+                let cols: Vec<&str> = line.split(',').collect();
+                assert_eq!(
+                    cols[1],
+                    budget_label(BUDGETS[bi]),
+                    "row order broke: {line}"
+                );
+                let cost: f64 = cols[4].parse().unwrap();
+                assert!(
+                    cost <= prev + 1e-12,
+                    "budget {} worsened the incumbent: {line}",
+                    cols[1]
+                );
+                prev = cost;
+                if BUDGETS[bi].is_none() {
+                    assert_eq!(cols[5], "converged", "unlimited must converge: {line}");
+                }
+                // Steps may overshoot a budget by at most one atomic
+                // constructive block (members always run to completion),
+                // never unboundedly.
+                let steps: u64 = cols[3].parse().unwrap();
+                assert!(steps > 0, "a solve must consume steps: {line}");
+                if let Some(b) = BUDGETS[bi] {
+                    let atomic = (MAX_OPS * 3) as u64;
+                    assert!(
+                        steps <= b + atomic,
+                        "steps {steps} far exceeded budget {b}: {line}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let params = Params::quick();
+        let a = run(&params);
+        let b = run(&params);
+        assert_eq!(a.extra_csvs, b.extra_csvs);
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn small_budgets_actually_bite() {
+        let params = Params::quick();
+        let out = run(&params);
+        let exhausted = out.extra_csvs[0]
+            .1
+            .lines()
+            .skip(1)
+            .filter(|l| l.ends_with("budget_exhausted"))
+            .count();
+        assert!(
+            exhausted > 0,
+            "a 100-step budget should cut some search short"
+        );
+    }
+}

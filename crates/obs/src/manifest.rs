@@ -241,6 +241,45 @@ impl Manifest {
                 );
             }
         }
+        // Dedicated summary of the anytime solver core: how many solves
+        // ran, how they terminated, and how many steps incumbents took.
+        let solver_counters: Vec<_> = self
+            .metrics
+            .counters
+            .iter()
+            .filter(|c| c.name.starts_with("solver."))
+            .collect();
+        let steps_hist = self
+            .metrics
+            .histograms
+            .iter()
+            .find(|h| h.name == "solver.steps_to_incumbent");
+        if !solver_counters.is_empty() || steps_hist.is_some() {
+            let _ = writeln!(out, "\nsolver:");
+            let runs = solver_counters
+                .iter()
+                .find(|c| c.name == "solver.runs")
+                .map_or(0, |c| c.value);
+            for c in &solver_counters {
+                if let Some(term) = c.name.strip_prefix("solver.termination.") {
+                    let share = if runs > 0 {
+                        100.0 * c.value as f64 / runs as f64
+                    } else {
+                        0.0
+                    };
+                    let _ = writeln!(out, "  {:<36} {:>14}  {:>5.1}%", term, c.value, share);
+                } else {
+                    let _ = writeln!(out, "  {:<36} {:>14}", c.name, c.value);
+                }
+            }
+            if let Some(h) = steps_hist {
+                let _ = writeln!(
+                    out,
+                    "  steps-to-incumbent: {} samples, p50 {:.0}, p90 {:.0}, p99 {:.0}, max {:.0}",
+                    h.count, h.p50, h.p90, h.p99, h.max
+                );
+            }
+        }
         // Dedicated summary for dynamic-environment runs: migrations and
         // recovery behaviour are the headline numbers of `dyn_policies`,
         // so surface them even though the raw metrics also appear above.
@@ -392,6 +431,47 @@ mod tests {
         assert!(text.contains("phases:"));
         assert!(text.contains("exhaustive.nodes_expanded"));
         assert!(!text.contains("dynamic:"), "no dyn metrics, no section");
+    }
+
+    #[test]
+    fn render_surfaces_solver_metrics() {
+        let mut m = sample();
+        for (name, value) in [
+            ("solver.runs", 10u64),
+            ("solver.steps", 5_000),
+            ("solver.termination.converged", 7),
+            ("solver.termination.budget_exhausted", 3),
+        ] {
+            m.metrics.counters.push(crate::registry::CounterSnap {
+                name: name.to_string(),
+                value,
+            });
+        }
+        m.metrics.histograms.push(crate::registry::HistSnap {
+            name: "solver.steps_to_incumbent".to_string(),
+            count: 25,
+            sum: 2_000.0,
+            min: 1.0,
+            max: 400.0,
+            p50: 60.0,
+            p90: 300.0,
+            p99: 400.0,
+            buckets: vec![crate::registry::BucketSnap {
+                le: f64::INFINITY,
+                count: 25,
+            }],
+        });
+        let text = m.render();
+        assert!(text.contains("solver:"));
+        assert!(text.contains("solver.runs"));
+        assert!(text.contains("converged"));
+        assert!(text.contains("70.0%"), "{text}");
+        assert!(text.contains("budget_exhausted"));
+        assert!(text.contains("steps-to-incumbent: 25 samples"));
+        assert!(text.contains("p90 300"));
+
+        // No solver metrics → no section.
+        assert!(!sample().render().contains("solver:"));
     }
 
     #[test]

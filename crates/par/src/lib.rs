@@ -179,6 +179,29 @@ pub fn split_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
     ranges
 }
 
+/// Split an optional logical-step budget into `parts` shares whose sum
+/// is exactly the original budget and whose sizes differ by at most one
+/// (earlier parts get the extra steps). `None` (unlimited) splits into
+/// all-`None` shares.
+///
+/// The split depends only on `(budget, parts)`, never on thread timing,
+/// so budgeted searches that partition work by a *structural* count
+/// (root branches, index ranges) stay bit-identical for any
+/// `WSFLOW_THREADS` setting.
+pub fn split_budget(budget: Option<u64>, parts: usize) -> Vec<Option<u64>> {
+    let parts = parts.max(1);
+    match budget {
+        None => vec![None; parts],
+        Some(total) => {
+            let base = total / parts as u64;
+            let extra = total % parts as u64;
+            (0..parts as u64)
+                .map(|p| Some(base + u64::from(p < extra)))
+                .collect()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +245,24 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn split_budget_sums_exactly_and_is_balanced() {
+        for total in [0u64, 1, 7, 100, 1_000_003] {
+            for parts in [1usize, 2, 3, 7, 16] {
+                let shares = split_budget(Some(total), parts);
+                assert_eq!(shares.len(), parts);
+                let sum: u64 = shares.iter().map(|s| s.unwrap()).sum();
+                assert_eq!(sum, total);
+                let lens: Vec<u64> = shares.iter().map(|s| s.unwrap()).collect();
+                let min = lens.iter().min().unwrap();
+                let max = lens.iter().max().unwrap();
+                assert!(max - min <= 1);
+            }
+        }
+        assert_eq!(split_budget(None, 3), vec![None, None, None]);
+        assert_eq!(split_budget(Some(5), 0), vec![Some(5)]);
     }
 
     #[test]

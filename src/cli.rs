@@ -403,12 +403,14 @@ pub fn cmd_explain(path: &str, flags: &[String]) -> Result<String, CliError> {
 }
 
 /// `wsflow dynamic [--quick] …`: run the dynamic-environment policy
-/// experiment (seeded fault injection × re-deployment policies).
+/// experiment (seeded fault injection × re-solve budget ×
+/// re-deployment policies).
 ///
 /// Accepts the experiment-harness flags; summary tables come back as
-/// the command output while `dyn_policies.csv`, per-table CSVs and the
-/// run manifest are written to the output directory (default
-/// `results/`).
+/// the command output while `dyn_policies.csv` (whose `budget` column
+/// is the per-fault logical-step cap and `resolves_exhausted` counts
+/// searches it cut short), per-table CSVs and the run manifest are
+/// written to the output directory (default `results/`).
 pub fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
     let opts = wsflow_harness::cli::parse(args.iter().cloned()).map_err(CliError::Usage)?;
     let (_, rendered) =
@@ -421,6 +423,12 @@ pub fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
 ///
 /// Given a directory, renders every `*_manifest.json` in name order, or
 /// the plain `manifest.json` if no per-experiment copies exist.
+///
+/// Runs recorded with observability include the anytime solver core's
+/// `solver.*` metrics; those render as a dedicated `solver:` section —
+/// a termination breakdown (`converged` / `budget_exhausted` /
+/// `cancelled` counters with their share of `solver.runs`) plus
+/// steps-to-incumbent quantiles.
 pub fn cmd_report(path: &str) -> Result<String, CliError> {
     let p = std::path::Path::new(path);
     let manifests: Vec<std::path::PathBuf> = if p.is_dir() {
@@ -791,8 +799,37 @@ mod tests {
         assert!(out.contains("Dynamic policies"));
         assert!(out.contains("incremental_repair"));
         let csv = std::fs::read_to_string(dir.join("dyn_policies.csv")).unwrap();
-        assert!(csv.starts_with("scenario,seed,fault_rate,policy"));
+        assert!(csv.starts_with("scenario,seed,fault_rate,policy,budget"));
         assert!(dir.join("dyn_policies_manifest.json").is_file());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_renders_solver_section_from_obs_run() {
+        let _guard = wsflow_obs::registry::test_lock();
+        wsflow_obs::set_enabled(true);
+        wsflow_obs::reset();
+        // A solve flushes solver.* metrics into the registry…
+        let w = dsl::parse(DEMO).unwrap();
+        let pool = PoolSpec {
+            ghz: vec![1.0, 2.0],
+            bus_mbps: 100.0,
+        };
+        let p = Problem::new(w, pool.network().unwrap()).unwrap();
+        let mut ctx = wsflow_core::SolveCtx::unlimited();
+        Portfolio::new(0).solve(&p, &mut ctx).unwrap();
+        let manifest = wsflow_obs::Manifest::collect("anytime", 7, 1, 0.5);
+        wsflow_obs::set_enabled(false);
+        wsflow_obs::reset();
+        // …and the rendered report surfaces them as a solver: section.
+        let dir = std::env::temp_dir().join(format!("wsflow-solver-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("anytime_manifest.json");
+        manifest.write(&path).unwrap();
+        let out = cmd_report(dir.to_str().unwrap()).unwrap();
+        assert!(out.contains("solver:"), "{out}");
+        assert!(out.contains("solver.runs"));
+        assert!(out.contains("converged"));
         std::fs::remove_dir_all(&dir).ok();
     }
 
