@@ -103,13 +103,24 @@ impl DeploymentAlgorithm for Exhaustive {
         let total = checked_space(problem, self.limit)?;
         wsflow_obs::span_scope!("exhaustive.scan");
         let mark = ctx.mark();
+        // A zero-remaining budget grants no scan at all: return the
+        // enumeration seed (index 0, all ops on server 0) evaluated but
+        // uncharged, so a shared context that arrives here already
+        // exhausted is not billed steps the budget never granted. The
+        // seed keeps the never-no-mapping guarantee; `finish` resolves
+        // the termination to `BudgetExhausted`.
+        if ctx.remaining() == Some(0) {
+            let (_, mapping) = decode_index(0, problem.num_ops(), problem.num_servers() as u64);
+            let cost = Evaluator::new(problem).combined(&mapping).value();
+            return Ok(ctx.finish(mark, mapping, cost, false));
+        }
         // One logical step per enumeration index: a budget of B clamps
         // the scan to the prefix `[0, min(B, total))`. The prefix is a
         // property of the index space alone, so splitting it over any
         // number of workers scans exactly the same set of mappings —
         // budgeted results stay bit-identical for any `WSFLOW_THREADS`.
-        // Index 0 is always scanned so an incumbent exists at budget 0.
-        let allowed = ctx.remaining().map_or(total, |r| r.min(total)).max(1);
+        // Past the zero-remaining guard at least one index is granted.
+        let allowed = ctx.remaining().map_or(total, |r| r.min(total));
         let token = ctx.token();
         let workers = self.effective_workers();
         let ranges = wsflow_par::split_ranges(allowed as usize, workers);

@@ -33,9 +33,11 @@ pub mod flmme;
 pub mod fltr;
 pub mod fltr2;
 pub mod gain;
+pub mod hierarchical;
 pub mod holm;
 pub mod line_line;
 pub mod multi;
+pub mod partition;
 pub mod portfolio;
 pub mod refine;
 pub mod registry;
@@ -52,9 +54,11 @@ pub use flmme::FairLoadMergeMessages;
 pub use fltr::FairLoadTieResolver;
 pub use fltr2::FairLoadTieResolver2;
 pub use gain::gain_of_op_at_server;
+pub use hierarchical::Hierarchical;
 pub use holm::HeavyOpsLargeMsgs;
 pub use line_line::{Direction, LineLine};
 pub use multi::{deploy_joint_fair, deploy_sequential, MultiCost, MultiProblem};
+pub use partition::{partition_ops, Partition};
 pub use portfolio::Portfolio;
 pub use refine::{
     hill_climb_ctx, hill_climb_from, refine_moves_and_swaps, swap_refine_ctx, swap_refine_from,

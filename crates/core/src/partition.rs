@@ -1,0 +1,175 @@
+//! Workflow partitioning for hierarchical solving.
+//!
+//! Large instances (10⁴ operations × 10³ servers) are far outside the
+//! reach of the paper's flat algorithms per unit of budget: every greedy
+//! pass walks all `M` operations against all `N` servers. The
+//! [`Hierarchical`](crate::hierarchical::Hierarchical) solver instead
+//! splits the workflow into *clusters* of bounded size, solves each
+//! cluster as an independent sub-problem, and stitches the results.
+//!
+//! The split must respect the block structure: a decision block whose
+//! opener and closer land in different clusters would leave both
+//! sub-workflows ill-formed (unbalanced "parentheses"), so clustering
+//! operates on **depth-0 units** — the items of the top-level sequence
+//! recovered by [`recover_structure`]: either a single operational node
+//! or a complete `open … close` decision block. Consecutive units are
+//! packed greedily into clusters of a target size. Because units are
+//! consecutive in the top-level sequence, each cluster is itself a
+//! well-formed workflow (a sub-sequence of complete blocks), and only
+//! the sequential unit-to-unit messages at cluster boundaries are cut.
+
+use wsflow_model::{recover_structure, BlockTree, OpId, ValidationError, Workflow};
+
+/// A partition of a workflow's operations into contiguous clusters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Per-cluster operation ids, each list sorted ascending. Every op
+    /// appears in exactly one cluster.
+    pub clusters: Vec<Vec<OpId>>,
+}
+
+impl Partition {
+    /// Number of clusters.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// `true` if there are no clusters (never produced by
+    /// [`partition_ops`] on a valid workflow).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Inverse map: `cluster_of[op] = cluster index`.
+    pub fn cluster_of(&self, num_ops: usize) -> Vec<u32> {
+        let mut of = vec![0u32; num_ops];
+        for (k, cluster) in self.clusters.iter().enumerate() {
+            for &op in cluster {
+                of[op.index()] = k as u32;
+            }
+        }
+        of
+    }
+}
+
+/// Collect the ops of one depth-0 unit, sorted ascending.
+fn unit_ops(unit: &BlockTree) -> Vec<OpId> {
+    let mut ops = Vec::new();
+    unit.visit_ops(&mut |o| ops.push(o));
+    ops.sort_unstable();
+    ops
+}
+
+/// Split a well-formed workflow into clusters of roughly
+/// `target_cluster_size` operations along depth-0 unit boundaries.
+///
+/// Units larger than the target (one huge decision block) become their
+/// own cluster — blocks are never split. A `target_cluster_size` of
+/// `num_ops` or more yields a single cluster. Errors only if the workflow is
+/// not well formed (structure recovery fails).
+pub fn partition_ops(
+    w: &Workflow,
+    target_cluster_size: usize,
+) -> Result<Partition, ValidationError> {
+    let target = target_cluster_size.max(1);
+    let tree = recover_structure(w)?;
+    let units: Vec<Vec<OpId>> = match &tree {
+        BlockTree::Seq(items) => items.iter().map(unit_ops).collect(),
+        other => vec![unit_ops(other)],
+    };
+    let mut clusters: Vec<Vec<OpId>> = Vec::new();
+    let mut current: Vec<OpId> = Vec::new();
+    for unit in units {
+        if !current.is_empty() && current.len() + unit.len() > target {
+            clusters.push(std::mem::take(&mut current));
+        }
+        current.extend(unit);
+    }
+    if !current.is_empty() {
+        clusters.push(current);
+    }
+    // Units arrive in top-level sequence order and each unit is sorted,
+    // but interleaved ids across units (builder lowering is free to
+    // number that way) could leave a concatenation unsorted; the
+    // sub-problem builder requires ascending ids.
+    for c in &mut clusters {
+        c.sort_unstable();
+    }
+    Ok(Partition { clusters })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsflow_model::{BlockSpec, MCycles, Mbits, WorkflowBuilder};
+
+    fn line(n: usize) -> Workflow {
+        let mut b = WorkflowBuilder::new("w");
+        b.line("o", &vec![MCycles(10.0); n], Mbits(0.1));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn line_workflow_packs_exactly() {
+        let w = line(10);
+        let p = partition_ops(&w, 4).unwrap();
+        assert_eq!(p.len(), 3);
+        let sizes: Vec<usize> = p.clusters.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+        // Every op exactly once, in ascending order per cluster.
+        let mut all: Vec<OpId> = p.clusters.iter().flatten().copied().collect();
+        assert!(p.clusters.iter().all(|c| c.windows(2).all(|w| w[0] < w[1])));
+        all.sort_unstable();
+        assert_eq!(all, w.op_ids().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_cluster_when_target_covers_everything() {
+        let w = line(6);
+        let p = partition_ops(&w, 100).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.clusters[0].len(), 6);
+    }
+
+    #[test]
+    fn decision_blocks_are_never_split() {
+        // seq: a, (xor of 2×2 ops => 6 nodes with open/close), b.
+        let spec = BlockSpec::seq(vec![
+            BlockSpec::op("a", MCycles(1.0)),
+            BlockSpec::xor_uniform(
+                "x",
+                vec![
+                    BlockSpec::op("p", MCycles(1.0)),
+                    BlockSpec::op("q", MCycles(1.0)),
+                ],
+            ),
+            BlockSpec::op("b", MCycles(1.0)),
+        ]);
+        let w = spec.lower("w", &mut || Mbits(0.1)).unwrap();
+        // Target 2 is smaller than the 4-node XOR block: the block must
+        // still stay whole in one cluster.
+        let p = partition_ops(&w, 2).unwrap();
+        let of = p.cluster_of(w.num_ops());
+        let x = w.op_by_name("x").unwrap();
+        let close = w.op_by_name("/x").unwrap();
+        let pp = w.op_by_name("p").unwrap();
+        let q = w.op_by_name("q").unwrap();
+        assert_eq!(of[x.index()], of[close.index()]);
+        assert_eq!(of[x.index()], of[pp.index()]);
+        assert_eq!(of[x.index()], of[q.index()]);
+    }
+
+    #[test]
+    fn cluster_of_inverts_the_partition() {
+        let w = line(7);
+        let p = partition_ops(&w, 3).unwrap();
+        let of = p.cluster_of(w.num_ops());
+        for (k, cluster) in p.clusters.iter().enumerate() {
+            for &op in cluster {
+                assert_eq!(of[op.index()], k as u32);
+            }
+        }
+    }
+}

@@ -87,33 +87,12 @@ impl InstanceView {
         let power = net.servers().iter().map(|s| s.power.value()).collect();
         let secs_per_mbit = match net.bus_speed() {
             Some(speed) => 1.0 / speed.value(),
-            None => {
-                // Mean one-Mbit transfer time over distinct pairs.
-                let n = net.num_servers();
-                if n < 2 {
-                    0.0
-                } else {
-                    let mut total = 0.0;
-                    let mut count = 0usize;
-                    for a in net.server_ids() {
-                        for b in net.server_ids() {
-                            if a != b {
-                                if let Some(t) =
-                                    problem.routing().transfer_time(net, a, b, Mbits(1.0))
-                                {
-                                    total += t.value();
-                                    count += 1;
-                                }
-                            }
-                        }
-                    }
-                    if count == 0 {
-                        0.0
-                    } else {
-                        total / count as f64
-                    }
-                }
-            }
+            // Mean one-Mbit transfer time over distinct pairs, already
+            // folded (in the same pair order) by the problem's shared
+            // CommMatrix — O(1) here instead of an O(N²) re-walk per
+            // constructed view, which matters once the hierarchical
+            // solver builds a view per cluster sub-problem.
+            None => problem.comm().mean_unit_transfer(),
         };
         Self {
             cycles,

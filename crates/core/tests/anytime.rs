@@ -203,3 +203,53 @@ fn incumbent_stream_is_monotone_and_ends_at_the_result() {
         out.cost
     );
 }
+
+#[test]
+fn zero_budget_exhaustive_returns_the_seed_with_zero_steps() {
+    // Regression: a zero-remaining budget used to round up to "one
+    // index allowed", scanning (and charging for) an assignment the
+    // budget never granted. The contract is: no budget, no scan — the
+    // greedy seed comes back untouched, BudgetExhausted, zero steps.
+    let p = problem(7, 3, 2);
+    let mut ctx = SolveCtx::with_budget(0);
+    let out = Exhaustive::new()
+        .solve(&p, &mut ctx)
+        .expect("zero budget still yields a mapping");
+    assert_eq!(out.steps, 0, "a zero budget must not consume steps");
+    assert_eq!(ctx.consumed(), 0, "nothing may be charged to the context");
+    assert_eq!(out.termination, Termination::BudgetExhausted);
+    assert_eq!(out.mapping.len(), p.num_ops());
+    let seed_server = out.mapping.server_of(wsflow_model::OpId(0));
+    assert!(
+        (0..p.num_ops() as u32)
+            .all(|i| out.mapping.server_of(wsflow_model::OpId(i)) == seed_server),
+        "the untouched seed maps every operation to one server"
+    );
+    assert!(out.cost.is_finite(), "the seed is still evaluated");
+}
+
+#[test]
+fn exhausted_shared_ctx_charges_exhaustive_nothing_more() {
+    // A context already drained by a previous solve grants Exhaustive
+    // zero remaining budget: the second solve must charge nothing.
+    let p = problem(6, 3, 3);
+    let mut ctx = SolveCtx::with_budget(1);
+    FairLoad
+        .solve(&p, &mut ctx)
+        .expect("constructive solves always complete");
+    let drained = ctx.consumed();
+    assert!(
+        ctx.exhausted(),
+        "the atomic constructive charge must exceed a 1-step budget"
+    );
+    let out = Exhaustive::new()
+        .solve(&p, &mut ctx)
+        .expect("an exhausted context still yields a mapping");
+    assert_eq!(out.steps, 0);
+    assert_eq!(
+        ctx.consumed(),
+        drained,
+        "Exhaustive must not charge an exhausted context"
+    );
+    assert_eq!(out.termination, Termination::BudgetExhausted);
+}

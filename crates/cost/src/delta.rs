@@ -15,7 +15,7 @@
 //!   (the ops resident on the two servers) plus `O(N)` for the penalty.
 //! * **Execution time** — only `op`, its direct successors, and any op
 //!   whose finish time actually changes are re-relaxed, in topological
-//!   order, through the *same* [`Evaluator::finish_of`] recurrence the
+//!   order, through the *same* `Evaluator::finish_of` recurrence the
 //!   full forward pass uses.
 //!
 //! Because every number is produced by the same floating-point
@@ -330,6 +330,18 @@ impl<'p> DeltaEvaluator<'p> {
         probed
     }
 
+    /// Probe a batch of candidate moves, returning one cost per move.
+    ///
+    /// Semantically identical to calling [`Self::probe`] per move (each
+    /// result is bit-for-bit what `apply` would return, and the state is
+    /// untouched afterwards), but the batch keeps the undo log, the
+    /// scratch loads, and the flat evaluator arenas hot across probes —
+    /// this is the cache-linear candidate sweep the hierarchical
+    /// boundary-repair pass runs.
+    pub fn probe_batch(&mut self, moves: &[(OpId, ServerId)]) -> Vec<CostBreakdown> {
+        moves.iter().map(|&(op, s)| self.probe(op, s)).collect()
+    }
+
     /// Full from-scratch recompute of finish times, loads, and cost.
     fn recompute_all(&mut self) {
         for list in &mut self.ops_on {
@@ -360,7 +372,7 @@ impl<'p> DeltaEvaluator<'p> {
     fn fold_server_load(&self, server: ServerId) -> Seconds {
         let mut acc = Seconds::ZERO;
         for &i in &self.ops_on[server.index()] {
-            let secs = self.ev.proc_secs[i as usize][server.index()];
+            let secs = self.ev.proc_sec(i as usize, server.index());
             acc += Seconds(secs * self.ev.prob_op[i as usize]);
         }
         acc
@@ -374,7 +386,7 @@ impl<'p> DeltaEvaluator<'p> {
             if i == skip {
                 continue;
             }
-            let secs = self.ev.proc_secs[i as usize][server.index()];
+            let secs = self.ev.proc_sec(i as usize, server.index());
             acc += Seconds(secs * self.ev.prob_op[i as usize]);
         }
         acc
@@ -384,7 +396,7 @@ impl<'p> DeltaEvaluator<'p> {
     /// merged into `server` at its sorted position.
     fn fold_server_load_with(&self, server: ServerId, extra: u32) -> Seconds {
         let term = |i: u32| {
-            let secs = self.ev.proc_secs[i as usize][server.index()];
+            let secs = self.ev.proc_sec(i as usize, server.index());
             Seconds(secs * self.ev.prob_op[i as usize])
         };
         let mut acc = Seconds::ZERO;

@@ -17,18 +17,17 @@ use crate::mapping::Mapping;
 use crate::objective::CostBreakdown;
 use crate::problem::Problem;
 
-/// Per-(server, server) affine communication coefficients:
-/// `t = size · bw_term + fixed_term`.
-#[derive(Debug, Clone, Copy)]
-struct PairCoeff {
-    /// Σ 1/speed over the routed path (seconds per Mbit).
-    bw_term: f64,
-    /// Σ propagation over the routed path (seconds).
-    fixed_term: f64,
-}
-
 /// Prepared evaluator; create once per [`Problem`], call
-/// [`Evaluator::evaluate`] per mapping.
+/// [`Evaluator::evaluate`] per mapping (or
+/// [`Evaluator::evaluate_batch`] for many candidates at once).
+///
+/// Everything mapping-independent lives in flat arenas indexed by dense
+/// ids: per-op processing seconds are one row-major `M × N` array, the
+/// per-message sender/size/probability columns are three parallel
+/// arrays, and the per-pair communication coefficients come from the
+/// problem's shared [`CommMatrix`](crate::comm::CommMatrix). The inner
+/// evaluation loop therefore only touches contiguous memory — no
+/// pointer chasing through `Operation`/`Message` structs.
 ///
 /// Fields are `pub(crate)` so [`DeltaEvaluator`](crate::delta::DeltaEvaluator)
 /// can share the prepared tables and reuse the exact same floating-point
@@ -37,15 +36,22 @@ struct PairCoeff {
 pub struct Evaluator<'p> {
     pub(crate) problem: &'p Problem,
     pub(crate) order: Vec<OpId>,
-    /// `proc_secs[op][server]` = `Tproc(op)` on that server.
-    pub(crate) proc_secs: Vec<Vec<f64>>,
+    /// Row-major `proc_secs[op * N + server]` = `Tproc(op)` there.
+    pub(crate) proc_secs: Vec<f64>,
     /// `prob_op[op]` = execution probability.
     pub(crate) prob_op: Vec<f64>,
     /// `prob_msg[msg]` = send probability.
     pub(crate) prob_msg: Vec<f64>,
-    /// Row-major `[from][to]` communication coefficients.
-    pair: Vec<PairCoeff>,
-    n_servers: usize,
+    /// `msg_from[msg]` = sender op index (flat copy of the arena).
+    msg_from: Vec<u32>,
+    /// `msg_size[msg]` = raw size in Mbits.
+    msg_size: Vec<f64>,
+    /// `kind[op]` = node kind tag (copied out of the `Operation`
+    /// structs so the recurrence never touches their `String` names).
+    kind: Vec<OpKind>,
+    /// Sink ops, cached (completion folds over them every evaluation).
+    sinks: Vec<OpId>,
+    pub(crate) n_servers: usize,
     /// Scratch: finish time per op.
     finish: Vec<f64>,
     /// Scratch: load per server.
@@ -58,16 +64,13 @@ impl<'p> Evaluator<'p> {
         let w = problem.workflow();
         let net = problem.network();
         let order = topo_sort(w).expect("problem workflows are acyclic");
-        let proc_secs = w
-            .ops()
-            .iter()
-            .map(|op| {
-                net.servers()
-                    .iter()
-                    .map(|s| (op.cost / s.power).value())
-                    .collect()
-            })
-            .collect();
+        let n = net.num_servers();
+        let mut proc_secs = Vec::with_capacity(w.num_ops() * n);
+        for op in w.ops() {
+            for s in net.servers() {
+                proc_secs.push((op.cost / s.power).value());
+            }
+        }
         let prob_op = problem
             .probabilities()
             .op_prob
@@ -80,34 +83,20 @@ impl<'p> Evaluator<'p> {
             .iter()
             .map(|p| p.value())
             .collect();
-        let n = net.num_servers();
-        let mut pair = Vec::with_capacity(n * n);
-        for from in net.server_ids() {
-            for to in net.server_ids() {
-                let path = problem
-                    .routing()
-                    .path(from, to)
-                    .expect("problem networks are fully routable");
-                let mut bw_term = 0.0;
-                let mut fixed_term = 0.0;
-                for &l in &path.links {
-                    let link = net.link(l);
-                    bw_term += 1.0 / link.speed.value();
-                    fixed_term += link.propagation.value();
-                }
-                pair.push(PairCoeff {
-                    bw_term,
-                    fixed_term,
-                });
-            }
-        }
+        let msg_from = w.messages().iter().map(|m| m.from.0).collect();
+        let msg_size = w.messages().iter().map(|m| m.size.value()).collect();
+        let kind = w.ops().iter().map(|op| op.kind).collect();
+        let sinks = w.sinks();
         Self {
             problem,
             order,
             proc_secs,
             prob_op,
             prob_msg,
-            pair,
+            msg_from,
+            msg_size,
+            kind,
+            sinks,
             n_servers: n,
             finish: vec![0.0; w.num_ops()],
             loads: vec![Seconds::ZERO; n],
@@ -120,10 +109,15 @@ impl<'p> Evaluator<'p> {
         self.problem
     }
 
+    /// `Tproc` of op index `op` on server index `server` (flat lookup).
+    #[inline]
+    pub(crate) fn proc_sec(&self, op: usize, server: usize) -> f64 {
+        self.proc_secs[op * self.n_servers + server]
+    }
+
     #[inline]
     fn comm_secs(&self, from: ServerId, to: ServerId, size_mbits: f64) -> f64 {
-        let c = self.pair[from.index() * self.n_servers + to.index()];
-        size_mbits * c.bw_term + c.fixed_term
+        self.problem.comm().comm_secs(from, to, size_mbits)
     }
 
     /// Finish time of `u` given the finish times of its predecessors.
@@ -136,19 +130,20 @@ impl<'p> Evaluator<'p> {
     pub(crate) fn finish_of(&self, u: OpId, mapping: &Mapping, finish: &[f64]) -> f64 {
         let w = self.problem.workflow();
         let in_msgs = w.in_msgs(u);
+        let to_server = mapping.server_of(u);
         let ready = if in_msgs.is_empty() {
             0.0
         } else {
+            // Every inbound message targets `u`, so only the sender side
+            // varies: walk the flat sender/size columns, never the
+            // `Message` structs.
             let arrival = |mid: wsflow_model::MsgId| -> f64 {
-                let msg = w.message(mid);
-                let t = self.comm_secs(
-                    mapping.server_of(msg.from),
-                    mapping.server_of(msg.to),
-                    msg.size.value(),
-                );
-                finish[msg.from.index()] + t
+                let i = mid.index();
+                let from = OpId(self.msg_from[i]);
+                let t = self.comm_secs(mapping.server_of(from), to_server, self.msg_size[i]);
+                finish[self.msg_from[i] as usize] + t
             };
-            match w.op(u).kind {
+            match self.kind[u.index()] {
                 OpKind::Close(DecisionKind::And) => {
                     in_msgs.iter().map(|&m| arrival(m)).fold(0.0f64, f64::max)
                 }
@@ -177,17 +172,15 @@ impl<'p> Evaluator<'p> {
                 _ => in_msgs.iter().map(|&m| arrival(m)).fold(0.0f64, f64::max),
             }
         };
-        ready + self.proc_secs[u.index()][mapping.server_of(u).index()]
+        ready + self.proc_secs[u.index() * self.n_servers + to_server.index()]
     }
 
     /// Workflow completion time given a fully relaxed `finish` array.
     #[inline]
     pub(crate) fn completion_of(&self, finish: &[f64]) -> Seconds {
         Seconds(
-            self.problem
-                .workflow()
-                .sinks()
-                .into_iter()
+            self.sinks
+                .iter()
                 .map(|s| finish[s.index()])
                 .fold(0.0f64, f64::max),
         )
@@ -213,7 +206,7 @@ impl<'p> Evaluator<'p> {
             *l = Seconds::ZERO;
         }
         for (op, server) in mapping.iter() {
-            let secs = self.proc_secs[op.index()][server.index()];
+            let secs = self.proc_secs[op.index() * self.n_servers + server.index()];
             self.loads[server.index()] += Seconds(secs * self.prob_op[op.index()]);
         }
         &self.loads
@@ -236,6 +229,19 @@ impl<'p> Evaluator<'p> {
     /// `evaluate(..).combined`).
     pub fn combined(&mut self, mapping: &Mapping) -> Seconds {
         self.evaluate(mapping).combined
+    }
+
+    /// Evaluate a batch of candidate mappings in one pass.
+    ///
+    /// Each candidate runs the identical forward relaxation and load fold
+    /// as [`Evaluator::evaluate`] (bit-for-bit identical breakdowns), but
+    /// the batch shares every prepared table and both scratch buffers, so
+    /// the inner loop streams linearly over the flat `proc_secs` /
+    /// `msg_from` / `msg_size` arenas with warm caches. This is the hot
+    /// path for population-style candidate sweeps (hierarchical boundary
+    /// repair, sampling studies, the `scale_sweep` micro-bench).
+    pub fn evaluate_batch(&mut self, mappings: &[Mapping]) -> Vec<CostBreakdown> {
+        mappings.iter().map(|m| self.evaluate(m)).collect()
     }
 }
 

@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod comm;
 pub mod constraints;
 pub mod critical_path;
 pub mod delta;
@@ -30,6 +31,7 @@ pub mod pareto;
 pub mod problem;
 pub mod texecute;
 
+pub use comm::{CommMatrix, PairCoeff};
 pub use constraints::{ConstraintViolation, UserConstraints};
 pub use critical_path::{critical_path, CriticalPath, CriticalStep};
 pub use delta::DeltaEvaluator;

@@ -1,10 +1,12 @@
 //! The deployment problem instance: workflow + network + objective.
 
 use std::fmt;
+use std::sync::Arc;
 
 use wsflow_model::{ExecutionProbabilities, ValidationError, Workflow};
 use wsflow_net::{Network, RoutingTable};
 
+use crate::comm::CommMatrix;
 use crate::constraints::UserConstraints;
 use crate::objective::CostWeights;
 
@@ -54,8 +56,12 @@ impl std::error::Error for ProblemError {}
 #[derive(Debug, Clone)]
 pub struct Problem {
     workflow: Workflow,
-    network: Network,
-    routing: RoutingTable,
+    /// Shared with derived sub-problems (hierarchical solving): cloning
+    /// a problem or deriving a cluster sub-problem never re-runs the
+    /// all-pairs routing or the communication-coefficient precompute.
+    network: Arc<Network>,
+    routing: Arc<RoutingTable>,
+    comm: Arc<CommMatrix>,
     probabilities: ExecutionProbabilities,
     weights: CostWeights,
     constraints: UserConstraints,
@@ -76,16 +82,58 @@ impl Problem {
         network: Network,
         weights: CostWeights,
     ) -> Result<Self, ProblemError> {
-        let probabilities =
-            ExecutionProbabilities::derive(&workflow).map_err(ProblemError::Workflow)?;
         let routing = RoutingTable::new(&network);
         if !routing.fully_connected() {
             return Err(ProblemError::DisconnectedNetwork);
         }
+        let comm = CommMatrix::new(&network, &routing);
+        Self::assemble(
+            workflow,
+            Arc::new(network),
+            Arc::new(routing),
+            Arc::new(comm),
+            weights,
+        )
+    }
+
+    /// Assemble a sub-problem over an already prepared network: the
+    /// routing table and communication coefficients are shared, not
+    /// recomputed. This is how the hierarchical solver derives one
+    /// problem per workflow cluster without paying the `O(N²)` network
+    /// precompute per cluster. Use [`Problem::shared_network`] on the
+    /// parent to obtain the shared parts.
+    pub fn with_shared_network(
+        workflow: Workflow,
+        (network, routing, comm): (Arc<Network>, Arc<RoutingTable>, Arc<CommMatrix>),
+        weights: CostWeights,
+    ) -> Result<Self, ProblemError> {
+        Self::assemble(workflow, network, routing, comm, weights)
+    }
+
+    /// The shared network parts — pass to [`Problem::with_shared_network`]
+    /// to build sub-problems over the same servers and routes.
+    pub fn shared_network(&self) -> (Arc<Network>, Arc<RoutingTable>, Arc<CommMatrix>) {
+        (
+            Arc::clone(&self.network),
+            Arc::clone(&self.routing),
+            Arc::clone(&self.comm),
+        )
+    }
+
+    fn assemble(
+        workflow: Workflow,
+        network: Arc<Network>,
+        routing: Arc<RoutingTable>,
+        comm: Arc<CommMatrix>,
+        weights: CostWeights,
+    ) -> Result<Self, ProblemError> {
+        let probabilities =
+            ExecutionProbabilities::derive(&workflow).map_err(ProblemError::Workflow)?;
         Ok(Self {
             workflow,
             network,
             routing,
+            comm,
             probabilities,
             weights,
             constraints: UserConstraints::none(),
@@ -120,6 +168,12 @@ impl Problem {
     #[inline]
     pub fn routing(&self) -> &RoutingTable {
         &self.routing
+    }
+
+    /// Precomputed per-server-pair communication coefficients.
+    #[inline]
+    pub fn comm(&self) -> &CommMatrix {
+        &self.comm
     }
 
     /// Derived execution probabilities (all 1 for linear workflows).

@@ -39,6 +39,7 @@ pub mod pareto_report;
 pub mod quality;
 pub mod quality_vs_budget;
 pub mod runner;
+pub mod scale_sweep;
 pub mod scale_up;
 pub mod sim_validation;
 pub mod summary;

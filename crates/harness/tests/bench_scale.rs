@@ -1,0 +1,27 @@
+//! The committed `BENCH_scale.json` must stay parseable and
+//! structurally sane: it is the evidence for the flat-arena evaluator's
+//! throughput claim, and CI validates it on every push. The measured
+//! numbers are machine-dependent, so this test checks shape and
+//! internal consistency, not absolute speed.
+
+use wsflow_harness::scale_sweep::BenchResult;
+
+#[test]
+fn committed_bench_scale_json_parses_and_is_consistent() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_scale.json is committed at repo root");
+    let bench: BenchResult = serde_json::from_str(&text).expect("BENCH_scale.json parses");
+    assert_eq!(bench.name, "scale_eval_throughput");
+    assert!(bench.ops >= 1_000, "benchmarked on a large instance");
+    assert!(bench.servers >= 100, "benchmarked on a large instance");
+    assert!(bench.evals > 0 && bench.reps > 0);
+    assert!(bench.legacy_ns_per_eval > 0.0);
+    assert!(bench.flat_batch_ns_per_eval > 0.0);
+    assert!(bench.speedup > 0.0);
+    let recomputed = bench.legacy_ns_per_eval / bench.flat_batch_ns_per_eval;
+    assert!(
+        (bench.speedup - recomputed).abs() < 1e-6 * recomputed,
+        "speedup field must equal legacy/flat ({} vs {recomputed})",
+        bench.speedup
+    );
+}

@@ -128,7 +128,9 @@ pub fn parse(input: &str) -> Result<Workflow, ParseError> {
     let mut name: Option<String> = None;
     let mut ops: Vec<Operation> = Vec::new();
     let mut msgs: Vec<Message> = Vec::new();
-    let mut index: std::collections::HashMap<String, OpId> = std::collections::HashMap::new();
+    // BTreeMap, not HashMap: parsed ids must never depend on hash
+    // iteration order (workspace determinism rule — see CONTRIBUTING.md).
+    let mut index: std::collections::BTreeMap<String, OpId> = std::collections::BTreeMap::new();
 
     for (lineno, raw) in input.lines().enumerate() {
         let line = lineno + 1;

@@ -26,12 +26,72 @@ pub struct Workflow {
     name: String,
     ops: Vec<Operation>,
     msgs: Vec<Message>,
-    /// Outgoing message ids per operation, in insertion order.
+    /// Derived CSR adjacency (flat arena), rebuilt by [`Workflow::reindex`].
     #[serde(skip)]
-    out: Vec<Vec<MsgId>>,
-    /// Incoming message ids per operation, in insertion order.
-    #[serde(skip)]
-    inc: Vec<Vec<MsgId>>,
+    csr: WorkflowCsr,
+}
+
+/// Compressed-sparse-row adjacency over the message arena: per
+/// operation, contiguous slices of outgoing and incoming message ids in
+/// message-id (= insertion) order. Two offset arrays of length `M + 1`
+/// plus two flat id arrays of length `|E|` replace the per-op `Vec`s —
+/// the whole adjacency is four contiguous allocations, so traversals in
+/// the evaluation hot loop are cache-linear.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct WorkflowCsr {
+    /// `out_msgs[out_off[i] .. out_off[i + 1]]` = outgoing messages of op `i`.
+    out_off: Vec<u32>,
+    out_msgs: Vec<MsgId>,
+    /// `in_msgs[in_off[i] .. in_off[i + 1]]` = incoming messages of op `i`.
+    in_off: Vec<u32>,
+    in_msgs: Vec<MsgId>,
+}
+
+impl WorkflowCsr {
+    /// Build both CSR halves with a counting sort over the message
+    /// arena. Stable: each op's slice lists its messages in ascending
+    /// message id, which is exactly the old insertion order.
+    fn build(num_ops: usize, msgs: &[Message]) -> Self {
+        let mut out_off = vec![0u32; num_ops + 1];
+        let mut in_off = vec![0u32; num_ops + 1];
+        for m in msgs {
+            out_off[m.from.index() + 1] += 1;
+            in_off[m.to.index() + 1] += 1;
+        }
+        for i in 0..num_ops {
+            out_off[i + 1] += out_off[i];
+            in_off[i + 1] += in_off[i];
+        }
+        let mut out_msgs = vec![MsgId::new(0); msgs.len()];
+        let mut in_msgs = vec![MsgId::new(0); msgs.len()];
+        let mut out_cursor = out_off.clone();
+        let mut in_cursor = in_off.clone();
+        for (i, m) in msgs.iter().enumerate() {
+            let id = MsgId::from(i);
+            let o = &mut out_cursor[m.from.index()];
+            out_msgs[*o as usize] = id;
+            *o += 1;
+            let t = &mut in_cursor[m.to.index()];
+            in_msgs[*t as usize] = id;
+            *t += 1;
+        }
+        Self {
+            out_off,
+            out_msgs,
+            in_off,
+            in_msgs,
+        }
+    }
+
+    #[inline]
+    fn out_slice(&self, op: OpId) -> &[MsgId] {
+        &self.out_msgs[self.out_off[op.index()] as usize..self.out_off[op.index() + 1] as usize]
+    }
+
+    #[inline]
+    fn in_slice(&self, op: OpId) -> &[MsgId] {
+        &self.in_msgs[self.in_off[op.index()] as usize..self.in_off[op.index() + 1] as usize]
+    }
 }
 
 impl Workflow {
@@ -66,33 +126,19 @@ impl Workflow {
                 return Err(ModelError::DuplicateMessage(m.from, m.to));
             }
         }
-        let mut out = vec![Vec::new(); n];
-        let mut inc = vec![Vec::new(); n];
-        for (i, m) in msgs.iter().enumerate() {
-            let id = MsgId::from(i);
-            out[m.from.index()].push(id);
-            inc[m.to.index()].push(id);
-        }
+        let csr = WorkflowCsr::build(n, &msgs);
         Ok(Self {
             name: name.into(),
             ops,
             msgs,
-            out,
-            inc,
+            csr,
         })
     }
 
-    /// Rebuild the adjacency indexes. Needed after deserialisation, where
-    /// the `out`/`inc` fields are skipped.
+    /// Rebuild the CSR adjacency index. Needed after deserialisation,
+    /// where the derived `csr` field is skipped.
     pub fn reindex(&mut self) {
-        let n = self.ops.len();
-        self.out = vec![Vec::new(); n];
-        self.inc = vec![Vec::new(); n];
-        for (i, m) in self.msgs.iter().enumerate() {
-            let id = MsgId::from(i);
-            self.out[m.from.index()].push(id);
-            self.inc[m.to.index()].push(id);
-        }
+        self.csr = WorkflowCsr::build(self.ops.len(), &self.msgs);
     }
 
     /// The workflow's name.
@@ -148,28 +194,32 @@ impl Workflow {
         (0..self.msgs.len() as u32).map(MsgId::new)
     }
 
-    /// Outgoing message ids of `op`.
+    /// Outgoing message ids of `op` (a contiguous CSR slice, in
+    /// ascending message id — the insertion order).
     #[inline]
     pub fn out_msgs(&self, op: OpId) -> &[MsgId] {
-        &self.out[op.index()]
+        self.csr.out_slice(op)
     }
 
-    /// Incoming message ids of `op`.
+    /// Incoming message ids of `op` (a contiguous CSR slice, in
+    /// ascending message id — the insertion order).
     #[inline]
     pub fn in_msgs(&self, op: OpId) -> &[MsgId] {
-        &self.inc[op.index()]
+        self.csr.in_slice(op)
     }
 
     /// Successor operations of `op`.
     pub fn successors(&self, op: OpId) -> impl Iterator<Item = OpId> + '_ {
-        self.out[op.index()]
+        self.csr
+            .out_slice(op)
             .iter()
             .map(|&m| self.msgs[m.index()].to)
     }
 
     /// Predecessor operations of `op`.
     pub fn predecessors(&self, op: OpId) -> impl Iterator<Item = OpId> + '_ {
-        self.inc[op.index()]
+        self.csr
+            .in_slice(op)
             .iter()
             .map(|&m| self.msgs[m.index()].from)
     }
@@ -177,18 +227,19 @@ impl Workflow {
     /// Out-degree of `op`.
     #[inline]
     pub fn out_degree(&self, op: OpId) -> usize {
-        self.out[op.index()].len()
+        self.csr.out_slice(op).len()
     }
 
     /// In-degree of `op`.
     #[inline]
     pub fn in_degree(&self, op: OpId) -> usize {
-        self.inc[op.index()].len()
+        self.csr.in_slice(op).len()
     }
 
     /// The message from `from` to `to`, if present.
     pub fn find_message(&self, from: OpId, to: OpId) -> Option<MsgId> {
-        self.out[from.index()]
+        self.csr
+            .out_slice(from)
             .iter()
             .copied()
             .find(|&m| self.msgs[m.index()].to == to)
@@ -430,6 +481,40 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, ModelError::DuplicateName("a".into()));
+    }
+
+    /// The CSR build must list each op's messages in ascending message
+    /// id — the insertion order the old per-op `Vec<MsgId>` index kept —
+    /// even when messages arrive interleaved across ops.
+    #[test]
+    fn csr_adjacency_preserves_insertion_order() {
+        let w = Workflow::new(
+            "w",
+            vec![
+                Operation::open("x", DecisionKind::And),
+                Operation::operational("b", MCycles(1.0)),
+                Operation::operational("c", MCycles(1.0)),
+                Operation::close("y", DecisionKind::And),
+            ],
+            vec![
+                // Deliberately interleaved: x's fan-out split around y's
+                // fan-in.
+                Message::new(OpId::new(0), OpId::new(1), Mbits(0.1)),
+                Message::new(OpId::new(1), OpId::new(3), Mbits(0.2)),
+                Message::new(OpId::new(0), OpId::new(2), Mbits(0.3)),
+                Message::new(OpId::new(2), OpId::new(3), Mbits(0.4)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(w.out_msgs(OpId::new(0)), &[MsgId::new(0), MsgId::new(2)]);
+        assert_eq!(w.in_msgs(OpId::new(3)), &[MsgId::new(1), MsgId::new(3)]);
+        assert_eq!(w.out_msgs(OpId::new(3)), &[] as &[MsgId]);
+        assert_eq!(w.in_msgs(OpId::new(0)), &[] as &[MsgId]);
+        // Slices tile the arena: total lengths equal the message count.
+        let total: usize = w.op_ids().map(|o| w.out_degree(o)).sum();
+        assert_eq!(total, w.num_messages());
+        let total: usize = w.op_ids().map(|o| w.in_degree(o)).sum();
+        assert_eq!(total, w.num_messages());
     }
 
     #[test]

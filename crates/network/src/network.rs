@@ -57,9 +57,14 @@ pub struct Network {
     /// simulator can model bus contention without inferring it from
     /// links.
     bus_speed: Option<MbitsPerSec>,
-    /// Adjacency: per server, the incident links.
+    /// Derived CSR adjacency: `adj_links[adj_off[s] .. adj_off[s + 1]]`
+    /// = links incident to server `s`, in ascending link id. Two flat
+    /// arrays instead of per-server `Vec`s keep the routing and
+    /// evaluation loops cache-linear.
     #[serde(skip)]
-    adj: Vec<Vec<LinkId>>,
+    adj_off: Vec<u32>,
+    #[serde(skip)]
+    adj_links: Vec<LinkId>,
     /// Mutation counter: bumped by every server/link mutation, so caches
     /// derived from the network (notably routing tables) can detect
     /// staleness. Not part of the network's identity.
@@ -135,7 +140,8 @@ impl Network {
             links,
             kind,
             bus_speed: None,
-            adj: Vec::new(),
+            adj_off: Vec::new(),
+            adj_links: Vec::new(),
             generation: 0,
         };
         net.reindex();
@@ -184,14 +190,31 @@ impl Network {
         Ok(())
     }
 
-    /// Rebuild the adjacency index (needed after deserialisation).
+    /// Rebuild the CSR adjacency index (needed after deserialisation).
+    /// Counting sort over the link arena; each server's slice lists its
+    /// incident links in ascending link id (the insertion order).
     pub fn reindex(&mut self) {
-        self.adj = vec![Vec::new(); self.servers.len()];
+        let n = self.servers.len();
+        let mut off = vec![0u32; n + 1];
+        for l in &self.links {
+            off[l.a.index() + 1] += 1;
+            off[l.b.index() + 1] += 1;
+        }
+        for i in 0..n {
+            off[i + 1] += off[i];
+        }
+        let mut flat = vec![LinkId::new(0); self.links.len() * 2];
+        let mut cursor = off.clone();
         for (i, l) in self.links.iter().enumerate() {
             let id = LinkId::from(i);
-            self.adj[l.a.index()].push(id);
-            self.adj[l.b.index()].push(id);
+            for s in [l.a, l.b] {
+                let c = &mut cursor[s.index()];
+                flat[*c as usize] = id;
+                *c += 1;
+            }
         }
+        self.adj_off = off;
+        self.adj_links = flat;
     }
 
     pub(crate) fn set_bus_speed(&mut self, speed: MbitsPerSec) {
@@ -262,15 +285,16 @@ impl Network {
         (0..self.links.len() as u32).map(LinkId::new)
     }
 
-    /// Links incident to `s`.
+    /// Links incident to `s` (a contiguous CSR slice, in ascending link
+    /// id — the insertion order).
     #[inline]
     pub fn incident(&self, s: ServerId) -> &[LinkId] {
-        &self.adj[s.index()]
+        &self.adj_links[self.adj_off[s.index()] as usize..self.adj_off[s.index() + 1] as usize]
     }
 
     /// Neighbouring servers of `s`.
     pub fn neighbors(&self, s: ServerId) -> impl Iterator<Item = ServerId> + '_ {
-        self.adj[s.index()]
+        self.incident(s)
             .iter()
             .filter_map(move |&l| self.links[l.index()].opposite(s))
     }
@@ -278,12 +302,12 @@ impl Network {
     /// Degree of `s`.
     #[inline]
     pub fn degree(&self, s: ServerId) -> usize {
-        self.adj[s.index()].len()
+        (self.adj_off[s.index() + 1] - self.adj_off[s.index()]) as usize
     }
 
     /// The link between `a` and `b`, if present (either orientation).
     pub fn find_link(&self, a: ServerId, b: ServerId) -> Option<LinkId> {
-        self.adj[a.index()]
+        self.incident(a)
             .iter()
             .copied()
             .find(|&l| self.links[l.index()].opposite(a) == Some(b))

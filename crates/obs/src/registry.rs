@@ -29,10 +29,19 @@ const MAX_SPANS: usize = 65_536;
 /// it is exact and branch-cheap.
 #[inline]
 pub fn bucket_index(v: f64) -> usize {
-    if v.is_nan() || v <= 0.0 || !v.is_finite() {
+    if v.is_nan() || v <= 0.0 {
         return 0;
     }
-    let e = ((v.to_bits() >> 52) & 0x7ff) as i32 - 1023; // 2^e <= v < 2^(e+1)
+    if v == f64::INFINITY {
+        // +∞ is an overflow, not an underflow: it belongs in the last
+        // bucket (the raw exponent 0x7ff would otherwise be shared with
+        // NaN payloads and must not reach the arithmetic below).
+        return NUM_BUCKETS - 1;
+    }
+    // Raw biased exponent. For normal values `2^e <= v < 2^(e+1)`; for
+    // subnormals the biased exponent is 0, so `e = -1023` and the clamp
+    // below lands them in bucket 0 (underflow) instead of wrapping.
+    let e = ((v.to_bits() >> 52) & 0x7ff) as i32 - 1023;
     (e + OFFSET).clamp(0, NUM_BUCKETS as i32 - 1) as usize
 }
 
@@ -413,6 +422,19 @@ mod tests {
         assert_eq!(bucket_index(0.5), OFFSET as usize - 1);
         assert_eq!(bucket_index(f64::MAX), NUM_BUCKETS - 1);
         assert_eq!(bucket_index(1e-300), 0);
+        // Exponent-extraction edge cases: zeros of both signs, the
+        // smallest subnormal, the smallest normal, and negative
+        // subnormals must all clamp to bucket 0 rather than wrap
+        // (sub-microsecond per-candidate timings hit this range).
+        assert_eq!(bucket_index(-0.0), 0);
+        assert_eq!(bucket_index(5e-324), 0); // min positive subnormal
+        assert_eq!(bucket_index(f64::MIN_POSITIVE / 2.0), 0); // subnormal
+        assert_eq!(bucket_index(f64::MIN_POSITIVE), 0); // 2^-1022, underflow
+        assert_eq!(bucket_index(-5e-324), 0);
+        // Infinities: +∞ is an overflow (last bucket), -∞ is negative
+        // (bucket 0). NaN stays in bucket 0.
+        assert_eq!(bucket_index(f64::INFINITY), NUM_BUCKETS - 1);
+        assert_eq!(bucket_index(f64::NEG_INFINITY), 0);
         // Every value falls strictly below its bucket's upper edge.
         for v in [1e-9, 0.003, 0.7, 1.0, 42.0, 1e6] {
             assert!(v <= bucket_upper(bucket_index(v)), "{v}");

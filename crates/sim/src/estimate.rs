@@ -8,7 +8,7 @@
 //! whose edge probabilities are the observed frequencies — the input a
 //! deployment algorithm would actually see in production.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -21,10 +21,12 @@ use crate::engine::{simulate, SimConfig};
 #[derive(Debug, Clone, Default)]
 pub struct BranchEstimates {
     /// Per XOR opener: per outgoing message, the number of times it was
-    /// chosen.
-    counts: HashMap<OpId, HashMap<MsgId, u64>>,
+    /// chosen. Ordered maps so any future iteration over the estimates
+    /// is deterministic (workspace rule: no HashMap iteration on paths
+    /// that can feed mappings, CSVs, or manifests).
+    counts: BTreeMap<OpId, BTreeMap<MsgId, u64>>,
     /// Per XOR opener: total executions observed.
-    totals: HashMap<OpId, u64>,
+    totals: BTreeMap<OpId, u64>,
 }
 
 impl BranchEstimates {

@@ -13,6 +13,7 @@ pub mod classes;
 pub mod distributions;
 pub mod generator;
 pub mod io;
+pub mod scale;
 pub mod scenario;
 pub mod soap;
 
@@ -21,4 +22,5 @@ pub use distributions::WeightedChoice;
 pub use generator::{
     bus_network, line_network, linear_workflow, random_graph_workflow, servers, GraphClass,
 };
+pub use scale::{scale_instance, SCALE_LINK_SPEED};
 pub use scenario::{generate, generate_batch, Configuration, Scenario};

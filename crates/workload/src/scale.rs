@@ -1,0 +1,83 @@
+//! Large-instance generation for the scale study.
+//!
+//! The paper's experiments stop at 19 operations × 5 servers; the
+//! `scale_sweep` study pushes the same generators to 10⁴ operations ×
+//! 10³ servers. Two choices keep such instances tractable:
+//!
+//! * **Star network, not bus.** The repo models a bus as a pairwise
+//!   clique, which is `N(N−1)/2` links — half a million links at
+//!   `N = 10³`, hostile to routing and to the `O(N²)` communication
+//!   precompute. A star (one hub, `N − 1` links) is fully routable with
+//!   paths of at most two hops, and the uniform link speed keeps the
+//!   cost model close to the paper's bus semantics.
+//! * **Hybrid random graphs.** The workflow generator's hybrid shape
+//!   mixes bushy fan-outs with lengthy chains, which is where the
+//!   depth-0 partitioning of the hierarchical solver finds many
+//!   mid-sized units to shard.
+//!
+//! Deterministic per seed, like every other generator in this crate.
+
+use wsflow_model::MbitsPerSec;
+use wsflow_net::topology;
+
+use crate::classes::ExperimentClass;
+use crate::generator::{random_graph_workflow, servers, GraphClass};
+use crate::scenario::Scenario;
+
+/// Link speed of the generated star (uniform, hub-to-leaf).
+pub const SCALE_LINK_SPEED: MbitsPerSec = MbitsPerSec(100.0);
+
+/// Generate a scale-study instance: a hybrid random-graph workflow of
+/// `m` operations over a star network of `n` heterogeneous servers.
+///
+/// # Examples
+///
+/// ```
+/// use wsflow_workload::scale_instance;
+///
+/// let s = scale_instance(50, 8, 1);
+/// assert_eq!(s.workflow.num_ops(), 50);
+/// assert_eq!(s.network.num_servers(), 8);
+/// ```
+pub fn scale_instance(m: usize, n: usize, seed: u64) -> Scenario {
+    let class = ExperimentClass::class_c();
+    // Same stream decorrelation as `scenario::generate`.
+    let wf_seed = seed;
+    let net_seed = seed ^ 0xDEAD_BEEF_CAFE_F00D;
+    let workflow = random_graph_workflow("w", m, GraphClass::Hybrid, &class, wf_seed);
+    let network = topology::star("star", servers(n, &class, net_seed), SCALE_LINK_SPEED)
+        .expect("generated star networks are valid");
+    Scenario {
+        name: format!("scale M={m} N={n} seed={seed}"),
+        workflow,
+        network,
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsflow_cost::Problem;
+    use wsflow_net::TopologyKind;
+
+    #[test]
+    fn produces_valid_problems() {
+        let s = scale_instance(60, 10, 42);
+        assert_eq!(s.network.kind(), TopologyKind::Star);
+        assert!(wsflow_model::is_well_formed(&s.workflow));
+        let p = Problem::new(s.workflow, s.network).expect("fully routable");
+        assert_eq!(p.num_ops(), 60);
+        assert_eq!(p.num_servers(), 10);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = scale_instance(40, 6, 7);
+        let b = scale_instance(40, 6, 7);
+        assert_eq!(a.workflow, b.workflow);
+        assert_eq!(a.network, b.network);
+        let c = scale_instance(40, 6, 8);
+        assert_ne!(a.workflow, c.workflow);
+    }
+}

@@ -1,0 +1,132 @@
+//! The flat-arena evaluator is a *representation* change, not a
+//! semantics change: on randomly generated workflows and networks its
+//! results are bit-identical to the legacy one-shot cost functions
+//! (`texecute` + `time_penalty`), and the batched paths are
+//! bit-identical to their one-at-a-time counterparts.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use wsflow_cost::{
+    texecute, time_penalty, CostBreakdown, DeltaEvaluator, Evaluator, Mapping, Problem,
+};
+use wsflow_model::{MbitsPerSec, OpId};
+use wsflow_net::ServerId;
+use wsflow_workload::{generate, scale_instance, Configuration, ExperimentClass, GraphClass};
+
+/// Random instances covering every generator shape plus the star
+/// topology of the scale study.
+fn instances(seed: u64) -> Vec<Problem> {
+    let class = ExperimentClass::class_c();
+    let mut out = Vec::new();
+    for config in [
+        Configuration::LineBus(MbitsPerSec(10.0)),
+        Configuration::GraphBus(GraphClass::Bushy, MbitsPerSec(10.0)),
+        Configuration::GraphBus(GraphClass::Lengthy, MbitsPerSec(100.0)),
+        Configuration::GraphBus(GraphClass::Hybrid, MbitsPerSec(100.0)),
+    ] {
+        let s = generate(config, 11, 4, &class, seed);
+        out.push(Problem::new(s.workflow, s.network).expect("generated scenarios are valid"));
+    }
+    let s = scale_instance(40, 7, seed);
+    out.push(Problem::new(s.workflow, s.network).expect("scale instances are valid"));
+    out
+}
+
+fn random_mappings(p: &Problem, count: usize, seed: u64) -> Vec<Mapping> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5EED_CAFE);
+    (0..count)
+        .map(|_| {
+            Mapping::from_fn(p.num_ops(), |_| {
+                ServerId::new(rng.gen_range(0..p.num_servers() as u32))
+            })
+        })
+        .collect()
+}
+
+fn assert_bits_eq(a: &CostBreakdown, b: &CostBreakdown, what: &str) {
+    assert_eq!(
+        a.execution.value().to_bits(),
+        b.execution.value().to_bits(),
+        "{what}: execution diverged ({} vs {})",
+        a.execution,
+        b.execution
+    );
+    assert_eq!(
+        a.penalty.value().to_bits(),
+        b.penalty.value().to_bits(),
+        "{what}: penalty diverged ({} vs {})",
+        a.penalty,
+        b.penalty
+    );
+    assert_eq!(
+        a.combined.value().to_bits(),
+        b.combined.value().to_bits(),
+        "{what}: combined diverged ({} vs {})",
+        a.combined,
+        b.combined
+    );
+}
+
+#[test]
+fn flat_evaluation_is_bit_identical_to_the_legacy_path() {
+    for seed in 0..6u64 {
+        for p in instances(seed) {
+            let mut ev = Evaluator::new(&p);
+            for mapping in random_mappings(&p, 8, seed) {
+                let flat = ev.evaluate(&mapping);
+                let legacy = CostBreakdown::new(
+                    texecute(&p, &mapping),
+                    time_penalty(&p, &mapping),
+                    p.weights(),
+                );
+                assert_bits_eq(
+                    &flat,
+                    &legacy,
+                    "Evaluator::evaluate vs texecute+time_penalty",
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn evaluate_batch_is_bit_identical_to_sequential_evaluate() {
+    for seed in 0..4u64 {
+        for p in instances(seed) {
+            let mappings = random_mappings(&p, 12, seed);
+            let batch = Evaluator::new(&p).evaluate_batch(&mappings);
+            let mut ev = Evaluator::new(&p);
+            for (mapping, got) in mappings.iter().zip(&batch) {
+                let want = ev.evaluate(mapping);
+                assert_bits_eq(got, &want, "evaluate_batch vs evaluate");
+            }
+        }
+    }
+}
+
+#[test]
+fn delta_probes_are_bit_identical_to_full_reevaluation() {
+    for seed in 0..4u64 {
+        for p in instances(seed) {
+            let start = random_mappings(&p, 1, seed).pop().unwrap();
+            let mut delta = DeltaEvaluator::new(&p, start.clone());
+            let mut ev = Evaluator::new(&p);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xD17A);
+            let moves: Vec<(OpId, ServerId)> = (0..16)
+                .map(|_| {
+                    (
+                        OpId(rng.gen_range(0..p.num_ops() as u32)),
+                        ServerId::new(rng.gen_range(0..p.num_servers() as u32)),
+                    )
+                })
+                .collect();
+            for got in delta.probe_batch(&moves).iter().zip(&moves).map(|(g, mv)| {
+                let mut moved = start.clone();
+                moved.assign(mv.0, mv.1);
+                (*g, ev.evaluate(&moved))
+            }) {
+                assert_bits_eq(&got.0, &got.1, "DeltaEvaluator::probe_batch vs evaluate");
+            }
+        }
+    }
+}
