@@ -124,6 +124,11 @@ impl<A: DeploymentAlgorithm + Sync> Hierarchical<A> {
             self.workers
         };
         wsflow_par::parallel_map_with(subs.len(), workers, |k| {
+            // One span per cluster, indexed by cluster number: the
+            // structural (name, idx) pair is identical whether the
+            // cluster runs here or on a worker thread, so the causal
+            // tree is the same for every WSFLOW_THREADS setting.
+            let _cluster_span = wsflow_obs::span_with("hier.cluster", k as u64);
             let Some(sub) = &subs[k] else {
                 return ClusterResult {
                     mapping: None,
@@ -157,6 +162,7 @@ impl<A: DeploymentAlgorithm + Sync> Hierarchical<A> {
         delta: &mut DeltaEvaluator<'_>,
         ctx: &mut SolveCtx<'_>,
     ) -> bool {
+        wsflow_obs::span_scope!("hier.repair");
         let w = problem.workflow();
         let of = partition.cluster_of(w.num_ops());
         // Boundary ops: any endpoint of a message cut by the partition.
@@ -238,6 +244,7 @@ impl<A: DeploymentAlgorithm + Sync> DeploymentAlgorithm for Hierarchical<A> {
             // nothing to shard, the inner algorithm is strictly better.
             _ => return self.inner.solve(problem, ctx),
         };
+        wsflow_obs::span_scope!("hier.solve");
         let mark = ctx.mark();
         let n = problem.num_servers() as u32;
         let shared = problem.shared_network();
@@ -265,18 +272,20 @@ impl<A: DeploymentAlgorithm + Sync> DeploymentAlgorithm for Hierarchical<A> {
 
         // Stitch onto a deterministic round-robin seed: clusters whose
         // sub-solve failed keep the seed placement.
-        let mut mapping = Mapping::from_fn(w.num_ops(), |o| ServerId::new(o.0 % n));
-        for (cluster, result) in partition.clusters.iter().zip(&results) {
-            if let Some(sub_mapping) = &result.mapping {
-                for (i, &op) in cluster.iter().enumerate() {
-                    mapping.assign(op, sub_mapping.server_of(OpId::from(i)));
+        let mut delta = {
+            wsflow_obs::span_scope!("hier.stitch");
+            let mut mapping = Mapping::from_fn(w.num_ops(), |o| ServerId::new(o.0 % n));
+            for (cluster, result) in partition.clusters.iter().zip(&results) {
+                if let Some(sub_mapping) = &result.mapping {
+                    for (i, &op) in cluster.iter().enumerate() {
+                        mapping.assign(op, sub_mapping.server_of(OpId::from(i)));
+                    }
+                } else {
+                    all_converged = false;
                 }
-            } else {
-                all_converged = false;
             }
-        }
-
-        let mut delta = DeltaEvaluator::new(problem, mapping);
+            DeltaEvaluator::new(problem, mapping)
+        };
         ctx.offer(delta.mapping(), delta.cost().combined.value());
         let repaired = self.repair_boundaries(problem, &partition, &mut delta, ctx);
 

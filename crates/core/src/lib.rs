@@ -64,5 +64,5 @@ pub use refine::{
     hill_climb_ctx, hill_climb_from, refine_moves_and_swaps, swap_refine_ctx, swap_refine_from,
     HillClimb, SimulatedAnnealing,
 };
-pub use solve::{CancelToken, SolveCtx, SolveOutcome, Termination};
+pub use solve::{CancelToken, SolveCtx, SolveOutcome, Termination, TrajectoryPoint};
 pub use view::{InstanceView, MsgView};

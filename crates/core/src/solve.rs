@@ -123,6 +123,20 @@ pub struct SolveOutcome {
 /// best mapping and its combined cost.
 type IncumbentCallback<'cb> = Box<dyn FnMut(&Mapping, f64) + 'cb>;
 
+/// One incumbent improvement, as recorded on the context's trajectory
+/// while observability is enabled: the logical step at which the new
+/// best was found, the wall-clock offset since the context was created
+/// (advisory — never in deterministic CSVs), and its combined cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrajectoryPoint {
+    /// `SolveCtx::consumed()` at the moment of the improvement.
+    pub step: u64,
+    /// Microseconds since the context was created. Wall clock, advisory.
+    pub elapsed_us: u64,
+    /// Combined cost of the new incumbent.
+    pub cost: f64,
+}
+
 /// Execution context threaded through an anytime solve: the step
 /// budget, the cancel token, the best incumbent seen so far, and an
 /// optional callback fired on every incumbent improvement.
@@ -149,6 +163,10 @@ pub struct SolveCtx<'cb> {
     /// Steps-to-incumbent samples, merged into the obs registry when
     /// the context finishes a solve (only while obs is enabled).
     steps_to_incumbent: wsflow_obs::LocalHistogram,
+    /// Incumbent-improvement trajectory, recorded only while obs is
+    /// enabled (empty otherwise). Shared-context composites (the
+    /// portfolio) accumulate one joint trajectory.
+    trajectory: Vec<TrajectoryPoint>,
 }
 
 impl std::fmt::Debug for SolveCtx<'_> {
@@ -183,6 +201,7 @@ impl<'cb> SolveCtx<'cb> {
             incumbent_at: 0,
             on_incumbent: None,
             steps_to_incumbent: wsflow_obs::LocalHistogram::new(),
+            trajectory: Vec::new(),
         }
     }
 
@@ -303,10 +322,25 @@ impl<'cb> SolveCtx<'cb> {
         self.incumbent_at = self.consumed;
         if wsflow_obs::enabled() {
             self.steps_to_incumbent.record(self.consumed as f64);
+            // Improvement ordinal = position on this context's
+            // trajectory: a deterministic structural index for the
+            // instant (offers always run on the ctx-owning thread).
+            wsflow_obs::instant("solver.incumbent", self.trajectory.len() as u64);
+            self.trajectory.push(TrajectoryPoint {
+                step: self.consumed,
+                elapsed_us: self.started.elapsed().as_micros() as u64,
+                cost,
+            });
         }
         if let Some(cb) = self.on_incumbent.as_mut() {
             cb(mapping, cost);
         }
+    }
+
+    /// The incumbent-improvement trajectory recorded so far (empty
+    /// unless observability was enabled during the solve).
+    pub fn trajectory(&self) -> &[TrajectoryPoint] {
+        &self.trajectory
     }
 
     /// The best (mapping, cost) offered so far, if any.
@@ -488,6 +522,45 @@ mod tests {
         // The search itself is not stopped by a deadline.
         assert!(!ctx.should_stop());
         assert!(ctx.try_charge(1));
+    }
+
+    #[test]
+    fn trajectory_records_improvements_only_while_obs_is_on() {
+        let _guard = wsflow_obs::registry::test_lock();
+        wsflow_obs::set_enabled(false);
+        wsflow_obs::reset();
+        let mut ctx = SolveCtx::with_budget(10);
+        ctx.offer(&dummy_mapping(), 9.0);
+        assert!(ctx.trajectory().is_empty(), "obs off records nothing");
+
+        wsflow_obs::set_enabled(true);
+        wsflow_obs::reset();
+        let mut ctx = SolveCtx::with_budget(10);
+        let m = dummy_mapping();
+        ctx.try_charge(2);
+        ctx.offer(&m, 9.0);
+        ctx.try_charge(3);
+        ctx.offer(&m, 12.0); // worse: not on the trajectory
+        ctx.offer(&m, 4.0);
+        let traj: Vec<TrajectoryPoint> = ctx.trajectory().to_vec();
+        let spans = wsflow_obs::registry::spans();
+        wsflow_obs::set_enabled(false);
+        wsflow_obs::reset();
+
+        assert_eq!(traj.len(), 2);
+        assert_eq!(traj[0].step, 2);
+        assert_eq!(traj[0].cost, 9.0);
+        assert_eq!(traj[1].step, 5);
+        assert_eq!(traj[1].cost, 4.0);
+        // Each improvement also leaves a causal instant with its ordinal.
+        let instants: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "solver.incumbent")
+            .collect();
+        assert_eq!(instants.len(), 2);
+        assert_eq!(instants[0].idx, 0);
+        assert_eq!(instants[1].idx, 1);
+        assert!(instants.iter().all(|s| s.instant && s.dur_us == 0));
     }
 
     #[test]

@@ -287,12 +287,18 @@ pub fn run_policy(
         }
         let batch = &events[i..j];
 
+        // The epoch span covers the whole batch: applying its events,
+        // the policy's search, and any migration it adopts. Its idx is
+        // the batch ordinal, so traces line up across policies.
+        let _epoch = wsflow_obs::span_with("dyn.epoch", steps as u64);
+
         // Accrue the regime that just ended.
         weighted_integral += cur_cost.combined.value() * (t - prev_t);
         avail_integral += env.up_fraction() * (t - prev_t);
         prev_t = t;
 
-        for te in batch {
+        for (k, te) in batch.iter().enumerate() {
+            wsflow_obs::instant("dyn.fault", (events_applied + k) as u64);
             env.apply(&te.event);
         }
         events_applied += batch.len();
@@ -595,6 +601,40 @@ mod tests {
             full.resolves_exhausted > 0,
             "a 40-step budget must cut the portfolio short"
         );
+    }
+
+    #[test]
+    fn controller_epochs_form_a_span_tree_with_fault_instants() {
+        let _guard = wsflow_obs::registry::test_lock();
+        wsflow_obs::set_enabled(true);
+        wsflow_obs::reset();
+        let r = quick_run(Policy::IncrementalRepair, 2007);
+        let spans = wsflow_obs::registry::spans();
+        wsflow_obs::set_enabled(false);
+        wsflow_obs::reset();
+
+        wsflow_obs::validate_spans(&spans).expect("controller spans must form a tree");
+        let epochs: Vec<_> = spans.iter().filter(|s| s.name == "dyn.epoch").collect();
+        assert_eq!(epochs.len(), r.steps, "one epoch span per event batch");
+        let faults: Vec<_> = spans.iter().filter(|s| s.name == "dyn.fault").collect();
+        assert_eq!(
+            faults.len(),
+            r.events_applied,
+            "one instant per applied event"
+        );
+        let epoch_ids: std::collections::HashSet<u64> = epochs.iter().map(|s| s.span_id).collect();
+        for f in &faults {
+            assert!(f.instant);
+            assert_eq!(f.dur_us, 0);
+            assert!(
+                epoch_ids.contains(&f.parent_id),
+                "fault instants must hang off their epoch"
+            );
+        }
+        // Epoch ordinals are dense from zero.
+        let mut idxs: Vec<u64> = epochs.iter().map(|s| s.idx).collect();
+        idxs.sort_unstable();
+        assert_eq!(idxs, (0..r.steps as u64).collect::<Vec<_>>());
     }
 
     #[test]

@@ -155,8 +155,34 @@ fn run_one_inner(
             }
         }
     }
+    if wsflow_obs::enabled() {
+        write_spans(&opts.out_dir);
+    }
     write_manifest(&output.id, opts, started.elapsed().as_secs_f64());
     output
+}
+
+/// Write the recorded span buffer as `spans.ndjson` into the output
+/// directory — the input `wsflow trace` turns into a Chrome trace.
+/// Only called with observability on; never fatal.
+fn write_spans(out_dir: &str) {
+    let spans = wsflow_obs::registry::spans();
+    let nd = match wsflow_obs::spans_ndjson(&spans) {
+        Ok(nd) => nd,
+        Err(e) => {
+            eprintln!("warning: could not serialise spans: {e}");
+            return;
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("warning: could not create {out_dir}: {e}");
+        return;
+    }
+    let path = Path::new(out_dir).join("spans.ndjson");
+    match std::fs::write(&path, nd) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
 }
 
 /// Write `manifest.json` (plus an `<experiment>_manifest.json` copy, so

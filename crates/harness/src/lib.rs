@@ -36,6 +36,7 @@ pub mod output;
 pub mod parallel;
 pub mod params;
 pub mod pareto_report;
+pub mod perf;
 pub mod quality;
 pub mod quality_vs_budget;
 pub mod runner;
@@ -46,6 +47,7 @@ pub mod summary;
 pub mod table;
 pub mod table6;
 pub mod topologies;
+pub mod trajectory;
 
 pub use output::ExperimentOutput;
 pub use params::Params;

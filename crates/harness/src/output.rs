@@ -21,6 +21,11 @@ pub struct ExperimentOutput {
     /// Experiments whose rows don't fit the [`Record`] schema (e.g.
     /// `dyn_policies`) emit their own files here.
     pub extra_csvs: Vec<(String, String)>,
+    /// Observability side-channel CSVs: `(file name, contents)`.
+    /// Written like `extra_csvs` but *excluded* from determinism
+    /// comparisons — these may contain wall-clock values (e.g.
+    /// `trajectory.csv`) and are only emitted when observability is on.
+    pub obs_csvs: Vec<(String, String)>,
 }
 
 impl ExperimentOutput {
@@ -31,6 +36,7 @@ impl ExperimentOutput {
             tables: Vec::new(),
             records: Vec::new(),
             extra_csvs: Vec::new(),
+            obs_csvs: Vec::new(),
         }
     }
 
@@ -78,7 +84,7 @@ impl ExperimentOutput {
             }
             written.push(path);
         }
-        for (name, contents) in &self.extra_csvs {
+        for (name, contents) in self.extra_csvs.iter().chain(&self.obs_csvs) {
             let path = dir.join(name);
             fs::write(&path, contents)?;
             written.push(path);

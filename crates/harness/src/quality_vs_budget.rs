@@ -24,6 +24,7 @@ use crate::dyn_policies::budget_label;
 use crate::output::ExperimentOutput;
 use crate::params::Params;
 use crate::table::{ms, Table};
+use crate::trajectory::TrajectoryRecorder;
 
 /// Step budgets swept, smallest first (`None` = unlimited).
 pub const BUDGETS: [Option<u64>; 4] = [Some(100), Some(1_000), Some(10_000), None];
@@ -60,6 +61,8 @@ pub fn run(params: &Params) -> ExperimentOutput {
     let mut agg = vec![(0.0f64, 0u64, 0usize, 0usize); names.len() * BUDGETS.len()];
     let mut csv = String::from(CSV_HEADER);
     csv.push('\n');
+    let mut recorder = TrajectoryRecorder::new();
+    let mut row = 0u64;
 
     for i in 0..params.seeds as u64 {
         let seed = params.base_seed + i;
@@ -67,10 +70,19 @@ pub fn run(params: &Params) -> ExperimentOutput {
         let problem = Problem::new(sc.workflow, sc.network).expect("generated scenarios are valid");
         for (ai, algo) in suite(seed).iter().enumerate() {
             for (bi, &budget) in BUDGETS.iter().enumerate() {
+                // One span per solve; the row ordinal keeps (name, idx)
+                // unique so incumbent instants parent unambiguously.
+                let solve_span = wsflow_obs::span_with("qvb.solve", row);
+                row += 1;
                 let mut ctx = SolveCtx::with_budget_opt(budget);
                 let out = algo
                     .solve(&problem, &mut ctx)
                     .expect("the suite deploys on Line–Bus");
+                drop(solve_span);
+                recorder.record(
+                    &format!("{}/{}/{}", algo.name(), budget_label(budget), seed),
+                    &ctx,
+                );
                 csv.push_str(&format!(
                     "{},{},{},{},{},{}\n",
                     algo.name(),
@@ -121,6 +133,10 @@ pub fn run(params: &Params) -> ExperimentOutput {
     out.tables.push(table);
     out.extra_csvs
         .push(("quality_vs_budget.csv".to_string(), csv));
+    if !recorder.is_empty() {
+        out.obs_csvs
+            .push(("trajectory.csv".to_string(), recorder.csv()));
+    }
     out
 }
 

@@ -24,6 +24,7 @@ use wsflow_workload::scale_instance;
 use crate::output::ExperimentOutput;
 use crate::params::Params;
 use crate::table::{ms, Table};
+use crate::trajectory::TrajectoryRecorder;
 
 /// The fixed logical-step budget per solve (the issue's 10⁶ target).
 pub const BUDGET: u64 = 1_000_000;
@@ -75,6 +76,7 @@ pub fn run(params: &Params) -> ExperimentOutput {
 
     let mut csv = String::from(CSV_HEADER);
     csv.push('\n');
+    let mut recorder = TrajectoryRecorder::new();
     let mut table = Table::new(
         format!("Scale sweep — star networks, budget {BUDGET} steps, {seeds} seed(s) per size"),
         &[
@@ -109,6 +111,7 @@ pub fn run(params: &Params) -> ExperimentOutput {
                     "{instance},{m},{n},{name},{BUDGET},{seed},{},{},{}\n",
                     out.steps, out.cost, out.termination
                 ));
+                recorder.record(&format!("{instance}/{name}/{seed}"), &ctx);
                 cost_sum += out.cost;
                 steps_sum += out.steps;
                 converged += usize::from(out.termination == Termination::Converged);
@@ -127,6 +130,10 @@ pub fn run(params: &Params) -> ExperimentOutput {
     let mut out = ExperimentOutput::new("scale_sweep");
     out.tables.push(table);
     out.extra_csvs.push(("scale_sweep.csv".to_string(), csv));
+    if !recorder.is_empty() {
+        out.obs_csvs
+            .push(("trajectory.csv".to_string(), recorder.csv()));
+    }
     out
 }
 

@@ -1,0 +1,38 @@
+//! The committed `BENCH_obs.json` must stay parseable and structurally
+//! sane: it is the baseline `wsflow bench --compare` gates CI against.
+//! The measured numbers are machine-dependent, so this test checks
+//! shape, not absolute speed.
+
+use wsflow_harness::perf::{BenchDoc, SCHEMA};
+
+#[test]
+fn committed_bench_obs_json_parses_and_covers_the_suite() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_obs.json is committed at repo root");
+    let doc = BenchDoc::parse(&text).expect("BENCH_obs.json parses");
+    assert_eq!(doc.schema, SCHEMA);
+    let names: Vec<&str> = doc.benches.iter().map(|b| b.name.as_str()).collect();
+    for required in [
+        "eval_legacy",
+        "eval_flat_batch",
+        "delta_probe",
+        "hier_stitch",
+        "sim_engine",
+    ] {
+        assert!(names.contains(&required), "baseline misses {required}");
+    }
+    for b in &doc.benches {
+        assert!(
+            b.ns_per_op.is_finite() && b.ns_per_op > 0.0,
+            "{}: bad baseline timing {}",
+            b.name,
+            b.ns_per_op
+        );
+        assert!(b.reps > 0 && b.ops > 0 && b.servers > 0, "{}", b.name);
+    }
+    // The baseline must come from the full suite, not a --quick run.
+    assert!(
+        doc.benches.iter().all(|b| b.ops == 200 && b.servers == 20),
+        "baseline must be the pinned 200x20 instance"
+    );
+}

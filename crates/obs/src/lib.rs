@@ -37,14 +37,18 @@ pub mod manifest;
 pub mod ndjson;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use manifest::{git_rev, Manifest, PhaseTiming};
-pub use ndjson::{snapshot_ndjson, spans_ndjson};
+pub use ndjson::{parse_spans_ndjson, snapshot_ndjson, spans_ndjson};
 pub use registry::{
     counter_add, gauge_set, merge_histogram, observe, reset, snapshot, BucketSnap, CounterSnap,
     GaugeSnap, HistSnap, Histogram, LocalHistogram, Snapshot,
 };
-pub use span::{span, SpanEvent, SpanGuard};
+pub use span::{
+    adopt_parent, current_parent, instant, span, span_with, ParentGuard, SpanEvent, SpanGuard,
+};
+pub use trace::{chrome_trace, chrome_trace_wall, validate_spans, TraceStats};
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static ENV_INIT: Once = Once::new();

@@ -280,6 +280,44 @@ impl Manifest {
                 );
             }
         }
+        // Dedicated summary of the incumbent trajectories the anytime
+        // harness recorded: how quickly solves produced anything, and
+        // how quickly they got within 1% of their final quality.
+        let traj_solves = self
+            .metrics
+            .counters
+            .iter()
+            .find(|c| c.name == "trajectory.solves");
+        let ttfi = self
+            .metrics
+            .histograms
+            .iter()
+            .find(|h| h.name == "trajectory.time_to_first_incumbent_secs");
+        let steps_p99 = self
+            .metrics
+            .histograms
+            .iter()
+            .find(|h| h.name == "trajectory.steps_to_p99_quality");
+        if traj_solves.is_some() || ttfi.is_some() || steps_p99.is_some() {
+            let _ = writeln!(out, "\ntrajectory:");
+            if let Some(c) = traj_solves {
+                let _ = writeln!(out, "  {:<36} {:>14}", "solves with incumbents", c.value);
+            }
+            if let Some(h) = ttfi {
+                let _ = writeln!(
+                    out,
+                    "  time-to-first-incumbent (s): {} samples, p50 {:.6}, p90 {:.6}, p99 {:.6}, max {:.6}",
+                    h.count, h.p50, h.p90, h.p99, h.max
+                );
+            }
+            if let Some(h) = steps_p99 {
+                let _ = writeln!(
+                    out,
+                    "  steps-to-1%-of-final: {} samples, p50 {:.0}, p90 {:.0}, p99 {:.0}, max {:.0}",
+                    h.count, h.p50, h.p90, h.p99, h.max
+                );
+            }
+        }
         // Dedicated summary for dynamic-environment runs: migrations and
         // recovery behaviour are the headline numbers of `dyn_policies`,
         // so surface them even though the raw metrics also appear above.
@@ -386,31 +424,21 @@ mod tests {
 
     #[test]
     fn phases_aggregate_in_first_appearance_order() {
+        let span = |name: &str, thread: u64, span_id: u64, dur_us: u64| SpanEvent {
+            name: name.to_string(),
+            thread,
+            span_id,
+            parent_id: 0,
+            idx: 0,
+            start_us: 0,
+            dur_us,
+            instant: false,
+        };
         let spans = vec![
-            SpanEvent {
-                name: "phase.search".to_string(),
-                thread: 0,
-                start_us: 0,
-                dur_us: 1_000_000,
-            },
-            SpanEvent {
-                name: "phase.sim".to_string(),
-                thread: 0,
-                start_us: 0,
-                dur_us: 500_000,
-            },
-            SpanEvent {
-                name: "not-a-phase".to_string(),
-                thread: 0,
-                start_us: 0,
-                dur_us: 9,
-            },
-            SpanEvent {
-                name: "phase.search".to_string(),
-                thread: 1,
-                start_us: 0,
-                dur_us: 250_000,
-            },
+            span("phase.search", 0, 1, 1_000_000),
+            span("phase.sim", 0, 2, 500_000),
+            span("not-a-phase", 0, 3, 9),
+            span("phase.search", 1, 4, 250_000),
         ];
         let phases = phases_from_spans(&spans);
         assert_eq!(phases.len(), 2);
@@ -472,6 +500,52 @@ mod tests {
 
         // No solver metrics → no section.
         assert!(!sample().render().contains("solver:"));
+    }
+
+    #[test]
+    fn render_surfaces_trajectory_metrics() {
+        let mut m = sample();
+        m.metrics.counters.push(crate::registry::CounterSnap {
+            name: "trajectory.solves".to_string(),
+            value: 8,
+        });
+        m.metrics.histograms.push(crate::registry::HistSnap {
+            name: "trajectory.time_to_first_incumbent_secs".to_string(),
+            count: 8,
+            sum: 0.008,
+            min: 0.0005,
+            max: 0.002,
+            p50: 0.001,
+            p90: 0.0018,
+            p99: 0.002,
+            buckets: vec![crate::registry::BucketSnap {
+                le: f64::INFINITY,
+                count: 8,
+            }],
+        });
+        m.metrics.histograms.push(crate::registry::HistSnap {
+            name: "trajectory.steps_to_p99_quality".to_string(),
+            count: 8,
+            sum: 800.0,
+            min: 10.0,
+            max: 300.0,
+            p50: 80.0,
+            p90: 250.0,
+            p99: 300.0,
+            buckets: vec![crate::registry::BucketSnap {
+                le: f64::INFINITY,
+                count: 8,
+            }],
+        });
+        let text = m.render();
+        assert!(text.contains("trajectory:"), "{text}");
+        assert!(text.contains("solves with incumbents"));
+        assert!(text.contains("time-to-first-incumbent (s): 8 samples"));
+        assert!(text.contains("steps-to-1%-of-final: 8 samples"));
+        assert!(text.contains("p90 250"));
+
+        // No trajectory metrics → no section.
+        assert!(!sample().render().contains("trajectory:"));
     }
 
     #[test]

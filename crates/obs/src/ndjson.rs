@@ -56,6 +56,33 @@ pub fn spans_ndjson(spans: &[SpanEvent]) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Parse a span NDJSON document back into a span buffer — the inverse
+/// of [`spans_ndjson`]. Lines of other kinds (counters, gauges,
+/// histograms from a concatenated export) are skipped, so a combined
+/// metrics+spans file still yields its spans. A malformed line is an
+/// error naming its 1-based line number.
+pub fn parse_spans_ndjson(text: &str) -> Result<Vec<SpanEvent>, String> {
+    let mut spans = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if !line.contains("\"kind\":\"span\"") {
+            // Tolerate other record kinds, but a line that isn't JSON at
+            // all means the file is not an NDJSON export.
+            if line.starts_with('{') {
+                continue;
+            }
+            return Err(format!("line {}: not an NDJSON record", i + 1));
+        }
+        let span: SpanEvent =
+            serde_json::from_str(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        spans.push(span);
+    }
+    Ok(spans)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,15 +164,47 @@ mod tests {
         let spans = vec![SpanEvent {
             name: "phase.search".into(),
             thread: 0,
+            span_id: 3,
+            parent_id: 1,
+            idx: 2,
             start_us: 10,
             dur_us: 250,
+            instant: false,
         }];
         let text = spans_ndjson(&spans).unwrap();
         assert_eq!(
             text,
-            "{\"kind\":\"span\",\"name\":\"phase.search\",\"thread\":0,\"start_us\":10,\"dur_us\":250}\n"
+            "{\"kind\":\"span\",\"name\":\"phase.search\",\"thread\":0,\"span_id\":3,\
+             \"parent_id\":1,\"idx\":2,\"start_us\":10,\"dur_us\":250,\"instant\":false}\n"
         );
         let back: SpanEvent = serde_json::from_str(text.trim_end()).unwrap();
         assert_eq!(back, spans[0]);
+
+        let parsed = parse_spans_ndjson(&text).unwrap();
+        assert_eq!(parsed, spans);
+    }
+
+    #[test]
+    fn parse_skips_other_kinds_and_rejects_garbage() {
+        let spans = vec![SpanEvent {
+            name: "a".into(),
+            thread: 1,
+            span_id: 2,
+            parent_id: 0,
+            idx: 0,
+            start_us: 0,
+            dur_us: 5,
+            instant: false,
+        }];
+        let mut text = snapshot_ndjson(&sample_snapshot()).unwrap();
+        text.push_str(&spans_ndjson(&spans).unwrap());
+        let parsed = parse_spans_ndjson(&text).unwrap();
+        assert_eq!(parsed, spans, "metric records must be skipped");
+
+        assert!(parse_spans_ndjson("").unwrap().is_empty());
+        let err = parse_spans_ndjson("this is not json\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let err = parse_spans_ndjson("{\"kind\":\"span\",\"name\":3}\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
     }
 }

@@ -51,6 +51,17 @@ pub fn bucket_upper(i: usize) -> f64 {
     f64::powi(2.0, i as i32 - OFFSET + 1)
 }
 
+/// Lower edge of bucket `i` (`0.0` for the underflow bucket, which also
+/// absorbs zeros and negatives).
+#[inline]
+pub fn bucket_lower(i: usize) -> f64 {
+    if i == 0 {
+        0.0
+    } else {
+        bucket_upper(i - 1)
+    }
+}
+
 /// A fixed-bucket histogram (base-2 exponential buckets).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
@@ -115,10 +126,13 @@ impl Histogram {
         self.sum += other.sum;
     }
 
-    /// Estimated `q`-quantile (`0.0 ..= 1.0`): the upper edge of the
-    /// bucket holding the `ceil(q·count)`-th observation, clamped to the
-    /// observed `[min, max]`. Exact for point masses, never off by more
-    /// than one bucket width otherwise.
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`): locate the bucket holding
+    /// the `ceil(q·count)`-th observation and interpolate linearly by
+    /// rank inside it, treating each of the bucket's `c` observations as
+    /// sitting at the midpoint of its 1/c sub-slice. The estimate is
+    /// clamped to the observed `[min, max]`, which keeps point masses
+    /// exact; otherwise the error is bounded by the owning bucket's
+    /// width.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -126,10 +140,17 @@ impl Histogram {
         let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut cum = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
-            cum += c;
-            if cum >= target {
-                return bucket_upper(i).clamp(self.min, self.max);
+            if c == 0 {
+                continue;
             }
+            if cum + c >= target {
+                let lower = bucket_lower(i);
+                let upper = bucket_upper(i);
+                let frac = (((target - cum) as f64) - 0.5) / c as f64;
+                let est = lower + (upper - lower) * frac.clamp(0.0, 1.0);
+                return est.clamp(self.min, self.max);
+            }
+            cum += c;
         }
         self.max
     }
@@ -463,6 +484,66 @@ mod tests {
         h.merge(&other);
         assert_eq!(h.count, 6);
         assert_eq!(h.min, 0.25);
+    }
+
+    /// Exact quantile of a sorted sample: the `ceil(q·n)`-th order
+    /// statistic (the definition the histogram estimator approximates).
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        let n = sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn interpolated_quantiles_track_exact_values_on_synthetic_data() {
+        // Uniform ramp 1..=1000: the estimate must land within the
+        // owning base-2 bucket of the exact order statistic.
+        let values: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let mut h = Histogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        for q in [0.5, 0.9, 0.99] {
+            let exact = exact_quantile(&values, q);
+            let est = h.quantile(q);
+            let (lo, hi) = (
+                bucket_lower(bucket_index(exact)),
+                bucket_upper(bucket_index(exact)),
+            );
+            assert!(
+                est >= lo && est <= hi,
+                "q={q}: estimate {est} outside bucket [{lo}, {hi}] of exact {exact}"
+            );
+            // Interpolation must beat the old upper-edge answer: strictly
+            // inside the bucket, not pinned to its edge.
+            assert!(
+                est < hi,
+                "q={q}: estimate {est} stuck at the bucket edge {hi}"
+            );
+        }
+
+        // A point mass is exact regardless of interpolation.
+        let mut point = Histogram::default();
+        for _ in 0..37 {
+            point.record(3.25);
+        }
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(point.quantile(q), 3.25, "point mass must be exact at q={q}");
+        }
+
+        // Two spikes: low quantiles sit on the low spike, high on the
+        // high spike, clamped to observed values.
+        let mut spikes = Histogram::default();
+        for _ in 0..90 {
+            spikes.record(1.0);
+        }
+        for _ in 0..10 {
+            spikes.record(1000.0);
+        }
+        let p50 = spikes.quantile(0.5);
+        assert!((1.0..2.0).contains(&p50), "p50 = {p50}");
+        let p99 = spikes.quantile(0.99);
+        assert!((512.0..=1000.0).contains(&p99), "p99 = {p99}");
     }
 
     #[test]

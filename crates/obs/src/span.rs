@@ -1,4 +1,4 @@
-//! Lightweight timed spans.
+//! Lightweight timed spans, linked into a causal tree.
 //!
 //! A span measures one named scope with monotonic time:
 //!
@@ -11,12 +11,31 @@
 //!
 //! or, via the convenience macro, `wsflow_obs::span_scope!("name");`.
 //!
+//! Every span carries a process-unique `span_id` and the `span_id` of
+//! its causal parent (`0` for roots). Parents are tracked by a
+//! thread-local stack: opening a span pushes its id, dropping it pops,
+//! so nested scopes on one thread link up automatically. Work handed to
+//! another thread keeps its causal parent via [`current_parent`] /
+//! [`adopt_parent`]: capture the parent id before spawning and adopt it
+//! inside the worker closure (see `wsflow-par`). Zero-duration marks —
+//! faults, incumbent updates — are recorded with [`instant`].
+//!
+//! Spans additionally carry a structural index `idx` (cluster number,
+//! epoch number, member ordinal — `0` when there is only one): sibling
+//! spans that may complete in any order under `WSFLOW_THREADS > 1` must
+//! be distinguishable by `(name, idx)` so the trace exporter can sort
+//! them canonically and emit byte-identical output for any worker
+//! count.
+//!
 //! When observability is disabled the guard holds no timestamp and the
 //! drop is a no-op — opening a span costs one relaxed atomic load. When
 //! enabled, completion buffers a [`SpanEvent`] in the registry (for the
-//! NDJSON exporter and the manifest's per-phase table) and records the
-//! duration into the `span.<name>.secs` histogram.
+//! NDJSON exporter, the trace exporter, and the manifest's per-phase
+//! table) and records the duration into the `span.<name>.secs`
+//! histogram.
 
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
@@ -31,9 +50,11 @@ fn epoch() -> Instant {
 
 /// Small dense thread identifier (stable within the process; assigned
 /// in first-use order). `std::thread::ThreadId` has no stable integer
-/// accessor, so we mint our own.
+/// accessor, so we mint our own. First-use order is scheduling
+/// dependent, so raw ordinals are NOT comparable run-to-run — the trace
+/// exporter densely remaps them by first appearance in canonical span
+/// order before anything leaves the process.
 fn thread_ordinal() -> u64 {
-    use std::sync::atomic::{AtomicU64, Ordering};
     static NEXT: AtomicU64 = AtomicU64::new(0);
     thread_local! {
         static ORDINAL: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
@@ -41,18 +62,85 @@ fn thread_ordinal() -> u64 {
     ORDINAL.with(|o| *o)
 }
 
-/// A completed span, as buffered in the registry and exported to
-/// NDJSON.
+/// Mint a process-unique span id. `0` is reserved for "no parent".
+fn next_span_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    /// The open-span stack of this thread; the top is the causal parent
+    /// of any span or instant opened next.
+    static PARENT_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The `span_id` that a span opened right now would get as its parent
+/// (`0` when the stack is empty or observability is disabled). Capture
+/// this before handing work to another thread and pass it to
+/// [`adopt_parent`] inside the worker.
+pub fn current_parent() -> u64 {
+    if !crate::enabled() {
+        return 0;
+    }
+    PARENT_STACK.with(|s| s.borrow().last().copied().unwrap_or(0))
+}
+
+/// RAII guard that makes `parent` the ambient causal parent on the
+/// current thread (cross-thread propagation). Inert when observability
+/// is disabled or `parent` is `0`.
+#[derive(Debug)]
+pub struct ParentGuard {
+    adopted: u64,
+}
+
+/// Adopt `parent` (a [`current_parent`] captured on another thread) as
+/// the ambient causal parent for the lifetime of the returned guard.
+pub fn adopt_parent(parent: u64) -> ParentGuard {
+    if parent == 0 || !crate::enabled() {
+        return ParentGuard { adopted: 0 };
+    }
+    PARENT_STACK.with(|s| s.borrow_mut().push(parent));
+    ParentGuard { adopted: parent }
+}
+
+impl Drop for ParentGuard {
+    fn drop(&mut self) {
+        if self.adopted == 0 {
+            return;
+        }
+        // Tolerant pop: truncate at our own frame so a mid-scope
+        // enable/disable flip can never pop someone else's frame.
+        PARENT_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            if let Some(pos) = s.iter().rposition(|&id| id == self.adopted) {
+                s.truncate(pos);
+            }
+        });
+    }
+}
+
+/// A completed span or instant, as buffered in the registry and
+/// exported to NDJSON / trace JSON.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SpanEvent {
     /// Span name (dotted path, e.g. `phase.search`).
     pub name: String,
-    /// Ordinal of the thread that ran the span.
+    /// Ordinal of the thread that ran the span (raw first-use order;
+    /// remapped densely at export time).
     pub thread: u64,
+    /// Process-unique span id (never `0`).
+    pub span_id: u64,
+    /// `span_id` of the causal parent, `0` for roots.
+    pub parent_id: u64,
+    /// Structural index distinguishing same-named siblings that may
+    /// complete in any order (cluster number, epoch, member ordinal).
+    pub idx: u64,
     /// Start time in microseconds since the process span epoch.
     pub start_us: u64,
-    /// Duration in microseconds.
+    /// Duration in microseconds (always `0` for instants).
     pub dur_us: u64,
+    /// `true` for zero-duration marks recorded via [`instant`].
+    pub instant: bool,
 }
 
 impl SpanEvent {
@@ -67,6 +155,9 @@ impl SpanEvent {
 #[derive(Debug)]
 pub struct SpanGuard {
     name: Option<String>,
+    span_id: u64,
+    parent_id: u64,
+    idx: u64,
     start: Instant,
 }
 
@@ -75,35 +166,96 @@ impl SpanGuard {
     pub fn name(&self) -> Option<&str> {
         self.name.as_deref()
     }
+
+    /// The span's id, or `0` for an inert guard.
+    pub fn id(&self) -> u64 {
+        if self.name.is_some() {
+            self.span_id
+        } else {
+            0
+        }
+    }
 }
 
-/// Open a timed span. Returns an inert guard when observability is
-/// disabled.
+/// Open a timed span with structural index `0`. Returns an inert guard
+/// when observability is disabled.
 pub fn span(name: &str) -> SpanGuard {
+    span_with(name, 0)
+}
+
+/// Open a timed span with an explicit structural index (cluster number,
+/// epoch, member ordinal). Siblings that may complete in any order
+/// under `WSFLOW_THREADS > 1` must carry distinct `(name, idx)` pairs —
+/// that is what makes the canonical trace sort total.
+pub fn span_with(name: &str, idx: u64) -> SpanGuard {
     if !crate::enabled() {
         // `start` is unused on the inert path; `Instant::now()` would
         // also be fine but a lazily-shared epoch avoids the syscall.
         return SpanGuard {
             name: None,
+            span_id: 0,
+            parent_id: 0,
+            idx: 0,
             start: epoch(),
         };
     }
+    let span_id = next_span_id();
+    let parent_id = PARENT_STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        let parent = s.last().copied().unwrap_or(0);
+        s.push(span_id);
+        parent
+    });
     SpanGuard {
         name: Some(name.to_string()),
+        span_id,
+        parent_id,
+        idx,
         start: Instant::now(),
     }
+}
+
+/// Record a zero-duration mark (fault applied, incumbent improved)
+/// under the current causal parent. No-op when disabled.
+pub fn instant(name: &str, idx: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let event = SpanEvent {
+        name: name.to_string(),
+        thread: thread_ordinal(),
+        span_id: next_span_id(),
+        parent_id: PARENT_STACK.with(|s| s.borrow().last().copied().unwrap_or(0)),
+        idx,
+        start_us: Instant::now().duration_since(epoch()).as_micros() as u64,
+        dur_us: 0,
+        instant: true,
+    };
+    crate::registry::push_span(event);
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(name) = self.name.take() else { return };
+        // Tolerant pop (see ParentGuard::drop): truncate at our own
+        // frame rather than blindly popping the top.
+        PARENT_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            if let Some(pos) = s.iter().rposition(|&id| id == self.span_id) {
+                s.truncate(pos);
+            }
+        });
         let start_us = self.start.duration_since(epoch()).as_micros() as u64;
         let dur_us = self.start.elapsed().as_micros() as u64;
         let event = SpanEvent {
             name,
             thread: thread_ordinal(),
+            span_id: self.span_id,
+            parent_id: self.parent_id,
+            idx: self.idx,
             start_us,
             dur_us,
+            instant: false,
         };
         crate::registry::observe(&format!("span.{}.secs", event.name), event.secs());
         crate::registry::push_span(event);
@@ -122,6 +274,9 @@ mod tests {
         {
             let s = span("noop.scope");
             assert_eq!(s.name(), None);
+            assert_eq!(s.id(), 0);
+            assert_eq!(current_parent(), 0);
+            instant("noop.mark", 0);
         }
         assert!(crate::registry::spans().is_empty());
         assert!(crate::registry::snapshot().is_empty());
@@ -144,9 +299,75 @@ mod tests {
 
         assert_eq!(spans.len(), 1);
         assert_eq!(spans[0].name, "unit.work");
+        assert!(spans[0].span_id > 0);
+        assert_eq!(spans[0].parent_id, 0);
+        assert!(!spans[0].instant);
         assert!(spans[0].dur_us >= 1_000, "dur_us = {}", spans[0].dur_us);
         let h = snap.histogram("span.unit.work.secs").expect("histogram");
         assert_eq!(h.count, 1);
         assert!(h.max > 0.0);
+    }
+
+    #[test]
+    fn nested_spans_link_parent_ids() {
+        let _guard = crate::registry::test_lock();
+        crate::set_enabled(true);
+        crate::registry::reset();
+        {
+            let outer = span("tree.outer");
+            let outer_id = outer.id();
+            assert_eq!(current_parent(), outer_id);
+            {
+                let inner = span_with("tree.inner", 3);
+                assert_eq!(current_parent(), inner.id());
+                instant("tree.mark", 7);
+            }
+            assert_eq!(current_parent(), outer_id);
+        }
+        let spans = crate::registry::spans();
+        crate::set_enabled(false);
+        crate::registry::reset();
+
+        // Completion order: mark (instant), inner, outer.
+        assert_eq!(spans.len(), 3);
+        let outer = spans.iter().find(|s| s.name == "tree.outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "tree.inner").unwrap();
+        let mark = spans.iter().find(|s| s.name == "tree.mark").unwrap();
+        assert_eq!(outer.parent_id, 0);
+        assert_eq!(inner.parent_id, outer.span_id);
+        assert_eq!(inner.idx, 3);
+        assert_eq!(mark.parent_id, inner.span_id);
+        assert_eq!(mark.idx, 7);
+        assert!(mark.instant);
+        assert_eq!(mark.dur_us, 0);
+    }
+
+    #[test]
+    fn adopt_parent_links_across_threads() {
+        let _guard = crate::registry::test_lock();
+        crate::set_enabled(true);
+        crate::registry::reset();
+        let root_id;
+        {
+            let root = span("xthread.root");
+            root_id = root.id();
+            let parent = current_parent();
+            assert_eq!(parent, root_id);
+            std::thread::scope(|scope| {
+                scope.spawn(move || {
+                    // Fresh thread: no ambient parent until adopted.
+                    assert_eq!(current_parent(), 0);
+                    let _adopt = adopt_parent(parent);
+                    assert_eq!(current_parent(), parent);
+                    let _child = span_with("xthread.child", 1);
+                });
+            });
+        }
+        let spans = crate::registry::spans();
+        crate::set_enabled(false);
+        crate::registry::reset();
+
+        let child = spans.iter().find(|s| s.name == "xthread.child").unwrap();
+        assert_eq!(child.parent_id, root_id);
     }
 }

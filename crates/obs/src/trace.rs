@@ -1,0 +1,520 @@
+//! Chrome/Perfetto trace-event export of the causal span tree.
+//!
+//! [`chrome_trace`] renders a span buffer as a Chrome trace-event JSON
+//! document (`chrome://tracing`, Perfetto's legacy JSON loader): one
+//! `ph:"X"` complete slice per span and one `ph:"i"` instant per mark.
+//!
+//! ## Canonical mode (the default, byte-stable)
+//!
+//! Wall timestamps, raw span ids, and thread ordinals all depend on
+//! scheduling, so a trace built from them can never be byte-identical
+//! across `WSFLOW_THREADS` settings or across repeated runs. The
+//! default export therefore derives everything from the causal *tree*,
+//! which is deterministic by construction:
+//!
+//! 1. build the forest from `parent_id` links (spans referencing a
+//!    dropped parent become roots),
+//! 2. sort every sibling list by `(name, idx, start order)` — parallel
+//!    siblings carry distinct `(name, idx)`, sequential siblings are
+//!    already ordered by their on-thread start times,
+//! 3. densely renumber span ids in the resulting depth-first order, and
+//!    remap thread ordinals by first appearance in that same order
+//!    (this is what makes traces comparable run-to-run),
+//! 4. assign *virtual* timestamps by the same walk: each slice spans
+//!    `2 + Σ child extents` ticks and its children nest strictly
+//!    inside, each instant occupies one tick.
+//!
+//! The output is a pure function of the span tree, so identical
+//! searches produce identical bytes regardless of worker count or
+//! machine speed. Real thread attribution is preserved in each event's
+//! `args.thread` (remapped ordinal).
+//!
+//! ## Wall mode
+//!
+//! [`chrome_trace_wall`] keeps the measured microsecond timestamps and
+//! lays slices out on their (remapped) threads, adding `ph:"s"/"f"`
+//! flow arrows where a child ran on a different thread than its parent.
+//! Timings vary run to run, so wall traces are for humans, not diffs.
+
+use std::collections::BTreeMap;
+
+use serde::Value;
+
+use crate::span::SpanEvent;
+
+/// Summary counts returned alongside an export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStats {
+    /// `ph:"X"` duration slices emitted.
+    pub slices: usize,
+    /// `ph:"i"` instant events emitted.
+    pub instants: usize,
+    /// Distinct threads observed.
+    pub threads: usize,
+    /// Spans whose parent was missing from the buffer (re-rooted).
+    pub orphans: usize,
+}
+
+/// Check span-tree well-formedness: ids unique and nonzero, every
+/// nonzero `parent_id` resolves to a buffered span, no parent cycles,
+/// instants have zero duration.
+pub fn validate_spans(spans: &[SpanEvent]) -> Result<(), String> {
+    let mut parents: BTreeMap<u64, u64> = BTreeMap::new();
+    for s in spans {
+        if s.span_id == 0 {
+            return Err(format!("span {:?} has reserved id 0", s.name));
+        }
+        if parents.insert(s.span_id, s.parent_id).is_some() {
+            return Err(format!("duplicate span id {}", s.span_id));
+        }
+        if s.instant && s.dur_us != 0 {
+            return Err(format!(
+                "instant {:?} (id {}) has nonzero duration {}us",
+                s.name, s.span_id, s.dur_us
+            ));
+        }
+    }
+    for s in spans {
+        if s.parent_id != 0 && !parents.contains_key(&s.parent_id) {
+            return Err(format!(
+                "span {} ({:?}) references missing parent {}",
+                s.span_id, s.name, s.parent_id
+            ));
+        }
+        // Walk the parent chain; more hops than spans means a cycle.
+        let mut cur = s.parent_id;
+        let mut hops = 0usize;
+        while cur != 0 {
+            if cur == s.span_id || hops > spans.len() {
+                return Err(format!("parent cycle through span {}", s.span_id));
+            }
+            cur = parents.get(&cur).copied().unwrap_or(0);
+            hops += 1;
+        }
+    }
+    Ok(())
+}
+
+/// One node of the canonicalised forest.
+struct Node {
+    span: SpanEvent,
+    children: Vec<usize>,
+}
+
+/// Build the forest and sort every sibling list canonically. Returns
+/// `(nodes, roots, orphans)`; nodes referencing a missing parent are
+/// re-rooted and counted.
+fn build_forest(spans: &[SpanEvent]) -> (Vec<Node>, Vec<usize>, usize) {
+    let mut nodes: Vec<Node> = spans
+        .iter()
+        .map(|s| Node {
+            span: s.clone(),
+            children: Vec::new(),
+        })
+        .collect();
+    let index_of: BTreeMap<u64, usize> = spans
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.span_id, i))
+        .collect();
+    let mut roots = Vec::new();
+    let mut orphans = 0usize;
+    // Children are attached in buffer order first, then sorted; the
+    // buffer records completion order, so we sort by start order below.
+    for i in 0..nodes.len() {
+        let pid = nodes[i].span.parent_id;
+        match index_of.get(&pid) {
+            Some(&p) if pid != 0 && p != i => nodes[p].children.push(i),
+            _ => {
+                if pid != 0 {
+                    orphans += 1;
+                }
+                roots.push(i);
+            }
+        }
+    }
+    // Canonical sibling order: (name, idx) first — parallel siblings
+    // are required to differ there — then on-thread start time, which
+    // for sequential same-name siblings is their program order.
+    let key = |n: &Node| {
+        (
+            n.span.name.clone(),
+            n.span.idx,
+            n.span.start_us,
+            n.span.span_id,
+        )
+    };
+    roots.sort_by_key(|&i| key(&nodes[i]));
+    for i in 0..nodes.len() {
+        let mut kids = std::mem::take(&mut nodes[i].children);
+        kids.sort_by_key(|&c| key(&nodes[c]));
+        nodes[i].children = kids;
+    }
+    (nodes, roots, orphans)
+}
+
+/// Depth-first pre-order over the canonical forest.
+fn dfs_order(nodes: &[Node], roots: &[usize]) -> Vec<usize> {
+    let mut order = Vec::with_capacity(nodes.len());
+    let mut stack: Vec<usize> = roots.iter().rev().copied().collect();
+    while let Some(i) = stack.pop() {
+        order.push(i);
+        for &c in nodes[i].children.iter().rev() {
+            stack.push(c);
+        }
+    }
+    order
+}
+
+/// Dense remaps derived from the canonical DFS order: span ids become
+/// `1..`, thread ordinals are renumbered by first appearance.
+struct Remap {
+    span_ids: BTreeMap<u64, u64>,
+    threads: BTreeMap<u64, u64>,
+}
+
+fn remap(nodes: &[Node], order: &[usize]) -> Remap {
+    let mut span_ids = BTreeMap::new();
+    let mut threads = BTreeMap::new();
+    for &i in order {
+        let next = span_ids.len() as u64 + 1;
+        span_ids.insert(nodes[i].span.span_id, next);
+        let nt = threads.len() as u64;
+        threads.entry(nodes[i].span.thread).or_insert(nt);
+    }
+    Remap { span_ids, threads }
+}
+
+/// Virtual extent of a node in canonical ticks: instants take one tick,
+/// slices wrap their children with one tick of padding on each side.
+fn extent(nodes: &[Node], i: usize) -> u64 {
+    if nodes[i].span.instant {
+        return 1;
+    }
+    2 + nodes[i]
+        .children
+        .iter()
+        .map(|&c| extent(nodes, c))
+        .sum::<u64>()
+}
+
+fn event_common(name: &str, ph: &str, ts: u64) -> Vec<(String, Value)> {
+    vec![
+        ("name".to_string(), Value::Str(name.to_string())),
+        ("cat".to_string(), Value::Str("wsflow".to_string())),
+        ("ph".to_string(), Value::Str(ph.to_string())),
+        ("ts".to_string(), Value::U64(ts)),
+    ]
+}
+
+/// Event `args`. Canonical mode omits thread attribution entirely —
+/// which spans land on which worker is a scheduling artifact that would
+/// break byte-stability across `WSFLOW_THREADS`; wall mode includes the
+/// densely remapped ordinal.
+fn args_value(span: &SpanEvent, rm: &Remap, include_thread: bool) -> Value {
+    let mut args = vec![
+        ("idx".to_string(), Value::U64(span.idx)),
+        (
+            "span_id".to_string(),
+            Value::U64(rm.span_ids[&span.span_id]),
+        ),
+        (
+            "parent_id".to_string(),
+            Value::U64(rm.span_ids.get(&span.parent_id).copied().unwrap_or(0)),
+        ),
+    ];
+    if include_thread {
+        args.push(("thread".to_string(), Value::U64(rm.threads[&span.thread])));
+    }
+    Value::Map(args)
+}
+
+fn finish_doc(events: Vec<Value>) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(&Value::Map(vec![
+        ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+        ("traceEvents".to_string(), Value::Seq(events)),
+    ]))
+}
+
+/// Canonical (byte-stable) Chrome trace export — see the module docs.
+/// Returns the JSON document and summary stats.
+pub fn chrome_trace(spans: &[SpanEvent]) -> Result<(String, TraceStats), serde_json::Error> {
+    let (nodes, roots, orphans) = build_forest(spans);
+    let order = dfs_order(&nodes, &roots);
+    let rm = remap(&nodes, &order);
+
+    let mut events = Vec::with_capacity(nodes.len());
+    let mut slices = 0usize;
+    let mut instants = 0usize;
+    // Recursive layout via an explicit (node, virtual start) stack.
+    let mut stack: Vec<(usize, u64)> = Vec::new();
+    let mut cursor = 0u64;
+    for &r in &roots {
+        stack.push((r, cursor));
+        cursor += extent(&nodes, r);
+    }
+    stack.reverse();
+    // Re-walk in DFS order with each node's virtual start.
+    let mut starts: BTreeMap<usize, u64> = stack.iter().map(|&(i, t)| (i, t)).collect();
+    for &i in &order {
+        let t = starts[&i];
+        let mut child_t = t + 1;
+        for &c in &nodes[i].children {
+            starts.insert(c, child_t);
+            child_t += extent(&nodes, c);
+        }
+        let span = &nodes[i].span;
+        let mut ev = event_common(&span.name, if span.instant { "i" } else { "X" }, t);
+        if span.instant {
+            ev.push(("s".to_string(), Value::Str("t".to_string())));
+            instants += 1;
+        } else {
+            ev.push(("dur".to_string(), Value::U64(extent(&nodes, i))));
+            slices += 1;
+        }
+        ev.push(("pid".to_string(), Value::U64(0)));
+        ev.push(("tid".to_string(), Value::U64(0)));
+        ev.push(("args".to_string(), args_value(span, &rm, false)));
+        events.push(Value::Map(ev));
+    }
+    let stats = TraceStats {
+        slices,
+        instants,
+        threads: rm.threads.len(),
+        orphans,
+    };
+    Ok((finish_doc(events)?, stats))
+}
+
+/// Wall-clock Chrome trace export: measured timestamps, slices on their
+/// (densely remapped) threads, flow arrows for cross-thread parent →
+/// child edges. Deterministically ordered but not byte-stable across
+/// runs — timings differ.
+pub fn chrome_trace_wall(spans: &[SpanEvent]) -> Result<(String, TraceStats), serde_json::Error> {
+    let (nodes, roots, orphans) = build_forest(spans);
+    let order = dfs_order(&nodes, &roots);
+    let rm = remap(&nodes, &order);
+
+    let mut events = Vec::new();
+    // Thread-name metadata so Perfetto labels the remapped tracks.
+    for (_, &tid) in rm.threads.iter() {
+        events.push(Value::Map(vec![
+            ("name".to_string(), Value::Str("thread_name".to_string())),
+            ("ph".to_string(), Value::Str("M".to_string())),
+            ("pid".to_string(), Value::U64(0)),
+            ("tid".to_string(), Value::U64(tid)),
+            (
+                "args".to_string(),
+                Value::Map(vec![(
+                    "name".to_string(),
+                    Value::Str(format!("wsflow worker {tid}")),
+                )]),
+            ),
+        ]));
+    }
+    events.sort_by_key(|e| match e {
+        Value::Map(m) => m.iter().find_map(|(k, v)| match (k.as_str(), v) {
+            ("tid", Value::U64(t)) => Some(*t),
+            _ => None,
+        }),
+        _ => None,
+    });
+
+    let mut slices = 0usize;
+    let mut instants = 0usize;
+    for &i in &order {
+        let span = &nodes[i].span;
+        let tid = rm.threads[&span.thread];
+        let mut ev = event_common(
+            &span.name,
+            if span.instant { "i" } else { "X" },
+            span.start_us,
+        );
+        if span.instant {
+            ev.push(("s".to_string(), Value::Str("t".to_string())));
+            instants += 1;
+        } else {
+            ev.push(("dur".to_string(), Value::U64(span.dur_us)));
+            slices += 1;
+        }
+        ev.push(("pid".to_string(), Value::U64(0)));
+        ev.push(("tid".to_string(), Value::U64(tid)));
+        ev.push(("args".to_string(), args_value(span, &rm, true)));
+        events.push(Value::Map(ev));
+
+        // Flow arrows for causal edges that hop threads.
+        for &c in &nodes[i].children {
+            let child = &nodes[c].span;
+            if child.thread == span.thread {
+                continue;
+            }
+            let flow_id = rm.span_ids[&child.span_id];
+            let mut s_ev = event_common("spawn", "s", span.start_us.max(child.start_us));
+            s_ev.push(("id".to_string(), Value::U64(flow_id)));
+            s_ev.push(("pid".to_string(), Value::U64(0)));
+            s_ev.push(("tid".to_string(), Value::U64(tid)));
+            events.push(Value::Map(s_ev));
+            let mut f_ev = event_common("spawn", "f", child.start_us);
+            f_ev.push(("bp".to_string(), Value::Str("e".to_string())));
+            f_ev.push(("id".to_string(), Value::U64(flow_id)));
+            f_ev.push(("pid".to_string(), Value::U64(0)));
+            f_ev.push(("tid".to_string(), Value::U64(rm.threads[&child.thread])));
+            events.push(Value::Map(f_ev));
+        }
+    }
+    let stats = TraceStats {
+        slices,
+        instants,
+        threads: rm.threads.len(),
+        orphans,
+    };
+    Ok((finish_doc(events)?, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(
+        name: &str,
+        thread: u64,
+        id: u64,
+        parent: u64,
+        idx: u64,
+        start: u64,
+        dur: u64,
+    ) -> SpanEvent {
+        SpanEvent {
+            name: name.to_string(),
+            thread,
+            span_id: id,
+            parent_id: parent,
+            idx,
+            start_us: start,
+            dur_us: dur,
+            instant: false,
+        }
+    }
+
+    fn mark(name: &str, thread: u64, id: u64, parent: u64, idx: u64, start: u64) -> SpanEvent {
+        SpanEvent {
+            instant: true,
+            ..ev(name, thread, id, parent, idx, start, 0)
+        }
+    }
+
+    /// A two-cluster hierarchical solve as two different schedules of
+    /// the same causal tree: A fans the clusters out across workers
+    /// (non-dense raw ordinals), B runs everything on one thread — the
+    /// `WSFLOW_THREADS=4` vs `=1` shapes. Ids, timings, and buffer
+    /// order differ too.
+    fn schedule_a() -> Vec<SpanEvent> {
+        vec![
+            mark("solver.incumbent", 9, 4, 2, 0, 130),
+            ev("hier.cluster", 9, 2, 1, 0, 120, 40),
+            ev("hier.cluster", 4, 3, 1, 1, 125, 30),
+            ev("hier.solve", 2, 1, 0, 0, 100, 90),
+        ]
+    }
+
+    fn schedule_b() -> Vec<SpanEvent> {
+        vec![
+            mark("solver.incumbent", 5, 31, 12, 0, 910),
+            ev("hier.cluster", 5, 9, 5, 1, 905, 11),
+            ev("hier.cluster", 5, 12, 5, 0, 900, 80),
+            ev("hier.solve", 5, 5, 0, 0, 850, 200),
+        ]
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_and_rejects_broken_trees() {
+        assert!(validate_spans(&schedule_a()).is_ok());
+        assert!(validate_spans(&[]).is_ok());
+
+        let missing = vec![ev("a", 0, 1, 99, 0, 0, 1)];
+        assert!(validate_spans(&missing)
+            .unwrap_err()
+            .contains("missing parent"));
+
+        let dup = vec![ev("a", 0, 1, 0, 0, 0, 1), ev("b", 0, 1, 0, 0, 0, 1)];
+        assert!(validate_spans(&dup).unwrap_err().contains("duplicate"));
+
+        let cycle = vec![ev("a", 0, 1, 2, 0, 0, 1), ev("b", 0, 2, 1, 0, 0, 1)];
+        assert!(validate_spans(&cycle).unwrap_err().contains("cycle"));
+
+        let fat_instant = vec![mark("m", 0, 1, 0, 0, 0)];
+        assert!(validate_spans(&fat_instant).is_ok());
+        let mut bad = fat_instant;
+        bad[0].dur_us = 5;
+        assert!(validate_spans(&bad)
+            .unwrap_err()
+            .contains("nonzero duration"));
+    }
+
+    #[test]
+    fn canonical_trace_is_identical_across_schedules() {
+        let (a, stats_a) = chrome_trace(&schedule_a()).unwrap();
+        let (b, stats_b) = chrome_trace(&schedule_b()).unwrap();
+        assert_eq!(a, b, "canonical traces must not depend on scheduling");
+        // `threads` is informational and legitimately differs between
+        // the fanned-out and single-thread schedules.
+        assert_eq!(stats_a.slices, stats_b.slices);
+        assert_eq!(stats_a.instants, stats_b.instants);
+        assert_eq!(stats_a.orphans, stats_b.orphans);
+        assert_eq!(stats_a.slices, 3);
+        assert_eq!(stats_a.instants, 1);
+        assert_eq!(stats_a.orphans, 0);
+
+        // The document parses back and nests: the root slice spans its
+        // children in virtual time.
+        let doc: serde::Value = serde_json::from_str(&a).unwrap();
+        let serde::Value::Map(top) = doc else {
+            panic!()
+        };
+        let events = top
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .map(|(_, v)| v)
+            .unwrap();
+        let serde::Value::Seq(events) = events else {
+            panic!()
+        };
+        assert_eq!(events.len(), 4);
+    }
+
+    #[test]
+    fn canonical_trace_orders_siblings_by_name_and_idx() {
+        let (json, _) = chrome_trace(&schedule_b()).unwrap();
+        // Cluster 0 must appear before cluster 1 regardless of the
+        // buffer/completion order.
+        let c0 = json.find("\"idx\": 0").unwrap();
+        let first_cluster = json.find("hier.cluster").unwrap();
+        let second_cluster = json.rfind("hier.cluster").unwrap();
+        assert!(first_cluster < second_cluster);
+        assert!(c0 < json.len());
+        // Dense ids start at 1: the root (sorted first among roots) is 1.
+        assert!(json.contains("\"span_id\": 1"));
+    }
+
+    #[test]
+    fn orphaned_spans_are_rerooted_not_dropped() {
+        let spans = vec![ev("lost", 4, 10, 999, 0, 5, 2)];
+        assert!(validate_spans(&spans).is_err(), "validation flags orphans");
+        let (json, stats) = chrome_trace(&spans).unwrap();
+        assert_eq!(stats.orphans, 1);
+        assert_eq!(stats.slices, 1);
+        assert!(json.contains("lost"));
+    }
+
+    #[test]
+    fn wall_trace_remaps_threads_densely_and_adds_flows() {
+        let (json, stats) = chrome_trace_wall(&schedule_a()).unwrap();
+        assert_eq!(stats.threads, 3);
+        // Raw ordinals 2/9/4 must not leak: dense tids are 0/1/2.
+        assert!(!json.contains("\"tid\": 9"), "{json}");
+        assert!(json.contains("\"tid\": 2"));
+        // Both clusters ran off the root's thread → two s/f flow pairs.
+        assert_eq!(json.matches("\"ph\": \"s\"").count(), 2);
+        assert_eq!(json.matches("\"ph\": \"f\"").count(), 2);
+    }
+}

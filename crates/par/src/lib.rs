@@ -81,10 +81,15 @@ where
     }
 
     let next = AtomicUsize::new(0);
+    // Causal trace propagation: tasks spawned here are children of
+    // whatever span is open on the calling thread, even though they run
+    // elsewhere. Capturing the parent is a no-op when obs is off.
+    let parent = wsflow_obs::current_parent();
     let mut collected: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    let _causal = wsflow_obs::adopt_parent(parent);
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -153,8 +158,16 @@ where
         return vec![f(0)];
     }
     let f = &f;
+    let parent = wsflow_obs::current_parent();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers).map(|w| scope.spawn(move || f(w))).collect();
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let _causal = wsflow_obs::adopt_parent(parent);
+                    f(w)
+                })
+            })
+            .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
@@ -281,6 +294,40 @@ mod tests {
         assert_eq!(parse_threads(Some("-2")), Err("-2".to_string()));
         assert_eq!(parse_threads(Some("four")), Err("four".to_string()));
         assert_eq!(parse_threads(Some("")), Err("".to_string()));
+    }
+
+    #[test]
+    fn tasks_inherit_the_callers_causal_parent_for_any_worker_count() {
+        let _guard = wsflow_obs::registry::test_lock();
+        for workers in [1usize, 4] {
+            wsflow_obs::set_enabled(true);
+            wsflow_obs::reset();
+            let root_id;
+            {
+                let root = wsflow_obs::span("par.test_root");
+                root_id = root.id();
+                parallel_map_with(8, workers, |i| {
+                    let _s = wsflow_obs::span_with("par.task_probe", i as u64);
+                    i
+                });
+            }
+            let spans = wsflow_obs::registry::spans();
+            wsflow_obs::set_enabled(false);
+            wsflow_obs::reset();
+
+            let probes: Vec<_> = spans
+                .iter()
+                .filter(|s| s.name == "par.task_probe")
+                .collect();
+            assert_eq!(probes.len(), 8, "workers={workers}");
+            for s in probes {
+                assert_eq!(
+                    s.parent_id, root_id,
+                    "task span must link to the calling span (workers={workers})"
+                );
+            }
+            wsflow_obs::validate_spans(&spans).expect("well-formed tree");
+        }
     }
 
     #[test]

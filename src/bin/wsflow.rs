@@ -8,7 +8,7 @@ fn main() {
         Err(e) => {
             eprintln!("{e}");
             std::process::exit(match e {
-                wsflow::cli::CliError::Usage(_) => 2,
+                wsflow::cli::CliError::Usage(_) | wsflow::cli::CliError::Input(_) => 2,
                 _ => 1,
             });
         }

@@ -29,6 +29,10 @@ pub enum CliError {
     Parse(dsl::ParseError),
     /// The workflow parsed but is ill-formed / unusable.
     Invalid(String),
+    /// An input artefact (manifest, span export, …) is missing or
+    /// malformed. One line naming the offending path; exits 2 like a
+    /// usage error, since the command itself was sound.
+    Input(String),
 }
 
 impl fmt::Display for CliError {
@@ -38,6 +42,7 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "cannot read workflow file: {e}"),
             CliError::Parse(e) => write!(f, "parse error: {e}"),
             CliError::Invalid(msg) => write!(f, "{msg}"),
+            CliError::Input(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -60,6 +65,8 @@ USAGE:
   wsflow explain  <workflow.wsf> --servers GHZ[,GHZ…] [--bus MBPS] [--algo NAME]
   wsflow dynamic  [--quick] [--seeds N] [--ops M] [--workers W] [--out DIR]
   wsflow report   <manifest.json | results-dir>
+  wsflow trace    <spans.ndjson | results-dir> [--wall] [--out FILE]
+  wsflow bench    [--quick] [--out FILE] [--compare BASELINE] [--tolerance T]
 
 Workflow files use the line-oriented text format (see `wsflow::model::dsl`).
 Algorithms: fairload, fltr, fltr2, flmme, holm (default), portfolio,
@@ -433,7 +440,7 @@ pub fn cmd_report(path: &str) -> Result<String, CliError> {
     let p = std::path::Path::new(path);
     let manifests: Vec<std::path::PathBuf> = if p.is_dir() {
         let mut per_experiment: Vec<std::path::PathBuf> = std::fs::read_dir(p)
-            .map_err(CliError::Io)?
+            .map_err(|e| CliError::Input(format!("{path}: {e}")))?
             .filter_map(|e| e.ok())
             .map(|e| e.path())
             .filter(|f| {
@@ -446,7 +453,7 @@ pub fn cmd_report(path: &str) -> Result<String, CliError> {
         if per_experiment.is_empty() {
             let plain = p.join("manifest.json");
             if !plain.is_file() {
-                return Err(CliError::Invalid(format!(
+                return Err(CliError::Input(format!(
                     "no manifest.json or *_manifest.json in {path}; run an \
                      experiment binary (e.g. `fig6 --obs`) first"
                 )));
@@ -460,13 +467,197 @@ pub fn cmd_report(path: &str) -> Result<String, CliError> {
     };
     let mut out = String::new();
     for path in &manifests {
-        let manifest = wsflow_obs::Manifest::load(path).map_err(CliError::Invalid)?;
+        let manifest = wsflow_obs::Manifest::load(path).map_err(CliError::Input)?;
         if let Err(e) = manifest.validate() {
             out.push_str(&format!("warning: {}: {e}\n", path.display()));
         }
         out.push_str(&manifest.render());
     }
     Ok(out)
+}
+
+/// `wsflow bench [--quick] [--out FILE] [--compare BASELINE]
+/// [--tolerance T]`: run the pinned perf suite and optionally gate
+/// against a committed baseline.
+///
+/// Without `--compare`, writes the results (default `BENCH_obs.json`).
+/// With `--compare`, checks every baseline bench against the fresh run:
+/// any bench slower than `baseline × (1 + tolerance)` — or missing —
+/// fails the gate with a non-zero exit. `WSFLOW_BENCH_QUICK=1` is
+/// honoured like `--quick`. Results are wall-clock; nothing here feeds
+/// the deterministic experiment CSVs.
+pub fn cmd_bench(args: &[String]) -> Result<String, CliError> {
+    let mut quick = std::env::var_os("WSFLOW_BENCH_QUICK").is_some();
+    let mut out_file: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut tolerance = 1.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            "--out" => {
+                out_file = Some(
+                    args.get(i + 1)
+                        .ok_or_else(|| CliError::Usage("--out needs a value".into()))?
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--compare" => {
+                baseline_path = Some(
+                    args.get(i + 1)
+                        .ok_or_else(|| CliError::Usage("--compare needs a value".into()))?
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--tolerance" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::Usage("--tolerance needs a value".into()))?;
+                tolerance = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --tolerance value {v:?}")))?;
+                if !tolerance.is_finite() || tolerance < 0.0 {
+                    return Err(CliError::Usage(
+                        "--tolerance needs a non-negative fraction".into(),
+                    ));
+                }
+                i += 2;
+            }
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+        }
+    }
+
+    let doc = wsflow_harness::perf::run(quick);
+    let mut out = String::new();
+    for b in &doc.benches {
+        out.push_str(&format!(
+            "{:<16} {:>12.0} ns/op  ({}x{}, {} reps)\n",
+            b.name, b.ns_per_op, b.ops, b.servers, b.reps
+        ));
+    }
+
+    if let Some(path) = &baseline_path {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Input(format!("{path}: cannot read baseline ({e})")))?;
+        let baseline = wsflow_harness::perf::BenchDoc::parse(&text)
+            .map_err(|e| CliError::Input(format!("{path}: {e}")))?;
+        let failures = wsflow_harness::perf::compare(&doc, &baseline, tolerance);
+        if !failures.is_empty() {
+            return Err(CliError::Invalid(format!(
+                "perf regression against {path} (tolerance {:.0}%):\n  {}",
+                tolerance * 100.0,
+                failures.join("\n  ")
+            )));
+        }
+        out.push_str(&format!(
+            "all {} benches within {:.0}% of {path}\n",
+            baseline.benches.len(),
+            tolerance * 100.0
+        ));
+    }
+    // Write results unless this is a pure gate run (writing would
+    // clobber the committed baseline with machine-local numbers).
+    if baseline_path.is_none() || out_file.is_some() {
+        let path = out_file.unwrap_or_else(|| "BENCH_obs.json".to_string());
+        std::fs::write(&path, doc.to_json())
+            .map_err(|e| CliError::Invalid(format!("cannot write {path}: {e}")))?;
+        out.push_str(&format!("wrote {path}\n"));
+    }
+    Ok(out)
+}
+
+/// `wsflow trace <spans.ndjson | results-dir> [--wall] [--out FILE]`:
+/// convert a span export into a Chrome/Perfetto trace (`trace.json`,
+/// loadable at `ui.perfetto.dev` or `chrome://tracing`).
+///
+/// By default the trace is *canonical*: laid out in virtual time from
+/// the causal span tree alone, so the output is byte-identical for any
+/// `WSFLOW_THREADS` setting and across repeated same-seed runs — two
+/// traces differ exactly when the runs searched differently. `--wall`
+/// instead keeps real timestamps and per-thread tracks (thread ordinals
+/// densely renumbered by first appearance in canonical order), with
+/// flow arrows linking cross-thread parent→child edges.
+pub fn cmd_trace(path: &str, flags: &[String]) -> Result<String, CliError> {
+    let mut wall = false;
+    let mut out_file: Option<String> = None;
+    let mut i = 0;
+    while i < flags.len() {
+        match flags[i].as_str() {
+            "--wall" => {
+                wall = true;
+                i += 1;
+            }
+            "--out" => {
+                out_file = Some(
+                    flags
+                        .get(i + 1)
+                        .ok_or_else(|| CliError::Usage("--out needs a value".into()))?
+                        .clone(),
+                );
+                i += 2;
+            }
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+        }
+    }
+
+    let p = std::path::Path::new(path);
+    let spans_path = if p.is_dir() {
+        p.join("spans.ndjson")
+    } else {
+        p.to_path_buf()
+    };
+    let text = std::fs::read_to_string(&spans_path).map_err(|e| {
+        CliError::Input(format!(
+            "{}: cannot read span export ({e}); run an experiment with --obs first",
+            spans_path.display()
+        ))
+    })?;
+    let spans = wsflow_obs::parse_spans_ndjson(&text)
+        .map_err(|e| CliError::Input(format!("{}: {e}", spans_path.display())))?;
+    if spans.is_empty() {
+        return Err(CliError::Input(format!(
+            "{}: no span records found",
+            spans_path.display()
+        )));
+    }
+    let export = if wall {
+        wsflow_obs::chrome_trace_wall(&spans)
+    } else {
+        wsflow_obs::chrome_trace(&spans)
+    };
+    let (json, stats) = export.map_err(|e| {
+        CliError::Input(format!(
+            "{}: trace export failed: {e}",
+            spans_path.display()
+        ))
+    })?;
+    let out_path = match out_file {
+        Some(f) => std::path::PathBuf::from(f),
+        None => spans_path.with_file_name("trace.json"),
+    };
+    std::fs::write(&out_path, &json)
+        .map_err(|e| CliError::Invalid(format!("cannot write {}: {e}", out_path.display())))?;
+    let mut line = format!(
+        "wrote {} — {} slices, {} instants",
+        out_path.display(),
+        stats.slices,
+        stats.instants
+    );
+    if wall {
+        line.push_str(&format!(", {} threads (wall time)", stats.threads));
+    } else {
+        line.push_str(" (canonical virtual time)");
+    }
+    if stats.orphans > 0 {
+        line.push_str(&format!(", {} orphans re-rooted", stats.orphans));
+    }
+    line.push('\n');
+    Ok(line)
 }
 
 /// Dispatch a full argument vector (without `argv[0]`).
@@ -543,6 +734,13 @@ fn dispatch_command(args: &[String]) -> Result<String, CliError> {
             })?;
             cmd_report(path)
         }
+        "trace" => {
+            let path = rest.first().ok_or_else(|| {
+                CliError::Usage("trace needs a spans.ndjson or results directory".into())
+            })?;
+            cmd_trace(path, &rest[1..])
+        }
+        "bench" => cmd_bench(rest),
         "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
@@ -752,10 +950,164 @@ mod tests {
     fn report_errors_on_empty_directory_and_bad_file() {
         let dir = std::env::temp_dir().join(format!("wsflow-report-empty-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        assert!(cmd_report(dir.to_str().unwrap()).is_err());
-        let bad = dir.join("manifest.json");
-        std::fs::write(&bad, "not json").unwrap();
-        assert!(cmd_report(bad.to_str().unwrap()).is_err());
+        assert!(matches!(
+            cmd_report(dir.to_str().unwrap()).unwrap_err(),
+            CliError::Input(_)
+        ));
+        // Non-JSON, truncated JSON, and valid-but-not-a-manifest JSON
+        // all produce a one-line Input diagnostic naming the path.
+        for corrupt in [
+            "not json",
+            "{\"schema\": \"wsflow-manifest/1\"",
+            "[1, 2, 3]",
+        ] {
+            let bad = dir.join("manifest.json");
+            std::fs::write(&bad, corrupt).unwrap();
+            let err = cmd_report(bad.to_str().unwrap()).unwrap_err();
+            let CliError::Input(msg) = err else {
+                panic!("expected Input for {corrupt:?}, got {err:?}");
+            };
+            assert!(
+                msg.contains("manifest.json"),
+                "diagnostic must name the path: {msg}"
+            );
+            assert!(!msg.contains('\n'), "one line only: {msg}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn demo_spans() -> Vec<wsflow_obs::SpanEvent> {
+        let span = |name: &str, id: u64, parent: u64, start: u64, dur: u64| wsflow_obs::SpanEvent {
+            name: name.into(),
+            thread: 0,
+            span_id: id,
+            parent_id: parent,
+            idx: 0,
+            start_us: start,
+            dur_us: dur,
+            instant: false,
+        };
+        vec![
+            span("phase.experiment", 1, 0, 0, 900),
+            span("hier.solve", 2, 1, 10, 500),
+            span("hier.stitch", 3, 2, 400, 80),
+        ]
+    }
+
+    #[test]
+    fn trace_exports_canonical_and_wall_variants() {
+        let dir = std::env::temp_dir().join(format!("wsflow-trace-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let nd = wsflow_obs::spans_ndjson(&demo_spans()).unwrap();
+        std::fs::write(dir.join("spans.ndjson"), nd).unwrap();
+
+        // Directory form resolves spans.ndjson inside it.
+        let out = cmd_trace(dir.to_str().unwrap(), &[]).unwrap();
+        assert!(out.contains("3 slices"), "{out}");
+        assert!(out.contains("canonical"), "{out}");
+        let json = std::fs::read_to_string(dir.join("trace.json")).unwrap();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"phase.experiment\""));
+
+        // Wall mode with an explicit output path.
+        let wall_out = dir.join("wall.json");
+        let out = cmd_trace(
+            dir.join("spans.ndjson").to_str().unwrap(),
+            &strs(&["--wall", "--out", wall_out.to_str().unwrap()]),
+        )
+        .unwrap();
+        assert!(out.contains("wall"), "{out}");
+        let json = std::fs::read_to_string(&wall_out).unwrap();
+        assert!(json.contains("thread_name"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_errors_name_the_path_and_are_input_class() {
+        let dir = std::env::temp_dir().join(format!("wsflow-trace-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Missing export.
+        let err = cmd_trace(dir.to_str().unwrap(), &[]).unwrap_err();
+        let CliError::Input(msg) = err else {
+            panic!("missing spans must be Input");
+        };
+        assert!(msg.contains("spans.ndjson"), "{msg}");
+        // Truncated / corrupt export.
+        std::fs::write(
+            dir.join("spans.ndjson"),
+            "{\"kind\":\"span\",\"name\":\"a\",\"thr",
+        )
+        .unwrap();
+        let err = cmd_trace(dir.to_str().unwrap(), &[]).unwrap_err();
+        let CliError::Input(msg) = err else {
+            panic!("corrupt spans must be Input");
+        };
+        assert!(
+            msg.contains("spans.ndjson") && msg.contains("line 1"),
+            "{msg}"
+        );
+        // Empty export.
+        std::fs::write(dir.join("spans.ndjson"), "").unwrap();
+        assert!(matches!(
+            cmd_trace(dir.to_str().unwrap(), &[]).unwrap_err(),
+            CliError::Input(_)
+        ));
+        // Unknown flag is still a usage error.
+        assert!(matches!(
+            cmd_trace(dir.to_str().unwrap(), &strs(&["--frob"])).unwrap_err(),
+            CliError::Usage(_)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_writes_gates_and_trips_on_tightened_baseline() {
+        let dir = std::env::temp_dir().join(format!("wsflow-bench-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("BENCH_obs.json");
+        let out = cmd_bench(&strs(&["--quick", "--out", base.to_str().unwrap()])).unwrap();
+        assert!(out.contains("eval_flat_batch"), "{out}");
+        assert!(out.contains("wrote"), "{out}");
+
+        // Gating against the numbers this machine just produced passes
+        // at a generous tolerance.
+        let out = cmd_bench(&strs(&[
+            "--quick",
+            "--compare",
+            base.to_str().unwrap(),
+            "--tolerance",
+            "25.0",
+        ]))
+        .unwrap();
+        assert!(out.contains("within"), "{out}");
+
+        // Artificially tightening the baseline 10× must trip the gate.
+        let text = std::fs::read_to_string(&base).unwrap();
+        let mut doc = wsflow_harness::perf::BenchDoc::parse(&text).unwrap();
+        for b in &mut doc.benches {
+            b.ns_per_op /= 10.0;
+        }
+        let tight = dir.join("tight.json");
+        std::fs::write(&tight, doc.to_json()).unwrap();
+        let err = cmd_bench(&strs(&[
+            "--quick",
+            "--compare",
+            tight.to_str().unwrap(),
+            "--tolerance",
+            "4.0",
+        ]))
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("perf regression"),
+            "expected the gate to trip: {err}"
+        );
+
+        // A corrupt baseline is an Input error naming the path.
+        std::fs::write(&tight, "{\"schema\":").unwrap();
+        assert!(matches!(
+            cmd_bench(&strs(&["--quick", "--compare", tight.to_str().unwrap()])).unwrap_err(),
+            CliError::Input(_)
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 

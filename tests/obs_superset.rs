@@ -1,0 +1,93 @@
+//! Observability is a strict side channel: with span trees, incumbent
+//! instants, and trajectory recording all on, every deterministic CSV
+//! and rendered table must stay *bit-identical* to an observability-off
+//! run. The extra signal rides exclusively in the span buffer and in
+//! `obs_csvs` (`trajectory.csv`), which is excluded from determinism
+//! comparisons because it contains wall-clock values.
+
+use wsflow::harness::Params;
+
+#[test]
+fn quality_vs_budget_csvs_are_identical_with_tracing_on() {
+    let _guard = wsflow_obs::registry::test_lock();
+    let params = Params::quick();
+
+    wsflow_obs::set_enabled(false);
+    wsflow_obs::reset();
+    let off = wsflow::harness::quality_vs_budget::run(&params);
+
+    wsflow_obs::set_enabled(true);
+    wsflow_obs::reset();
+    let on = wsflow::harness::quality_vs_budget::run(&params);
+    let spans = wsflow_obs::registry::spans();
+    let snap = wsflow_obs::snapshot();
+    wsflow_obs::set_enabled(false);
+    wsflow_obs::reset();
+
+    assert_eq!(
+        off.extra_csvs, on.extra_csvs,
+        "deterministic CSV bytes must not depend on tracing"
+    );
+    assert_eq!(off.render(), on.render());
+    assert!(
+        off.obs_csvs.is_empty(),
+        "obs off: no trajectory side channel"
+    );
+
+    // The obs run carries the trajectory side channel…
+    let (name, csv) = &on.obs_csvs[0];
+    assert_eq!(name, "trajectory.csv");
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines[0], wsflow::harness::trajectory::CSV_HEADER);
+    assert!(lines.len() > 1, "at least one incumbent row");
+
+    // …a well-formed span tree with one qvb.solve span per solve, each
+    // with a unique (name, idx)…
+    wsflow_obs::validate_spans(&spans).expect("span tree must be well-formed");
+    let mut solve_idxs: Vec<u64> = spans
+        .iter()
+        .filter(|s| s.name == "qvb.solve")
+        .map(|s| s.idx)
+        .collect();
+    let total = solve_idxs.len();
+    assert!(total > 0, "per-solve spans must be recorded");
+    solve_idxs.sort_unstable();
+    solve_idxs.dedup();
+    assert_eq!(solve_idxs.len(), total, "solve span idx must be unique");
+
+    // …and the anytime trajectory histograms.
+    assert!(snap.counter("trajectory.solves").unwrap_or(0) > 0);
+    for h in [
+        "trajectory.time_to_first_incumbent_secs",
+        "trajectory.steps_to_first_incumbent",
+        "trajectory.steps_to_p99_quality",
+    ] {
+        assert!(
+            snap.histograms.iter().any(|s| s.name == h && s.count > 0),
+            "missing trajectory histogram {h}"
+        );
+    }
+}
+
+#[test]
+fn scale_sweep_csvs_are_identical_with_tracing_on() {
+    let _guard = wsflow_obs::registry::test_lock();
+    let params = Params::quick();
+
+    wsflow_obs::set_enabled(false);
+    wsflow_obs::reset();
+    let off = wsflow::harness::scale_sweep::run(&params);
+
+    wsflow_obs::set_enabled(true);
+    wsflow_obs::reset();
+    let on = wsflow::harness::scale_sweep::run(&params);
+    wsflow_obs::set_enabled(false);
+    wsflow_obs::reset();
+
+    assert_eq!(off.extra_csvs, on.extra_csvs);
+    assert_eq!(off.render(), on.render());
+    assert!(off.obs_csvs.is_empty());
+    let (name, csv) = &on.obs_csvs[0];
+    assert_eq!(name, "trajectory.csv");
+    assert!(csv.lines().count() > 1);
+}
