@@ -158,6 +158,13 @@ pub struct SolveCtx<'cb> {
     incumbent: Option<(Mapping, f64)>,
     /// `consumed` at the moment the current incumbent was found.
     incumbent_at: u64,
+    /// `consumed` at the moment the *first* incumbent was offered —
+    /// the logical time-to-first-answer. Recorded unconditionally (one
+    /// branch, no allocation), unlike the obs-gated trajectory, because
+    /// the service layer reports it in deterministic CSVs.
+    first_incumbent_at: Option<u64>,
+    /// Count of strict incumbent improvements seen by this context.
+    improvements: u64,
     /// Called on every strict incumbent improvement.
     on_incumbent: Option<IncumbentCallback<'cb>>,
     /// Steps-to-incumbent samples, merged into the obs registry when
@@ -199,6 +206,8 @@ impl<'cb> SolveCtx<'cb> {
             cancel: CancelToken::new(),
             incumbent: None,
             incumbent_at: 0,
+            first_incumbent_at: None,
+            improvements: 0,
             on_incumbent: None,
             steps_to_incumbent: wsflow_obs::LocalHistogram::new(),
             trajectory: Vec::new(),
@@ -320,6 +329,10 @@ impl<'cb> SolveCtx<'cb> {
         }
         self.incumbent = Some((mapping.clone(), cost));
         self.incumbent_at = self.consumed;
+        if self.first_incumbent_at.is_none() {
+            self.first_incumbent_at = Some(self.consumed);
+        }
+        self.improvements += 1;
         if wsflow_obs::enabled() {
             self.steps_to_incumbent.record(self.consumed as f64);
             // Improvement ordinal = position on this context's
@@ -346,6 +359,19 @@ impl<'cb> SolveCtx<'cb> {
     /// The best (mapping, cost) offered so far, if any.
     pub fn incumbent(&self) -> Option<(&Mapping, f64)> {
         self.incumbent.as_ref().map(|(m, c)| (m, *c))
+    }
+
+    /// The logical step at which the *first* incumbent was offered
+    /// (`None` until one is). Deterministic — recorded with obs on or
+    /// off — so services can report time-to-first-incumbent in
+    /// byte-stable CSVs.
+    pub fn first_incumbent_step(&self) -> Option<u64> {
+        self.first_incumbent_at
+    }
+
+    /// How many strict incumbent improvements this context has seen.
+    pub fn improvements(&self) -> u64 {
+        self.improvements
     }
 
     /// Package a finished solve: offers `(mapping, cost)` as a final
@@ -485,8 +511,22 @@ mod tests {
             ctx.offer(&m, 3.0);
             ctx.offer(&m, 3.0); // equal: ignored
             assert_eq!(ctx.incumbent().unwrap().1, 3.0);
+            assert_eq!(ctx.improvements(), 2);
         }
         assert_eq!(improvements, vec![5.0, 3.0]);
+    }
+
+    #[test]
+    fn first_incumbent_step_is_recorded_without_obs() {
+        let mut ctx = SolveCtx::with_budget(10);
+        assert_eq!(ctx.first_incumbent_step(), None);
+        ctx.try_charge(3);
+        ctx.offer(&dummy_mapping(), 9.0);
+        ctx.try_charge(4);
+        ctx.offer(&dummy_mapping(), 4.0);
+        // Pinned to the *first* offer, not the best one.
+        assert_eq!(ctx.first_incumbent_step(), Some(3));
+        assert_eq!(ctx.improvements(), 2);
     }
 
     #[test]

@@ -1,0 +1,4 @@
+//! Multi-tenant service load generation: per-tenant queue wait, TTFI,
+//! and time-to-final percentiles under open-loop load.
+
+wsflow_harness::harness_main!(wsflow_harness::loadgen::run);

@@ -14,6 +14,7 @@
 //! | Analytic-vs-simulator validation (extension) | [`sim_validation`] | `sim_validation` |
 //! | Dynamic environments & re-deployment (extension) | [`dyn_policies`] | `dyn_policies` |
 //! | Anytime quality-vs-budget sweep (extension) | [`quality_vs_budget`] | `quality_vs_budget` |
+//! | Multi-tenant service load generation (extension) | [`loadgen`] | `loadgen` |
 //!
 //! Every binary takes `--quick` for a seconds-scale run and writes raw
 //! records + summary tables as CSV under `results/`.
@@ -30,6 +31,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod front;
 pub mod line_line_exp;
+pub mod loadgen;
 pub mod multi_wf;
 pub mod obs_diag;
 pub mod output;

@@ -33,12 +33,14 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Once;
 
+pub mod env;
 pub mod manifest;
 pub mod ndjson;
 pub mod registry;
 pub mod span;
 pub mod trace;
 
+pub use env::{env_knob, env_port, env_positive_usize, warn_once};
 pub use manifest::{git_rev, Manifest, PhaseTiming};
 pub use ndjson::{parse_spans_ndjson, snapshot_ndjson, spans_ndjson};
 pub use registry::{

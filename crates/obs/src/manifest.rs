@@ -353,6 +353,52 @@ impl Manifest {
                 );
             }
         }
+        // Dedicated summary for deployment-service runs (`wsflowd` /
+        // `loadgen`): admission-control counters and the latencies a
+        // client felt, at the median and the tail.
+        let svc_counters: Vec<_> = self
+            .metrics
+            .counters
+            .iter()
+            .filter(|c| c.name.starts_with("svc."))
+            .collect();
+        let svc_hists: Vec<_> = self
+            .metrics
+            .histograms
+            .iter()
+            .filter(|h| h.name.starts_with("svc."))
+            .collect();
+        if !svc_counters.is_empty() || !svc_hists.is_empty() {
+            let _ = writeln!(out, "\nservice:");
+            let offered = svc_counters
+                .iter()
+                .filter(|c| matches!(c.name.as_str(), "svc.admitted" | "svc.rejected"))
+                .map(|c| c.value)
+                .sum::<u64>();
+            for c in &svc_counters {
+                let share = if offered > 0 {
+                    100.0 * c.value as f64 / offered as f64
+                } else {
+                    0.0
+                };
+                let _ = writeln!(out, "  {:<36} {:>14}  {:>5.1}%", c.name, c.value, share);
+            }
+            for (h, label) in svc_hists.iter().filter_map(|h| {
+                let label = match h.name.as_str() {
+                    "svc.queue_wait_us" => "queue wait (µs)",
+                    "svc.ttfi_us" => "time-to-first-incumbent (µs)",
+                    "svc.ttfinal_us" => "time-to-final (µs)",
+                    _ => return None,
+                };
+                Some((h, label))
+            }) {
+                let _ = writeln!(
+                    out,
+                    "  {label}: {} samples, p50 {:.0}, p90 {:.0}, p99 {:.0}, max {:.0}",
+                    h.count, h.p50, h.p90, h.p99, h.max
+                );
+            }
+        }
         if self.phases.is_empty() && self.metrics.is_empty() {
             let _ = writeln!(
                 out,
@@ -500,6 +546,55 @@ mod tests {
 
         // No solver metrics → no section.
         assert!(!sample().render().contains("solver:"));
+    }
+
+    #[test]
+    fn render_surfaces_service_metrics() {
+        let mut m = sample();
+        for (name, value) in [
+            ("svc.admitted", 225u64),
+            ("svc.rejected", 15),
+            ("svc.completed", 225),
+            ("svc.cancelled", 9),
+        ] {
+            m.metrics.counters.push(crate::registry::CounterSnap {
+                name: name.to_string(),
+                value,
+            });
+        }
+        for (name, p50) in [
+            ("svc.queue_wait_us", 1_400.0),
+            ("svc.ttfi_us", 1_500.0),
+            ("svc.ttfinal_us", 2_600.0),
+        ] {
+            m.metrics.histograms.push(crate::registry::HistSnap {
+                name: name.to_string(),
+                count: 225,
+                sum: p50 * 225.0,
+                min: 10.0,
+                max: 11_000.0,
+                p50,
+                p90: 8_000.0,
+                p99: 10_500.0,
+                buckets: vec![crate::registry::BucketSnap {
+                    le: f64::INFINITY,
+                    count: 225,
+                }],
+            });
+        }
+        let text = m.render();
+        assert!(text.contains("service:"), "{text}");
+        assert!(text.contains("svc.admitted"));
+        // Shares are of the offered load (admitted + rejected = 240).
+        assert!(text.contains("93.8%"), "{text}");
+        assert!(text.contains("6.2%"), "{text}");
+        assert!(text.contains("queue wait (µs): 225 samples"));
+        assert!(text.contains("time-to-first-incumbent (µs): 225 samples"));
+        assert!(text.contains("time-to-final (µs): 225 samples"));
+        assert!(text.contains("p99 10500"), "{text}");
+
+        // No service metrics → no section.
+        assert!(!sample().render().contains("service:"));
     }
 
     #[test]

@@ -14,7 +14,6 @@
 //! baseline timings), otherwise [`std::thread::available_parallelism`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Once;
 
 /// Interpret a `WSFLOW_THREADS` value. `None` means "unset"; `Err`
 /// carries the unparseable value so the caller can warn instead of
@@ -29,20 +28,12 @@ pub fn parse_threads(raw: Option<&str>) -> Result<Option<usize>, String> {
 
 /// Worker count: `WSFLOW_THREADS` if set and valid, else the machine's
 /// available parallelism, else 1. An unparseable `WSFLOW_THREADS`
-/// triggers a one-time stderr warning rather than a silent fallback.
+/// triggers a one-time stderr warning (via the shared
+/// [`wsflow_obs::env_knob`] machinery every `WSFLOW_*` knob uses) rather
+/// than a silent fallback.
 pub fn num_threads() -> usize {
-    match parse_threads(std::env::var("WSFLOW_THREADS").ok().as_deref()) {
-        Ok(Some(n)) => return n,
-        Ok(None) => {}
-        Err(bad) => {
-            static WARNED: Once = Once::new();
-            WARNED.call_once(|| {
-                eprintln!(
-                    "warning: ignoring unparseable WSFLOW_THREADS={bad:?} \
-                     (expected a positive integer); using available parallelism"
-                );
-            });
-        }
+    if let Some(n) = wsflow_obs::env_positive_usize("WSFLOW_THREADS") {
+        return n;
     }
     std::thread::available_parallelism()
         .map(|n| n.get())

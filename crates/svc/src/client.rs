@@ -1,0 +1,98 @@
+//! Client side of the `wsflow-proto/1` protocol: connect, send one
+//! request, stream the replies.
+
+use std::net::{SocketAddr, TcpStream};
+
+use crate::proto::{self, FrameError, RejectReason, Reply, Request};
+
+/// Why a submission did not end in a [`SubmitOutcome`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// Could not connect or the transport failed mid-stream.
+    Io(String),
+    /// A reply frame failed to decode.
+    Frame(FrameError),
+    /// The service applied backpressure.
+    Rejected(RejectReason),
+    /// The request was well-framed but unusable.
+    Invalid(String),
+    /// The server reported a protocol violation.
+    Protocol(String),
+    /// The server closed the connection without a terminal frame.
+    ServerClosed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection failed: {e}"),
+            ClientError::Frame(e) => write!(f, "bad reply frame: {e}"),
+            ClientError::Rejected(r) => write!(f, "rejected: {r}"),
+            ClientError::Invalid(m) => write!(f, "invalid request: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::ServerClosed => f.write_str("server closed without a final reply"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// The terminal `done` reply, unpacked.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitOutcome {
+    /// Every streamed incumbent as `(seq, cost)`, in arrival order.
+    pub incumbents: Vec<(u64, f64)>,
+    /// Combined cost of the final mapping.
+    pub cost: f64,
+    /// Logical steps the solve consumed.
+    pub steps: u64,
+    /// `converged` / `budget_exhausted` / `cancelled`.
+    pub termination: String,
+    /// Server index per operation.
+    pub mapping: Vec<u32>,
+    /// Microseconds the request waited in queue.
+    pub queue_wait_us: u64,
+}
+
+/// Submit `request` to a daemon at `addr`, invoking `on_incumbent` for
+/// every streamed improvement, and return the final outcome.
+pub fn submit(
+    addr: SocketAddr,
+    request: &Request,
+    mut on_incumbent: impl FnMut(u64, f64),
+) -> Result<SubmitOutcome, ClientError> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| ClientError::Io(e.to_string()))?;
+    proto::write_frame(&mut stream, request).map_err(ClientError::Frame)?;
+    let mut incumbents = Vec::new();
+    loop {
+        match proto::read_message::<Reply>(&mut stream) {
+            Ok(Some(Reply::Incumbent { seq, cost })) => {
+                on_incumbent(seq, cost);
+                incumbents.push((seq, cost));
+            }
+            Ok(Some(Reply::Done {
+                cost,
+                steps,
+                termination,
+                mapping,
+                queue_wait_us,
+            })) => {
+                return Ok(SubmitOutcome {
+                    incumbents,
+                    cost,
+                    steps,
+                    termination,
+                    mapping,
+                    queue_wait_us,
+                })
+            }
+            Ok(Some(Reply::Rejected(reason))) => return Err(ClientError::Rejected(reason)),
+            Ok(Some(Reply::Invalid { message })) => return Err(ClientError::Invalid(message)),
+            Ok(Some(Reply::ProtocolError { message })) => {
+                return Err(ClientError::Protocol(message))
+            }
+            Ok(None) => return Err(ClientError::ServerClosed),
+            Err(e) => return Err(ClientError::Frame(e)),
+        }
+    }
+}

@@ -64,13 +64,18 @@ USAGE:
                   [--trials K] [--contended]
   wsflow explain  <workflow.wsf> --servers GHZ[,GHZ…] [--bus MBPS] [--algo NAME]
   wsflow dynamic  [--quick] [--seeds N] [--ops M] [--workers W] [--out DIR]
+  wsflow submit   <workflow.wsf> --servers GHZ[,GHZ…] [--bus MBPS] [--algo NAME]
+                  [--budget N] [--deadline-ms N] [--tenant T] [--addr HOST:PORT]
+  wsflow loadgen  [--quick] [--seeds N] [--ops M] [--workers W] [--out DIR]
   wsflow report   <manifest.json | results-dir>
   wsflow trace    <spans.ndjson | results-dir> [--wall] [--out FILE]
   wsflow bench    [--quick] [--out FILE] [--compare BASELINE] [--tolerance T]
 
 Workflow files use the line-oriented text format (see `wsflow::model::dsl`).
 Algorithms: fairload, fltr, fltr2, flmme, holm (default), portfolio,
-exhaustive, all.
+exhaustive, all. `submit` sends the request to a running `wsflowd`
+(default 127.0.0.1:7407, or WSFLOW_SVC_PORT) and additionally accepts
+hillclimb and sa.
 --servers 1.0,2.0,3.0 declares three servers with those GHz ratings;
 --bus sets the shared bus speed in Mbps (default 100).
 --obs (global, or WSFLOW_OBS=1) collects metrics during the command and
@@ -425,6 +430,144 @@ pub fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
     Ok(rendered)
 }
 
+/// `wsflow submit <file> --servers … [--algo …] [--addr …]`: send one
+/// deployment request to a running `wsflowd` and stream the reply.
+///
+/// The workflow text itself travels in the request (an inline
+/// `wsflow-proto/1` problem spec); incumbents print as they arrive,
+/// followed by the final outcome and the op→server assignment.
+pub fn cmd_submit(path: &str, flags: &[String]) -> Result<String, CliError> {
+    let mut ghz: Option<Vec<f64>> = None;
+    let mut bus = 100.0f64;
+    let mut algo = "portfolio".to_string();
+    let mut budget: Option<u64> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut tenant = "cli".to_string();
+    let mut addr: Option<String> = None;
+    let mut i = 0;
+    while i < flags.len() {
+        let value = |name: &str| {
+            flags
+                .get(i + 1)
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
+        };
+        match flags[i].as_str() {
+            "--servers" => {
+                let v = value("--servers")?;
+                let parsed: Result<Vec<f64>, _> = v.split(',').map(str::parse).collect();
+                ghz = Some(parsed.map_err(|_| {
+                    CliError::Usage(format!("bad --servers value {v:?}; expected GHZ[,GHZ…]"))
+                })?);
+                i += 2;
+            }
+            "--bus" => {
+                let v = value("--bus")?;
+                bus = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --bus value {v:?}")))?;
+                i += 2;
+            }
+            "--algo" => {
+                algo = value("--algo")?;
+                i += 2;
+            }
+            "--budget" => {
+                let v = value("--budget")?;
+                budget = Some(
+                    v.parse()
+                        .map_err(|_| CliError::Usage(format!("bad --budget value {v:?}")))?,
+                );
+                i += 2;
+            }
+            "--deadline-ms" => {
+                let v = value("--deadline-ms")?;
+                deadline_ms = Some(
+                    v.parse()
+                        .map_err(|_| CliError::Usage(format!("bad --deadline-ms value {v:?}")))?,
+                );
+                i += 2;
+            }
+            "--tenant" => {
+                tenant = value("--tenant")?;
+                i += 2;
+            }
+            "--addr" => {
+                addr = Some(value("--addr")?);
+                i += 2;
+            }
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    let ghz = ghz.ok_or_else(|| CliError::Usage("--servers is required".into()))?;
+    if ghz.is_empty() || ghz.iter().any(|&g| g <= 0.0 || g.is_nan()) {
+        return Err(CliError::Usage(
+            "--servers needs positive GHz values".into(),
+        ));
+    }
+    let addr: std::net::SocketAddr = addr
+        .unwrap_or_else(|| format!("127.0.0.1:{}", wsflow_svc::port_from_env()))
+        .parse()
+        .map_err(|e| CliError::Usage(format!("bad --addr: {e}")))?;
+
+    // Parse locally first: a syntax error should be a local diagnostic,
+    // not a round-trip to the daemon; the parse also gives us the op
+    // names to render the returned mapping with.
+    let text = std::fs::read_to_string(path).map_err(CliError::Io)?;
+    let workflow = dsl::parse(&text).map_err(CliError::Parse)?;
+    let request = wsflow_svc::Request {
+        tenant,
+        algo,
+        budget,
+        deadline_ms,
+        spec: wsflow_svc::ProblemSpec::Inline {
+            workflow: text,
+            server_ghz: ghz.clone(),
+            bus_mbps: bus,
+        },
+    };
+
+    let mut out = String::new();
+    let outcome = wsflow_svc::submit(addr, &request, |seq, cost| {
+        out.push_str(&format!("incumbent #{seq} {:.3} ms\n", cost * 1e3));
+    })
+    .map_err(|e| match e {
+        wsflow_svc::ClientError::Rejected(_) | wsflow_svc::ClientError::Invalid(_) => {
+            CliError::Invalid(e.to_string())
+        }
+        other => CliError::Input(format!("{addr}: {other}")),
+    })?;
+    out.push_str(&format!(
+        "done in {} steps ({}), queue wait {} µs\ncombined cost {:.3} ms\n",
+        outcome.steps,
+        outcome.termination,
+        outcome.queue_wait_us,
+        outcome.cost * 1e3
+    ));
+    for server in 0..ghz.len() {
+        let names: Vec<&str> = workflow
+            .op_ids()
+            .filter(|o| outcome.mapping.get(o.index()) == Some(&(server as u32)))
+            .map(|o| workflow.op(o).name.as_str())
+            .collect();
+        out.push_str(&format!("  s{server:<5} [{}]\n", names.join(", ")));
+    }
+    Ok(out)
+}
+
+/// `wsflow loadgen [--quick] …`: run the multi-tenant service load
+/// generator (deterministic virtual-time mode of the scheduler behind
+/// `wsflowd`).
+///
+/// Summary tables come back as the command output; `loadgen.csv`,
+/// per-table CSVs, and the run manifest land in the output directory
+/// (default `results/`).
+pub fn cmd_loadgen(args: &[String]) -> Result<String, CliError> {
+    let opts = wsflow_harness::cli::parse(args.iter().cloned()).map_err(CliError::Usage)?;
+    let (_, rendered) = wsflow_harness::cli::run_one_captured(&opts, wsflow_harness::loadgen::run);
+    Ok(rendered)
+}
+
 /// `wsflow report <manifest.json | results-dir>`: pretty-print run
 /// manifests written by the experiment harness.
 ///
@@ -728,6 +871,13 @@ fn dispatch_command(args: &[String]) -> Result<String, CliError> {
             cmd_explain(path, &rest[1..])
         }
         "dynamic" => cmd_dynamic(rest),
+        "submit" => {
+            let path = rest
+                .first()
+                .ok_or_else(|| CliError::Usage("submit needs a workflow file".into()))?;
+            cmd_submit(path, &rest[1..])
+        }
+        "loadgen" => cmd_loadgen(rest),
         "report" => {
             let path = rest.first().ok_or_else(|| {
                 CliError::Usage("report needs a manifest.json or results directory".into())
@@ -1182,6 +1332,82 @@ mod tests {
         assert!(out.contains("solver:"), "{out}");
         assert!(out.contains("solver.runs"));
         assert!(out.contains("converged"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn submit_streams_a_solve_through_a_live_daemon() {
+        let daemon = wsflow_svc::daemon::spawn(wsflow_svc::DaemonConfig {
+            svc: wsflow_svc::SvcConfig::default().with_workers(1),
+            port: 0,
+        })
+        .expect("bind ephemeral port");
+        let addr = daemon.addr().to_string();
+        let path = temp_workflow(DEMO);
+        let out = cmd_submit(
+            path.to_str().unwrap(),
+            &strs(&["--servers", "1.0,2.0", "--addr", &addr]),
+        )
+        .unwrap();
+        assert!(out.contains("incumbent #0"), "{out}");
+        assert!(out.contains("(converged)"), "{out}");
+        assert!(out.contains("combined cost"), "{out}");
+        // Both ops land somewhere in the rendered assignment.
+        assert!(out.contains('A') && out.contains('B'), "{out}");
+
+        // A well-framed but unusable request comes back as Invalid.
+        let err = cmd_submit(
+            path.to_str().unwrap(),
+            &strs(&["--servers", "1.0", "--addr", &addr, "--algo", "magic"]),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Invalid(_)), "{err:?}");
+
+        // No daemon at the address → a transport-class error.
+        drop(daemon);
+        let err = cmd_submit(
+            path.to_str().unwrap(),
+            &strs(&["--servers", "1.0", "--addr", &addr]),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Input(_)), "{err:?}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn submit_flag_errors_are_usage_class() {
+        let path = temp_workflow(DEMO);
+        for flags in [
+            vec!["--addr", "127.0.0.1:1"],              // missing --servers
+            vec!["--servers", "1.0", "--addr", "nope"], // bad address
+            vec!["--servers", "1.0", "--budget", "x"],  // bad number
+            vec!["--servers", "1.0", "--frob"],         // unknown flag
+        ] {
+            let err = cmd_submit(path.to_str().unwrap(), &strs(&flags)).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{flags:?}: {err:?}");
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn loadgen_runs_quick_and_writes_outputs() {
+        let _guard = wsflow_obs::registry::test_lock();
+        wsflow_obs::set_enabled(false);
+        wsflow_obs::reset();
+        let dir = std::env::temp_dir().join(format!("wsflow-loadgen-test-{}", std::process::id()));
+        let out = cmd_loadgen(&strs(&[
+            "--quick",
+            "--seeds",
+            "2",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("Service latency"), "{out}");
+        assert!(out.contains("Admission control"), "{out}");
+        let csv = std::fs::read_to_string(dir.join("loadgen.csv")).unwrap();
+        assert!(csv.starts_with(wsflow_harness::loadgen::CSV_HEADER));
+        assert!(dir.join("loadgen_manifest.json").is_file());
         std::fs::remove_dir_all(&dir).ok();
     }
 
