@@ -363,7 +363,7 @@ mod tests {
         let (_, opt) = optimum(&p, 1_000).unwrap();
         let best_combined = front
             .iter()
-            .map(|pt| pt.execution + pt.penalty)
+            .map(|pt| pt.execution() + pt.penalty())
             .fold(f64::INFINITY, f64::min);
         assert!((best_combined - opt).abs() < 1e-9);
         // Front members are mutually non-dominating.
@@ -374,7 +374,7 @@ mod tests {
         }
         // The front is sorted by execution time.
         for w in front.windows(2) {
-            assert!(w[0].execution <= w[1].execution);
+            assert!(w[0].execution() <= w[1].execution());
         }
     }
 

@@ -27,6 +27,7 @@ pub mod algorithm;
 pub mod baselines;
 pub mod branch_bound;
 pub mod constrained;
+pub mod elastic;
 pub mod exhaustive;
 pub mod fair_load;
 pub mod flmme;
@@ -48,6 +49,7 @@ pub use algorithm::{DeployError, DeploymentAlgorithm};
 pub use baselines::{AllOnFastest, BestOfRandom, RandomMapping, RoundRobin};
 pub use branch_bound::{BnbOutcome, BranchAndBound};
 pub use constrained::{violation, ConstrainedDeploy, ConstrainedError};
+pub use elastic::ElasticProvision;
 pub use exhaustive::{optimum, pareto_front_exhaustive, Exhaustive};
 pub use fair_load::FairLoad;
 pub use flmme::FairLoadMergeMessages;

@@ -64,6 +64,14 @@ impl CommMatrix {
                     bw_term += 1.0 / link.speed.value();
                     fixed_term += link.propagation.value();
                 }
+                // Geo model: the inter-region surcharge is a fixed
+                // per-transfer latency, mirroring the endpoint-based
+                // add-on in `RoutingTable::transfer_time`. Networks
+                // without a region matrix skip the branch entirely, so
+                // the legacy coefficients are untouched bit for bit.
+                if from != to && net.has_region_latency() {
+                    fixed_term += net.server_region_latency(from, to).value();
+                }
                 pair.push(PairCoeff {
                     bw_term,
                     fixed_term,
@@ -140,5 +148,45 @@ mod tests {
         assert!((comm.comm_secs(ServerId::new(0), ServerId::new(2), 1.0) - 0.2).abs() < 1e-12);
         // Mean over the 6 ordered distinct pairs: (0.1·4 + 0.2·2)/6.
         assert!((comm.mean_unit_transfer() - 0.8 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn region_surcharge_agrees_with_routing() {
+        use wsflow_model::Seconds;
+        use wsflow_net::RegionId;
+
+        let mut servers = homogeneous_servers(3, 1.0);
+        servers[2] = servers[2]
+            .clone()
+            .in_region(RegionId::new(1), wsflow_net::ZoneId::new(0));
+        let net = line_uniform("l", servers, MbitsPerSec(10.0))
+            .unwrap()
+            .with_region_latency(vec![
+                vec![Seconds::ZERO, Seconds(0.05)],
+                vec![Seconds(0.05), Seconds::ZERO],
+            ])
+            .unwrap();
+        let routing = RoutingTable::new(&net);
+        let comm = CommMatrix::new(&net, &routing);
+        for from in net.server_ids() {
+            for to in net.server_ids() {
+                for size in [0.0, 0.5, 2.0] {
+                    let direct = routing
+                        .transfer_time(&net, from, to, Mbits(size))
+                        .unwrap()
+                        .value();
+                    let fast = comm.comm_secs(from, to, size);
+                    assert!(
+                        (direct - fast).abs() < 1e-12,
+                        "{from}->{to} size {size}: routing {direct} vs comm {fast}"
+                    );
+                }
+            }
+        }
+        // Intra-region pair is surcharge-free, cross-region pays 50 ms.
+        let intra = comm.comm_secs(ServerId::new(0), ServerId::new(1), 1.0);
+        let cross = comm.comm_secs(ServerId::new(1), ServerId::new(2), 1.0);
+        assert!((intra - 0.1).abs() < 1e-12);
+        assert!((cross - 0.15).abs() < 1e-12);
     }
 }

@@ -32,6 +32,7 @@ use wsflow_net::ServerId;
 use crate::evaluator::Evaluator;
 use crate::load::time_penalty_of_loads;
 use crate::mapping::Mapping;
+use crate::money::billed;
 use crate::objective::CostBreakdown;
 use crate::problem::Problem;
 
@@ -255,10 +256,10 @@ impl<'p> DeltaEvaluator<'p> {
             }
         }
 
-        self.cost = CostBreakdown::new(
+        self.cost = self.make_cost(
             self.ev.completion_of(&self.finish),
             time_penalty_of_loads(&self.loads),
-            self.ev.problem.weights(),
+            |ops_on, s| !ops_on[s].is_empty(),
         );
         self.cost
     }
@@ -313,11 +314,18 @@ impl<'p> DeltaEvaluator<'p> {
                 }
             }
         }
-        let probed = CostBreakdown::new(
-            self.ev.completion_of(&self.finish),
-            penalty,
-            self.ev.problem.weights(),
-        );
+        // Hypothetical occupancy without touching the residency lists:
+        // the destination is occupied by `op` itself; the origin stays
+        // occupied only if `op` was not its last resident.
+        let probed = self.make_cost(self.ev.completion_of(&self.finish), penalty, |ops_on, s| {
+            if s == server.index() {
+                true
+            } else if s == old.index() {
+                ops_on[s].len() > 1
+            } else {
+                !ops_on[s].is_empty()
+            }
+        });
         if wsflow_obs::enabled() {
             // Undo-log depth == number of ops whose finish time the move
             // actually perturbed (the probe's affected set).
@@ -358,12 +366,34 @@ impl<'p> DeltaEvaluator<'p> {
         for s in 0..self.loads.len() {
             self.loads[s] = self.fold_server_load(ServerId::new(s as u32));
         }
-        self.cost = CostBreakdown::new(
+        self.cost = self.make_cost(
             self.ev.completion_of(&self.finish),
             time_penalty_of_loads(&self.loads),
-            self.ev.problem.weights(),
+            |ops_on, s| !ops_on[s].is_empty(),
         );
         self.moves_since_sync = 0;
+    }
+
+    /// Assemble a breakdown for the given measures and an occupancy
+    /// predicate over the residency lists (real for `apply`/
+    /// `recompute_all`, hypothetical for `probe`). Priced networks go
+    /// through the shared billing fold of [`crate::money`] — the same
+    /// one [`Evaluator::evaluate`] uses, so full and incremental money
+    /// figures are bit-identical; unpriced networks construct through
+    /// the exact legacy two-term path.
+    fn make_cost(
+        &self,
+        execution: Seconds,
+        penalty: Seconds,
+        occupied: impl Fn(&[Vec<u32>], usize) -> bool,
+    ) -> CostBreakdown {
+        let weights = self.ev.problem.weights();
+        if self.ev.prices.has_prices() {
+            let rate = self.ev.prices.occupied_rate(|s| occupied(&self.ops_on, s));
+            CostBreakdown::with_money(execution, penalty, billed(rate, execution), weights)
+        } else {
+            CostBreakdown::new(execution, penalty, weights)
+        }
     }
 
     /// The load of one server, folded over its resident ops in ascending
@@ -428,6 +458,16 @@ impl<'p> DeltaEvaluator<'p> {
             self.cost.penalty.value().to_bits(),
             fresh.penalty.value().to_bits(),
             "incremental penalty drifted from Evaluator::evaluate"
+        );
+        debug_assert_eq!(
+            self.cost.money.value().to_bits(),
+            fresh.money.value().to_bits(),
+            "incremental money drifted from Evaluator::evaluate"
+        );
+        debug_assert_eq!(
+            self.cost.combined.value().to_bits(),
+            fresh.combined.value().to_bits(),
+            "incremental combined cost drifted from Evaluator::evaluate"
         );
     }
 }
@@ -593,6 +633,77 @@ mod tests {
         assert_eq!(snap.counter("delta.applies"), Some(2));
         assert_eq!(snap.counter("delta.resyncs"), Some(1));
         assert_eq!(snap.histogram("delta.undo_depth").unwrap().count, 2);
+    }
+
+    fn priced_branchy_problem(n_servers: usize) -> Problem {
+        use wsflow_model::DollarsPerHour;
+        let p = branchy_problem(n_servers);
+        let mut net = p.network().clone();
+        for i in 0..n_servers {
+            // Heterogeneous, irrational-ish prices so any fold-order
+            // deviation between the paths shows up in the last bits.
+            net.set_server_price(
+                ServerId::new(i as u32),
+                DollarsPerHour(0.1 + (i as f64) * 0.37),
+            )
+            .unwrap();
+        }
+        Problem::with_weights(
+            p.workflow().clone(),
+            net,
+            crate::objective::CostWeights::tri(1.0, 1.0, 0.5),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn money_probes_match_full_evaluation_bitwise() {
+        let p = priced_branchy_problem(3);
+        let mut ev = Evaluator::new(&p);
+        let start = Mapping::all_on(p.num_ops(), ServerId::new(0));
+        let mut delta = DeltaEvaluator::new(&p, start.clone());
+        for o in 0..p.num_ops() {
+            for s in 0..3u32 {
+                let got = delta.probe(OpId::from(o), ServerId::new(s));
+                let mut m = start.clone();
+                m.assign(OpId::from(o), ServerId::new(s));
+                let want = ev.evaluate(&m);
+                assert_eq!(
+                    got.money.value().to_bits(),
+                    want.money.value().to_bits(),
+                    "money diverged probing op {o} -> server {s}"
+                );
+                assert_eq!(
+                    got.combined.value().to_bits(),
+                    want.combined.value().to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn money_random_walk_stays_bitwise_exact() {
+        let p = priced_branchy_problem(4);
+        let mut ev = Evaluator::new(&p);
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let start = Mapping::from_fn(p.num_ops(), |o| ServerId::new(o.0 % 4));
+        let mut delta = DeltaEvaluator::new(&p, start).with_staleness_threshold(13);
+        for step in 0..200 {
+            let op = OpId::from(rng.gen_range(0..p.num_ops()));
+            let server = ServerId::new(rng.gen_range(0..4u32));
+            let got = delta.apply(op, server);
+            let want = ev.evaluate(delta.mapping());
+            assert_eq!(
+                got.money.value().to_bits(),
+                want.money.value().to_bits(),
+                "money diverged at step {step}"
+            );
+            assert_eq!(
+                got.combined.value().to_bits(),
+                want.combined.value().to_bits(),
+                "combined diverged at step {step}"
+            );
+        }
     }
 
     #[test]

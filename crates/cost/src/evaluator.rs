@@ -14,6 +14,7 @@ use wsflow_net::ServerId;
 
 use crate::load::time_penalty_of_loads;
 use crate::mapping::Mapping;
+use crate::money::{billed, PriceTable};
 use crate::objective::CostBreakdown;
 use crate::problem::Problem;
 
@@ -52,10 +53,15 @@ pub struct Evaluator<'p> {
     /// Sink ops, cached (completion folds over them every evaluation).
     sinks: Vec<OpId>,
     pub(crate) n_servers: usize,
+    /// Per-server hourly prices (geo scenarios; `has_prices()` is false
+    /// on every legacy network, and then no billing code runs at all).
+    pub(crate) prices: PriceTable,
     /// Scratch: finish time per op.
     finish: Vec<f64>,
     /// Scratch: load per server.
     pub(crate) loads: Vec<Seconds>,
+    /// Scratch: resident-op counts per server for the billing fold.
+    occupancy: Vec<u32>,
 }
 
 impl<'p> Evaluator<'p> {
@@ -98,8 +104,10 @@ impl<'p> Evaluator<'p> {
             kind,
             sinks,
             n_servers: n,
+            prices: PriceTable::new(net),
             finish: vec![0.0; w.num_ops()],
             loads: vec![Seconds::ZERO; n],
+            occupancy: Vec::new(),
         }
     }
 
@@ -219,10 +227,21 @@ impl<'p> Evaluator<'p> {
     }
 
     /// Full cost breakdown of `mapping`.
+    ///
+    /// On priced (geo) networks the breakdown carries the dollar bill
+    /// for the servers the mapping occupies; on legacy networks the
+    /// money machinery is skipped entirely and the breakdown is
+    /// constructed through the exact pre-geo code path.
     pub fn evaluate(&mut self, mapping: &Mapping) -> CostBreakdown {
         let execution = self.execution_time(mapping);
         let penalty = self.penalty(mapping);
-        CostBreakdown::new(execution, penalty, self.problem.weights())
+        if self.prices.has_prices() {
+            let rate = self.prices.rate_of_mapping(mapping, &mut self.occupancy);
+            let money = billed(rate, execution);
+            CostBreakdown::with_money(execution, penalty, money, self.problem.weights())
+        } else {
+            CostBreakdown::new(execution, penalty, self.problem.weights())
+        }
     }
 
     /// The scalar combined cost of `mapping` (shorthand for

@@ -26,6 +26,7 @@ pub mod evaluator;
 pub mod load;
 pub mod mapping;
 pub mod migration;
+pub mod money;
 pub mod objective;
 pub mod pareto;
 pub mod problem;
@@ -40,6 +41,7 @@ pub use evaluator::Evaluator;
 pub use load::{effective_cycles, ideal_cycles, loads, max_load, time_penalty, tproc};
 pub use mapping::{Mapping, PartialMapping};
 pub use migration::{plan_migration, MigrationModel, MigrationMove, MigrationPlan};
+pub use money::{billed, deployment_cost, PriceTable};
 pub use objective::{CostBreakdown, CostWeights};
 pub use pareto::{dominated_fraction, hypervolume, pareto_front, ParetoPoint};
 pub use problem::{Problem, ProblemError};

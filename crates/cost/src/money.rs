@@ -1,0 +1,182 @@
+//! The billing model: dollars for occupied server-hours.
+//!
+//! Geo-distributed deployments lease VMs by the hour. We bill a mapping
+//! for every server that hosts at least one operation — an *occupied*
+//! server is paid for the whole expected execution window, whether its
+//! resident ops run with probability 1 or 0.01 (clouds bill wall-clock
+//! occupancy, not useful work). The dollar cost of a mapping is
+//!
+//! ```text
+//! money = Texecute(mapping) / 3600 · Σ price(s)   over occupied s
+//! ```
+//!
+//! Both the full [`Evaluator`](crate::evaluator::Evaluator) and the
+//! incremental [`DeltaEvaluator`](crate::delta::DeltaEvaluator) fund
+//! their money terms through the helpers here — the rate is always a
+//! single left-to-right fold over ascending server ids, and the
+//! seconds→dollars conversion is the one `DollarsPerHour × Seconds`
+//! multiplication — so the two paths agree **bit for bit**, exactly like
+//! the execution/penalty axes.
+//!
+//! Networks without prices (every pre-geo scenario) yield an empty rate
+//! and the evaluators skip the money machinery entirely: no floating-
+//! point operation runs that did not run before the refactor.
+
+use wsflow_model::{Dollars, DollarsPerHour, Seconds};
+use wsflow_net::Network;
+
+use crate::mapping::Mapping;
+
+/// Per-server hourly prices, flattened out of a [`Network`].
+///
+/// `has_prices()` is `false` when every server is free (the legacy
+/// case); evaluators use it to skip billing work entirely.
+#[derive(Debug, Clone, Default)]
+pub struct PriceTable {
+    prices: Vec<f64>,
+    any_priced: bool,
+}
+
+impl PriceTable {
+    /// Extract the price column of `net`.
+    pub fn new(net: &Network) -> Self {
+        let prices: Vec<f64> = net.servers().iter().map(|s| s.price.value()).collect();
+        let any_priced = prices.iter().any(|&p| p != 0.0);
+        Self { prices, any_priced }
+    }
+
+    /// `true` when at least one server bills a non-zero hourly price.
+    #[inline]
+    pub fn has_prices(&self) -> bool {
+        self.any_priced
+    }
+
+    /// Number of servers covered.
+    #[inline]
+    pub fn num_servers(&self) -> usize {
+        self.prices.len()
+    }
+
+    /// Hourly price of server index `s` as a raw f64.
+    #[inline]
+    pub fn price(&self, s: usize) -> f64 {
+        self.prices[s]
+    }
+
+    /// The combined hourly rate of every server for which `occupied`
+    /// answers `true`, folded left-to-right in ascending server index.
+    ///
+    /// This fold is the **single source of truth** for the rate sum:
+    /// every caller (full evaluation, delta apply, delta probe with a
+    /// hypothetical residency) goes through it, so their floating-point
+    /// results are identical to the last bit.
+    #[inline]
+    pub fn occupied_rate(&self, mut occupied: impl FnMut(usize) -> bool) -> DollarsPerHour {
+        let mut sum = 0.0;
+        for (s, &p) in self.prices.iter().enumerate() {
+            if occupied(s) {
+                sum += p;
+            }
+        }
+        DollarsPerHour(sum)
+    }
+
+    /// The hourly rate billed by `mapping`: each server hosting at least
+    /// one op contributes its price. `occupancy` is scratch (resized and
+    /// refilled here) counting resident ops per server.
+    pub fn rate_of_mapping(&self, mapping: &Mapping, occupancy: &mut Vec<u32>) -> DollarsPerHour {
+        occupancy.clear();
+        occupancy.resize(self.prices.len(), 0);
+        for (_, server) in mapping.iter() {
+            occupancy[server.index()] += 1;
+        }
+        self.occupied_rate(|s| occupancy[s] > 0)
+    }
+}
+
+/// Dollars billed for holding `rate` worth of servers over `execution`.
+///
+/// Delegates to the `DollarsPerHour × Seconds` unit multiplication
+/// (which divides by 3600) so every money figure in the codebase comes
+/// from the same expression.
+#[inline]
+pub fn billed(rate: DollarsPerHour, execution: Seconds) -> Dollars {
+    rate * execution
+}
+
+/// Convenience: the dollar cost of `mapping` on `net` for a window of
+/// `execution` seconds. One-shot (allocates the occupancy scratch); the
+/// evaluators keep a [`PriceTable`] and scratch buffer instead.
+pub fn deployment_cost(net: &Network, mapping: &Mapping, execution: Seconds) -> Dollars {
+    let table = PriceTable::new(net);
+    let mut occupancy = Vec::new();
+    let rate = table.rate_of_mapping(mapping, &mut occupancy);
+    billed(rate, execution)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsflow_model::MbitsPerSec;
+    use wsflow_net::topology::{bus, homogeneous_servers};
+    use wsflow_net::ServerId;
+
+    fn priced_net(prices: &[f64]) -> Network {
+        let mut net = bus(
+            "b",
+            homogeneous_servers(prices.len(), 2.0),
+            MbitsPerSec(10.0),
+        )
+        .unwrap();
+        for (i, &p) in prices.iter().enumerate() {
+            net.set_server_price(ServerId::new(i as u32), DollarsPerHour(p))
+                .unwrap();
+        }
+        net
+    }
+
+    #[test]
+    fn unpriced_networks_have_no_prices() {
+        let net = bus("b", homogeneous_servers(3, 1.0), MbitsPerSec(10.0)).unwrap();
+        let table = PriceTable::new(&net);
+        assert!(!table.has_prices());
+        assert_eq!(table.num_servers(), 3);
+        assert_eq!(table.occupied_rate(|_| true), DollarsPerHour::ZERO);
+    }
+
+    #[test]
+    fn occupancy_is_count_based_not_load_based() {
+        let net = priced_net(&[1.0, 2.0, 4.0]);
+        let table = PriceTable::new(&net);
+        assert!(table.has_prices());
+        // Ops on servers 0 and 2; server 1 idles and is not billed.
+        let mapping = Mapping::from_fn(4, |o| ServerId::new(if o.0 % 2 == 0 { 0 } else { 2 }));
+        let mut occ = Vec::new();
+        let rate = table.rate_of_mapping(&mapping, &mut occ);
+        assert_eq!(rate, DollarsPerHour(5.0));
+        assert_eq!(occ, vec![2, 0, 2]);
+    }
+
+    #[test]
+    fn billing_scales_with_the_execution_window() {
+        // $5/h over half an hour = $2.50.
+        assert_eq!(billed(DollarsPerHour(5.0), Seconds(1800.0)), Dollars(2.5));
+        let net = priced_net(&[1.0, 2.0, 4.0]);
+        let all_on_two = Mapping::all_on(3, ServerId::new(2));
+        assert_eq!(
+            deployment_cost(&net, &all_on_two, Seconds(3600.0)),
+            Dollars(4.0)
+        );
+    }
+
+    #[test]
+    fn rate_fold_is_ascending_and_deterministic() {
+        // The fold order is part of the bit-identity contract between the
+        // full and delta evaluators: pin it.
+        let net = priced_net(&[0.1, 0.2, 0.3, 0.4]);
+        let table = PriceTable::new(&net);
+        let direct = table.occupied_rate(|s| s != 2);
+        let expected: f64 = (0.1 + 0.2) + 0.4;
+        assert_eq!(direct.value().to_bits(), expected.to_bits());
+    }
+}

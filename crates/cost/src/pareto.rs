@@ -1,4 +1,4 @@
-//! Pareto-front utilities over the bi-objective space.
+//! Pareto-front utilities over the multi-objective space.
 //!
 //! The paper plots solutions on (execution time, time penalty) axes and
 //! notes that "assuming different weights for the two measures,
@@ -6,69 +6,171 @@
 //! combined cost is one scalarisation; the Pareto front is the
 //! weight-independent view: every mapping on it is optimal for *some*
 //! weighting.
+//!
+//! The geo-distributed scenario pack adds a third minimised axis —
+//! dollars — so a point now carries a small axis array instead of two
+//! named fields. Axis 0 is always execution time and axis 1 the time
+//! penalty; axis 2, when present, is money. Two-axis points behave
+//! exactly as before the generalisation: [`pareto_front`] returns the
+//! same set in the same order, and [`ParetoPoint::dominates`] computes
+//! the same comparisons.
 
 use crate::objective::CostBreakdown;
 
-/// A point in the (execution, penalty) plane with an attached payload
-/// (typically an algorithm name or a mapping).
+/// A point in objective space (all axes minimised) with an attached
+/// payload (typically an algorithm name or a mapping).
+///
+/// Construct with [`ParetoPoint::bi`] / [`ParetoPoint::tri`] or from a
+/// [`CostBreakdown`] via [`ParetoPoint::from_cost`] /
+/// [`ParetoPoint::from_cost3`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParetoPoint<T> {
-    /// Execution time in seconds.
-    pub execution: f64,
-    /// Time penalty in seconds.
-    pub penalty: f64,
+    /// Minimised coordinates: `[execution, penalty]` or
+    /// `[execution, penalty, money]`.
+    axes: Vec<f64>,
     /// The payload this point describes.
     pub item: T,
 }
 
 impl<T> ParetoPoint<T> {
-    /// Construct from a cost breakdown.
-    pub fn from_cost(cost: &CostBreakdown, item: T) -> Self {
+    /// A classic bi-objective (execution, penalty) point.
+    pub fn bi(execution: f64, penalty: f64, item: T) -> Self {
         Self {
-            execution: cost.execution.value(),
-            penalty: cost.penalty.value(),
+            axes: vec![execution, penalty],
             item,
         }
     }
 
-    /// Weak dominance: better-or-equal in both coordinates, strictly
-    /// better in at least one.
+    /// A tri-criteria (execution, penalty, money) point.
+    pub fn tri(execution: f64, penalty: f64, money: f64, item: T) -> Self {
+        Self {
+            axes: vec![execution, penalty, money],
+            item,
+        }
+    }
+
+    /// Construct from a cost breakdown on the classic two axes.
+    pub fn from_cost(cost: &CostBreakdown, item: T) -> Self {
+        Self::bi(cost.execution.value(), cost.penalty.value(), item)
+    }
+
+    /// Construct from a cost breakdown including the money axis.
+    pub fn from_cost3(cost: &CostBreakdown, item: T) -> Self {
+        Self::tri(
+            cost.execution.value(),
+            cost.penalty.value(),
+            cost.money.value(),
+            item,
+        )
+    }
+
+    /// The minimised coordinates.
+    #[inline]
+    pub fn axes(&self) -> &[f64] {
+        &self.axes
+    }
+
+    /// Execution time in seconds (axis 0).
+    #[inline]
+    pub fn execution(&self) -> f64 {
+        self.axes[0]
+    }
+
+    /// Time penalty in seconds (axis 1).
+    #[inline]
+    pub fn penalty(&self) -> f64 {
+        self.axes[1]
+    }
+
+    /// Dollar cost (axis 2), if this point carries one.
+    #[inline]
+    pub fn money(&self) -> Option<f64> {
+        self.axes.get(2).copied()
+    }
+
+    /// Weak dominance: better-or-equal on every axis, strictly better
+    /// on at least one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two points have different arity — comparing a
+    /// bi-objective point against a tri-criteria one is a logic error.
     pub fn dominates<U>(&self, other: &ParetoPoint<U>) -> bool {
-        (self.execution <= other.execution && self.penalty <= other.penalty)
-            && (self.execution < other.execution || self.penalty < other.penalty)
+        assert_eq!(
+            self.axes.len(),
+            other.axes.len(),
+            "dominance requires points of equal arity"
+        );
+        let mut strict = false;
+        for (a, b) in self.axes.iter().zip(&other.axes) {
+            if a > b {
+                return false;
+            }
+            if a < b {
+                strict = true;
+            }
+        }
+        strict
+    }
+
+    /// Additive ε-dominance: axes within `eps` of each other count as
+    /// tied. `self` ε-dominates `other` iff it is within `eps` of
+    /// better-or-equal on every axis and better by *more than* `eps` on
+    /// at least one. With `eps == 0.0` this is exactly
+    /// [`ParetoPoint::dominates`].
+    pub fn epsilon_dominates<U>(&self, other: &ParetoPoint<U>, eps: f64) -> bool {
+        assert_eq!(
+            self.axes.len(),
+            other.axes.len(),
+            "dominance requires points of equal arity"
+        );
+        let mut strict = false;
+        for (a, b) in self.axes.iter().zip(&other.axes) {
+            if *a > b + eps {
+                return false;
+            }
+            if *a < b - eps {
+                strict = true;
+            }
+        }
+        strict
     }
 }
 
-/// Extract the Pareto-optimal subset (minimising both coordinates).
+/// Extract the Pareto-optimal subset (minimising every axis).
 ///
-/// Returns the front sorted by ascending execution time. Duplicate
-/// coordinate pairs are all kept (they are mutually non-dominating).
+/// Returns the front sorted lexicographically by axes (ascending
+/// execution first). Duplicate coordinate tuples are all kept (they are
+/// mutually non-dominating). For two-axis inputs this returns the same
+/// points in the same order as the pre-geo staircase sweep.
 pub fn pareto_front<T>(points: Vec<ParetoPoint<T>>) -> Vec<ParetoPoint<T>> {
     let mut sorted = points;
-    // Sort by execution asc, then penalty asc: a point is on the front
-    // iff its penalty is strictly below every earlier point's penalty
-    // (or ties both coordinates with the current best).
     sorted.sort_by(|a, b| {
-        a.execution
-            .partial_cmp(&b.execution)
-            .expect("finite coordinates")
-            .then(
-                a.penalty
-                    .partial_cmp(&b.penalty)
-                    .expect("finite coordinates"),
-            )
+        a.axes
+            .iter()
+            .zip(&b.axes)
+            .map(|(x, y)| x.partial_cmp(y).expect("finite coordinates"))
+            .find(|o| o.is_ne())
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
-    let mut front: Vec<ParetoPoint<T>> = Vec::new();
-    let mut best_penalty = f64::INFINITY;
-    let mut best_exec = f64::NEG_INFINITY;
-    for p in sorted {
-        if p.penalty < best_penalty || (p.penalty == best_penalty && p.execution == best_exec) {
-            best_penalty = best_penalty.min(p.penalty);
-            best_exec = p.execution;
-            front.push(p);
+    // O(n²) weak-dominance filter. Fronts in this codebase are small
+    // (one point per algorithm/config, not per sample), so clarity and
+    // arity-independence beat a dimension-specialised sweep.
+    let mut keep = vec![true; sorted.len()];
+    for i in 0..sorted.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..sorted.len() {
+            if i != j && sorted[j].dominates(&sorted[i]) {
+                keep[i] = false;
+                break;
+            }
         }
     }
-    front
+    let mut keep_iter = keep.into_iter();
+    sorted.retain(|_| keep_iter.next().unwrap());
+    sorted
 }
 
 /// Fraction of `points` dominated by at least one element of `by`.
@@ -84,13 +186,14 @@ pub fn dominated_fraction<T, U>(points: &[ParetoPoint<T>], by: &[ParetoPoint<U>]
 }
 
 /// The hypervolume indicator w.r.t. a reference point `(ref_exec,
-/// ref_pen)`: the area of the objective space dominated by the front.
-/// Larger is better. Points beyond the reference contribute nothing.
+/// ref_pen)`: the area of the (execution, penalty) plane dominated by
+/// the front. Larger is better. Points beyond the reference contribute
+/// nothing; extra axes are ignored (this is the paper's 2-D view).
 pub fn hypervolume<T>(front: &[ParetoPoint<T>], ref_exec: f64, ref_pen: f64) -> f64 {
     let mut pts: Vec<(f64, f64)> = front
         .iter()
-        .filter(|p| p.execution < ref_exec && p.penalty < ref_pen)
-        .map(|p| (p.execution, p.penalty))
+        .filter(|p| p.execution() < ref_exec && p.penalty() < ref_pen)
+        .map(|p| (p.execution(), p.penalty()))
         .collect();
     pts.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
     let mut area = 0.0;
@@ -109,11 +212,11 @@ mod tests {
     use super::*;
 
     fn pt(e: f64, p: f64, tag: &str) -> ParetoPoint<&str> {
-        ParetoPoint {
-            execution: e,
-            penalty: p,
-            item: tag,
-        }
+        ParetoPoint::bi(e, p, tag)
+    }
+
+    fn pt3(e: f64, p: f64, m: f64, tag: &str) -> ParetoPoint<&str> {
+        ParetoPoint::tri(e, p, m, tag)
     }
 
     #[test]
@@ -122,6 +225,41 @@ mod tests {
         assert!(pt(1.0, 1.0, "a").dominates(&pt(1.0, 2.0, "b")));
         assert!(!pt(1.0, 1.0, "a").dominates(&pt(1.0, 1.0, "b")));
         assert!(!pt(1.0, 3.0, "a").dominates(&pt(2.0, 1.0, "b")));
+    }
+
+    #[test]
+    fn tri_criteria_dominance() {
+        // Better money at equal times dominates …
+        assert!(pt3(1.0, 1.0, 1.0, "cheap").dominates(&pt3(1.0, 1.0, 2.0, "dear")));
+        // … while a money trade-off makes points incomparable.
+        let fast_dear = pt3(1.0, 1.0, 2.0, "fast-dear");
+        let slow_cheap = pt3(2.0, 1.0, 1.0, "slow-cheap");
+        assert!(!fast_dear.dominates(&slow_cheap));
+        assert!(!slow_cheap.dominates(&fast_dear));
+        // Equal tuples never dominate each other.
+        assert!(!pt3(1.0, 1.0, 1.0, "a").dominates(&pt3(1.0, 1.0, 1.0, "b")));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal arity")]
+    fn mixed_arity_is_a_logic_error() {
+        let _ = pt(1.0, 1.0, "bi").dominates(&pt3(1.0, 1.0, 1.0, "tri"));
+    }
+
+    #[test]
+    fn epsilon_dominance_ties() {
+        // Within eps on every axis: a tie, neither direction dominates.
+        let a = pt3(1.0, 1.0, 1.0, "a");
+        let b = pt3(1.05, 0.98, 1.02, "b");
+        assert!(!a.epsilon_dominates(&b, 0.1));
+        assert!(!b.epsilon_dominates(&a, 0.1));
+        // Worse by more than eps on one axis, tied elsewhere: dominated.
+        let c = pt3(1.5, 1.0, 1.0, "c");
+        assert!(a.epsilon_dominates(&c, 0.1));
+        assert!(!c.epsilon_dominates(&a, 0.1));
+        // eps = 0 reduces to classic dominance.
+        assert!(a.epsilon_dominates(&pt3(1.0, 1.0, 2.0, "dear"), 0.0));
+        assert!(!a.epsilon_dominates(&pt3(1.0, 1.0, 1.0, "equal"), 0.0));
     }
 
     #[test]
@@ -139,10 +277,45 @@ mod tests {
     }
 
     #[test]
+    fn front_extraction_in_three_dimensions() {
+        let points = vec![
+            pt3(1.0, 3.0, 3.0, "a"),
+            pt3(3.0, 1.0, 3.0, "b"),
+            pt3(3.0, 3.0, 1.0, "c"),
+            // Dominated by "a" on every axis.
+            pt3(1.5, 3.5, 3.5, "dominated"),
+            // Worse money than "a" but unique on no axis combination —
+            // still non-dominated (cheaper than "b" in penalty? no —
+            // it trades: exec 2 < b's 3, penalty 2 < a's 3).
+            pt3(2.0, 2.0, 4.0, "trade"),
+        ];
+        let front = pareto_front(points);
+        let tags: Vec<&str> = front.iter().map(|p| p.item).collect();
+        assert_eq!(tags, vec!["a", "trade", "b", "c"]);
+    }
+
+    #[test]
     fn front_keeps_coordinate_ties() {
         let points = vec![pt(1.0, 1.0, "a"), pt(1.0, 1.0, "b")];
         let front = pareto_front(points);
         assert_eq!(front.len(), 2);
+    }
+
+    #[test]
+    fn front_matches_legacy_staircase_on_two_axes() {
+        // The exact cases the pre-geo staircase handled: equal-execution
+        // columns keep only the lowest penalty; equal-penalty rows keep
+        // only the lowest execution; exact duplicates all survive.
+        let points = vec![
+            pt(1.0, 2.0, "keep"),
+            pt(1.0, 3.0, "column-dominated"),
+            pt(2.0, 1.0, "keep2"),
+            pt(3.0, 1.0, "row-dominated"),
+            pt(1.0, 2.0, "duplicate"),
+        ];
+        let front = pareto_front(points);
+        let tags: Vec<&str> = front.iter().map(|p| p.item).collect();
+        assert_eq!(tags, vec!["keep", "duplicate", "keep2"]);
     }
 
     #[test]
@@ -170,15 +343,24 @@ mod tests {
         // Points beyond the reference are ignored.
         let front = vec![pt(5.0, 5.0, "out")];
         assert_eq!(hypervolume(&front, 3.0, 3.0), 0.0);
+        // The money axis does not perturb the 2-D area.
+        let front = vec![pt3(1.0, 2.0, 9.0, "a"), pt3(2.0, 1.0, 9.0, "b")];
+        assert!((hypervolume(&front, 3.0, 3.0) - 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn from_cost_breakdown() {
         use crate::objective::CostWeights;
-        use wsflow_model::Seconds;
+        use wsflow_model::{Dollars, Seconds};
         let cb = CostBreakdown::new(Seconds(1.5), Seconds(0.5), &CostWeights::EQUAL);
         let p = ParetoPoint::from_cost(&cb, "algo");
-        assert_eq!(p.execution, 1.5);
-        assert_eq!(p.penalty, 0.5);
+        assert_eq!(p.execution(), 1.5);
+        assert_eq!(p.penalty(), 0.5);
+        assert_eq!(p.money(), None);
+
+        let w = CostWeights::tri(1.0, 1.0, 1.0);
+        let cb = CostBreakdown::with_money(Seconds(1.5), Seconds(0.5), Dollars(2.0), &w);
+        let p = ParetoPoint::from_cost3(&cb, "algo");
+        assert_eq!(p.money(), Some(2.0));
     }
 }

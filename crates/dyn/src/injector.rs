@@ -111,6 +111,79 @@ impl FaultInjector {
     }
 }
 
+/// Generates reproducible spot-price-surge timelines for a geo network.
+///
+/// Cloud spot markets reprice per region: an episode multiplies every
+/// server price in one region by a surge factor for a while, then
+/// restores it. Episodes that would overlap an active surge in the same
+/// region are skipped — [`EnvEvent::PriceRestore`] resets the region to
+/// nominal unconditionally, so nesting would end surges early.
+///
+/// This is a **separate** seeded stream from [`FaultInjector`]: price
+/// episodes never perturb the fault schedule (the `dyn_policies`
+/// experiment CSVs depend on that stream bit-for-bit), and an injector
+/// with zero episodes produces an empty timeline — folding it through
+/// [`EnvState`](wsflow_net::EnvState) leaves the network bit-identical
+/// to the base.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PriceSurgeInjector {
+    /// Seed of the episode stream (independent of any fault seed).
+    pub seed: u64,
+    /// Number of surge episodes to attempt.
+    pub episodes: usize,
+    /// Mean surge duration; actual durations draw uniformly from
+    /// `[0.5, 1.5] × mean`.
+    pub mean_duration: Seconds,
+}
+
+impl PriceSurgeInjector {
+    /// An injector with the given seed, episode count, and mean
+    /// duration.
+    pub fn new(seed: u64, episodes: usize, mean_duration: Seconds) -> Self {
+        Self {
+            seed,
+            episodes,
+            mean_duration,
+        }
+    }
+
+    /// Generate the surge timeline for `net` over `[0, horizon]`.
+    pub fn timeline(&self, net: &Network, horizon: Seconds) -> Timeline {
+        use wsflow_net::RegionId;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut events: Vec<TimedEvent> = Vec::with_capacity(self.episodes * 2);
+        let regions = net.num_regions();
+        let mut windows: Vec<(usize, f64, f64)> = Vec::new();
+        for _ in 0..self.episodes {
+            let onset = rng.gen::<f64>() * horizon.value() * 0.8;
+            let duration = self.mean_duration.value() * (0.5 + rng.gen::<f64>());
+            let end = onset + duration;
+            let pick = rng.gen::<f64>();
+            let severity = rng.gen::<f64>();
+            let r = ((pick * regions as f64) as usize).min(regions - 1);
+            let clear = windows
+                .iter()
+                .all(|&(wr, a, b)| wr != r || end <= a || onset >= b);
+            if !clear {
+                continue;
+            }
+            windows.push((r, onset, end));
+            let region = RegionId::new(r as u32);
+            // Spot surges between 1.5× and 4× nominal.
+            let factor = 1.5 + 2.5 * severity;
+            events.push(TimedEvent {
+                at: Seconds(onset),
+                event: EnvEvent::PriceSurge { region, factor },
+            });
+            events.push(TimedEvent {
+                at: Seconds(end),
+                event: EnvEvent::PriceRestore { region },
+            });
+        }
+        Timeline::new(events).expect("generated events are finite and valid")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,5 +239,69 @@ mod tests {
             env.is_nominal(),
             "applying the full timeline returns to nominal"
         );
+    }
+
+    fn geo_net() -> Network {
+        use wsflow_model::DollarsPerHour;
+        use wsflow_net::{RegionId, ZoneId};
+        let mut servers = homogeneous_servers(4, 1.0);
+        for (i, s) in servers.iter_mut().enumerate() {
+            *s = s
+                .clone()
+                .in_region(RegionId::new((i / 2) as u32), ZoneId::new(0))
+                .priced(DollarsPerHour(0.5 + i as f64 * 0.25));
+        }
+        bus("geo", servers, MbitsPerSec(10.0)).unwrap()
+    }
+
+    #[test]
+    fn price_surges_are_seeded_paired_and_region_disjoint() {
+        let net = geo_net();
+        let inj = PriceSurgeInjector::new(41, 12, Seconds(4.0));
+        let a = inj.timeline(&net, Seconds(60.0));
+        assert_eq!(a, inj.timeline(&net, Seconds(60.0)));
+        assert_ne!(
+            a,
+            PriceSurgeInjector::new(42, 12, Seconds(4.0)).timeline(&net, Seconds(60.0))
+        );
+        assert!(a.len() >= 2, "some episodes must survive the overlap cull");
+        // Folding the whole timeline lands back on the nominal network.
+        use wsflow_net::EnvState;
+        let mut env = EnvState::new(net.clone());
+        let mut surged = 0usize;
+        for te in a.events() {
+            env.apply(&te.event);
+            if matches!(te.event, EnvEvent::PriceSurge { .. }) {
+                surged += 1;
+                assert_ne!(
+                    env.effective_network().servers(),
+                    net.servers(),
+                    "an active surge must reprice some server"
+                );
+            }
+        }
+        assert!(surged > 0);
+        assert!(env.is_nominal());
+    }
+
+    /// Regression: the no-dynamics path must not pick up even a
+    /// last-bit perturbation from the price machinery — an empty surge
+    /// timeline folds to a network bit-identical to the base.
+    #[test]
+    fn empty_surge_timeline_is_bit_identical_to_base() {
+        let net = geo_net();
+        let empty = PriceSurgeInjector::new(9, 0, Seconds(4.0)).timeline(&net, Seconds(60.0));
+        assert_eq!(empty.len(), 0);
+        use wsflow_net::EnvState;
+        let mut env = EnvState::new(net.clone());
+        for te in empty.events() {
+            env.apply(&te.event);
+        }
+        let eff = env.effective_network();
+        assert_eq!(eff, net, "identity-relevant state must match exactly");
+        for (a, b) in eff.servers().iter().zip(net.servers()) {
+            assert_eq!(a.price.value().to_bits(), b.price.value().to_bits());
+            assert_eq!(a.power.value().to_bits(), b.power.value().to_bits());
+        }
     }
 }

@@ -23,5 +23,5 @@ pub mod injector;
 pub mod policy;
 
 pub use controller::{run_policy, DynConfig, DynReport};
-pub use injector::FaultInjector;
+pub use injector::{FaultInjector, PriceSurgeInjector};
 pub use policy::Policy;

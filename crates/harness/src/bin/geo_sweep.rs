@@ -1,0 +1,3 @@
+//! `geo_sweep` — geo-distributed deployment sweep over priced regions.
+
+wsflow_harness::harness_main!(wsflow_harness::geo_sweep::run);

@@ -33,27 +33,27 @@ pub struct FrontRow {
 fn distance_to_front(point: &ParetoPoint<String>, front: &[ParetoPoint<Mapping>]) -> f64 {
     let exec_span = front
         .iter()
-        .map(|p| p.execution)
+        .map(|p| p.execution())
         .fold(f64::NEG_INFINITY, f64::max)
         - front
             .iter()
-            .map(|p| p.execution)
+            .map(|p| p.execution())
             .fold(f64::INFINITY, f64::min);
     let pen_span = front
         .iter()
-        .map(|p| p.penalty)
+        .map(|p| p.penalty())
         .fold(f64::NEG_INFINITY, f64::max)
         - front
             .iter()
-            .map(|p| p.penalty)
+            .map(|p| p.penalty())
             .fold(f64::INFINITY, f64::min);
     let exec_span = exec_span.max(1e-12);
     let pen_span = pen_span.max(1e-12);
     front
         .iter()
         .map(|f| {
-            let de = ((point.execution - f.execution) / exec_span).max(0.0);
-            let dp = ((point.penalty - f.penalty) / pen_span).max(0.0);
+            let de = ((point.execution() - f.execution()) / exec_span).max(0.0);
+            let dp = ((point.penalty() - f.penalty()) / pen_span).max(0.0);
             de.max(dp)
         })
         .fold(f64::INFINITY, f64::min)
@@ -149,28 +149,12 @@ mod tests {
     #[test]
     fn distance_zero_for_front_points() {
         let front = vec![
-            ParetoPoint {
-                execution: 1.0,
-                penalty: 3.0,
-                item: Mapping::new(vec![]),
-            },
-            ParetoPoint {
-                execution: 3.0,
-                penalty: 1.0,
-                item: Mapping::new(vec![]),
-            },
+            ParetoPoint::bi(1.0, 3.0, Mapping::new(vec![])),
+            ParetoPoint::bi(3.0, 1.0, Mapping::new(vec![])),
         ];
-        let on = ParetoPoint {
-            execution: 1.0,
-            penalty: 3.0,
-            item: "x".to_string(),
-        };
+        let on = ParetoPoint::bi(1.0, 3.0, "x".to_string());
         assert!(distance_to_front(&on, &front) < 1e-12);
-        let off = ParetoPoint {
-            execution: 3.0,
-            penalty: 3.0,
-            item: "y".to_string(),
-        };
+        let off = ParetoPoint::bi(3.0, 3.0, "y".to_string());
         assert!(distance_to_front(&off, &front) > 0.5);
     }
 }

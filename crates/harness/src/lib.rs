@@ -15,6 +15,7 @@
 //! | Dynamic environments & re-deployment (extension) | [`dyn_policies`] | `dyn_policies` |
 //! | Anytime quality-vs-budget sweep (extension) | [`quality_vs_budget`] | `quality_vs_budget` |
 //! | Multi-tenant service load generation (extension) | [`loadgen`] | `loadgen` |
+//! | Geo-distributed regions & prices (extension) | [`geo_sweep`] | `geo_sweep` |
 //!
 //! Every binary takes `--quick` for a seconds-scale run and writes raw
 //! records + summary tables as CSV under `results/`.
@@ -30,6 +31,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod front;
+pub mod geo_sweep;
 pub mod line_line_exp;
 pub mod loadgen;
 pub mod multi_wf;

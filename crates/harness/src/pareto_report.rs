@@ -41,20 +41,16 @@ pub fn analyze(records: &[Record]) -> Vec<ParetoRow> {
     for rs in by_scenario.values() {
         let points: Vec<ParetoPoint<String>> = rs
             .iter()
-            .map(|r| ParetoPoint {
-                execution: r.execution,
-                penalty: r.penalty,
-                item: r.algorithm.clone(),
-            })
+            .map(|r| ParetoPoint::bi(r.execution, r.penalty, r.algorithm.clone()))
             .collect();
         let front = pareto_front(points.clone());
         let best_exec = points
             .iter()
-            .map(|p| p.execution)
+            .map(|p| p.execution())
             .fold(f64::INFINITY, f64::min);
         let best_pen = points
             .iter()
-            .map(|p| p.penalty)
+            .map(|p| p.penalty())
             .fold(f64::INFINITY, f64::min);
         for p in &points {
             if !stats.contains_key(&p.item) {
@@ -65,10 +61,10 @@ pub fn analyze(records: &[Record]) -> Vec<ParetoRow> {
             if front.iter().any(|f| f.item == p.item) {
                 entry.1 += 1;
             }
-            if p.execution <= best_exec {
+            if p.execution() <= best_exec {
                 entry.2 += 1;
             }
-            if p.penalty <= best_pen {
+            if p.penalty() <= best_pen {
                 entry.3 += 1;
             }
         }

@@ -45,7 +45,9 @@ pub use op::{DecisionKind, OpKind, Operation};
 pub use probability::ExecutionProbabilities;
 pub use stats::WorkflowStats;
 pub use structure::{recover_structure, BlockTree};
-pub use units::{MCycles, Mbits, MbitsPerSec, MegaHertz, Probability, Seconds};
+pub use units::{
+    Dollars, DollarsPerHour, MCycles, Mbits, MbitsPerSec, MegaHertz, Probability, Seconds,
+};
 pub use validate::{is_well_formed, validate, validate_structure};
 pub use workflow::Workflow;
 

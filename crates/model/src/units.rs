@@ -197,6 +197,19 @@ unit!(
     "s"
 );
 
+unit!(
+    /// Monetary cost in dollars — the billing axis of the geo-distributed
+    /// scenario pack.
+    Dollars,
+    "$"
+);
+
+unit!(
+    /// Hourly leasing price of a server in dollars per hour.
+    DollarsPerHour,
+    "$/h"
+);
+
 impl MegaHertz {
     /// Construct from GHz (the scale Table 6 uses for `P(Sᵢ)`).
     #[inline]
@@ -260,6 +273,24 @@ impl Div<MbitsPerSec> for Mbits {
     #[inline]
     fn div(self, rhs: MbitsPerSec) -> Seconds {
         Seconds(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Seconds> for DollarsPerHour {
+    type Output = Dollars;
+
+    /// Billing: hourly price × occupied wall time (converted to hours).
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Dollars {
+        Dollars(self.0 * rhs.0 / 3600.0)
+    }
+}
+
+impl Mul<DollarsPerHour> for Seconds {
+    type Output = Dollars;
+    #[inline]
+    fn mul(self, rhs: DollarsPerHour) -> Dollars {
+        rhs * self
     }
 }
 
@@ -385,6 +416,16 @@ mod tests {
         // 0.163208 Mbit over 100 Mbps take ~1.632 ms.
         let t = Mbits(0.163208) / MbitsPerSec(100.0);
         assert!((t.as_millis() - 1.63208).abs() < 1e-9);
+    }
+
+    #[test]
+    fn billing_units_cancel() {
+        // A $7.20/h server occupied for 30 minutes bills $3.60, from
+        // either operand order.
+        let cost = DollarsPerHour(7.2) * Seconds(1800.0);
+        assert!((cost.value() - 3.6).abs() < 1e-12);
+        assert_eq!(Seconds(1800.0) * DollarsPerHour(7.2), cost);
+        assert_eq!(format!("{:.2}", Dollars(3.6)), "3.60 $");
     }
 
     #[test]

@@ -70,6 +70,20 @@ pub enum EnvEvent {
         /// Uniform power divisor; `1.0` restores.
         factor: f64,
     },
+    /// Spot-market price surge: hourly prices of every server in the
+    /// region are multiplied by `factor` (≥ 1). A factor of exactly
+    /// `1.0` restores nominal pricing, like [`EnvEvent::PriceRestore`].
+    PriceSurge {
+        /// The affected region.
+        region: crate::ids::RegionId,
+        /// Price multiplier; `1.0` restores.
+        factor: f64,
+    },
+    /// The region's spot prices return to nominal.
+    PriceRestore {
+        /// The restored region.
+        region: crate::ids::RegionId,
+    },
 }
 
 impl std::fmt::Display for EnvEvent {
@@ -83,6 +97,10 @@ impl std::fmt::Display for EnvEvent {
             EnvEvent::LinkDegrade { link, factor } => write!(f, "degrade {link} x{factor}"),
             EnvEvent::LinkRestore { link } => write!(f, "restore {link}"),
             EnvEvent::LoadSurge { factor } => write!(f, "surge x{factor}"),
+            EnvEvent::PriceSurge { region, factor } => {
+                write!(f, "price-surge {region} x{factor}")
+            }
+            EnvEvent::PriceRestore { region } => write!(f, "price-restore {region}"),
         }
     }
 }
@@ -124,7 +142,8 @@ impl Timeline {
             let factor = match te.event {
                 EnvEvent::ServerSlowdown { factor, .. }
                 | EnvEvent::LinkDegrade { factor, .. }
-                | EnvEvent::LoadSurge { factor } => Some(factor),
+                | EnvEvent::LoadSurge { factor }
+                | EnvEvent::PriceSurge { factor, .. } => Some(factor),
                 _ => None,
             };
             if let Some(f) = factor {
@@ -179,6 +198,8 @@ pub struct EnvState {
     slowdown: Vec<f64>,
     link_factor: Vec<f64>,
     surge: f64,
+    /// Per-region spot-price multiplier (1.0 = nominal).
+    price_factor: Vec<f64>,
 }
 
 impl EnvState {
@@ -186,12 +207,14 @@ impl EnvState {
     pub fn new(base: Network) -> Self {
         let n = base.num_servers();
         let l = base.num_links();
+        let r = base.num_regions();
         Self {
             base,
             up: vec![true; n],
             slowdown: vec![1.0; n],
             link_factor: vec![1.0; l],
             surge: 1.0,
+            price_factor: vec![1.0; r],
         }
     }
 
@@ -232,6 +255,16 @@ impl EnvState {
                 }
             }
             EnvEvent::LoadSurge { factor } => self.surge = factor,
+            EnvEvent::PriceSurge { region, factor } => {
+                if let Some(p) = self.price_factor.get_mut(region.index()) {
+                    *p = factor;
+                }
+            }
+            EnvEvent::PriceRestore { region } => {
+                if let Some(p) = self.price_factor.get_mut(region.index()) {
+                    *p = 1.0;
+                }
+            }
         }
     }
 
@@ -265,6 +298,12 @@ impl EnvState {
         self.surge
     }
 
+    /// Current spot-price multiplier of a region (1.0 = nominal).
+    #[inline]
+    pub fn price_factor(&self, r: crate::ids::RegionId) -> f64 {
+        self.price_factor[r.index()]
+    }
+
     /// `true` when the environment is exactly nominal: everything up,
     /// every factor 1.0.
     pub fn is_nominal(&self) -> bool {
@@ -272,6 +311,7 @@ impl EnvState {
             && self.slowdown.iter().all(|&f| f == 1.0)
             && self.link_factor.iter().all(|&f| f == 1.0)
             && self.surge == 1.0
+            && self.price_factor.iter().all(|&f| f == 1.0)
     }
 
     /// Materialise the network the environment currently presents:
@@ -303,6 +343,16 @@ impl EnvState {
             let speed = self.base.link(l).speed;
             net.set_link_speed(l, MbitsPerSec(speed.value() / factor))
                 .expect("derived speeds are positive");
+        }
+        for s in self.base.server_ids() {
+            let region = self.base.server(s).region;
+            let factor = self.price_factor[region.index()];
+            if factor == 1.0 {
+                continue;
+            }
+            let nominal = self.base.server(s).price;
+            net.set_server_price(s, nominal * factor)
+                .expect("derived prices are non-negative");
         }
         net
     }
@@ -408,6 +458,58 @@ mod tests {
         });
         assert!(env.is_nominal());
         assert_eq!(env.effective_network(), base);
+    }
+
+    #[test]
+    fn price_surge_multiplies_the_region_and_restores() {
+        use crate::ids::{RegionId, ZoneId};
+        use crate::server::Server;
+        use wsflow_model::units::DollarsPerHour;
+        let servers = vec![
+            Server::with_ghz("us0", 1.0).priced(DollarsPerHour(0.10)),
+            Server::with_ghz("eu0", 1.0)
+                .in_region(RegionId::new(1), ZoneId::new(0))
+                .priced(DollarsPerHour(0.20)),
+        ];
+        let base = bus("geo", servers, MbitsPerSec(100.0)).unwrap();
+        let mut env = EnvState::new(base.clone());
+        assert!(env.is_nominal());
+
+        env.apply(&EnvEvent::PriceSurge {
+            region: RegionId::new(1),
+            factor: 3.0,
+        });
+        assert!(!env.is_nominal());
+        assert_eq!(env.price_factor(RegionId::new(1)), 3.0);
+        let eff = env.effective_network();
+        assert_eq!(eff.server(ServerId::new(0)).price, DollarsPerHour(0.10));
+        assert_eq!(
+            eff.server(ServerId::new(1)).price,
+            DollarsPerHour(0.20) * 3.0
+        );
+        // Powers and links are untouched by a pure price event.
+        assert_eq!(eff.server(ServerId::new(1)).power, MegaHertz(1000.0));
+
+        env.apply(&EnvEvent::PriceRestore {
+            region: RegionId::new(1),
+        });
+        assert!(env.is_nominal());
+        assert_eq!(env.effective_network(), base);
+
+        // Unknown regions are ignored, factors < 1 rejected by Timeline.
+        env.apply(&EnvEvent::PriceSurge {
+            region: RegionId::new(9),
+            factor: 2.0,
+        });
+        assert!(env.is_nominal());
+        assert!(Timeline::new(vec![TimedEvent {
+            at: Seconds(0.0),
+            event: EnvEvent::PriceSurge {
+                region: RegionId::new(0),
+                factor: 0.5,
+            },
+        }])
+        .is_err());
     }
 
     #[test]

@@ -44,6 +44,16 @@ pub enum NetError {
         /// Servers actually provided.
         got: usize,
     },
+    /// A server has a negative or non-finite hourly price.
+    BadPrice {
+        /// The offending server.
+        server: ServerId,
+        /// The offending price in $/h.
+        price: f64,
+    },
+    /// The inter-region latency matrix is malformed (wrong size,
+    /// asymmetric, non-zero diagonal, or non-finite/negative entries).
+    BadRegionLatency(String),
 }
 
 impl fmt::Display for NetError {
@@ -63,6 +73,12 @@ impl fmt::Display for NetError {
             }
             NetError::TooFewServers { needed, got } => {
                 write!(f, "topology needs at least {needed} servers, got {got}")
+            }
+            NetError::BadPrice { server, price } => {
+                write!(f, "server {server} has invalid price {price} $/h")
+            }
+            NetError::BadRegionLatency(why) => {
+                write!(f, "bad inter-region latency matrix: {why}")
             }
         }
     }

@@ -81,6 +81,86 @@ impl From<usize> for LinkId {
     }
 }
 
+/// Index of a geographic region (e.g. a cloud provider's `eu-west`).
+///
+/// Region ids are dense (`0..network.num_regions()`); servers default to
+/// region 0, so single-region networks never mention regions at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct RegionId(pub u32);
+
+impl RegionId {
+    /// Construct from a raw index.
+    #[inline]
+    pub const fn new(i: u32) -> Self {
+        Self(i)
+    }
+
+    /// The raw index, as `usize`, for vector indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl From<u32> for RegionId {
+    fn from(v: u32) -> Self {
+        Self(v)
+    }
+}
+
+impl From<usize> for RegionId {
+    fn from(v: usize) -> Self {
+        Self(v as u32)
+    }
+}
+
+/// Index of an availability zone within a region.
+///
+/// Zones are informational in the cost model (latency is modelled at
+/// region granularity) but let constraints express anti-affinity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ZoneId(pub u32);
+
+impl ZoneId {
+    /// Construct from a raw index.
+    #[inline]
+    pub const fn new(i: u32) -> Self {
+        Self(i)
+    }
+
+    /// The raw index, as `usize`, for vector indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ZoneId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Z{}", self.0)
+    }
+}
+
+impl From<u32> for ZoneId {
+    fn from(v: u32) -> Self {
+        Self(v)
+    }
+}
+
+impl From<usize> for ZoneId {
+    fn from(v: usize) -> Self {
+        Self(v as u32)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,6 +169,8 @@ mod tests {
     fn display() {
         assert_eq!(ServerId::new(2).to_string(), "S2");
         assert_eq!(LinkId::new(5).to_string(), "L5");
+        assert_eq!(RegionId::new(1).to_string(), "R1");
+        assert_eq!(ZoneId::new(0).to_string(), "Z0");
     }
 
     #[test]
@@ -97,6 +179,10 @@ mod tests {
         assert_eq!(ServerId::from(3usize), ServerId::new(3));
         assert_eq!(LinkId::from(1u32), LinkId::new(1));
         assert_eq!(LinkId::from(1usize).index(), 1);
+        assert_eq!(RegionId::from(2u32).index(), 2);
+        assert_eq!(RegionId::from(2usize), RegionId::new(2));
+        assert_eq!(ZoneId::from(1u32), ZoneId::new(1));
+        assert_eq!(ZoneId::from(1usize).index(), 1);
     }
 
     #[test]

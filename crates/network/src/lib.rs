@@ -26,7 +26,7 @@ pub mod topology;
 
 pub use dynamics::{EnvEvent, EnvState, TimedEvent, Timeline, CRASHED_POWER};
 pub use error::NetError;
-pub use ids::{LinkId, ServerId};
+pub use ids::{LinkId, RegionId, ServerId, ZoneId};
 pub use link::Link;
 pub use network::{Network, TopologyKind};
 pub use routing::{Path, RoutingCache, RoutingTable};

@@ -1,10 +1,10 @@
 //! The server network `N(S, L)`.
 
 use serde::{Deserialize, Serialize};
-use wsflow_model::units::{MbitsPerSec, MegaHertz};
+use wsflow_model::units::{DollarsPerHour, MbitsPerSec, MegaHertz, Seconds};
 
 use crate::error::NetError;
-use crate::ids::{LinkId, ServerId};
+use crate::ids::{LinkId, RegionId, ServerId};
 use crate::link::Link;
 use crate::server::Server;
 
@@ -57,6 +57,13 @@ pub struct Network {
     /// simulator can model bus contention without inferring it from
     /// links.
     bus_speed: Option<MbitsPerSec>,
+    /// Inter-region one-way latency surcharge, row-major
+    /// `[from · region_side + to]`. Empty means "no geo model": every
+    /// transfer behaves exactly as before the regions extension — the
+    /// legacy bit-identical path.
+    region_latency: Vec<Seconds>,
+    /// Side length of `region_latency` (0 when absent).
+    region_side: u32,
     /// Derived CSR adjacency: `adj_links[adj_off[s] .. adj_off[s + 1]]`
     /// = links incident to server `s`, in ascending link id. Two flat
     /// arrays instead of per-server `Vec`s keep the routing and
@@ -82,6 +89,7 @@ impl PartialEq for Network {
             && self.links == other.links
             && self.kind == other.kind
             && self.bus_speed == other.bus_speed
+            && self.region_latency == other.region_latency
     }
 }
 
@@ -134,18 +142,80 @@ impl Network {
                 });
             }
         }
+        for (i, s) in servers.iter().enumerate() {
+            if !s.price.is_finite() || s.price.value() < 0.0 {
+                return Err(NetError::BadPrice {
+                    server: ServerId::from(i),
+                    price: s.price.value(),
+                });
+            }
+        }
         let mut net = Self {
             name: name.into(),
             servers,
             links,
             kind,
             bus_speed: None,
+            region_latency: Vec::new(),
+            region_side: 0,
             adj_off: Vec::new(),
             adj_links: Vec::new(),
             generation: 0,
         };
         net.reindex();
         Ok(net)
+    }
+
+    /// Attach an inter-region latency matrix (builder style).
+    ///
+    /// `rows[a][b]` is the one-way latency surcharge a transfer pays for
+    /// crossing from region `a` to region `b`, added on top of the link
+    /// path's transmission time. The matrix must cover every region a
+    /// server mentions, be symmetric with a zero diagonal, and contain
+    /// only finite non-negative entries.
+    pub fn with_region_latency(mut self, rows: Vec<Vec<Seconds>>) -> Result<Self, NetError> {
+        let r = rows.len();
+        if r < self.num_regions() {
+            return Err(NetError::BadRegionLatency(format!(
+                "matrix covers {r} regions but servers mention {}",
+                self.num_regions()
+            )));
+        }
+        let mut flat = Vec::with_capacity(r * r);
+        for (a, row) in rows.iter().enumerate() {
+            if row.len() != r {
+                return Err(NetError::BadRegionLatency(format!(
+                    "row {a} has {} entries, expected {r}",
+                    row.len()
+                )));
+            }
+            for (b, &lat) in row.iter().enumerate() {
+                if !lat.is_finite() || lat.value() < 0.0 {
+                    return Err(NetError::BadRegionLatency(format!(
+                        "entry [{a}][{b}] = {} is not finite and non-negative",
+                        lat.value()
+                    )));
+                }
+                if a == b && !lat.is_zero() {
+                    return Err(NetError::BadRegionLatency(format!(
+                        "diagonal entry [{a}][{a}] = {} must be zero",
+                        lat.value()
+                    )));
+                }
+                if rows[b][a] != lat {
+                    return Err(NetError::BadRegionLatency(format!(
+                        "asymmetric: [{a}][{b}] = {} but [{b}][{a}] = {}",
+                        lat.value(),
+                        rows[b][a].value()
+                    )));
+                }
+                flat.push(lat);
+            }
+        }
+        self.region_latency = flat;
+        self.region_side = r as u32;
+        self.generation += 1;
+        Ok(self)
     }
 
     /// The mutation counter: bumped by every server/link mutation.
@@ -186,6 +256,23 @@ impl Network {
             });
         }
         link.speed = speed;
+        self.generation += 1;
+        Ok(())
+    }
+
+    /// Change a server's hourly price. Bumps the generation (the
+    /// `CommMatrix`-style caches that precompute prices must refresh).
+    pub fn set_server_price(&mut self, s: ServerId, price: DollarsPerHour) -> Result<(), NetError> {
+        if !price.is_finite() || price.value() < 0.0 {
+            return Err(NetError::BadPrice {
+                server: s,
+                price: price.value(),
+            });
+        }
+        if s.index() >= self.servers.len() {
+            return Err(NetError::UnknownServer(s));
+        }
+        self.servers[s.index()].price = price;
         self.generation += 1;
         Ok(())
     }
@@ -311,6 +398,49 @@ impl Network {
             .iter()
             .copied()
             .find(|&l| self.links[l.index()].opposite(a) == Some(b))
+    }
+
+    /// Number of regions: one more than the highest region id any
+    /// server mentions (servers default to region 0, so a classic
+    /// network has exactly one region).
+    pub fn num_regions(&self) -> usize {
+        self.servers
+            .iter()
+            .map(|s| s.region.index() + 1)
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// `true` if an inter-region latency matrix is attached. When
+    /// absent, transfers pay no region surcharge and the network is
+    /// bit-identical to the pre-geo model.
+    #[inline]
+    pub fn has_region_latency(&self) -> bool {
+        !self.region_latency.is_empty()
+    }
+
+    /// One-way latency surcharge for a transfer from region `a` to
+    /// region `b` (zero when no matrix is attached).
+    #[inline]
+    pub fn region_latency(&self, a: RegionId, b: RegionId) -> Seconds {
+        if self.region_latency.is_empty() {
+            return Seconds::ZERO;
+        }
+        self.region_latency[a.index() * self.region_side as usize + b.index()]
+    }
+
+    /// Latency surcharge between the regions of two servers (zero when
+    /// no matrix is attached). This is the term routing and the
+    /// communication matrix fold into every cross-region transfer.
+    #[inline]
+    pub fn server_region_latency(&self, a: ServerId, b: ServerId) -> Seconds {
+        if self.region_latency.is_empty() {
+            return Seconds::ZERO;
+        }
+        self.region_latency(
+            self.servers[a.index()].region,
+            self.servers[b.index()].region,
+        )
     }
 
     /// Total computational capacity `Σ P(Sᵢ)` — the paper's
@@ -559,6 +689,108 @@ mod tests {
         )
         .unwrap();
         assert_eq!(rebuilt, net);
+    }
+
+    #[test]
+    fn region_latency_matrix_validates_and_folds() {
+        use crate::ids::{RegionId, ZoneId};
+        let servers = vec![
+            Server::with_ghz("us0", 1.0).in_region(RegionId::new(0), ZoneId::new(0)),
+            Server::with_ghz("eu0", 2.0).in_region(RegionId::new(1), ZoneId::new(0)),
+        ];
+        let link = Link::new(ServerId::new(0), ServerId::new(1), MbitsPerSec(100.0));
+        let net = Network::new(
+            "geo",
+            servers.clone(),
+            vec![link.clone()],
+            TopologyKind::Line,
+        )
+        .unwrap();
+        assert_eq!(net.num_regions(), 2);
+        assert!(!net.has_region_latency());
+        assert_eq!(
+            net.server_region_latency(ServerId::new(0), ServerId::new(1)),
+            Seconds::ZERO
+        );
+
+        let lat = vec![
+            vec![Seconds::ZERO, Seconds(0.08)],
+            vec![Seconds(0.08), Seconds::ZERO],
+        ];
+        let net = net.with_region_latency(lat).unwrap();
+        assert!(net.has_region_latency());
+        assert_eq!(
+            net.server_region_latency(ServerId::new(0), ServerId::new(1)),
+            Seconds(0.08)
+        );
+        assert_eq!(
+            net.server_region_latency(ServerId::new(1), ServerId::new(1)),
+            Seconds::ZERO
+        );
+
+        // Too small, asymmetric, and non-zero-diagonal matrices are all
+        // rejected.
+        let small = Network::new("g", servers.clone(), vec![link.clone()], TopologyKind::Line)
+            .unwrap()
+            .with_region_latency(vec![vec![Seconds::ZERO]]);
+        assert!(matches!(small, Err(NetError::BadRegionLatency(_))));
+        let asym = Network::new("g", servers.clone(), vec![link.clone()], TopologyKind::Line)
+            .unwrap()
+            .with_region_latency(vec![
+                vec![Seconds::ZERO, Seconds(0.1)],
+                vec![Seconds(0.2), Seconds::ZERO],
+            ]);
+        assert!(matches!(asym, Err(NetError::BadRegionLatency(_))));
+        let diag = Network::new("g", servers, vec![link], TopologyKind::Line)
+            .unwrap()
+            .with_region_latency(vec![
+                vec![Seconds(0.1), Seconds(0.1)],
+                vec![Seconds(0.1), Seconds::ZERO],
+            ]);
+        assert!(matches!(diag, Err(NetError::BadRegionLatency(_))));
+    }
+
+    #[test]
+    fn prices_validate_and_mutate() {
+        use wsflow_model::units::DollarsPerHour;
+        let mut net = Network::new(
+            "n",
+            vec![
+                Server::with_ghz("s0", 1.0).priced(DollarsPerHour(0.25)),
+                Server::with_ghz("s1", 2.0),
+            ],
+            vec![Link::new(
+                ServerId::new(0),
+                ServerId::new(1),
+                MbitsPerSec(100.0),
+            )],
+            TopologyKind::Line,
+        )
+        .unwrap();
+        assert_eq!(net.server(ServerId::new(0)).price, DollarsPerHour(0.25));
+        let gen = net.generation();
+        net.set_server_price(ServerId::new(1), DollarsPerHour(0.75))
+            .unwrap();
+        assert_eq!(net.server(ServerId::new(1)).price, DollarsPerHour(0.75));
+        assert_eq!(net.generation(), gen + 1);
+        assert!(matches!(
+            net.set_server_price(ServerId::new(0), DollarsPerHour(-1.0)),
+            Err(NetError::BadPrice { .. })
+        ));
+        assert!(matches!(
+            net.set_server_price(ServerId::new(9), DollarsPerHour(1.0)),
+            Err(NetError::UnknownServer(_))
+        ));
+
+        // Construction rejects negative prices too.
+        let err = Network::new(
+            "n",
+            vec![Server::with_ghz("s0", 1.0).priced(DollarsPerHour(f64::NAN))],
+            vec![],
+            TopologyKind::Custom,
+        )
+        .unwrap_err();
+        assert!(matches!(err, NetError::BadPrice { .. }));
     }
 
     #[test]

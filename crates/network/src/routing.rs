@@ -149,6 +149,13 @@ impl RoutingTable {
 
     /// Transfer time for a message of `size` from `from` to `to`;
     /// `None` if unreachable. Zero when `from == to`.
+    ///
+    /// When the network carries an inter-region latency matrix, every
+    /// cross-region transfer additionally pays the one-way surcharge of
+    /// its endpoint regions on top of the per-link path time. The
+    /// surcharge depends only on the endpoints — never on the chosen
+    /// route — so route selection is unaffected, and networks without a
+    /// matrix take the exact legacy arithmetic.
     pub fn transfer_time(
         &self,
         net: &Network,
@@ -156,7 +163,12 @@ impl RoutingTable {
         to: ServerId,
         size: Mbits,
     ) -> Option<Seconds> {
-        self.path(from, to).map(|p| p.transfer_time(net, size))
+        let base = self.path(from, to).map(|p| p.transfer_time(net, size))?;
+        if net.has_region_latency() && from != to {
+            Some(base + net.server_region_latency(from, to))
+        } else {
+            Some(base)
+        }
     }
 }
 
@@ -654,6 +666,44 @@ mod tests {
             !old.is_current(&net),
             "server mutations invalidate routes too (conservatively)"
         );
+    }
+
+    #[test]
+    fn region_surcharge_applies_to_cross_region_transfers_only() {
+        use crate::ids::{RegionId, ZoneId};
+        use crate::server::Server;
+        let servers = vec![
+            Server::with_ghz("us0", 1.0),
+            Server::with_ghz("us1", 1.0),
+            Server::with_ghz("eu0", 1.0).in_region(RegionId::new(1), ZoneId::new(0)),
+        ];
+        let net = bus("geo", servers, MbitsPerSec(10.0))
+            .unwrap()
+            .with_region_latency(vec![
+                vec![Seconds::ZERO, Seconds(0.05)],
+                vec![Seconds(0.05), Seconds::ZERO],
+            ])
+            .unwrap();
+        let rt = RoutingTable::new(&net);
+        // Intra-region: pure link time (1 Mbit over 10 Mbps = 0.1 s).
+        let t = rt
+            .transfer_time(&net, ServerId::new(0), ServerId::new(1), Mbits(1.0))
+            .unwrap();
+        assert!((t.value() - 0.1).abs() < 1e-12);
+        // Cross-region: link time + 50 ms surcharge, both directions.
+        let t = rt
+            .transfer_time(&net, ServerId::new(0), ServerId::new(2), Mbits(1.0))
+            .unwrap();
+        assert!((t.value() - 0.15).abs() < 1e-12);
+        let back = rt
+            .transfer_time(&net, ServerId::new(2), ServerId::new(0), Mbits(1.0))
+            .unwrap();
+        assert_eq!(t, back);
+        // Same-server transfers stay free.
+        let t = rt
+            .transfer_time(&net, ServerId::new(2), ServerId::new(2), Mbits(1.0))
+            .unwrap();
+        assert_eq!(t, Seconds::ZERO);
     }
 
     #[test]

@@ -399,6 +399,61 @@ impl Manifest {
                 );
             }
         }
+        // Dedicated summary for geo-distributed runs (`geo_sweep`):
+        // where the placements landed region by region, what the
+        // deployments cost in dollars, and how big the tri-criteria
+        // Pareto front came out.
+        let geo_counters: Vec<_> = self
+            .metrics
+            .counters
+            .iter()
+            .filter(|c| c.name.starts_with("geo."))
+            .collect();
+        let geo_shares: Vec<_> = self
+            .metrics
+            .gauges
+            .iter()
+            .filter(|g| g.name.starts_with("geo.region_share."))
+            .collect();
+        let front_size = self
+            .metrics
+            .gauges
+            .iter()
+            .find(|g| g.name == "geo.front_size");
+        let money_hist = self
+            .metrics
+            .histograms
+            .iter()
+            .find(|h| h.name == "geo.money_dollars");
+        if !geo_counters.is_empty()
+            || !geo_shares.is_empty()
+            || front_size.is_some()
+            || money_hist.is_some()
+        {
+            let _ = writeln!(out, "\ngeo:");
+            for c in &geo_counters {
+                let _ = writeln!(out, "  {:<36} {:>14}", c.name, c.value);
+            }
+            for g in &geo_shares {
+                let region = g.name.trim_start_matches("geo.region_share.");
+                let _ = writeln!(
+                    out,
+                    "  {:<36} {:>13.1}%",
+                    format!("placement share {region}"),
+                    100.0 * g.value
+                );
+            }
+            if let Some(g) = front_size {
+                let _ = writeln!(out, "  {:<36} {:>14.0}", "pareto-front points", g.value);
+            }
+            if let Some(h) = money_hist {
+                let _ = writeln!(
+                    out,
+                    "  deployment bill ($): {} samples, p50 {:.4}, p90 {:.4}, p99 {:.4}, max {:.4}",
+                    h.count, h.p50, h.p90, h.p99, h.max
+                );
+            }
+        }
         if self.phases.is_empty() && self.metrics.is_empty() {
             let _ = writeln!(
                 out,
@@ -641,6 +696,51 @@ mod tests {
 
         // No trajectory metrics → no section.
         assert!(!sample().render().contains("trajectory:"));
+    }
+
+    #[test]
+    fn render_surfaces_geo_metrics() {
+        let mut m = sample();
+        m.metrics.counters.push(crate::registry::CounterSnap {
+            name: "geo.solves".to_string(),
+            value: 48,
+        });
+        for (name, value) in [
+            ("geo.front_size", 11.0),
+            ("geo.region_share.r0", 0.4125),
+            ("geo.region_share.r1", 0.3375),
+            ("geo.region_share.r2", 0.25),
+        ] {
+            m.metrics.gauges.push(crate::registry::GaugeSnap {
+                name: name.to_string(),
+                value,
+            });
+        }
+        m.metrics.histograms.push(crate::registry::HistSnap {
+            name: "geo.money_dollars".to_string(),
+            count: 48,
+            sum: 21.6,
+            min: 0.05,
+            max: 2.5,
+            p50: 0.35,
+            p90: 1.2,
+            p99: 2.4,
+            buckets: vec![crate::registry::BucketSnap {
+                le: f64::INFINITY,
+                count: 48,
+            }],
+        });
+        let text = m.render();
+        assert!(text.contains("geo:"), "{text}");
+        assert!(text.contains("geo.solves"));
+        assert!(text.contains("placement share r0"));
+        assert!(text.contains("41.2%"), "{text}");
+        assert!(text.contains("pareto-front points"));
+        assert!(text.contains("deployment bill ($): 48 samples"));
+        assert!(text.contains("p90 1.2000"), "{text}");
+
+        // No geo metrics → no section.
+        assert!(!sample().render().contains("geo:"));
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! Geo-distributed instance generation for the `geo_sweep` study.
+//!
+//! Extends the scale-study recipe (hybrid random-graph workflow over a
+//! star network) with the geo-cloud trimmings the tri-criteria
+//! objective needs:
+//!
+//! * **Region-clustered servers.** The `n` servers split into
+//!   contiguous region blocks (region `r` owns servers
+//!   `[r·n/R, (r+1)·n/R)`), each block alternating between two
+//!   availability zones. Contiguous blocks make the per-region
+//!   placement shares in `wsflow report` directly readable.
+//! * **Inter-region latency matrix.** Symmetric, zero-diagonal WAN
+//!   latencies drawn uniformly from 20–150 ms — the range of real
+//!   continental/intercontinental round-trips.
+//! * **Heavy-tailed hourly prices.** Spot markets are famously skewed:
+//!   prices draw from a Pareto tail (`x ~ u^{-1/α}`, α = 2.5) scaled to
+//!   a $0.08/h floor and capped at $5/h, so most servers are cheap and
+//!   a few are very much not.
+//!
+//! All three draws come from streams decorrelated from the workflow
+//! seed by distinct XOR constants, in the house style. Deterministic
+//! per seed, like every other generator in this crate.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use wsflow_model::{DollarsPerHour, Seconds};
+use wsflow_net::topology;
+use wsflow_net::{RegionId, ZoneId};
+
+use crate::classes::ExperimentClass;
+use crate::generator::{random_graph_workflow, servers, GraphClass};
+use crate::scale::SCALE_LINK_SPEED;
+use crate::scenario::Scenario;
+
+/// Smallest WAN latency between distinct regions (20 ms).
+pub const GEO_MIN_LATENCY: Seconds = Seconds(0.020);
+/// Largest WAN latency between distinct regions (150 ms).
+pub const GEO_MAX_LATENCY: Seconds = Seconds(0.150);
+/// Price floor of the Pareto-tailed hourly prices.
+pub const GEO_MIN_PRICE: DollarsPerHour = DollarsPerHour(0.08);
+/// Price cap of the Pareto-tailed hourly prices.
+pub const GEO_MAX_PRICE: DollarsPerHour = DollarsPerHour(5.0);
+
+/// Generate a geo-study instance: a hybrid random-graph workflow of `m`
+/// operations over a star network of `n` servers clustered into
+/// `regions` priced regions.
+///
+/// # Panics
+///
+/// Panics if `regions == 0` or `n < regions` (every region must own at
+/// least one server).
+///
+/// # Examples
+///
+/// ```
+/// use wsflow_workload::geo_instance;
+///
+/// let s = geo_instance(30, 9, 3, 1);
+/// assert_eq!(s.workflow.num_ops(), 30);
+/// assert_eq!(s.network.num_regions(), 3);
+/// assert!(s.network.has_region_latency());
+/// ```
+pub fn geo_instance(m: usize, n: usize, regions: usize, seed: u64) -> Scenario {
+    assert!(regions > 0, "need at least one region");
+    assert!(n >= regions, "every region must own at least one server");
+    let class = ExperimentClass::class_c();
+    // Stream decorrelation, same idiom as `scenario::generate` /
+    // `scale_instance`; prices and latencies get their own streams so
+    // adding a region to the sweep grid cannot shift workflow shapes.
+    let wf_seed = seed;
+    let net_seed = seed ^ 0xDEAD_BEEF_CAFE_F00D;
+    let price_seed = seed ^ 0x0005_EED0_FD01_1A85u64;
+    let latency_seed = seed ^ 0x001A_7E4C_4E61_0453u64;
+
+    let workflow = random_graph_workflow("w", m, GraphClass::Hybrid, &class, wf_seed);
+
+    let mut srv = servers(n, &class, net_seed);
+    let mut price_rng = ChaCha8Rng::seed_from_u64(price_seed);
+    for (i, s) in srv.iter_mut().enumerate() {
+        let region = RegionId::new((i * regions / n) as u32);
+        let zone = ZoneId::new((i % 2) as u32);
+        // Pareto tail: u^(-1/α) ≥ 1, so the floor is exact and the cap
+        // clips the rare extreme draws.
+        let u: f64 = price_rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let price = (GEO_MIN_PRICE.value() * u.powf(-1.0 / 2.5)).min(GEO_MAX_PRICE.value());
+        *s = s
+            .clone()
+            .in_region(region, zone)
+            .priced(DollarsPerHour(price));
+    }
+
+    let mut latency_rng = ChaCha8Rng::seed_from_u64(latency_seed);
+    let mut rows = vec![vec![Seconds::ZERO; regions]; regions];
+    // Symmetric fill: the upper triangle is drawn in (a, b) order and
+    // mirrored, so the matrix never depends on iteration quirks.
+    #[allow(clippy::needless_range_loop)]
+    for a in 0..regions {
+        for b in (a + 1)..regions {
+            let span = GEO_MAX_LATENCY.value() - GEO_MIN_LATENCY.value();
+            let lat = Seconds(GEO_MIN_LATENCY.value() + span * latency_rng.gen::<f64>());
+            rows[a][b] = lat;
+            rows[b][a] = lat;
+        }
+    }
+
+    let network = topology::star("geo-star", srv, SCALE_LINK_SPEED)
+        .expect("generated star networks are valid")
+        .with_region_latency(rows)
+        .expect("generated latency matrices are valid");
+    Scenario {
+        name: format!("geo M={m} N={n} R={regions} seed={seed}"),
+        workflow,
+        network,
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsflow_cost::Problem;
+    use wsflow_net::TopologyKind;
+
+    #[test]
+    fn produces_valid_geo_problems() {
+        let s = geo_instance(40, 12, 4, 11);
+        assert_eq!(s.network.kind(), TopologyKind::Star);
+        assert_eq!(s.network.num_regions(), 4);
+        assert!(s.network.has_region_latency());
+        assert!(wsflow_model::is_well_formed(&s.workflow));
+        let p = Problem::new(s.workflow, s.network).expect("fully routable");
+        assert_eq!(p.num_ops(), 40);
+        assert_eq!(p.num_servers(), 12);
+    }
+
+    #[test]
+    fn regions_are_contiguous_blocks_with_bounded_prices() {
+        let s = geo_instance(20, 10, 3, 5);
+        let mut last_region = 0u32;
+        for srv in s.network.servers() {
+            assert!(
+                srv.region.0 >= last_region,
+                "regions must be assigned in contiguous ascending blocks"
+            );
+            last_region = srv.region.0;
+            let p = srv.price.value();
+            assert!(
+                (GEO_MIN_PRICE.value()..=GEO_MAX_PRICE.value()).contains(&p),
+                "price {p} outside [floor, cap]"
+            );
+        }
+        assert_eq!(last_region, 2);
+    }
+
+    #[test]
+    fn latencies_are_symmetric_and_in_range() {
+        let s = geo_instance(20, 8, 4, 9);
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                let lat = s.network.region_latency(RegionId::new(a), RegionId::new(b));
+                if a == b {
+                    assert_eq!(lat, Seconds::ZERO);
+                } else {
+                    assert_eq!(
+                        lat,
+                        s.network.region_latency(RegionId::new(b), RegionId::new(a))
+                    );
+                    assert!(lat >= GEO_MIN_LATENCY && lat <= GEO_MAX_LATENCY);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prices_show_a_heavy_tail() {
+        // Over a few instances the Pareto draw must produce both
+        // near-floor prices and clear outliers — a uniform price column
+        // would defeat the elastic-provisioning study.
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        for seed in 0..8 {
+            for srv in geo_instance(10, 16, 4, seed).network.servers() {
+                lo = lo.min(srv.price.value());
+                hi = hi.max(srv.price.value());
+            }
+        }
+        assert!(lo < GEO_MIN_PRICE.value() * 1.5, "floor draws missing");
+        assert!(hi > GEO_MIN_PRICE.value() * 5.0, "tail draws missing");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = geo_instance(30, 9, 3, 7);
+        let b = geo_instance(30, 9, 3, 7);
+        assert_eq!(a.workflow, b.workflow);
+        assert_eq!(a.network, b.network);
+        let c = geo_instance(30, 9, 3, 8);
+        assert_ne!(a.network, c.network);
+    }
+}

@@ -12,6 +12,7 @@
 pub mod classes;
 pub mod distributions;
 pub mod generator;
+pub mod geo;
 pub mod io;
 pub mod scale;
 pub mod scenario;
@@ -22,5 +23,6 @@ pub use distributions::WeightedChoice;
 pub use generator::{
     bus_network, line_network, linear_workflow, random_graph_workflow, servers, GraphClass,
 };
+pub use geo::{geo_instance, GEO_MAX_LATENCY, GEO_MAX_PRICE, GEO_MIN_LATENCY, GEO_MIN_PRICE};
 pub use scale::{scale_instance, SCALE_LINK_SPEED};
 pub use scenario::{generate, generate_batch, Configuration, Scenario};

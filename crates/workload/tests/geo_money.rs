@@ -1,0 +1,139 @@
+//! Property-style coverage of the money axis on random geo instances.
+//!
+//! Two contracts, each checked over a sweep of seeded random instances,
+//! mappings, and move sequences (deterministic, but drawn broadly the
+//! way a proptest generator would):
+//!
+//! 1. `DeltaEvaluator` money deltas — probes *and* applies — are
+//!    bit-identical to a full `Evaluator` re-evaluation of the same
+//!    mapping.
+//! 2. A `money` weight of exactly `0.0` reproduces the legacy cost
+//!    bytes: execution, penalty, and combined all match, bit for bit,
+//!    what the bi-objective constructor computes — and stripping the
+//!    prices off the network reproduces the entire legacy breakdown
+//!    including a zero money field.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use wsflow_cost::{CostWeights, DeltaEvaluator, Evaluator, Mapping, Problem};
+use wsflow_model::{DollarsPerHour, OpId};
+use wsflow_net::ServerId;
+use wsflow_workload::geo_instance;
+
+fn random_mapping(m: usize, n: u32, rng: &mut ChaCha8Rng) -> Mapping {
+    Mapping::from_fn(m, |_| ServerId::new(rng.gen_range(0..n)))
+}
+
+#[test]
+fn delta_money_matches_full_reevaluation_on_random_geo_instances() {
+    for seed in 0..6u64 {
+        let s = geo_instance(18, 9, 3, seed);
+        let p = Problem::with_weights(
+            s.workflow.clone(),
+            s.network.clone(),
+            CostWeights::tri(1.0, 1.0, 0.25),
+        )
+        .expect("geo instances are valid");
+        let n = p.num_servers() as u32;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xFEED);
+        let start = random_mapping(p.num_ops(), n, &mut rng);
+        let mut full = Evaluator::new(&p);
+        let mut delta = DeltaEvaluator::new(&p, start.clone()).with_staleness_threshold(19);
+
+        // Probes against an untouched state.
+        for _ in 0..40 {
+            let op = OpId::from(rng.gen_range(0..p.num_ops()));
+            let server = ServerId::new(rng.gen_range(0..n));
+            let probed = delta.probe(op, server);
+            let mut m = delta.mapping().clone();
+            m.assign(op, server);
+            let want = full.evaluate(&m);
+            assert_eq!(
+                probed.money.value().to_bits(),
+                want.money.value().to_bits(),
+                "seed {seed}: probe money drifted"
+            );
+            assert_eq!(
+                probed.combined.value().to_bits(),
+                want.combined.value().to_bits(),
+                "seed {seed}: probe combined drifted"
+            );
+        }
+
+        // A random walk of committed moves.
+        for step in 0..80 {
+            let op = OpId::from(rng.gen_range(0..p.num_ops()));
+            let server = ServerId::new(rng.gen_range(0..n));
+            let got = delta.apply(op, server);
+            let want = full.evaluate(delta.mapping());
+            for (g, w, what) in [
+                (got.execution.value(), want.execution.value(), "execution"),
+                (got.penalty.value(), want.penalty.value(), "penalty"),
+                (got.money.value(), want.money.value(), "money"),
+                (got.combined.value(), want.combined.value(), "combined"),
+            ] {
+                assert_eq!(
+                    g.to_bits(),
+                    w.to_bits(),
+                    "seed {seed} step {step}: {what} drifted"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_money_weight_reproduces_legacy_cost_bytes() {
+    for seed in 0..6u64 {
+        let s = geo_instance(16, 8, 4, seed);
+
+        // Same priced network, tri weights with the money axis off vs
+        // the legacy bi-objective constructor.
+        let tri = Problem::with_weights(
+            s.workflow.clone(),
+            s.network.clone(),
+            CostWeights::tri(0.6, 1.4, 0.0),
+        )
+        .unwrap();
+        let legacy = Problem::with_weights(
+            s.workflow.clone(),
+            s.network.clone(),
+            CostWeights::new(0.6, 1.4),
+        )
+        .unwrap();
+
+        // And the prices stripped entirely: the pure pre-geo code path.
+        let mut stripped_net = s.network.clone();
+        for id in s.network.server_ids() {
+            stripped_net
+                .set_server_price(id, DollarsPerHour::ZERO)
+                .unwrap();
+        }
+        let stripped =
+            Problem::with_weights(s.workflow.clone(), stripped_net, CostWeights::new(0.6, 1.4))
+                .unwrap();
+
+        let mut ev_tri = Evaluator::new(&tri);
+        let mut ev_legacy = Evaluator::new(&legacy);
+        let mut ev_stripped = Evaluator::new(&stripped);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xBEEF);
+        for _ in 0..25 {
+            let m = random_mapping(tri.num_ops(), tri.num_servers() as u32, &mut rng);
+            let a = ev_tri.evaluate(&m);
+            let b = ev_legacy.evaluate(&m);
+            let c = ev_stripped.evaluate(&m);
+            // The time axes and the scalar are untouched by a zero
+            // money weight — bit for bit.
+            assert_eq!(a.execution.value().to_bits(), b.execution.value().to_bits());
+            assert_eq!(a.penalty.value().to_bits(), b.penalty.value().to_bits());
+            assert_eq!(a.combined.value().to_bits(), b.combined.value().to_bits());
+            assert_eq!(a.money.value().to_bits(), b.money.value().to_bits());
+            // The price-free network reproduces the whole legacy
+            // breakdown, including a zero money field.
+            assert_eq!(a.execution.value().to_bits(), c.execution.value().to_bits());
+            assert_eq!(a.penalty.value().to_bits(), c.penalty.value().to_bits());
+            assert_eq!(a.combined.value().to_bits(), c.combined.value().to_bits());
+            assert_eq!(c.money.value().to_bits(), 0f64.to_bits());
+        }
+    }
+}

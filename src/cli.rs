@@ -1336,6 +1336,36 @@ mod tests {
     }
 
     #[test]
+    fn report_renders_geo_section_from_obs_run() {
+        let _guard = wsflow_obs::registry::test_lock();
+        wsflow_obs::set_enabled(true);
+        wsflow_obs::reset();
+        // The metrics the geo_sweep experiment emits under --obs…
+        wsflow_obs::counter_add("geo.solves", 48);
+        wsflow_obs::gauge_set("geo.region_share.r0", 0.625);
+        wsflow_obs::gauge_set("geo.region_share.r1", 0.375);
+        wsflow_obs::gauge_set("geo.front_size", 9.0);
+        wsflow_obs::observe("geo.money_dollars", 0.42);
+        let manifest = wsflow_obs::Manifest::collect("geo_sweep", 7, 1, 0.5);
+        wsflow_obs::set_enabled(false);
+        wsflow_obs::reset();
+        // …render as a dedicated geo: section in the report.
+        let dir = std::env::temp_dir().join(format!("wsflow-geo-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        manifest
+            .write(&dir.join("geo_sweep_manifest.json"))
+            .unwrap();
+        let out = cmd_report(dir.to_str().unwrap()).unwrap();
+        assert!(out.contains("geo:"), "{out}");
+        assert!(out.contains("geo.solves"), "{out}");
+        assert!(out.contains("placement share r0"), "{out}");
+        assert!(out.contains("62.5%"), "{out}");
+        assert!(out.contains("pareto-front points"), "{out}");
+        assert!(out.contains("deployment bill ($): 1 samples"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn submit_streams_a_solve_through_a_live_daemon() {
         let daemon = wsflow_svc::daemon::spawn(wsflow_svc::DaemonConfig {
             svc: wsflow_svc::SvcConfig::default().with_workers(1),

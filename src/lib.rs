@@ -68,19 +68,20 @@ pub use wsflow_workload as workload;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use wsflow_core::{
-        AllOnFastest, BestOfRandom, DeployError, DeploymentAlgorithm, Exhaustive, FairLoad,
-        FairLoadMergeMessages, FairLoadTieResolver, FairLoadTieResolver2, HeavyOpsLargeMsgs,
-        HillClimb, LineLine, Portfolio, RandomMapping, RoundRobin, SimulatedAnnealing,
+        AllOnFastest, BestOfRandom, DeployError, DeploymentAlgorithm, ElasticProvision, Exhaustive,
+        FairLoad, FairLoadMergeMessages, FairLoadTieResolver, FairLoadTieResolver2,
+        HeavyOpsLargeMsgs, HillClimb, LineLine, Portfolio, RandomMapping, RoundRobin,
+        SimulatedAnnealing,
     };
     pub use wsflow_cost::{
         texecute, time_penalty, CostBreakdown, CostWeights, Evaluator, Mapping, Problem,
         UserConstraints,
     };
     pub use wsflow_model::{
-        BlockSpec, DecisionKind, MCycles, Mbits, MbitsPerSec, MegaHertz, Message, OpId, Operation,
-        Probability, Seconds, Workflow, WorkflowBuilder,
+        BlockSpec, DecisionKind, Dollars, DollarsPerHour, MCycles, Mbits, MbitsPerSec, MegaHertz,
+        Message, OpId, Operation, Probability, Seconds, Workflow, WorkflowBuilder,
     };
-    pub use wsflow_net::{Network, Server, ServerId, TopologyKind};
+    pub use wsflow_net::{Network, RegionId, Server, ServerId, TopologyKind, ZoneId};
     pub use wsflow_sim::{monte_carlo, simulate, SimConfig};
     pub use wsflow_workload::{ExperimentClass, GraphClass};
 }
