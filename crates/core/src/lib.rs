@@ -25,6 +25,7 @@
 
 pub mod algorithm;
 pub mod baselines;
+pub mod blackboard;
 pub mod branch_bound;
 pub mod constrained;
 pub mod elastic;
@@ -47,6 +48,9 @@ pub mod view;
 
 pub use algorithm::{DeployError, DeploymentAlgorithm};
 pub use baselines::{AllOnFastest, BestOfRandom, RandomMapping, RoundRobin};
+pub use blackboard::{
+    Blackboard, BlackboardStats, KnowledgeSource, Proposal, SourceKind, SourceStats,
+};
 pub use branch_bound::{BnbOutcome, BranchAndBound};
 pub use constrained::{violation, ConstrainedDeploy, ConstrainedError};
 pub use elastic::ElasticProvision;
@@ -63,8 +67,8 @@ pub use multi::{deploy_joint_fair, deploy_sequential, MultiCost, MultiProblem};
 pub use partition::{partition_ops, Partition};
 pub use portfolio::Portfolio;
 pub use refine::{
-    hill_climb_ctx, hill_climb_from, refine_moves_and_swaps, swap_refine_ctx, swap_refine_from,
-    HillClimb, SimulatedAnnealing,
+    hill_climb_ctx, hill_climb_from, refine_moves_and_swaps, repair_ops_ctx, swap_refine_ctx,
+    swap_refine_from, HillClimb, SimulatedAnnealing,
 };
 pub use solve::{CancelToken, SolveCtx, SolveOutcome, Termination, TrajectoryPoint};
 pub use view::{InstanceView, MsgView};

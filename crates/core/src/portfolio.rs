@@ -9,8 +9,9 @@
 use wsflow_cost::{Mapping, Problem};
 
 use crate::algorithm::{DeployError, DeploymentAlgorithm};
+use crate::blackboard::race_sequential;
 use crate::registry::paper_bus_algorithms;
-use crate::solve::{SolveCtx, SolveOutcome, Termination};
+use crate::solve::{SolveCtx, SolveOutcome};
 
 /// Best-of-the-paper's-five deployment.
 #[derive(Debug, Clone)]
@@ -52,44 +53,21 @@ impl Portfolio {
     /// [`solve_labelled`](Self::solve_labelled) over an explicit member
     /// list (the portfolio's skip-failing-members semantics for any
     /// algorithm suite).
+    ///
+    /// Since the blackboard refactor this is a thin configuration of
+    /// the runtime's sequential seeding race: members run as
+    /// constructive-only sources in one generation on the shared
+    /// context, which is bit-identical to the classic loop (see the
+    /// regression test in `blackboard::tests`).
     pub fn solve_labelled_over(
         &self,
         problem: &Problem,
         ctx: &mut SolveCtx<'_>,
         members: Vec<Box<dyn DeploymentAlgorithm>>,
     ) -> Result<(SolveOutcome, String), DeployError> {
-        assert!(!members.is_empty(), "the member suite must be non-empty");
-        let mark = ctx.mark();
-        let mut best: Option<(Mapping, String, f64)> = None;
-        let mut last_err: Option<DeployError> = None;
-        let mut all_ran = true;
-        let mut all_converged = true;
-        for algo in members {
-            // Budget check at the member boundary: skip the rest once
-            // the budget is gone, but never before an incumbent exists.
-            if best.is_some() && ctx.should_stop() {
-                all_ran = false;
-                break;
-            }
-            match algo.solve(problem, ctx) {
-                Ok(out) => {
-                    all_converged &= out.termination == Termination::Converged;
-                    if best.as_ref().map(|(_, _, c)| out.cost < *c).unwrap_or(true) {
-                        best = Some((out.mapping, algo.name().to_string(), out.cost));
-                    }
-                }
-                // A failing member is skipped — its error is only
-                // surfaced if no member succeeds at all.
-                Err(e) => last_err = Some(e),
-            }
-        }
-        match best {
-            Some((mapping, name, cost)) => {
-                let converged = all_ran && all_converged;
-                Ok((ctx.finish(mark, mapping, cost, converged), name))
-            }
-            None => Err(last_err.expect("no winner implies at least one member error")),
-        }
+        let (out, winner) = race_sequential(problem, ctx, &members)?;
+        let name = members[winner].name().to_string();
+        Ok((out, name))
     }
 }
 
@@ -116,6 +94,7 @@ impl DeploymentAlgorithm for Portfolio {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::solve::Termination;
     use wsflow_cost::Evaluator;
     use wsflow_model::MbitsPerSec;
     use wsflow_workload::{generate, Configuration, ExperimentClass, GraphClass};

@@ -176,6 +176,55 @@ pub fn swap_refine_ctx(
     (delta.mapping().clone(), cost, true)
 }
 
+/// Budgeted first-improvement move sweeps restricted to `ops`.
+///
+/// This is the localized-fault repair kernel shared with `wsflow-dyn`:
+/// only the listed operations are considered for relocation, each
+/// evaluator probe charges one logical step against `ctx`, and the
+/// sweep loop stops the moment a full pass finds nothing (or the budget
+/// runs out — third return value `false`). Unlike the full refiners it
+/// does *not* offer intermediate incumbents: callers decide whether the
+/// repaired mapping is worth publishing.
+pub fn repair_ops_ctx(
+    problem: &Problem,
+    start: Mapping,
+    ops: &[OpId],
+    max_sweeps: usize,
+    ctx: &mut SolveCtx<'_>,
+) -> (Mapping, wsflow_cost::CostBreakdown, bool) {
+    let mut delta = DeltaEvaluator::new(problem, start);
+    let mut cost = delta.cost().combined.value();
+    let n = problem.num_servers() as u32;
+    let mut completed = true;
+    'sweeps: for _ in 0..max_sweeps {
+        let mut improved = false;
+        for &op in ops {
+            let original = delta.mapping().server_of(op);
+            for s in 0..n {
+                let server = ServerId::new(s);
+                if server == original {
+                    continue;
+                }
+                if !ctx.try_charge(1) {
+                    completed = false;
+                    break 'sweeps;
+                }
+                let c = delta.probe(op, server).combined.value();
+                if c < cost {
+                    delta.apply(op, server);
+                    cost = c;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    (delta.mapping().clone(), delta.cost(), completed)
+}
+
 /// Moves + swaps: alternate the two neighbourhoods to a combined local
 /// optimum.
 pub fn refine_moves_and_swaps(

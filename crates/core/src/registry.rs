@@ -2,6 +2,7 @@
 
 use crate::algorithm::DeploymentAlgorithm;
 use crate::baselines::{AllOnFastest, BestOfRandom, RandomMapping, RoundRobin};
+use crate::blackboard::Blackboard;
 use crate::fair_load::FairLoad;
 use crate::flmme::FairLoadMergeMessages;
 use crate::fltr::FairLoadTieResolver;
@@ -20,6 +21,14 @@ pub fn paper_bus_algorithms(seed: u64) -> Vec<Box<dyn DeploymentAlgorithm>> {
         Box::new(FairLoadMergeMessages::new(seed)),
         Box::new(HeavyOpsLargeMsgs),
     ]
+}
+
+/// The default solver for random-graph workloads: the cooperative
+/// blackboard (ROADMAP item 4 — `quality_vs_budget` shows it matches or
+/// beats the sequential portfolio on a majority of (budget, seed)
+/// cells; see EXPERIMENTS.md).
+pub fn default_random_graph_solver(seed: u64) -> Box<dyn DeploymentAlgorithm> {
+    Box::new(Blackboard::new(seed))
 }
 
 /// The four Line–Line variants (§3.2).
@@ -53,5 +62,6 @@ mod tests {
         assert_eq!(names.len(), 5);
         assert_eq!(line_line_variants().len(), 4);
         assert_eq!(baselines(0, 10).len(), 4);
+        assert_eq!(default_random_graph_solver(0).name(), "Blackboard");
     }
 }

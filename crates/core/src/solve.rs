@@ -49,8 +49,18 @@ use wsflow_cost::Mapping;
 /// [`cancel`](CancelToken::cancel) from any thread; converted solvers
 /// poll it at batch boundaries and return their best incumbent with
 /// [`Termination::Cancelled`].
+///
+/// Tokens form a hierarchy: [`child`](CancelToken::child) derives a
+/// token that observes its parent's cancellation but can also be
+/// cancelled on its own without touching the parent. The blackboard
+/// runtime hands one child per knowledge source so a dominated source
+/// can be cancelled individually while a parent-level cancel still
+/// stops every source at once.
 #[derive(Debug, Clone, Default)]
-pub struct CancelToken(Arc<AtomicBool>);
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    parent: Option<Arc<CancelToken>>,
+}
 
 impl CancelToken {
     /// A fresh, un-cancelled token.
@@ -58,14 +68,24 @@ impl CancelToken {
         Self::default()
     }
 
-    /// Request cancellation (idempotent, thread-safe).
+    /// Request cancellation (idempotent, thread-safe). Cancelling a
+    /// child never cancels its parent.
     pub fn cancel(&self) {
-        self.0.store(true, Ordering::Relaxed);
+        self.flag.store(true, Ordering::Relaxed);
     }
 
-    /// Has cancellation been requested?
+    /// Has cancellation been requested, here or on any ancestor?
     pub fn is_cancelled(&self) -> bool {
-        self.0.load(Ordering::Relaxed)
+        self.flag.load(Ordering::Relaxed) || self.parent.as_ref().is_some_and(|p| p.is_cancelled())
+    }
+
+    /// Derive a linked token: cancelled whenever `self` is, but
+    /// individually cancellable without affecting `self` or siblings.
+    pub fn child(&self) -> CancelToken {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            parent: Some(Arc::new(self.clone())),
+        }
     }
 }
 
@@ -498,6 +518,27 @@ mod tests {
         let out = ctx.finish(0, dummy_mapping(), 1.0, false);
         assert_eq!(out.termination, Termination::Cancelled);
         assert_eq!(out.steps, 1);
+    }
+
+    #[test]
+    fn child_tokens_link_down_but_never_up() {
+        let parent = CancelToken::new();
+        let a = parent.child();
+        let b = parent.child();
+        // Cancelling one child leaves the parent and siblings alone.
+        a.cancel();
+        assert!(a.is_cancelled());
+        assert!(!b.is_cancelled());
+        assert!(!parent.is_cancelled());
+        // Cancelling the parent reaches every child, even clones made
+        // before the cancel.
+        let b2 = b.clone();
+        parent.cancel();
+        assert!(b.is_cancelled());
+        assert!(b2.is_cancelled());
+        // Grandchildren observe the whole chain.
+        let c = b.child();
+        assert!(c.is_cancelled());
     }
 
     #[test]

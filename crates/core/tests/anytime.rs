@@ -13,8 +13,8 @@
 //!   yields a complete mapping.
 
 use wsflow_core::{
-    BestOfRandom, BranchAndBound, CancelToken, DeploymentAlgorithm, Exhaustive, FairLoad,
-    HillClimb, Portfolio, SimulatedAnnealing, SolveCtx, Termination,
+    BestOfRandom, Blackboard, BranchAndBound, CancelToken, DeploymentAlgorithm, Exhaustive,
+    FairLoad, HillClimb, Portfolio, SimulatedAnnealing, SolveCtx, Termination,
 };
 use wsflow_cost::Problem;
 use wsflow_model::MbitsPerSec;
@@ -36,6 +36,7 @@ fn problem(ops: usize, servers: usize, seed: u64) -> Problem {
 fn suite(seed: u64) -> Vec<Box<dyn DeploymentAlgorithm>> {
     let mut algos = wsflow_core::registry::paper_bus_algorithms(seed);
     algos.push(Box::new(Portfolio::new(seed)));
+    algos.push(Box::new(Blackboard::new(seed)));
     algos.push(Box::new(BestOfRandom::new(64, seed)));
     algos.push(Box::new(HillClimb::new(FairLoad)));
     algos.push(Box::new(SimulatedAnnealing::new(seed)));
@@ -153,7 +154,51 @@ fn finite_budgets_are_bit_identical_across_worker_counts() {
             assert_eq!(bnb_1.steps, bnb_3.steps);
             assert_eq!(bnb_1.termination, bnb_3.termination);
             assert!((bnb_1.cost - bnb_3.cost).abs() < 1e-15);
+
+            let bb_1 = Blackboard::new(seed)
+                .with_workers(1)
+                .solve(&p, &mut SolveCtx::with_budget(budget))
+                .expect("solvable");
+            let bb_3 = Blackboard::new(seed)
+                .with_workers(3)
+                .solve(&p, &mut SolveCtx::with_budget(budget))
+                .expect("solvable");
+            assert_eq!(bb_1.mapping, bb_3.mapping, "seed {seed} budget {budget}");
+            assert_eq!(bb_1.steps, bb_3.steps);
+            assert_eq!(bb_1.termination, bb_3.termination);
+            assert!((bb_1.cost - bb_3.cost).abs() < 1e-15);
         }
+    }
+}
+
+#[test]
+fn unlimited_blackboard_never_loses_to_its_best_member() {
+    // The blackboard's seeding race sees every portfolio member's
+    // proposal, and improvers only ever tighten the board — so at an
+    // unlimited budget the result is never worse than the best
+    // constructive (and hence never worse than the sequential
+    // portfolio).
+    for seed in 0..4 {
+        let p = problem(9, 3, seed);
+        let bb = Blackboard::new(seed)
+            .solve(&p, &mut SolveCtx::unlimited())
+            .expect("solvable");
+        for member in wsflow_core::registry::paper_bus_algorithms(seed) {
+            let out = member
+                .solve(&p, &mut SolveCtx::unlimited())
+                .expect("solvable");
+            assert!(
+                bb.cost <= out.cost + 1e-12,
+                "seed {seed}: blackboard {} lost to {} at {}",
+                bb.cost,
+                member.name(),
+                out.cost
+            );
+        }
+        let portfolio = Portfolio::new(seed)
+            .solve(&p, &mut SolveCtx::unlimited())
+            .expect("solvable");
+        assert!(bb.cost <= portfolio.cost + 1e-12, "seed {seed}");
     }
 }
 

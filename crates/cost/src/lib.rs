@@ -35,7 +35,7 @@ pub mod texecute;
 pub use comm::{CommMatrix, PairCoeff};
 pub use constraints::{ConstraintViolation, UserConstraints};
 pub use critical_path::{critical_path, CriticalPath, CriticalStep};
-pub use delta::DeltaEvaluator;
+pub use delta::{DeltaEvaluator, MoveProposal};
 pub use dot::deployment_dot;
 pub use evaluator::Evaluator;
 pub use load::{effective_cycles, ideal_cycles, loads, max_load, time_penalty, tproc};

@@ -24,7 +24,7 @@ use wsflow_cost::{
 use wsflow_model::units::{Mbits, Seconds};
 use wsflow_model::{OpId, Workflow};
 use wsflow_net::dynamics::{EnvEvent, EnvState, TimedEvent, Timeline};
-use wsflow_net::{Network, ServerId};
+use wsflow_net::Network;
 
 use crate::policy::Policy;
 
@@ -192,37 +192,10 @@ fn repair(
         let breakdown = DeltaEvaluator::new(problem, mapping.clone()).cost();
         return (mapping, breakdown, completed);
     };
-    let mut delta = DeltaEvaluator::new(problem, start);
-    let mut cost = delta.cost().combined.value();
-    let n = problem.num_servers() as u32;
-    let mut completed = true;
-    'sweeps: for _ in 0..max_sweeps {
-        let mut improved = false;
-        for &op in ops {
-            let original = delta.mapping().server_of(op);
-            for s in 0..n {
-                let server = ServerId::new(s);
-                if server == original {
-                    continue;
-                }
-                if !ctx.try_charge(1) {
-                    completed = false;
-                    break 'sweeps;
-                }
-                let c = delta.probe(op, server).combined.value();
-                if c < cost {
-                    delta.apply(op, server);
-                    cost = c;
-                    improved = true;
-                    break;
-                }
-            }
-        }
-        if !improved {
-            break;
-        }
-    }
-    (delta.mapping().clone(), delta.cost(), completed)
+    // The restricted kernel lives in `wsflow_core::refine` so the
+    // blackboard's repairer source shares the exact sweep order (and
+    // thus the exact budget trajectory) with the dynamic controller.
+    wsflow_core::repair_ops_ctx(problem, start, ops, max_sweeps, ctx)
 }
 
 /// Run one policy over one timeline and report what happened.

@@ -62,12 +62,15 @@ pub const TENANTS: [(&str, u32, f64); 3] =
     [("gold", 4, 0.2), ("silver", 2, 0.3), ("bronze", 1, 0.5)];
 
 /// The algorithm mix: `(wire name, step budget, traffic share)`.
-/// `portfolio` converges quickly; `hillclimb` refines on top of it;
-/// `sa` is the long-running tail of the mix, clipped by its budget.
-const ALGOS: [(&str, Option<u64>, f64); 3] = [
-    ("portfolio", None, 0.5),
-    ("hillclimb", Some(1_500), 0.25),
-    ("sa", Some(2_500), 0.25),
+/// `portfolio` converges quickly; `blackboard` is its cooperative
+/// racing sibling under a finite budget; `hillclimb` refines on top of
+/// a greedy; `sa` is the long-running tail of the mix, clipped by its
+/// budget.
+const ALGOS: [(&str, Option<u64>, f64); 4] = [
+    ("portfolio", None, 0.4),
+    ("blackboard", Some(2_000), 0.2),
+    ("hillclimb", Some(1_500), 0.2),
+    ("sa", Some(2_500), 0.2),
 ];
 
 /// Requests per sizing seed: `params.seeds * ARRIVALS_PER_SEED` total

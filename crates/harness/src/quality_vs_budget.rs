@@ -14,8 +14,8 @@
 //! CI checks exactly that. No wall-clock value appears in any column.
 
 use wsflow_core::{
-    BranchAndBound, DeploymentAlgorithm, FairLoad, HillClimb, Portfolio, SimulatedAnnealing,
-    SolveCtx, Termination,
+    Blackboard, BlackboardStats, BranchAndBound, DeploymentAlgorithm, FairLoad, HillClimb,
+    Portfolio, SimulatedAnnealing, SolveCtx, Termination,
 };
 use wsflow_cost::Problem;
 use wsflow_workload::{generate, Configuration, ExperimentClass};
@@ -37,16 +37,47 @@ pub const CSV_HEADER: &str = "algo,budget,seed,steps,cost,termination";
 const MAX_OPS: usize = 12;
 
 /// The solver suite under the budget sweep: the portfolio of
-/// constructive greedies, two refiners, and exact search. BnB uses
-/// auto workers so the run also exercises the deterministic budget
-/// split across subtrees.
+/// constructive greedies, the cooperative blackboard, two refiners,
+/// and exact search. BnB and the blackboard use auto workers so the
+/// run also exercises the deterministic budget split across subtrees
+/// and generations.
 fn suite(seed: u64) -> Vec<Box<dyn DeploymentAlgorithm>> {
     vec![
         Box::new(Portfolio::new(seed)),
+        Box::new(Blackboard::new(seed)),
         Box::new(HillClimb::new(FairLoad)),
         Box::new(SimulatedAnnealing::new(seed)),
         Box::new(BranchAndBound::new().with_workers(0)),
     ]
+}
+
+/// Lowercase alphanumeric slug matching the `bb.*` metric suffixes.
+fn slug(name: &str) -> String {
+    name.chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect::<String>()
+        .to_ascii_lowercase()
+}
+
+/// Per-source tallies accumulated over every blackboard cell:
+/// `(name, proposals, accepts, cancellations)` in canonical order.
+type WinShares = Vec<(String, u64, u64, u64)>;
+
+fn merge_stats(win: &mut WinShares, stats: &BlackboardStats) {
+    if win.is_empty() {
+        win.extend(
+            stats
+                .sources
+                .iter()
+                .map(|s| (s.name.clone(), 0u64, 0u64, 0u64)),
+        );
+    }
+    for (w, s) in win.iter_mut().zip(&stats.sources) {
+        debug_assert_eq!(w.0, s.name, "source order is canonical");
+        w.1 += s.proposals;
+        w.2 += s.accepts;
+        w.3 += u64::from(s.cancelled);
+    }
 }
 
 /// Run the quality-vs-budget sweep.
@@ -63,6 +94,7 @@ pub fn run(params: &Params) -> ExperimentOutput {
     csv.push('\n');
     let mut recorder = TrajectoryRecorder::new();
     let mut row = 0u64;
+    let mut win: WinShares = WinShares::new();
 
     for i in 0..params.seeds as u64 {
         let seed = params.base_seed + i;
@@ -75,9 +107,19 @@ pub fn run(params: &Params) -> ExperimentOutput {
                 let solve_span = wsflow_obs::span_with("qvb.solve", row);
                 row += 1;
                 let mut ctx = SolveCtx::with_budget_opt(budget);
-                let out = algo
-                    .solve(&problem, &mut ctx)
-                    .expect("the suite deploys on Line–Bus");
+                // The blackboard goes through `solve_stats` so its
+                // per-source tallies feed the win-share table; the
+                // outcome is identical to its plain `solve`.
+                let out = if algo.name() == "Blackboard" {
+                    let (out, stats) = Blackboard::new(seed)
+                        .solve_stats(&problem, &mut ctx)
+                        .expect("the suite deploys on Line–Bus");
+                    merge_stats(&mut win, &stats);
+                    out
+                } else {
+                    algo.solve(&problem, &mut ctx)
+                        .expect("the suite deploys on Line–Bus")
+                };
                 drop(solve_span);
                 recorder.record(
                     &format!("{}/{}/{}", algo.name(), budget_label(budget), seed),
@@ -129,8 +171,44 @@ pub fn run(params: &Params) -> ExperimentOutput {
         }
     }
 
+    // Per-source win shares over every blackboard cell, appended to the
+    // same CSV as pseudo-rows (`termination = win_share`; budget/seed
+    // are `all`, steps carries the proposal count, cost the share).
+    let total_accepts: u64 = win.iter().map(|w| w.2).sum();
+    let mut share_table = Table::new(
+        "Blackboard win shares — accepted proposals per knowledge source, all cells".to_string(),
+        &[
+            "source",
+            "proposals",
+            "accepts",
+            "win_share",
+            "cancellations",
+        ],
+    );
+    for (name, proposals, accepts, cancellations) in &win {
+        let share = if total_accepts == 0 {
+            0.0
+        } else {
+            *accepts as f64 / total_accepts as f64
+        };
+        csv.push_str(&format!(
+            "Blackboard:{},all,all,{},{:.4},win_share\n",
+            slug(name),
+            proposals,
+            share
+        ));
+        share_table.push_row(vec![
+            name.clone(),
+            proposals.to_string(),
+            accepts.to_string(),
+            format!("{share:.4}"),
+            cancellations.to_string(),
+        ]);
+    }
+
     let mut out = ExperimentOutput::new("quality_vs_budget");
     out.tables.push(table);
+    out.tables.push(share_table);
     out.extra_csvs
         .push(("quality_vs_budget.csv".to_string(), csv));
     if !recorder.is_empty() {
@@ -154,12 +232,20 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], CSV_HEADER);
         let cells = suite(0).len() * BUDGETS.len();
-        assert_eq!(lines.len(), 1 + params.seeds * cells);
+        // Grid rows plus one win-share pseudo-row per knowledge source.
+        let data: Vec<&str> = lines[1..]
+            .iter()
+            .copied()
+            .filter(|l| !l.ends_with("win_share"))
+            .collect();
+        let shares = lines.len() - 1 - data.len();
+        assert_eq!(data.len(), params.seeds * cells);
+        assert_eq!(shares, 10, "6 constructives + 4 improvers");
 
         // Rows come in BUDGETS-order blocks per (seed, algo): within each
         // block more budget must never yield a worse incumbent, and the
         // unlimited point must converge.
-        for block in lines[1..].chunks(BUDGETS.len()) {
+        for block in data.chunks(BUDGETS.len()) {
             let mut prev = f64::INFINITY;
             for (bi, line) in block.iter().enumerate() {
                 let cols: Vec<&str> = line.split(',').collect();
@@ -201,6 +287,69 @@ mod tests {
         let b = run(&params);
         assert_eq!(a.extra_csvs, b.extra_csvs);
         assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn win_share_rows_are_well_formed_and_sum_to_one() {
+        let params = Params::quick();
+        let out = run(&params);
+        let csv = &out.extra_csvs[0].1;
+        let mut total = 0.0f64;
+        let mut rows = 0;
+        for line in csv.lines().filter(|l| l.ends_with("win_share")) {
+            let cols: Vec<&str> = line.split(',').collect();
+            assert_eq!(cols.len(), 6, "win-share rows match the header: {line}");
+            assert!(cols[0].starts_with("Blackboard:"), "{line}");
+            assert_eq!(cols[1], "all");
+            assert_eq!(cols[2], "all");
+            let share: f64 = cols[4].parse().unwrap();
+            assert!((0.0..=1.0).contains(&share), "{line}");
+            total += share;
+            rows += 1;
+        }
+        assert_eq!(rows, 10);
+        assert!(
+            (total - 1.0).abs() < 0.01,
+            "shares must sum to ~1 (got {total})"
+        );
+    }
+
+    #[test]
+    fn blackboard_beats_or_ties_the_portfolio_on_most_cells() {
+        // The ROADMAP item-4 acceptance bar: at least half of the
+        // (budget, seed) cells must have the blackboard's final cost at
+        // or below the sequential portfolio's.
+        let params = Params::quick();
+        let out = run(&params);
+        let csv = &out.extra_csvs[0].1;
+        let mut cells: std::collections::BTreeMap<(String, String), [Option<f64>; 2]> =
+            Default::default();
+        for line in csv.lines().skip(1).filter(|l| !l.ends_with("win_share")) {
+            let cols: Vec<&str> = line.split(',').collect();
+            let slot = match cols[0] {
+                "Portfolio" => 0,
+                "Blackboard" => 1,
+                _ => continue,
+            };
+            let key = (cols[1].to_string(), cols[2].to_string());
+            cells.entry(key).or_insert([None, None])[slot] = Some(cols[4].parse().unwrap());
+        }
+        let mut wins = 0usize;
+        let mut total = 0usize;
+        for ((budget, seed), pair) in &cells {
+            let (Some(portfolio), Some(blackboard)) = (pair[0], pair[1]) else {
+                panic!("cell ({budget}, {seed}) is missing a solver");
+            };
+            total += 1;
+            if blackboard <= portfolio + 1e-12 {
+                wins += 1;
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            wins * 2 >= total,
+            "blackboard won only {wins}/{total} cells against the portfolio"
+        );
     }
 
     #[test]

@@ -16,7 +16,9 @@
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use wsflow_core::{DeploymentAlgorithm, FairLoad, Hierarchical, HillClimb, SolveCtx, Termination};
+use wsflow_core::{
+    Blackboard, DeploymentAlgorithm, FairLoad, Hierarchical, HillClimb, SolveCtx, Termination,
+};
 use wsflow_cost::{texecute, time_penalty, CostBreakdown, Evaluator, Mapping, Problem};
 use wsflow_net::ServerId;
 use wsflow_workload::scale_instance;
@@ -58,13 +60,19 @@ fn suite() -> Vec<Box<dyn DeploymentAlgorithm + Sync>> {
         Box::new(FairLoad),
         Box::new(Hierarchical::new(FairLoad)),
         Box::new(Hierarchical::new(HillClimb::new(FairLoad))),
+        Box::new(Blackboard::new(0)),
     ]
 }
 
 /// Display names for the suite (`Hierarchical` is generic, so the trait
 /// name alone cannot distinguish its two instantiations).
 fn suite_names() -> Vec<&'static str> {
-    vec!["FairLoad", "Hier(FairLoad)", "Hier(HillClimb)"]
+    vec![
+        "FairLoad",
+        "Hier(FairLoad)",
+        "Hier(HillClimb)",
+        "Blackboard",
+    ]
 }
 
 /// Run the scale sweep.

@@ -65,6 +65,23 @@ impl Path {
             .sum()
     }
 
+    /// The servers visited by this path, in order, starting at `from`.
+    ///
+    /// Links are undirected, so each hop continues from whichever end of
+    /// the link the walk is currently on. A same-server path yields just
+    /// `[from]`.
+    pub fn servers_from(&self, net: &Network, from: ServerId) -> Vec<ServerId> {
+        let mut servers = Vec::with_capacity(self.links.len() + 1);
+        let mut cur = from;
+        servers.push(cur);
+        for &l in &self.links {
+            let link = net.link(l);
+            cur = if link.a == cur { link.b } else { link.a };
+            servers.push(cur);
+        }
+        servers
+    }
+
     /// The slowest (minimum-speed) link on the path, if any.
     pub fn bottleneck(&self, net: &Network) -> Option<LinkId> {
         self.links.iter().copied().min_by(|&a, &b| {
@@ -721,6 +738,39 @@ mod tests {
         assert!(rt
             .transfer_time(&net, ServerId::new(0), ServerId::new(2), Mbits(1.0))
             .is_none());
+    }
+
+    #[test]
+    fn servers_from_walks_the_line_in_order() {
+        let net = line_uniform("l", homogeneous_servers(4, 1.0), MbitsPerSec(10.0)).unwrap();
+        let rt = RoutingTable::new(&net);
+        let p = rt.path(ServerId::new(0), ServerId::new(3)).unwrap();
+        assert_eq!(
+            p.servers_from(&net, ServerId::new(0)),
+            vec![
+                ServerId::new(0),
+                ServerId::new(1),
+                ServerId::new(2),
+                ServerId::new(3)
+            ]
+        );
+        // Walking the reverse route starts at the other endpoint.
+        let back = rt.path(ServerId::new(3), ServerId::new(0)).unwrap();
+        assert_eq!(
+            back.servers_from(&net, ServerId::new(3)),
+            vec![
+                ServerId::new(3),
+                ServerId::new(2),
+                ServerId::new(1),
+                ServerId::new(0)
+            ]
+        );
+        // Same-server path: just the starting server.
+        let stay = rt.path(ServerId::new(1), ServerId::new(1)).unwrap();
+        assert_eq!(
+            stay.servers_from(&net, ServerId::new(1)),
+            vec![ServerId::new(1)]
+        );
     }
 
     use crate::network::Network;

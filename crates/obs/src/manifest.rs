@@ -454,6 +454,60 @@ impl Manifest {
                 );
             }
         }
+        // Blackboard solver summary (`bb.*`): per-source proposal and
+        // accept tallies with accept shares, generation count, and
+        // which sources were dominated and cancelled mid-solve.
+        let bb_counters: Vec<_> = self
+            .metrics
+            .counters
+            .iter()
+            .filter(|c| c.name.starts_with("bb."))
+            .collect();
+        if !bb_counters.is_empty() {
+            let _ = writeln!(out, "\nblackboard:");
+            if let Some(g) = bb_counters.iter().find(|c| c.name == "bb.generations") {
+                let _ = writeln!(out, "  {:<36} {:>14}", "generations", g.value);
+            }
+            let total_accepts: u64 = bb_counters
+                .iter()
+                .filter(|c| c.name.starts_with("bb.accepts."))
+                .map(|c| c.value)
+                .sum();
+            for c in bb_counters
+                .iter()
+                .filter(|c| c.name.starts_with("bb.proposals."))
+            {
+                let source = c.name.trim_start_matches("bb.proposals.");
+                let accepts = bb_counters
+                    .iter()
+                    .find(|a| a.name == format!("bb.accepts.{source}"))
+                    .map(|a| a.value)
+                    .unwrap_or(0);
+                let share = if total_accepts > 0 {
+                    100.0 * accepts as f64 / total_accepts as f64
+                } else {
+                    0.0
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:<36} {:>14}  {accepts} accepted ({share:.1}%)",
+                    format!("source {source}"),
+                    c.value
+                );
+            }
+            for c in bb_counters
+                .iter()
+                .filter(|c| c.name.starts_with("bb.cancellations."))
+            {
+                let source = c.name.trim_start_matches("bb.cancellations.");
+                let _ = writeln!(
+                    out,
+                    "  {:<36} {:>14}",
+                    format!("cancelled {source}"),
+                    c.value
+                );
+            }
+        }
         if self.phases.is_empty() && self.metrics.is_empty() {
             let _ = writeln!(
                 out,
@@ -741,6 +795,36 @@ mod tests {
 
         // No geo metrics → no section.
         assert!(!sample().render().contains("geo:"));
+    }
+
+    #[test]
+    fn render_surfaces_blackboard_metrics() {
+        let mut m = sample();
+        for (name, value) in [
+            ("bb.generations", 6u64),
+            ("bb.proposals.fairload", 4),
+            ("bb.accepts.fairload", 3),
+            ("bb.proposals.router", 8),
+            ("bb.accepts.router", 1),
+            ("bb.cancellations.swapper", 1),
+        ] {
+            m.metrics.counters.push(crate::registry::CounterSnap {
+                name: name.to_string(),
+                value,
+            });
+        }
+        let text = m.render();
+        assert!(text.contains("blackboard:"), "{text}");
+        assert!(text.contains("generations"), "{text}");
+        assert!(text.contains("source fairload"), "{text}");
+        // 3 of 4 accepted proposals belong to fairload: 75%.
+        assert!(text.contains("3 accepted (75.0%)"), "{text}");
+        assert!(text.contains("source router"), "{text}");
+        assert!(text.contains("1 accepted (25.0%)"), "{text}");
+        assert!(text.contains("cancelled swapper"), "{text}");
+
+        // No bb metrics → no section.
+        assert!(!sample().render().contains("blackboard:"));
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub type BoxedAlgorithm = Box<dyn DeploymentAlgorithm + Send + Sync>;
 /// [`Reply::Invalid`]).
 ///
 /// Accepted names: `fairload`, `fltr`, `fltr2`, `flmme`, `holm`,
-/// `portfolio`, `hillclimb`, `sa`, `exhaustive`.
+/// `portfolio`, `blackboard`, `hillclimb`, `sa`, `exhaustive`.
 pub fn resolve_algorithm(name: &str, seed: u64) -> Option<BoxedAlgorithm> {
     Some(match name {
         "fairload" => Box::new(FairLoad),
@@ -66,6 +66,7 @@ pub fn resolve_algorithm(name: &str, seed: u64) -> Option<BoxedAlgorithm> {
         "flmme" => Box::new(FairLoadMergeMessages::new(seed)),
         "holm" => Box::new(HeavyOpsLargeMsgs),
         "portfolio" => Box::new(Portfolio::new(seed)),
+        "blackboard" => Box::new(wsflow_core::Blackboard::new(seed)),
         "hillclimb" => Box::new(HillClimb::new(Portfolio::new(seed))),
         "sa" => Box::new(SimulatedAnnealing::new(seed)),
         "exhaustive" => Box::new(wsflow_core::Exhaustive::new()),
@@ -82,6 +83,7 @@ pub const ALGORITHM_NAMES: &[&str] = &[
     "flmme",
     "holm",
     "portfolio",
+    "blackboard",
     "hillclimb",
     "sa",
     "exhaustive",

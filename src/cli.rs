@@ -8,8 +8,8 @@ use std::fmt;
 
 use wsflow_core::registry::paper_bus_algorithms;
 use wsflow_core::{
-    DeploymentAlgorithm, Exhaustive, FairLoad, FairLoadMergeMessages, FairLoadTieResolver,
-    FairLoadTieResolver2, HeavyOpsLargeMsgs, Portfolio,
+    Blackboard, DeploymentAlgorithm, Exhaustive, FairLoad, FairLoadMergeMessages,
+    FairLoadTieResolver, FairLoadTieResolver2, HeavyOpsLargeMsgs, Portfolio,
 };
 use wsflow_cost::{deployment_dot, network_traffic, Evaluator, Problem};
 use wsflow_model::{dsl, workflow_dot, MbitsPerSec, Workflow, WorkflowStats};
@@ -73,7 +73,7 @@ USAGE:
 
 Workflow files use the line-oriented text format (see `wsflow::model::dsl`).
 Algorithms: fairload, fltr, fltr2, flmme, holm (default), portfolio,
-exhaustive, all. `submit` sends the request to a running `wsflowd`
+blackboard, exhaustive, all. `submit` sends the request to a running `wsflowd`
 (default 127.0.0.1:7407, or WSFLOW_SVC_PORT) and additionally accepts
 hillclimb and sa.
 --servers 1.0,2.0,3.0 declares three servers with those GHz ratings;
@@ -191,10 +191,11 @@ fn algorithm_by_name(name: &str) -> Result<Box<dyn DeploymentAlgorithm>, CliErro
         "flmme" => Box::new(FairLoadMergeMessages::new(0)),
         "holm" => Box::new(HeavyOpsLargeMsgs),
         "portfolio" => Box::new(Portfolio::new(0)),
+        "blackboard" => Box::new(Blackboard::new(0)),
         "exhaustive" => Box::new(Exhaustive::new()),
         other => {
             return Err(CliError::Usage(format!(
-                "unknown algorithm {other:?}; try fairload, fltr, fltr2, flmme, holm, portfolio, exhaustive, all"
+                "unknown algorithm {other:?}; try fairload, fltr, fltr2, flmme, holm, portfolio, blackboard, exhaustive, all"
             )))
         }
     })
